@@ -1,0 +1,66 @@
+/**
+ * @file
+ * State-quantization ablation (§6.2.1: "we divide each feature into a
+ * small number of bins to reduce the state space ... We select the
+ * number of bins (Table 1) based on empirical sensitivity analysis").
+ *
+ * Sweeps the bin counts of the two 64-bin features (access interval
+ * and access count) around the Table 1 choice and reports the
+ * performance/encoding-size trade-off the paper's sensitivity
+ * analysis settled.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/sibyl_policy.hh"
+
+using namespace sibyl;
+
+int
+main()
+{
+    bench::banner("State-bin sensitivity (§6.2.1): interval/count bin "
+                  "counts vs performance, H&M");
+
+    const std::vector<std::string> workloads = {"hm_1",   "mds_0",
+                                                "prxy_1", "rsrch_0",
+                                                "usr_0",  "wdev_2"};
+    const std::vector<std::uint32_t> binCounts = {2, 8, 64, 256, 1024};
+
+    sim::ExperimentConfig cfg;
+    cfg.hssConfig = "H&M";
+    sim::Experiment exp(cfg);
+
+    TextTable tab;
+    tab.header({"intr/cnt bins", "norm. latency (mean of 6 wl)",
+                "state encoding (bits)"});
+    for (std::uint32_t bins : binCounts) {
+        double lat = 0.0;
+        for (const auto &wl : workloads) {
+            trace::Trace t = trace::makeWorkload(wl);
+            core::SibylConfig scfg;
+            scfg.features.intervalBins = bins;
+            scfg.features.countBins = bins;
+            core::SibylPolicy sibyl(scfg, exp.numDevices());
+            lat += exp.run(t, sibyl).normalizedLatency;
+        }
+        // Encoding: size(3b) + type(1b) + 2 x log2(bins) + cap(3b) +
+        // curr(1b), before the paper's relaxed 40-bit padding.
+        const auto featureBits = static_cast<std::uint32_t>(
+            8 + 2 * std::lround(std::log2(bins)));
+        const auto n = static_cast<double>(workloads.size());
+        tab.addRow({cell(std::uint64_t{bins}), cell(lat / n, 3),
+                    cell(std::uint64_t{featureBits})});
+    }
+    tab.print(std::cout);
+    std::printf(
+        "\nPaper reference: 64 bins per temporal feature is the\n"
+        "sensitivity-analysis sweet spot — too few bins blur hot from\n"
+        "cold pages; more bins grow the state space (and the metadata\n"
+        "encoding) with no placement benefit.\n");
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Exploration-strategy ablation (§6.2.1 "Exploration vs. exploitation"
+ * and Fig. 14(c)).
+ *
+ * The paper fixes a constant epsilon-greedy policy at eps = 0.001 and
+ * shows (Fig. 14(c)) that too-frequent exploration (eps = 0.1) hurts
+ * sharply. This bench extends that sweep across strategy *families*:
+ * the paper's constant epsilon against linearly and exponentially
+ * annealed epsilon (explore early / exploit late) and Boltzmann
+ * (softmax) action sampling, which Tokic & Palm [134] compare
+ * epsilon-greedy to. The online-learning setting has no episode reset,
+ * so annealing must front-load its exploration into the warmup
+ * phase — the steady-state column shows whether that pays off.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/sibyl_policy.hh"
+
+using namespace sibyl;
+
+int
+main()
+{
+    bench::banner("Exploration ablation (§6.2.1, extends Fig. 14(c)): "
+                  "constant vs decaying epsilon vs Boltzmann");
+
+    const std::vector<std::string> workloads = {"hm_1",   "mds_0",
+                                                "prxy_1", "rsrch_0",
+                                                "usr_0",  "wdev_2"};
+    const std::vector<std::string> configs = {"H&M", "H&L"};
+
+    struct Strategy
+    {
+        const char *label;
+        rl::ExplorationConfig explore;
+        double constantEps; // SibylConfig::epsilon (ConstantEpsilon kind)
+    };
+
+    auto linear = [](double start, double floor, std::uint64_t steps) {
+        rl::ExplorationConfig e;
+        e.kind = rl::ExplorationKind::LinearDecay;
+        e.epsilonStart = start;
+        e.epsilon = floor;
+        e.decaySteps = steps;
+        return e;
+    };
+    auto expo = [](double start, double floor, std::uint64_t halfLife) {
+        rl::ExplorationConfig e;
+        e.kind = rl::ExplorationKind::ExponentialDecay;
+        e.epsilonStart = start;
+        e.epsilon = floor;
+        e.halfLifeSteps = halfLife;
+        return e;
+    };
+    auto boltz = [](double temperature) {
+        rl::ExplorationConfig e;
+        e.kind = rl::ExplorationKind::Boltzmann;
+        e.temperature = temperature;
+        return e;
+    };
+    auto vdbe = [](double sigma) {
+        rl::ExplorationConfig e;
+        e.kind = rl::ExplorationKind::Vdbe;
+        e.epsilonStart = 0.5;
+        e.epsilon = 0.001;
+        e.vdbeSigma = sigma;
+        return e;
+    };
+
+    const std::vector<Strategy> strategies = {
+        {"constant eps=0.001 (paper)", rl::ExplorationConfig(), 0.001},
+        {"constant eps=0.1 (Fig14c worst)", rl::ExplorationConfig(), 0.1},
+        {"linear 0.5->0.001 @5k", linear(0.5, 0.001, 5000), 0.001},
+        {"exp 0.5->0.001 hl=1k", expo(0.5, 0.001, 1000), 0.001},
+        {"boltzmann T=0.02", boltz(0.02), 0.001},
+        {"boltzmann T=0.5", boltz(0.5), 0.001},
+        {"VDBE sigma=0.5 [134]", vdbe(0.5), 0.001},
+    };
+
+    for (const auto &hssCfg : configs) {
+        sim::ExperimentConfig cfg;
+        cfg.hssConfig = hssCfg;
+        sim::Experiment exp(cfg);
+
+        std::printf("\n[%s]\n", hssCfg.c_str());
+        TextTable tab;
+        tab.header({"strategy", "norm. latency (mean of 6 wl)",
+                    "steady-state norm. latency", "random action %"});
+        for (const auto &strat : strategies) {
+            double lat = 0.0;
+            double steady = 0.0;
+            double randomPct = 0.0;
+            for (const auto &wl : workloads) {
+                trace::Trace t = trace::makeWorkload(wl);
+                core::SibylConfig scfg;
+                scfg.epsilon = strat.constantEps;
+                scfg.exploration = strat.explore;
+                core::SibylPolicy sibyl(scfg, exp.numDevices());
+                const auto r = exp.run(t, sibyl);
+                lat += r.normalizedLatency;
+                const auto &fast = exp.fastOnlyBaseline(t);
+                steady += fast.steadyAvgLatencyUs > 0.0
+                    ? r.metrics.steadyAvgLatencyUs /
+                          fast.steadyAvgLatencyUs
+                    : 0.0;
+                const auto &st = sibyl.agent().stats();
+                randomPct += st.decisions
+                    ? 100.0 * static_cast<double>(st.randomActions) /
+                          static_cast<double>(st.decisions)
+                    : 0.0;
+            }
+            const auto n = static_cast<double>(workloads.size());
+            tab.addRow({strat.label, cell(lat / n, 3),
+                        cell(steady / n, 3), cell(randomPct / n, 2)});
+        }
+        tab.print(std::cout);
+    }
+    std::printf(
+        "\nExpected shape: the paper's small constant epsilon and the\n"
+        "annealed schedules land close together; eps=0.1 is clearly\n"
+        "worst (Fig. 14(c)); a cold Boltzmann policy (low T) tracks\n"
+        "greedy selection while a hot one over-explores like eps=0.1;\n"
+        "VDBE self-anneals to the constant-epsilon plateau without a\n"
+        "hand-tuned horizon (the adaptive control of citation [134]).\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * FTL ablation: (1) the classic write-amplification landscape of the
+ * page-mapped FTL substrate — over-provisioning x GC victim policy —
+ * and (2) Sibyl's robustness when the coarse probabilistic GC model
+ * is replaced by the mechanistic FTL.
+ *
+ * The second table is the load-bearing one for the reproduction: the
+ * paper argues the latency reward "encapsulates the internal device
+ * characteristics" (§5) without modeling them explicitly, so Sibyl's
+ * relative standing must survive a change of GC mechanism.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/sibyl_policy.hh"
+#include "ftl/ftl.hh"
+#include "hss/hybrid_system.hh"
+#include "policies/cde.hh"
+#include "policies/static_policies.hh"
+#include "sim/simulator.hh"
+
+using namespace sibyl;
+
+namespace
+{
+
+double
+churnWa(double overprovision, std::unique_ptr<ftl::GcVictimPolicy> gc)
+{
+    ftl::PageMappedFtl f(ftl::makeGeometry(4000, overprovision, 64),
+                         std::move(gc));
+    Pcg32 rng(99);
+    for (PageId p = 0; p < 4000; p++)
+        f.write(p, static_cast<SimTime>(p));
+    for (int i = 0; i < 60000; i++) {
+        // 90% of writes to a 10% hot set — a placement-shaped mix.
+        const PageId p = rng.nextBool(0.9) ? rng.nextBounded(400)
+                                           : 400 + rng.nextBounded(3600);
+        f.write(p, 4000.0 + i);
+    }
+    return f.stats().writeAmplification();
+}
+
+/** Mean normalized latency of @p policy over @p workloads on H&M with
+ *  the M device optionally running the detailed FTL. */
+double
+meanLatency(const std::vector<std::string> &workloads, bool detailed,
+            bool sibyl)
+{
+    double sum = 0.0;
+    for (const auto &wl : workloads) {
+        trace::Trace t = trace::makeWorkload(wl);
+
+        auto build = [&](double fastFrac) {
+            auto specs = hss::makeHssConfig("H&M", t.uniquePages(),
+                                            fastFrac);
+            if (detailed) {
+                specs[1].detailedFtl = true;
+                specs[1].ftlPagesPerBlock = 64;
+            }
+            return specs;
+        };
+
+        // Fast-Only baseline (fast device holds everything).
+        hss::HybridSystem fastSys(build(1.6));
+        policies::FastOnlyPolicy fastOnly;
+        const double base =
+            sim::runSimulation(t, fastSys, fastOnly).avgLatencyUs;
+
+        hss::HybridSystem sys(build(0.10));
+        std::unique_ptr<policies::PlacementPolicy> policy;
+        if (sibyl) {
+            policy = std::make_unique<core::SibylPolicy>(
+                core::SibylConfig(), sys.numDevices());
+        } else {
+            policy = std::make_unique<policies::CdePolicy>();
+        }
+        sum += sim::runSimulation(t, sys, *policy).avgLatencyUs / base;
+    }
+    return sum / static_cast<double>(workloads.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("FTL ablation: WA landscape + Sibyl robustness to "
+                  "the GC mechanism");
+
+    std::printf("\n(1) Write amplification, skewed 90/10 churn, by "
+                "over-provisioning and victim policy\n");
+    TextTable wa;
+    wa.header({"over-provisioning", "greedy", "cost-benefit", "fifo"});
+    for (double op : {0.05, 0.10, 0.20, 0.30}) {
+        wa.addRow({cell(op, 2),
+                   cell(churnWa(op, std::make_unique<ftl::GreedyGc>()),
+                        2),
+                   cell(churnWa(op,
+                                std::make_unique<ftl::CostBenefitGc>()),
+                        2),
+                   cell(churnWa(op, std::make_unique<ftl::FifoGc>()),
+                        2)});
+    }
+    wa.print(std::cout);
+
+    std::printf("\n(2) Sibyl vs CDE on H&M with the coarse GC model vs "
+                "the mechanistic FTL (norm. latency)\n");
+    const std::vector<std::string> workloads = {"mds_0", "prxy_1",
+                                                "rsrch_0", "wdev_2"};
+    TextTable tab;
+    tab.header({"GC model", "Sibyl", "CDE"});
+    tab.addRow({"coarse (probabilistic)",
+                cell(meanLatency(workloads, false, true), 3),
+                cell(meanLatency(workloads, false, false), 3)});
+    tab.addRow({"detailed (page-mapped FTL)",
+                cell(meanLatency(workloads, true, true), 3),
+                cell(meanLatency(workloads, true, false), 3)});
+    tab.print(std::cout);
+
+    std::printf(
+        "\nExpected shapes: WA falls with over-provisioning and FIFO\n"
+        "trails the informed victim policies; Sibyl's standing\n"
+        "relative to CDE is unchanged by swapping the GC mechanism,\n"
+        "because its reward only observes served latency, not the GC\n"
+        "model (§5).\n");
+    return 0;
+}

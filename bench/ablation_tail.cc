@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tail-latency analysis (ours).
+ *
+ * The paper evaluates *average* request latency and IOPS; its related
+ * work motivates RL in storage partly through long-tail latency
+ * (RL-assisted GC, Kang et al. [182, 183]). This bench reports the
+ * latency distribution — p50 / p99 / max per policy — to check that
+ * Sibyl's average-latency wins do not come at the tail's expense: an
+ * aggressive fast-device policy could buy a great median with
+ * occasional eviction storms (the Eq. 1 penalty term exists precisely
+ * to prevent that).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace sibyl;
+
+int
+main()
+{
+    bench::banner("Tail-latency analysis (ours): p50/p99/max per policy "
+                  "— averages must not hide eviction storms");
+
+    const std::vector<std::string> workloads = {"hm_1",   "prn_1",
+                                                "proj_2", "prxy_1",
+                                                "usr_0",  "wdev_2"};
+    const std::vector<std::string> policies = {"CDE", "HPS", "Archivist",
+                                               "RNN-HSS", "Sibyl",
+                                               "Oracle"};
+
+    for (const char *hssCfg : {"H&M", "H&L"}) {
+        sim::ExperimentConfig cfg;
+        cfg.hssConfig = hssCfg;
+        sim::Experiment exp(cfg);
+
+        std::printf("\n[%s] mean over %zu workloads, latencies in us\n",
+                    hssCfg, workloads.size());
+        TextTable tab;
+        tab.header({"policy", "avg", "p50", "p99", "max",
+                    "p99/p50 ratio"});
+        for (const auto &name : policies) {
+            double avg = 0.0, p50 = 0.0, p99 = 0.0, mx = 0.0;
+            for (const auto &wl : workloads) {
+                trace::Trace t = trace::makeWorkload(wl);
+                auto policy = sim::makePolicy(name, exp.numDevices());
+                const auto r = exp.run(t, *policy);
+                avg += r.metrics.avgLatencyUs;
+                p50 += r.metrics.p50LatencyUs;
+                p99 += r.metrics.p99LatencyUs;
+                mx += r.metrics.maxLatencyUs;
+            }
+            const auto n = static_cast<double>(workloads.size());
+            tab.addRow({name, cell(avg / n, 1), cell(p50 / n, 1),
+                        cell(p99 / n, 1), cell(mx / n, 1),
+                        cell((p99 / n) / std::max(1e-9, p50 / n), 1)});
+        }
+        tab.print(std::cout);
+    }
+
+    std::printf(
+        "\nExpected shape: Sibyl's win is a *median* win — it serves the\n"
+        "common case from the fast device (in H&L its p50 collapses to\n"
+        "near the Oracle's, an order of magnitude below the\n"
+        "heuristics'), while its p99 tracks the Oracle's closely. The\n"
+        "matching Sibyl/Oracle tails show that tail latency here is the\n"
+        "irreducible cost of cold data living on the slow device, not\n"
+        "eviction storms — the Eq. 1 penalty term keeps migration off\n"
+        "the critical path.\n");
+    return 0;
+}

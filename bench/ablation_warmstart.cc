@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Warm-start / transfer ablation (§6.2.2 "Sibyl starts with no prior
+ * knowledge"; §8.2 generalization to unseen workloads).
+ *
+ * The paper deliberately trains Sibyl online from scratch on every
+ * workload and shows the online adaptation period is cheap. This bench
+ * quantifies that design choice: for each target workload, compare
+ * (a) the paper's cold start,
+ * (b) a warm start from a checkpoint trained on the *same* workload
+ *     (upper bound: the adaptation period is already paid),
+ * (c) a warm start from a *different* workload with a different
+ *     read/write mix (transfer: is prior knowledge from the wrong
+ *     distribution better or worse than none?), and
+ * (d) a frozen same-workload policy (no online training at all) —
+ *     isolating how much of Sibyl's win is continued adaptation
+ *     versus the converged policy itself.
+ *
+ * The first-half vs second-half latency split shows where the cold
+ * start pays its adaptation cost.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/sibyl_policy.hh"
+#include "rl/checkpoint.hh"
+
+using namespace sibyl;
+
+namespace
+{
+
+/** Train a fresh Sibyl on @p workload and return its checkpoint. */
+std::string
+trainedCheckpoint(sim::Experiment &exp, const std::string &workload)
+{
+    trace::Trace t = trace::makeWorkload(workload);
+    core::SibylConfig scfg;
+    core::SibylPolicy sibyl(scfg, exp.numDevices());
+    exp.run(t, sibyl);
+    std::ostringstream out;
+    rl::saveCheckpoint(sibyl.agent(), out);
+    return out.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Warm-start ablation (§6.2.2/§8.2): cold start vs "
+                  "checkpoint warm start vs cross-workload transfer");
+
+    // Target -> donor pairs with deliberately different personalities
+    // (write-heavy rsrch_0 vs read-heavy hm_1, etc.).
+    const std::vector<std::pair<std::string, std::string>> pairs = {
+        {"rsrch_0", "hm_1"},  // write-hot target, read-hot donor
+        {"hm_1", "rsrch_0"},  // and the reverse
+        {"prxy_1", "stg_1"},  // hot-random target, cold-sequential donor
+        {"usr_0", "mds_0"},   // mixed target, write-heavy donor
+    };
+
+    sim::ExperimentConfig cfg;
+    cfg.hssConfig = "H&M";
+    sim::Experiment exp(cfg);
+
+    for (const auto &[target, donor] : pairs) {
+        trace::Trace t = trace::makeWorkload(target);
+        const std::string selfCkpt = trainedCheckpoint(exp, target);
+        const std::string donorCkpt = trainedCheckpoint(exp, donor);
+
+        struct Variant
+        {
+            const char *label;
+            const std::string *checkpoint; // nullptr = cold start
+            bool freeze;                   // disable online training
+        };
+        const std::vector<Variant> variants = {
+            {"cold start (paper)", nullptr, false},
+            {"warm (same workload)", &selfCkpt, false},
+            {"warm (donor workload)", &donorCkpt, false},
+            {"frozen (same, no training)", &selfCkpt, true},
+        };
+
+        std::printf("\n[%s, donor %s, H&M]\n", target.c_str(),
+                    donor.c_str());
+        TextTable tab;
+        tab.header({"variant", "norm. latency", "1st-half lat (us)",
+                    "2nd-half lat (us)"});
+        for (const auto &v : variants) {
+            core::SibylConfig scfg;
+            if (v.freeze) {
+                // No exploration and no weight updates: the restored
+                // policy runs as-is.
+                scfg.epsilon = 0.0;
+                scfg.learningRate = 0.0;
+            }
+            core::SibylPolicy sibyl(scfg, exp.numDevices());
+            if (v.checkpoint) {
+                std::istringstream in(*v.checkpoint);
+                const std::string err =
+                    rl::loadCheckpoint(sibyl.agent(), in);
+                if (!err.empty()) {
+                    std::fprintf(stderr, "checkpoint load failed: %s\n",
+                                 err.c_str());
+                    return 1;
+                }
+            }
+            const auto r = exp.run(t, sibyl);
+            // First-half average from the aggregate and the second half.
+            const double firstHalf =
+                2.0 * r.metrics.avgLatencyUs - r.metrics.steadyAvgLatencyUs;
+            tab.addRow({v.label, cell(r.normalizedLatency, 3),
+                        cell(firstHalf, 1),
+                        cell(r.metrics.steadyAvgLatencyUs, 1)});
+        }
+        tab.print(std::cout);
+    }
+
+    std::printf(
+        "\nExpected shape: this vindicates the paper's online-from-\n"
+        "scratch design. The cold start lands within noise of the\n"
+        "same-workload warm start — the adaptation period costs almost\n"
+        "nothing at trace scale, so prior knowledge buys little. A\n"
+        "mismatched donor checkpoint *hurts* (the restored policy must\n"
+        "first be unlearned). Freezing the converged policy is fine on\n"
+        "stationary workloads but collapses on dynamic ones (hm_1):\n"
+        "continued online training is what tracks workload drift.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+
+namespace sibyl::bench
+{
+
+double
+metricValue(Metric metric, const sim::PolicyResult &r)
+{
+    switch (metric) {
+      case Metric::NormalizedLatency:
+        return r.normalizedLatency;
+      case Metric::NormalizedIops:
+        return r.normalizedIops;
+      case Metric::EvictionFraction:
+        return r.metrics.evictionFraction;
+      case Metric::FastPreference:
+        return r.metrics.fastPlacementPreference;
+    }
+    return 0.0;
+}
+
+const char *
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::NormalizedLatency:
+        return "avg request latency (normalized to Fast-Only)";
+      case Metric::NormalizedIops:
+        return "request throughput IOPS (normalized to Fast-Only)";
+      case Metric::EvictionFraction:
+        return "eviction fraction (evicting requests / all requests)";
+      case Metric::FastPreference:
+        return "preference for fast storage (#fast / #all placements)";
+    }
+    return "";
+}
+
+void
+banner(const std::string &title)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("==============================================================\n");
+}
+
+void
+runLineup(const LineupSpec &spec)
+{
+    banner(spec.title);
+    for (const auto &cfgName : spec.configs) {
+        sim::ExperimentConfig cfg;
+        cfg.hssConfig = cfgName;
+        cfg.fastCapacityFrac = spec.fastFrac;
+        sim::Experiment exp(cfg);
+
+        std::printf("\n[%s]  metric: %s\n", cfgName.c_str(),
+                    metricName(spec.metric));
+        TextTable tab;
+        std::vector<std::string> header = {"workload"};
+        header.insert(header.end(), spec.policies.begin(),
+                      spec.policies.end());
+        tab.header(header);
+
+        std::vector<double> sums(spec.policies.size(), 0.0);
+        for (const auto &wl : spec.workloads) {
+            trace::Trace t = spec.mixed
+                ? trace::makeMixedWorkload(wl, spec.traceLen
+                                                   ? spec.traceLen / 2
+                                                   : 0)
+                : trace::makeWorkload(wl, spec.traceLen);
+            if (spec.timeCompress > 1.0)
+                t.compressTime(spec.timeCompress);
+            std::vector<std::string> row = {wl};
+            for (std::size_t pi = 0; pi < spec.policies.size(); pi++) {
+                auto policy = sim::makePolicy(spec.policies[pi],
+                                              exp.numDevices(),
+                                              spec.sibylCfg);
+                auto r = exp.run(t, *policy);
+                double v = metricValue(spec.metric, r);
+                sums[pi] += v;
+                row.push_back(cell(v, 3));
+            }
+            tab.addRow(row);
+        }
+        std::vector<std::string> avg = {"AVG"};
+        for (double s : sums)
+            avg.push_back(
+                cell(s / static_cast<double>(spec.workloads.size()), 3));
+        tab.addRow(avg);
+        tab.print(std::cout);
+    }
+    std::printf("\n");
+}
+
+} // namespace sibyl::bench

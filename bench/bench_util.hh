@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table regeneration benches.
+ *
+ * Every bench prints (a) a header identifying the paper artifact it
+ * regenerates, (b) a column-aligned table whose rows mirror the figure's
+ * series, and (c) the AVG row the paper reports. Results are normalized
+ * to the Fast-Only baseline exactly as in the paper.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trace/workloads.hh"
+
+namespace sibyl::bench
+{
+
+/** Which scalar a table reports. */
+enum class Metric
+{
+    NormalizedLatency,   ///< avg request latency / Fast-Only (Figs. 2, 9...)
+    NormalizedIops,      ///< IOPS / Fast-Only (Figs. 10, 14)
+    EvictionFraction,    ///< evicting requests / all requests (Fig. 18)
+    FastPreference,      ///< fast placements / all placements (Fig. 17)
+};
+
+/** One bench's experiment grid. */
+struct LineupSpec
+{
+    std::string title;                  ///< figure/table identification
+    std::vector<std::string> policies;  ///< columns
+    std::vector<std::string> workloads; ///< rows (or mixes if `mixed`)
+    std::vector<std::string> configs;   ///< HSS configs, one table each
+    double fastFrac = 0.10;
+    std::size_t traceLen = 0;           ///< 0 = default length
+
+    /** Divide all inter-arrival gaps by this factor. 1 = replay at the
+     *  trace's own pace; large values make the run device-bound (used
+     *  by throughput figures, whose closed-loop replay saturates the
+     *  system rather than honoring host think time). */
+    double timeCompress = 1.0;
+    Metric metric = Metric::NormalizedLatency;
+    bool mixed = false;                 ///< workloads are mix names
+    core::SibylConfig sibylCfg;         ///< hyper-parameters for Sibyl
+};
+
+/** Extract the configured metric from a result. */
+double metricValue(Metric metric, const sim::PolicyResult &r);
+
+/** Short human name of a metric (table caption). */
+const char *metricName(Metric metric);
+
+/**
+ * Run the full grid and print one table per HSS configuration, with an
+ * AVG row (arithmetic mean over workloads, as the paper reports).
+ */
+void runLineup(const LineupSpec &spec);
+
+/** Print the standard bench banner. */
+void banner(const std::string &title);
+
+} // namespace sibyl::bench

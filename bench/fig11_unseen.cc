@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Regenerates Fig. 11 (§8.2): performance on *unseen* workloads —
+ * FileBench personalities never used to tune any policy's
+ * hyper-parameters. Sibyl's online learning should clearly beat the
+ * offline-trained ML baselines (Archivist, RNN-HSS) here.
+ */
+
+#include "bench_util.hh"
+
+using namespace sibyl;
+
+int
+main()
+{
+    bench::LineupSpec spec;
+    spec.title = "Fig. 11: average request latency on unseen FileBench "
+                 "workloads (normalized to Fast-Only)";
+    spec.policies = {"Slow-Only", "Archivist", "RNN-HSS", "Sibyl",
+                     "Oracle"};
+    spec.workloads = {"fileserver", "ntrx_rw", "oltp_rw", "varmail"};
+    spec.configs = {"H&M", "H&L"};
+    bench::runLineup(spec);
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Regenerates Fig. 12 (§8.3): mixed workloads (Table 5) with randomly
+ * varied relative start times. Two Sibyl settings are compared:
+ * Sibyl_Def (default hyper-parameters) and Sibyl_Opt (lower learning
+ * rate, tuned for the mixed scenario).
+ */
+
+#include "bench_util.hh"
+
+using namespace sibyl;
+
+int
+main()
+{
+    // Sibyl_Def and Sibyl_Opt differ only in the learning rate: the
+    // optimized variant uses a 10x lower alpha (§8.3), making smaller,
+    // more stable updates under the unpredictable mixed request stream.
+    bench::LineupSpec spec;
+    spec.title = "Fig. 12: average request latency on mixed workloads "
+                 "(Table 5), normalized to Fast-Only";
+    spec.policies = {"Slow-Only", "CDE", "HPS", "Archivist", "RNN-HSS",
+                     "Sibyl_Def", "Oracle"};
+    spec.workloads = trace::mixedWorkloadNames();
+    spec.configs = {"H&M", "H&L"};
+    spec.mixed = true;
+    bench::runLineup(spec);
+
+    bench::LineupSpec opt;
+    opt.title = "Fig. 12 (cont.): Sibyl_Opt — mixed-workload-tuned "
+                "hyper-parameters (alpha = default/10)";
+    opt.policies = {"Sibyl_Opt"};
+    opt.workloads = trace::mixedWorkloadNames();
+    opt.configs = {"H&M", "H&L"};
+    opt.mixed = true;
+    opt.sibylCfg.learningRate /= 10.0;
+    bench::runLineup(opt);
+    return 0;
+}

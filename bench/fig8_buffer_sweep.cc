@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates Fig. 8 (§6.2.1): effect of the experience-buffer size on
+ * Sibyl's average request latency in the H&M configuration. The paper
+ * observes saturation at 1000 entries, which it selects as e_EB.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/sibyl_policy.hh"
+#include "common/table.hh"
+
+using namespace sibyl;
+
+int
+main()
+{
+    bench::banner("Fig. 8: effect of experience buffer size on Sibyl's "
+                  "avg request latency, H&M (normalized to Fast-Only)");
+
+    const std::vector<std::size_t> sizes = {1,    10,    100,
+                                            1000, 10000, 100000};
+    // Mix of slowly-converging workloads (hm_1, prxy_1, usr_0), where
+    // sample diversity in the buffer matters, and quickly-converging
+    // write-heavy ones (mds_0, prxy_0, wdev_2), where an oversized
+    // never-filling buffer starves training.
+    const std::vector<std::string> workloads = {"hm_1",  "prxy_1",
+                                                "usr_0", "mds_0",
+                                                "prxy_0", "wdev_2"};
+
+    sim::ExperimentConfig cfg;
+    cfg.hssConfig = "H&M";
+    sim::Experiment exp(cfg);
+
+    TextTable tab;
+    tab.header({"buffer size", "normalized avg latency (mean of 6 wl)",
+                "training rounds"});
+    for (std::size_t sz : sizes) {
+        double sum = 0.0;
+        std::uint64_t rounds = 0;
+        for (const auto &wl : workloads) {
+            trace::Trace t = trace::makeWorkload(wl);
+            core::SibylConfig scfg;
+            scfg.bufferCapacity = sz;
+            // Fixed training cadence across buffer sizes so the sweep
+            // isolates *sample diversity*: tiny buffers train on the
+            // same number of batches but see almost no distinct
+            // experiences.
+            scfg.trainEvery = 250;
+            core::SibylPolicy sibyl(scfg, exp.numDevices());
+            sum += exp.run(t, sibyl).normalizedLatency;
+            rounds += sibyl.agent().stats().trainingRounds;
+        }
+        tab.addRow({cell(std::uint64_t{sz}),
+                    cell(sum / static_cast<double>(workloads.size()), 3),
+                    cell(rounds / workloads.size())});
+    }
+    tab.print(std::cout);
+    std::printf(
+        "\nPaper reference: performance saturates at 1000 entries, the\n"
+        "chosen e_EB. Note: our replayed traces are ~100x shorter than\n"
+        "the paper's, so the 1e5-entry buffer never fills and that row\n"
+        "reflects an untrained agent (see training-rounds column);\n"
+        "at paper scale the same point shows stale-experience\n"
+        "degradation instead.\n");
+    return 0;
+}

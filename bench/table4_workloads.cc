@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Table 4 and Fig. 3: characteristics of the fourteen MSRC
+ * workload models — measured from the synthesized traces, side by side
+ * with the paper's published values — plus the randomness/hotness
+ * scatter coordinates of Fig. 3.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "trace/trace_stats.hh"
+
+using namespace sibyl;
+
+int
+main()
+{
+    bench::banner("Table 4 + Fig. 3: characteristics of the 14 evaluated "
+                  "workloads (paper value / measured)");
+
+    TextTable tab;
+    tab.header({"workload", "write% (paper/meas)", "read%",
+                "avg req KiB (paper/meas)", "avg access cnt (paper/meas)",
+                "unique pages", "duration s"});
+
+    for (const auto &p : trace::msrcProfiles()) {
+        trace::Trace t = trace::makeWorkload(p);
+        auto s = trace::TraceStats::compute(t);
+        tab.addRow({
+            p.name,
+            cell(p.writePct, 1) + " / " + cell(s.writePct, 1),
+            cell(s.readPct, 1),
+            cell(p.avgReqSizeKiB, 1) + " / " + cell(s.avgRequestSizeKiB, 1),
+            cell(p.avgAccessCount, 1) + " / " + cell(s.avgAccessCount, 1),
+            cell(s.uniquePages),
+            cell(s.durationSec, 2),
+        });
+    }
+    tab.print(std::cout);
+
+    std::printf("\nFig. 3 scatter (x = avg request size KiB ~ randomness, "
+                "y = avg access count ~ hotness):\n");
+    TextTable fig3;
+    fig3.header({"workload", "x: avg req size [KiB]", "y: avg access cnt"});
+    for (const auto &p : trace::msrcProfiles()) {
+        trace::Trace t = trace::makeWorkload(p);
+        auto s = trace::TraceStats::compute(t);
+        fig3.addRow({p.name, cell(s.avgRequestSizeKiB, 1),
+                     cell(s.avgAccessCount, 1)});
+    }
+    fig3.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Extending the library with a custom data-placement policy.
+ *
+ * Implements a least-frequently-used admission heuristic ("LFU-Admit")
+ * against the public PlacementPolicy interface and benchmarks it
+ * against CDE and Sibyl on a write-heavy enterprise workload — showing
+ * how downstream users plug their own policies into the harness.
+ */
+
+#include <cstdio>
+
+#include "core/sibyl_policy.hh"
+#include "policies/cde.hh"
+#include "policies/policy.hh"
+#include "sim/experiment.hh"
+#include "trace/workloads.hh"
+
+using namespace sibyl;
+
+namespace
+{
+
+/**
+ * LFU-Admit: place a request's pages in fast storage once the page has
+ * proven itself with at least `threshold` accesses; everything else
+ * goes to the slow device. A classic frequency filter.
+ */
+class LfuAdmitPolicy : public policies::PlacementPolicy
+{
+  public:
+    explicit LfuAdmitPolicy(std::uint64_t threshold = 3)
+        : threshold_(threshold)
+    {}
+
+    std::string name() const override { return "LFU-Admit"; }
+
+    DeviceId
+    selectPlacement(const hss::HybridSystem &sys, const trace::Request &req,
+                    std::size_t reqIndex) override
+    {
+        (void)reqIndex;
+        // The system exposes exactly the per-page features Sibyl uses
+        // (Table 1): access count, access interval, placement, capacity.
+        return sys.accessCount(req.page) >= threshold_
+            ? 0
+            : sys.numDevices() - 1;
+    }
+
+  private:
+    std::uint64_t threshold_;
+};
+
+} // namespace
+
+int
+main()
+{
+    trace::Trace workload = trace::makeWorkload("rsrch_0", 20000);
+
+    sim::ExperimentConfig cfg;
+    cfg.hssConfig = "H&L"; // cost-oriented: Optane over 7200rpm HDD
+    sim::Experiment experiment(cfg);
+
+    LfuAdmitPolicy lfu;
+    policies::CdePolicy cde;
+    core::SibylConfig scfg;
+    core::SibylPolicy sibyl(scfg, experiment.numDevices());
+
+    std::printf("workload %s on %s (fast = 10%% of working set)\n\n",
+                workload.name().c_str(), cfg.hssConfig.c_str());
+    std::printf("%-10s %15s %14s %12s\n", "policy", "avg latency",
+                "vs Fast-Only", "fast pref");
+    for (policies::PlacementPolicy *p :
+         std::initializer_list<policies::PlacementPolicy *>{&lfu, &cde,
+                                                            &sibyl}) {
+        auto r = experiment.run(workload, *p);
+        std::printf("%-10s %12.1f us %13.2fx %11.1f%%\n",
+                    r.policy.c_str(), r.metrics.avgLatencyUs,
+                    r.normalizedLatency,
+                    100.0 * r.metrics.fastPlacementPreference);
+    }
+
+    std::printf("\nSibyl needs no threshold tuning: it learns the "
+                "admission rule from latency rewards.\n");
+    return 0;
+}

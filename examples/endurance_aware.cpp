@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Endurance-aware placement (§11 extension): re-target Sibyl's reward
+ * so it trades a little performance for far fewer writes to a
+ * wear-limited flash device — without changing a single line of
+ * placement logic.
+ *
+ * The fast device runs the detailed page-mapped FTL so the write
+ * traffic reduction shows up as real erase-count and write-
+ * amplification savings, not just fewer logical writes.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/endurance_aware
+ */
+
+#include <cstdio>
+
+#include "core/sibyl_policy.hh"
+#include "ftl/wear_stats.hh"
+#include "hss/hybrid_system.hh"
+#include "sim/simulator.hh"
+#include "trace/workloads.hh"
+
+using namespace sibyl;
+
+namespace
+{
+
+struct Outcome
+{
+    double avgLatencyUs = 0.0;
+    std::uint64_t fastPagesWritten = 0;
+    std::uint64_t erases = 0;
+    double writeAmplification = 1.0;
+    double lifeConsumed = 0.0;
+};
+
+Outcome
+runWithWeight(const trace::Trace &t, double weight)
+{
+    // Wear-limited M&L configuration: the *fast* device is a TLC SSD
+    // (endurance-critical), modeled with the detailed FTL; the slow
+    // device is the HDD, which does not wear out.
+    auto specs = hss::makeHssConfig("H&L", t.uniquePages(), 0.10);
+    specs[0] = device::deviceM(); // swap Optane for wear-limited TLC
+    specs[0].capacityPages =
+        std::max<std::uint64_t>(16, t.uniquePages() / 10);
+    specs[0].detailedFtl = true;
+    specs[0].ftlPagesPerBlock = 64;
+    hss::HybridSystem sys(std::move(specs));
+
+    core::SibylConfig cfg;
+    cfg.reward.kind = weight == 0.0 ? core::RewardKind::Latency
+                                    : core::RewardKind::EnduranceAware;
+    cfg.reward.enduranceWeight = weight;
+    cfg.reward.enduranceCriticalDevice = 0;
+    core::SibylPolicy sibyl(cfg, sys.numDevices());
+
+    const auto metrics = sim::runSimulation(t, sys, sibyl);
+
+    Outcome o;
+    o.avgLatencyUs = metrics.avgLatencyUs;
+    o.fastPagesWritten = sys.device(0).counters().pagesWritten;
+    const ftl::PageMappedFtl *f = sys.device(0).ftl();
+    if (f != nullptr) {
+        o.erases = f->stats().erases;
+        o.writeAmplification = f->stats().writeAmplification();
+        o.lifeConsumed = ftl::makeWearReport(*f, 3000).lifeConsumed;
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Endurance-aware reward: TLC fast device (detailed FTL) "
+                "over an HDD\n");
+    trace::Trace t = trace::makeWorkload("rsrch_0", 30000);
+    std::printf("workload: %s (write-heavy), %zu requests\n\n",
+                t.name().c_str(), t.size());
+
+    std::printf("%-10s %14s %14s %9s %6s %14s\n", "weight",
+                "avg latency", "fast writes", "erases", "WA",
+                "life consumed");
+    for (double w : {0.0, 0.05, 0.2, 1.0}) {
+        const Outcome o = runWithWeight(t, w);
+        std::printf("%-10.2f %11.1f us %14llu %9llu %6.2f %13.3f%%\n", w,
+                    o.avgLatencyUs,
+                    static_cast<unsigned long long>(o.fastPagesWritten),
+                    static_cast<unsigned long long>(o.erases),
+                    o.writeAmplification, 100.0 * o.lifeConsumed);
+    }
+
+    std::printf(
+        "\nRaising the weight steers write traffic off the wear-limited\n"
+        "device: fewer programs, fewer erases, longer device life — at\n"
+        "a latency cost the weight makes explicit. Changing the\n"
+        "*objective* took a two-line config change (§11).\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * FTL substrate walkthrough: drive the page-mapped flash translation
+ * layer directly and watch the mechanics the storage-system reward
+ * signal ultimately reflects — out-of-place writes, garbage
+ * collection, write amplification, and wear.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/ftl_inspect
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "ftl/ftl.hh"
+#include "ftl/wear_stats.hh"
+
+using namespace sibyl;
+using namespace sibyl::ftl;
+
+namespace
+{
+
+void
+report(const char *phase, const PageMappedFtl &f)
+{
+    const auto &s = f.stats();
+    const WearReport w = makeWearReport(f, 3000);
+    std::printf("%-24s host writes %7llu | GC copies %7llu | WA %5.2f "
+                "| erases %5llu | free blocks %3u | wear imbalance "
+                "%.2f\n",
+                phase, static_cast<unsigned long long>(s.hostWrites),
+                static_cast<unsigned long long>(s.gcCopies),
+                s.writeAmplification(),
+                static_cast<unsigned long long>(s.erases),
+                f.freeBlocks(), w.imbalance);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Page-mapped FTL: 4000 exported pages, 64-page blocks, "
+                "7%% over-provisioning, greedy GC\n\n");
+
+    PageMappedFtl f(makeGeometry(4000, 0.07, 64));
+    Pcg32 rng(2024);
+
+    // Phase 1: sequential first fill. Every write lands in a fresh
+    // page; no stale data, no GC, write amplification exactly 1.
+    for (PageId p = 0; p < 4000; p++)
+        f.write(p, static_cast<SimTime>(p));
+    report("sequential fill:", f);
+
+    // Phase 2: uniform random overwrites. Stale pages accumulate in
+    // every block, GC must relocate live data, and WA climbs.
+    for (int i = 0; i < 40000; i++)
+        f.write(rng.nextBounded(4000), 4000.0 + i);
+    report("uniform overwrite churn:", f);
+
+    // Phase 3: skewed (hot/cold) overwrites — 90% of writes to 10% of
+    // pages. Greedy GC finds nearly-empty victim blocks among the hot
+    // set, so WA grows more slowly than under uniform churn.
+    PageMappedFtl g(makeGeometry(4000, 0.07, 64));
+    for (PageId p = 0; p < 4000; p++)
+        g.write(p, static_cast<SimTime>(p));
+    for (int i = 0; i < 40000; i++) {
+        const PageId p = rng.nextBool(0.9) ? rng.nextBounded(400)
+                                           : 400 + rng.nextBounded(3600);
+        g.write(p, 4000.0 + i);
+    }
+    report("skewed (90/10) churn:", g);
+
+    // Phase 4: trim (the HSS eviction path) frees space without GC.
+    for (PageId p = 0; p < 2000; p++)
+        g.trim(p + 400);
+    report("after trimming 2000:", g);
+
+    std::printf("\ninvariants: %s\n",
+                g.checkInvariants().empty() ? "all hold" : "VIOLATED");
+    std::printf(
+        "\nThis machinery runs inside every FlashSsd BlockDevice when\n"
+        "spec.detailedFtl is set, turning GC interference from a\n"
+        "probabilistic stall into a mechanistic one — and it is what\n"
+        "the endurance-aware reward extension measures against.\n");
+    return 0;
+}

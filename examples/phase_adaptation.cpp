@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Online adaptation demo: a workload that changes personality halfway
+ * through its execution.
+ *
+ * The paper's central claim is *adaptivity* — Sibyl "continuously
+ * learns from and adapts to the workload" (§1) where static heuristics
+ * are tuned once. This example splices a cold/random phase onto a
+ * hot/write-heavy phase, runs Sibyl instrumented, and shows its
+ * placement preference tracking the phase change, versus CDE whose
+ * policy is fixed.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/phase_adaptation
+ */
+
+#include <cstdio>
+
+#include "explain/instrumented_policy.hh"
+#include "policies/cde.hh"
+#include "sim/experiment.hh"
+#include "trace/trace.hh"
+#include "trace/workloads.hh"
+
+using namespace sibyl;
+
+namespace
+{
+
+/** Concatenate two traces, shifting the second one's timestamps and
+ *  offsetting its addresses into a disjoint region. */
+trace::Trace
+splice(const trace::Trace &a, const trace::Trace &b)
+{
+    trace::Trace out("phase(" + a.name() + "->" + b.name() + ")");
+    out.reserve(a.size() + b.size());
+    SimTime tEnd = 0.0;
+    for (const auto &r : a) {
+        out.add(r);
+        tEnd = std::max(tEnd, r.timestamp);
+    }
+    const PageId offset = 1ull << 33; // disjoint address region
+    for (trace::Request r : b) {
+        r.timestamp += tEnd;
+        r.page += offset;
+        out.add(r);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Online adaptation across a workload phase change\n");
+
+    // Phase 1: prxy_0 — hot, small, write-heavy: Sibyl converges to
+    // near-total fast placement (Fig. 17 shows ~0.99 preference).
+    // Phase 2: proj_2 — cold, large, highly random: aggressive fast
+    // placement is not worth the evictions (~0.54 preference).
+    trace::Trace phase1 = trace::makeWorkload("prxy_0", 15000);
+    trace::Trace phase2 = trace::makeWorkload("proj_2", 15000);
+    trace::Trace spliced = splice(phase1, phase2);
+    std::printf("spliced workload: %zu requests, %llu unique pages\n",
+                spliced.size(),
+                static_cast<unsigned long long>(spliced.uniquePages()));
+
+    sim::ExperimentConfig cfg;
+    cfg.hssConfig = "H&M";
+    sim::Experiment experiment(cfg);
+
+    explain::InstrumentedSibyl sibyl(core::SibylConfig(),
+                                     experiment.numDevices());
+    const auto sibylResult = experiment.run(spliced, sibyl);
+
+    policies::CdePolicy cde;
+    const auto cdeResult = experiment.run(spliced, cde);
+
+    std::printf("\nnormalized avg latency:  Sibyl %.3f   CDE %.3f\n",
+                sibylResult.normalizedLatency,
+                cdeResult.normalizedLatency);
+
+    // Sibyl's fast-placement preference in ten windows across the run:
+    // it should fall after the phase boundary (window 6 onward) as the
+    // agent discovers the new phase's pages do not earn fast-device
+    // rewards.
+    std::printf("\nSibyl preference timeline (10 windows, phase change "
+                "at window 6):\n  ");
+    const auto timeline = sibyl.log().preferenceTimeline(10);
+    for (const auto &w : timeline)
+        std::printf("%.2f  ", w.preference());
+    std::printf("\n");
+
+    const double early = (timeline[2].preference() +
+                          timeline[3].preference() +
+                          timeline[4].preference()) / 3.0;
+    const double late = (timeline[7].preference() +
+                         timeline[8].preference() +
+                         timeline[9].preference()) / 3.0;
+    std::printf("\nmean preference before/after the change: %.2f -> "
+                "%.2f\n%s\n",
+                early, late,
+                late < early
+                    ? "Sibyl shifted its policy away from the fast "
+                      "device for the cold, random phase."
+                    : "(preference did not drop; try a longer phase or "
+                      "higher learning rate)");
+    return 0;
+}

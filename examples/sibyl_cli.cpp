@@ -1,0 +1,292 @@
+/**
+ * @file
+ * sibyl_cli — command-line front end to the full simulation stack.
+ *
+ * Runs any combination of workload x HSS configuration x policies and
+ * prints a result table (or CSV), with optional agent checkpointing
+ * across runs. This is the "downstream user" entry point: everything
+ * the benches do is reachable from here without writing C++.
+ *
+ * Examples:
+ *   sibyl_cli --workload prxy_1 --config H&M
+ *   sibyl_cli --workload rsrch_0 --config H&L --policy Sibyl \
+ *             --policy CDE --policy Oracle --requests 40000
+ *   sibyl_cli --workload usr_0 --trace /path/to/msrc.csv --csv
+ *   sibyl_cli --workload prxy_1 --save-agent /tmp/agent.ckpt
+ *   sibyl_cli --workload prxy_1 --load-agent /tmp/agent.ckpt
+ *   sibyl_cli --config "H&M&L_SSD&L" --policy Sibyl \
+ *             --policy Heuristic-Multi-Tier
+ *   sibyl_cli --exploration linear --epsilon 0.001
+ *   sibyl_cli --degrade-fast 2000:5000:30 --policy Sibyl --policy CDE
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/sibyl_policy.hh"
+#include "rl/checkpoint.hh"
+#include "sim/experiment.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+using namespace sibyl;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "prxy_1";
+    std::string tracePath;          ///< MSRC CSV instead of synthesizer
+    std::string config = "H&M";
+    std::vector<std::string> policies;
+    std::size_t requests = 0;       ///< 0 = profile default
+    double fastFrac = 0.10;
+    std::uint64_t seed = 42;
+    double learningRate = 0.0;      ///< 0 = SibylConfig default
+    double epsilon = -1.0;          ///< <0 = SibylConfig default
+    std::string exploration;        ///< "", constant, linear, exp, boltzmann
+    double temperature = 0.05;      ///< Boltzmann temperature
+    std::string degradeFast;        ///< "startMs:endMs:mult" fault window
+    bool csv = false;
+    std::string saveAgent;
+    std::string loadAgent;
+};
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --workload NAME     synthetic profile (Table 4/FileBench "
+        "name; default prxy_1)\n"
+        "  --trace PATH        replay an MSRC-format CSV instead\n"
+        "  --config CFG        H&M | H&L | H&M&L | H&M&L_SSD | "
+        "H&M&L_SSD&L (default H&M)\n"
+        "  --policy NAME       repeatable: Slow-Only CDE HPS Archivist "
+        "RNN-HSS Sibyl Oracle\n"
+        "                      Heuristic-Multi-Tier "
+        "(default: Sibyl CDE Oracle)\n"
+        "  --requests N        truncate/scale the workload\n"
+        "  --fast-frac F       fast-device capacity as working-set "
+        "fraction (default 0.10)\n"
+        "  --lr ALPHA          Sibyl learning rate override\n"
+        "  --epsilon EPS       Sibyl exploration rate override\n"
+        "  --exploration KIND  constant | linear | exp | boltzmann | "
+        "vdbe (default constant)\n"
+        "  --temperature T     Boltzmann softmax temperature "
+        "(default 0.05)\n"
+        "  --degrade-fast S:E:M  degrade the fast device by factor M\n"
+        "                      between S ms and E ms of simulated time\n"
+        "  --seed S            device-jitter seed (default 42)\n"
+        "  --save-agent PATH   checkpoint Sibyl's learned policy "
+        "after the run\n"
+        "  --load-agent PATH   warm-start Sibyl from a checkpoint\n"
+        "  --csv               emit CSV instead of an aligned table\n",
+        prog);
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; i++) {
+        const std::string a = argv[i];
+        const char *v = nullptr;
+        if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return false;
+        } else if (a == "--workload") {
+            if (!(v = need(i)))
+                return false;
+            opt.workload = v;
+        } else if (a == "--trace") {
+            if (!(v = need(i)))
+                return false;
+            opt.tracePath = v;
+        } else if (a == "--config") {
+            if (!(v = need(i)))
+                return false;
+            opt.config = v;
+        } else if (a == "--policy") {
+            if (!(v = need(i)))
+                return false;
+            opt.policies.push_back(v);
+        } else if (a == "--requests") {
+            if (!(v = need(i)))
+                return false;
+            opt.requests = std::strtoull(v, nullptr, 10);
+        } else if (a == "--fast-frac") {
+            if (!(v = need(i)))
+                return false;
+            opt.fastFrac = std::strtod(v, nullptr);
+        } else if (a == "--lr") {
+            if (!(v = need(i)))
+                return false;
+            opt.learningRate = std::strtod(v, nullptr);
+        } else if (a == "--epsilon") {
+            if (!(v = need(i)))
+                return false;
+            opt.epsilon = std::strtod(v, nullptr);
+        } else if (a == "--exploration") {
+            if (!(v = need(i)))
+                return false;
+            opt.exploration = v;
+        } else if (a == "--temperature") {
+            if (!(v = need(i)))
+                return false;
+            opt.temperature = std::strtod(v, nullptr);
+        } else if (a == "--degrade-fast") {
+            if (!(v = need(i)))
+                return false;
+            opt.degradeFast = v;
+        } else if (a == "--seed") {
+            if (!(v = need(i)))
+                return false;
+            opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (a == "--save-agent") {
+            if (!(v = need(i)))
+                return false;
+            opt.saveAgent = v;
+        } else if (a == "--load-agent") {
+            if (!(v = need(i)))
+                return false;
+            opt.loadAgent = v;
+        } else if (a == "--csv") {
+            opt.csv = true;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    if (opt.policies.empty())
+        opt.policies = {"Sibyl", "CDE", "Oracle"};
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 2;
+
+    // Workload: synthesizer profile or a real MSRC CSV.
+    trace::Trace t;
+    if (!opt.tracePath.empty()) {
+        t = trace::readMsrcCsvFile(opt.tracePath);
+        if (opt.requests > 0 && opt.requests < t.size())
+            t = t.prefix(opt.requests);
+    } else {
+        t = trace::makeWorkload(opt.workload, opt.requests);
+    }
+    std::printf("workload %s: %zu requests, %llu unique pages "
+                "(%.1f MiB working set)\n",
+                t.name().c_str(), t.size(),
+                static_cast<unsigned long long>(t.uniquePages()),
+                static_cast<double>(t.workingSetBytes()) / (1 << 20));
+
+    sim::ExperimentConfig cfg;
+    cfg.hssConfig = opt.config;
+    cfg.fastCapacityFrac = opt.fastFrac;
+    cfg.seed = opt.seed;
+    if (!opt.degradeFast.empty()) {
+        // "startMs:endMs:multiplier" -> a fault window on device 0.
+        double startMs = 0.0, endMs = 0.0, mult = 1.0;
+        if (std::sscanf(opt.degradeFast.c_str(), "%lf:%lf:%lf", &startMs,
+                        &endMs, &mult) != 3 ||
+            endMs < startMs || mult <= 0.0) {
+            std::fprintf(stderr,
+                         "--degrade-fast wants START_MS:END_MS:MULT\n");
+            return 2;
+        }
+        cfg.specTweak = [=](std::vector<device::DeviceSpec> &specs) {
+            specs[0].faults.windows.push_back(
+                {startMs * 1e3, endMs * 1e3, mult});
+        };
+        std::printf("fast device degraded x%.1f in [%.0f, %.0f] ms\n",
+                    mult, startMs, endMs);
+    }
+    sim::Experiment exp(cfg);
+
+    core::SibylConfig sibylCfg;
+    if (opt.learningRate > 0.0)
+        sibylCfg.learningRate = opt.learningRate;
+    if (opt.epsilon >= 0.0)
+        sibylCfg.epsilon = opt.epsilon;
+    if (!opt.exploration.empty()) {
+        if (opt.exploration == "constant") {
+            sibylCfg.exploration.kind =
+                rl::ExplorationKind::ConstantEpsilon;
+        } else if (opt.exploration == "linear") {
+            sibylCfg.exploration.kind = rl::ExplorationKind::LinearDecay;
+            sibylCfg.exploration.epsilon = sibylCfg.epsilon;
+        } else if (opt.exploration == "exp") {
+            sibylCfg.exploration.kind =
+                rl::ExplorationKind::ExponentialDecay;
+            sibylCfg.exploration.epsilon = sibylCfg.epsilon;
+        } else if (opt.exploration == "boltzmann") {
+            sibylCfg.exploration.kind = rl::ExplorationKind::Boltzmann;
+            sibylCfg.exploration.temperature = opt.temperature;
+        } else if (opt.exploration == "vdbe") {
+            sibylCfg.exploration.kind = rl::ExplorationKind::Vdbe;
+            sibylCfg.exploration.epsilon = sibylCfg.epsilon;
+        } else {
+            std::fprintf(stderr, "unknown --exploration %s\n",
+                         opt.exploration.c_str());
+            return 2;
+        }
+    }
+
+    TextTable tab;
+    tab.header({"policy", "avg latency (us)", "vs Fast-Only", "IOPS",
+                "evictions", "fast pref", "energy (mJ)"});
+    for (const auto &name : opt.policies) {
+        auto policy = sim::makePolicy(name, exp.numDevices(), sibylCfg);
+
+        auto *sibyl = dynamic_cast<core::SibylPolicy *>(policy.get());
+        if (sibyl && !opt.loadAgent.empty()) {
+            const auto err =
+                rl::loadCheckpointFile(sibyl->agent(), opt.loadAgent);
+            if (!err.empty()) {
+                std::fprintf(stderr, "load-agent: %s\n", err.c_str());
+                return 1;
+            }
+            std::printf("warm-started %s from %s\n", name.c_str(),
+                        opt.loadAgent.c_str());
+        }
+
+        const auto r = exp.run(t, *policy);
+        tab.addRow({name, cell(r.metrics.avgLatencyUs, 1),
+                    cell(r.normalizedLatency, 3),
+                    cell(r.metrics.iops, 0),
+                    cell(r.metrics.evictionFraction, 3),
+                    cell(r.metrics.fastPlacementPreference, 3),
+                    cell(r.totalEnergyMj, 1)});
+
+        if (sibyl && !opt.saveAgent.empty()) {
+            rl::saveCheckpointFile(sibyl->agent(), opt.saveAgent);
+            std::printf("saved %s's learned policy to %s\n",
+                        name.c_str(), opt.saveAgent.c_str());
+        }
+    }
+    if (opt.csv)
+        tab.printCsv(std::cout);
+    else
+        tab.print(std::cout);
+    return 0;
+}

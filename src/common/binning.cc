@@ -1,0 +1,47 @@
+#include "common/binning.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace sibyl
+{
+
+std::uint32_t
+LogBinner::bin(std::uint64_t value) const
+{
+    if (value == 0)
+        return 0;
+    // bit_width(v) = floor(log2(v)) + 1, so 1 -> 1, 2..3 -> 2, 4..7 -> 3.
+    auto b = static_cast<std::uint32_t>(std::bit_width(value));
+    return std::min(b, bins_ - 1);
+}
+
+double
+LogBinner::normalized(std::uint64_t value) const
+{
+    if (bins_ <= 1)
+        return 0.0;
+    return static_cast<double>(bin(value)) / static_cast<double>(bins_ - 1);
+}
+
+std::uint32_t
+LinearBinner::bin(double value) const
+{
+    if (value <= 0.0)
+        return 0;
+    if (value >= max_)
+        return bins_ - 1;
+    auto b = static_cast<std::uint32_t>(value / max_ *
+                                        static_cast<double>(bins_));
+    return std::min(b, bins_ - 1);
+}
+
+double
+LinearBinner::normalized(double value) const
+{
+    if (bins_ <= 1)
+        return 0.0;
+    return static_cast<double>(bin(value)) / static_cast<double>(bins_ - 1);
+}
+
+} // namespace sibyl

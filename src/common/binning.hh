@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Feature quantization helpers.
+ *
+ * Sibyl quantizes each state feature into a small number of bins
+ * (Table 1 of the paper: request size -> 8 bins, access interval -> 64,
+ * access count -> 64, remaining capacity -> 8, ...). Quantization bounds
+ * the state space and therefore the agent's storage overhead.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace sibyl
+{
+
+/**
+ * Logarithmic binner: maps a non-negative value onto [0, bins) where bin
+ * boundaries grow as powers of two. Values of 0 map to bin 0, 1 to bin 1,
+ * 2-3 to bin 2, 4-7 to bin 3, etc., saturating at bins-1.
+ *
+ * Log binning matches the heavy-tailed distributions of access counts and
+ * intervals in storage traces far better than linear binning does.
+ */
+class LogBinner
+{
+  public:
+    explicit LogBinner(std::uint32_t bins) : bins_(bins ? bins : 1) {}
+
+    /** Quantize @p value into a bin index in [0, bins). */
+    std::uint32_t bin(std::uint64_t value) const;
+
+    /** Normalized bin value in [0, 1], suitable as an NN input. */
+    double normalized(std::uint64_t value) const;
+
+    std::uint32_t bins() const { return bins_; }
+
+  private:
+    std::uint32_t bins_;
+};
+
+/**
+ * Linear binner over [0, max]: used for bounded quantities such as the
+ * fraction of remaining fast-storage capacity.
+ */
+class LinearBinner
+{
+  public:
+    LinearBinner(double max, std::uint32_t bins)
+        : max_(max > 0 ? max : 1.0), bins_(bins ? bins : 1)
+    {}
+
+    std::uint32_t bin(double value) const;
+    double normalized(double value) const;
+    std::uint32_t bins() const { return bins_; }
+
+  private:
+    double max_;
+    std::uint32_t bins_;
+};
+
+} // namespace sibyl

@@ -1,0 +1,158 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace sibyl
+{
+
+Pcg32::Pcg32(std::uint64_t seed_val, std::uint64_t stream)
+{
+    seed(seed_val, stream);
+}
+
+void
+Pcg32::seed(std::uint64_t seed_val, std::uint64_t stream)
+{
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    nextU32();
+    state_ += seed_val;
+    nextU32();
+    hasSpare_ = false;
+}
+
+std::uint32_t
+Pcg32::nextU32()
+{
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+}
+
+std::uint32_t
+Pcg32::nextBounded(std::uint32_t bound)
+{
+    if (bound <= 1)
+        return 0;
+    // Rejection sampling to avoid modulo bias.
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint32_t r = nextU32();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Pcg32::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    if (hi <= lo)
+        return lo;
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span <= 0xffffffffULL)
+        return lo + nextBounded(static_cast<std::uint32_t>(span));
+    // Compose two 32-bit draws for wide ranges.
+    std::uint64_t r =
+        (static_cast<std::uint64_t>(nextU32()) << 32) | nextU32();
+    return lo + static_cast<std::int64_t>(r % span);
+}
+
+double
+Pcg32::nextDouble()
+{
+    return nextU32() * (1.0 / 4294967296.0);
+}
+
+double
+Pcg32::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+bool
+Pcg32::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Pcg32::nextGaussian(double mean, double stddev)
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+        u = nextDouble(-1.0, 1.0);
+        v = nextDouble(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    hasSpare_ = true;
+    return mean + stddev * u * mul;
+}
+
+double
+Pcg32::nextExponential(double mean)
+{
+    double u = nextDouble();
+    // Clamp away from 0 to avoid log(0).
+    if (u < 1e-12)
+        u = 1e-12;
+    return -mean * std::log(u);
+}
+
+namespace
+{
+
+/** Generalized harmonic number H_{n,theta}. */
+double
+zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; i++)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+} // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta)
+{
+    // The standard YCSB-style Zipfian sampler (Gray et al.).
+    zetan_ = zeta(n_, theta_);
+    zeta2_ = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t
+ZipfSampler::sample(Pcg32 &rng) const
+{
+    if (n_ == 1)
+        return 0;
+    if (theta_ <= 1e-9)
+        return static_cast<std::uint64_t>(
+            rng.nextRange(0, static_cast<std::int64_t>(n_) - 1));
+
+    double u = rng.nextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto idx = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (idx >= n_)
+        idx = n_ - 1;
+    return idx;
+}
+
+} // namespace sibyl

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic random-number generation for reproducible simulation.
+ *
+ * All stochastic components (trace synthesis, epsilon-greedy exploration,
+ * network weight initialization, GC jitter) draw from explicitly seeded
+ * Pcg32 instances so that every experiment in the benchmark harness is
+ * bit-reproducible across runs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sibyl
+{
+
+/**
+ * PCG32 pseudo-random generator (O'Neill, 2014). Small state, good
+ * statistical quality, and — unlike std::mt19937 — a guaranteed stable
+ * stream across standard-library implementations.
+ */
+class Pcg32
+{
+  public:
+    /** Construct with a seed and an optional independent stream id. */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    /** Next uniformly distributed 32-bit value. */
+    std::uint32_t nextU32();
+
+    /** Uniform integer in [0, bound) using unbiased rejection sampling. */
+    std::uint32_t nextBounded(std::uint32_t bound);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double nextDouble(double lo, double hi);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool nextBool(double p);
+
+    /** Normally distributed value (Box-Muller). */
+    double nextGaussian(double mean = 0.0, double stddev = 1.0);
+
+    /** Exponentially distributed value with the given mean. */
+    double nextExponential(double mean);
+
+    /** Reseed the generator, resetting its sequence. */
+    void seed(std::uint64_t seed, std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+/**
+ * Zipf-distributed sampler over [0, n). Used to synthesize skewed page
+ * popularity ("hot" pages) in the MSRC-like workload generators.
+ *
+ * Uses the classic inverted-CDF method with a precomputed harmonic table
+ * for small n and Newton-free rejection-inversion (Hormann & Derflinger)
+ * for large n.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     Number of distinct items.
+     * @param theta Skew parameter; 0 = uniform, ~0.99 = heavily skewed.
+     */
+    ZipfSampler(std::uint64_t n, double theta);
+
+    /** Draw one item index in [0, n). Rank 0 is the most popular item. */
+    std::uint64_t sample(Pcg32 &rng) const;
+
+    std::uint64_t size() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    double zeta2_;
+};
+
+} // namespace sibyl

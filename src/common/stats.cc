@@ -1,0 +1,170 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sibyl
+{
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    count_++;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    std::uint64_t n = count_ + other.count_;
+    m2_ += other.m2_ + delta * delta *
+        (static_cast<double>(count_) * static_cast<double>(other.count_)) /
+        static_cast<double>(n);
+    mean_ = (mean_ * static_cast<double>(count_) +
+             other.mean_ * static_cast<double>(other.count_)) /
+        static_cast<double>(n);
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = n;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+RunningStat::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+RunningStat::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0 || hi <= lo)
+        throw std::invalid_argument("Histogram: bad range or bin count");
+    width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void
+Histogram::add(double x)
+{
+    total_++;
+    if (x < lo_) {
+        underflow_++;
+        return;
+    }
+    if (x >= hi_) {
+        overflow_++;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    counts_[idx]++;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    return binLow(i) + width_;
+}
+
+double
+Histogram::quantile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    double target = p * static_cast<double>(total_);
+    double cum = static_cast<double>(underflow_);
+    if (target <= cum)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); i++) {
+        double next = cum + static_cast<double>(counts_[i]);
+        if (target <= next && counts_[i] > 0) {
+            double frac = (target - cum) / static_cast<double>(counts_[i]);
+            return binLow(i) + frac * width_;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+void
+Ewma::add(double x)
+{
+    if (!primed_) {
+        value_ = x;
+        primed_ = true;
+    } else {
+        value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+}
+
+void
+Ewma::reset()
+{
+    value_ = 0.0;
+    primed_ = false;
+}
+
+} // namespace sibyl

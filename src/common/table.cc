@@ -1,0 +1,93 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sibyl
+{
+
+void
+TextTable::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cols)
+{
+    if (!header_.empty() && cols.size() != header_.size())
+        throw std::invalid_argument("TextTable: row width != header width");
+    rows_.push_back(std::move(cols));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<std::size_t> widths(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); i++)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); i++) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << r[i];
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); i++) {
+            if (i)
+                os << ',';
+            os << r[i];
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+cell(double v, int digits)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(digits) << v;
+    return ss.str();
+}
+
+std::string
+cell(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace sibyl

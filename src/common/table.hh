@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harness to emit figure/table
+ * rows in the same layout the paper reports.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sibyl
+{
+
+/**
+ * Simple column-aligned table. Collect a header plus rows of strings (use
+ * the cell() helpers for numbers) then stream to stdout. Also supports CSV
+ * output so bench results can be post-processed into plots.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cols);
+
+    /** Append a data row; must match the header width if one was set. */
+    void addRow(std::vector<std::string> cols);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits decimal places. */
+std::string cell(double v, int digits = 3);
+
+/** Format an integer. */
+std::string cell(std::uint64_t v);
+
+} // namespace sibyl

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental types shared by every subsystem of the Sibyl reproduction.
+ *
+ * The simulator models time as double-precision microseconds and data as
+ * 4 KiB logical pages, mirroring the granularity used by the paper
+ * (request latency rewards in microseconds, 4 KiB placement granularity).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sibyl
+{
+
+/** Simulated time in microseconds. */
+using SimTime = double;
+
+/** Identifier of a 4 KiB logical page in the unified address space. */
+using PageId = std::uint64_t;
+
+/** Index of a storage device inside a hybrid storage system. */
+using DeviceId = std::uint32_t;
+
+/** Sentinel meaning "page is not resident on any device yet". */
+inline constexpr DeviceId kNoDevice = std::numeric_limits<DeviceId>::max();
+
+/** Sentinel for an invalid/unknown page. */
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+
+/** Bytes per logical page (4 KiB, the paper's placement granularity). */
+inline constexpr std::uint64_t kPageSize = 4096;
+
+/** Convenience literals for sizes. */
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/** One second expressed in simulated microseconds. */
+inline constexpr SimTime kSecond = 1e6;
+/** One millisecond expressed in simulated microseconds. */
+inline constexpr SimTime kMilli = 1e3;
+
+/** Direction of a block I/O request. */
+enum class OpType : std::uint8_t { Read = 0, Write = 1 };
+
+/** Human-readable name for an OpType. */
+inline const char *
+opTypeName(OpType t)
+{
+    return t == OpType::Read ? "read" : "write";
+}
+
+} // namespace sibyl

@@ -1,0 +1,99 @@
+#include "core/reward.hh"
+
+#include <algorithm>
+
+namespace sibyl::core
+{
+
+float
+RewardFunction::latencyTerm(double latencyUs) const
+{
+    double scaled = latencyUs / cfg_.latencyScaleUs;
+    if (scaled < 1e-6)
+        scaled = 1e-6; // zero-latency guard
+    return static_cast<float>(1.0 / scaled);
+}
+
+float
+RewardFunction::evictionPenalty(double evictionTimeUs) const
+{
+    return static_cast<float>(cfg_.penaltyCoeff * evictionTimeUs /
+                              cfg_.latencyScaleUs);
+}
+
+float
+RewardFunction::operator()(const hss::ServeResult &result) const
+{
+    float r = latencyTerm(result.latencyUs);
+    if (result.eviction)
+        r = std::max(0.0f, r - evictionPenalty(result.evictionTimeUs));
+    return r;
+}
+
+float
+RewardFunction::compute(const RewardInputs &in) const
+{
+    switch (cfg_.kind) {
+      case RewardKind::Latency:
+        return (*this)(in.result);
+
+      case RewardKind::HitRate:
+        // Â§11 rejected alternative 1: reward fast-device hits with no
+        // eviction penalty. The agent learns to place aggressively in
+        // fast storage, causing unnecessary evictions, and the reward
+        // is blind to latency asymmetry.
+        return in.result.servedDevice == 0 ? 1.0f : 0.0f;
+
+      case RewardKind::EvictionOnly:
+        // Â§11 rejected alternative 2: punish evictions, reward nothing
+        // else. The agent learns to park everything in slow storage.
+        return in.result.eviction ? -cfg_.evictionOnlyPenalty : 0.0f;
+
+      case RewardKind::EnduranceAware: {
+        // Eq. (1) minus wear: pages written to the endurance-critical
+        // device cost enduranceWeight each.
+        float r = (*this)(in.result);
+        if (in.op == OpType::Write &&
+            in.action == cfg_.enduranceCriticalDevice) {
+            r -= static_cast<float>(cfg_.enduranceWeight * in.sizePages);
+        }
+        return std::max(0.0f, r);
+      }
+
+      case RewardKind::EnergyAware: {
+        // Eq. (1) minus estimated request energy. The service-time
+        // estimate is the served latency, which overcharges queued
+        // requests slightly but preserves the relative ordering
+        // between devices.
+        float r = (*this)(in.result);
+        const DeviceId dev = in.result.servedDevice;
+        if (dev < cfg_.devicePower.size()) {
+            const double uj = energy::requestEnergyUj(
+                cfg_.devicePower[dev], in.op, in.result.latencyUs);
+            r -= static_cast<float>(cfg_.energyWeight * uj);
+        }
+        return std::max(0.0f, r);
+      }
+    }
+    return 0.0f;
+}
+
+const char *
+rewardKindName(RewardKind kind)
+{
+    switch (kind) {
+      case RewardKind::Latency:
+        return "latency";
+      case RewardKind::HitRate:
+        return "hit-rate";
+      case RewardKind::EvictionOnly:
+        return "eviction-only";
+      case RewardKind::EnduranceAware:
+        return "endurance-aware";
+      case RewardKind::EnergyAware:
+        return "energy-aware";
+    }
+    return "?";
+}
+
+} // namespace sibyl::core

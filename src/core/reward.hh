@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sibyl's reward function (Eq. 1).
+ *
+ *          | 1/L_t                       no eviction
+ *   R  =   |
+ *          | max(0, 1/L_t - R_p)         eviction, R_p = 0.001 * L_e
+ *
+ * L_t is the served request latency — the single signal that folds in
+ * every internal device effect (queueing, GC, write-buffer state,
+ * read/write asymmetry) — and L_e the time spent evicting. Latencies are
+ * expressed in units of RewardConfig::latencyScaleUs so a fast-device
+ * hit earns a reward near 1.
+ */
+
+#pragma once
+
+#include "core/sibyl_config.hh"
+#include "hss/hybrid_system.hh"
+
+namespace sibyl::core
+{
+
+/** Everything a reward variant may observe about a served request. */
+struct RewardInputs
+{
+    hss::ServeResult result;        ///< latency + eviction feedback
+    OpType op = OpType::Read;       ///< request type
+    std::uint32_t sizePages = 1;    ///< request size
+    DeviceId action = 0;            ///< the placement decision taken
+};
+
+/** Eq. (1) evaluator, plus the §11 reward variants. */
+class RewardFunction
+{
+  public:
+    explicit RewardFunction(const RewardConfig &cfg) : cfg_(cfg) {}
+
+    /** Reward for a completed request under the configured variant. */
+    float compute(const RewardInputs &in) const;
+
+    /** Eq. (1) shorthand used by tests: Latency-kind reward from the
+     *  serve result alone. */
+    float operator()(const hss::ServeResult &result) const;
+
+    /** The 1/L_t term alone (used by tests and the reward ablation). */
+    float latencyTerm(double latencyUs) const;
+
+    /** The R_p term for an eviction of total device time @p L_e us. */
+    float evictionPenalty(double evictionTimeUs) const;
+
+  private:
+    RewardConfig cfg_;
+};
+
+} // namespace sibyl::core

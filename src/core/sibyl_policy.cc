@@ -1,0 +1,138 @@
+#include "core/sibyl_policy.hh"
+
+#include "common/logging.hh"
+#include "rl/dqn_agent.hh"
+#include "rl/q_table.hh"
+
+namespace sibyl::core
+{
+
+namespace
+{
+
+rl::AgentConfig
+makeAgentConfig(const SibylConfig &cfg, std::uint32_t stateDim,
+                std::uint32_t numDevices)
+{
+    rl::AgentConfig ac;
+    ac.stateDim = stateDim;
+    ac.numActions = numDevices;
+    ac.atoms = cfg.atoms;
+    ac.vmin = cfg.vmin;
+    ac.vmax = cfg.vmax;
+    ac.gamma = cfg.gamma;
+    ac.learningRate = cfg.learningRate;
+    ac.epsilon = cfg.epsilon;
+    ac.exploration = cfg.exploration;
+    ac.batchSize = cfg.batchSize;
+    ac.batchesPerTraining = cfg.batchesPerTraining;
+    ac.bufferCapacity = cfg.bufferCapacity;
+    ac.targetSyncEvery = cfg.targetSyncEvery;
+    ac.trainEvery = cfg.trainEvery;
+    ac.hidden = cfg.hidden;
+    ac.prioritizedReplay = cfg.prioritizedReplay;
+    ac.doubleDqn = cfg.doubleDqn;
+    ac.seed = cfg.seed;
+    return ac;
+}
+
+std::unique_ptr<rl::Agent>
+makeAgent(const SibylConfig &cfg, std::uint32_t stateDim,
+          std::uint32_t numDevices)
+{
+    const rl::AgentConfig ac = makeAgentConfig(cfg, stateDim, numDevices);
+    switch (cfg.agentKind) {
+      case AgentKind::C51:
+        return std::make_unique<rl::C51Agent>(ac);
+      case AgentKind::Dqn:
+        return std::make_unique<rl::DqnAgent>(ac);
+      case AgentKind::QTable:
+        return std::make_unique<rl::QTableAgent>(ac);
+    }
+    return std::make_unique<rl::C51Agent>(ac);
+}
+
+} // namespace
+
+const char *
+agentKindName(AgentKind kind)
+{
+    switch (kind) {
+      case AgentKind::C51:
+        return "C51";
+      case AgentKind::Dqn:
+        return "DQN";
+      case AgentKind::QTable:
+        return "Q-table";
+    }
+    return "?";
+}
+
+SibylPolicy::SibylPolicy(const SibylConfig &cfg, std::uint32_t numDevices,
+                         std::string displayName)
+    : cfg_(cfg),
+      numDevices_(numDevices),
+      displayName_(std::move(displayName)),
+      encoder_(cfg.features, numDevices),
+      reward_(cfg.reward)
+{
+    agent_ = makeAgent(cfg_, encoder_.dimension(), numDevices_);
+}
+
+rl::C51Agent &
+SibylPolicy::c51()
+{
+    auto *a = dynamic_cast<rl::C51Agent *>(agent_.get());
+    if (!a)
+        panic("SibylPolicy::c51(): agent kind is " +
+              std::string(agentKindName(cfg_.agentKind)));
+    return *a;
+}
+
+DeviceId
+SibylPolicy::selectPlacement(const hss::HybridSystem &sys,
+                             const trace::Request &req,
+                             std::size_t reqIndex)
+{
+    (void)reqIndex;
+    ml::Vector state = encoder_.encode(sys, req);
+
+    // The previous transition completes now that O_{t+1} is known
+    // (Algorithm 1, line 15).
+    if (pendingValid_) {
+        agent_->observe({std::move(pendingState_), pendingAction_,
+                         pendingReward_, state});
+    }
+
+    std::uint32_t action = agent_->selectAction(state);
+    pendingState_ = std::move(state);
+    pendingAction_ = action;
+    pendingReward_ = 0.0f;
+    pendingValid_ = true;
+    return static_cast<DeviceId>(action);
+}
+
+void
+SibylPolicy::observeOutcome(const hss::HybridSystem &sys,
+                            const trace::Request &req, DeviceId action,
+                            const hss::ServeResult &result)
+{
+    (void)sys;
+    if (pendingValid_) {
+        RewardInputs in;
+        in.result = result;
+        in.op = req.op;
+        in.sizePages = req.sizePages;
+        in.action = action;
+        pendingReward_ = reward_.compute(in);
+    }
+}
+
+void
+SibylPolicy::reset()
+{
+    pendingValid_ = false;
+    agent_ = makeAgent(cfg_, encoder_.dimension(), numDevices_);
+}
+
+} // namespace sibyl::core

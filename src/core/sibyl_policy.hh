@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Sibyl — the paper's contribution — as a PlacementPolicy.
+ *
+ * Wires together the observation encoder (Table 1), the reward function
+ * (Eq. 1), and the C51 agent with its dual-network arrangement
+ * (Fig. 7). For every request it (1) completes the previous transition
+ * with the newly observed state and hands it to the agent, (2) encodes
+ * the current state, and (3) asks the agent for an epsilon-greedy
+ * placement — Algorithm 1 verbatim. Extending to N devices only grows
+ * the action space and adds the extra capacity feature (§8.7).
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "core/reward.hh"
+#include "core/sibyl_config.hh"
+#include "core/state.hh"
+#include "policies/policy.hh"
+#include "rl/agent.hh"
+#include "rl/c51_agent.hh"
+
+namespace sibyl::core
+{
+
+/** The Sibyl RL data-placement policy. */
+class SibylPolicy : public policies::PlacementPolicy
+{
+  public:
+    /**
+     * @param cfg        Hyper-parameters and feature configuration.
+     * @param numDevices Devices in the target system (actions).
+     * @param displayName Legend name ("Sibyl", "Sibyl_Opt", ...).
+     */
+    SibylPolicy(const SibylConfig &cfg, std::uint32_t numDevices,
+                std::string displayName = "Sibyl");
+
+    std::string name() const override { return displayName_; }
+
+    DeviceId selectPlacement(const hss::HybridSystem &sys,
+                             const trace::Request &req,
+                             std::size_t reqIndex) override;
+
+    void observeOutcome(const hss::HybridSystem &sys,
+                        const trace::Request &req, DeviceId action,
+                        const hss::ServeResult &result) override;
+
+    void reset() override;
+
+    /** The underlying value learner (family per cfg.agentKind). */
+    rl::Agent &agent() { return *agent_; }
+
+    /** The C51 agent; panics when cfg.agentKind is not C51 (used by
+     *  tests and benches that poke C51-specific state). */
+    rl::C51Agent &c51();
+    const StateEncoder &encoder() const { return encoder_; }
+    const SibylConfig &config() const { return cfg_; }
+
+  private:
+    SibylConfig cfg_;
+    std::uint32_t numDevices_;
+    std::string displayName_;
+    StateEncoder encoder_;
+    RewardFunction reward_;
+    std::unique_ptr<rl::Agent> agent_;
+
+    // Pending transition: Sibyl's reward is delayed — the experience
+    // (O_t, a_t, r_t, O_{t+1}) completes only when the next request
+    // reveals O_{t+1}.
+    bool pendingValid_ = false;
+    ml::Vector pendingState_;
+    std::uint32_t pendingAction_ = 0;
+    float pendingReward_ = 0.0f;
+};
+
+} // namespace sibyl::core

@@ -1,0 +1,75 @@
+#include "core/state.hh"
+
+namespace sibyl::core
+{
+
+StateEncoder::StateEncoder(const FeatureConfig &cfg,
+                           std::uint32_t numDevices)
+    : cfg_(cfg),
+      numDevices_(numDevices),
+      dim_(6 + (numDevices > 2 ? numDevices - 2 : 0)),
+      sizeBinner_(cfg.sizeBins),
+      intervalBinner_(cfg.intervalBins),
+      countBinner_(cfg.countBins),
+      capacityBinner_(1.0, cfg.capacityBins)
+{
+}
+
+ml::Vector
+StateEncoder::encode(const hss::HybridSystem &sys,
+                     const trace::Request &req) const
+{
+    ml::Vector obs(dim_, 0.0f);
+    std::uint32_t i = 0;
+
+    // size_t: request size in pages, log-binned into 8 bins.
+    obs[i++] = (cfg_.mask & kFeatSize)
+        ? static_cast<float>(sizeBinner_.normalized(req.sizePages))
+        : 0.0f;
+
+    // type_t: read = 0, write = 1.
+    obs[i++] = (cfg_.mask & kFeatType)
+        ? (req.op == OpType::Write ? 1.0f : 0.0f)
+        : 0.0f;
+
+    // intr_t: page accesses since last reference, 64 log bins.
+    obs[i++] = (cfg_.mask & kFeatInterval)
+        ? static_cast<float>(
+              intervalBinner_.normalized(sys.accessInterval(req.page)))
+        : 0.0f;
+
+    // cnt_t: total accesses to the page, 64 log bins.
+    obs[i++] = (cfg_.mask & kFeatCount)
+        ? static_cast<float>(
+              countBinner_.normalized(sys.accessCount(req.page)))
+        : 0.0f;
+
+    // cap_t: remaining capacity of the fast device, 8 linear bins.
+    obs[i++] = (cfg_.mask & kFeatCapacity)
+        ? static_cast<float>(capacityBinner_.normalized(sys.freeFraction(0)))
+        : 0.0f;
+
+    // curr_t: current placement, normalized device index; unmapped pages
+    // read as "slowest" (that is where a cold read would find them).
+    if (cfg_.mask & kFeatCurrent) {
+        DeviceId cur = sys.placement(req.page);
+        if (cur == kNoDevice)
+            cur = numDevices_ - 1;
+        obs[i++] = numDevices_ > 1
+            ? static_cast<float>(cur) / static_cast<float>(numDevices_ - 1)
+            : 0.0f;
+    } else {
+        i++;
+    }
+
+    // Tri-hybrid extension: remaining capacity of each middle device.
+    for (std::uint32_t d = 1; d + 1 < numDevices_; d++) {
+        obs[i++] = (cfg_.mask & kFeatCapacity)
+            ? static_cast<float>(
+                  capacityBinner_.normalized(sys.freeFraction(d)))
+            : 0.0f;
+    }
+    return obs;
+}
+
+} // namespace sibyl::core

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Observation-vector construction (Table 1).
+ *
+ * For each request, Sibyl observes a 6-dimensional tuple
+ * O_t = (size_t, type_t, intr_t, cnt_t, cap_t, curr_t), each feature
+ * quantized into a small number of bins and normalized to [0,1] before
+ * entering the network. For N-device systems (N >= 3), the remaining
+ * capacity of every non-slowest device is observed (the paper's §8.7
+ * tri-hybrid extension adds the M device's remaining capacity), so the
+ * vector grows to 6 + (N - 2) entries.
+ */
+
+#pragma once
+
+#include "common/binning.hh"
+#include "core/sibyl_config.hh"
+#include "hss/hybrid_system.hh"
+#include "ml/matrix.hh"
+#include "trace/trace.hh"
+
+namespace sibyl::core
+{
+
+/** Encodes (system state, request) into the agent's observation. */
+class StateEncoder
+{
+  public:
+    /**
+     * @param cfg        Feature bins and ablation mask.
+     * @param numDevices Device count of the target system.
+     */
+    StateEncoder(const FeatureConfig &cfg, std::uint32_t numDevices);
+
+    /** Observation dimensionality: 6 + max(0, numDevices - 2). */
+    std::uint32_t dimension() const { return dim_; }
+
+    /**
+     * Build the observation for @p req given the *pre-action* system
+     * state. Masked-out features are zeroed (carrying no information),
+     * keeping the network input shape fixed across ablations.
+     */
+    ml::Vector encode(const hss::HybridSystem &sys,
+                      const trace::Request &req) const;
+
+    /** Size in bits of the stored state representation (overhead bench):
+     *  the paper's relaxed encoding is 40 bits per state. */
+    static constexpr std::uint32_t kEncodedBits = 40;
+
+  private:
+    FeatureConfig cfg_;
+    std::uint32_t numDevices_;
+    std::uint32_t dim_;
+    LogBinner sizeBinner_;
+    LogBinner intervalBinner_;
+    LogBinner countBinner_;
+    LinearBinner capacityBinner_;
+};
+
+} // namespace sibyl::core

@@ -1,0 +1,235 @@
+#include "device/block_device.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hh"
+
+namespace sibyl::device
+{
+
+BlockDevice::BlockDevice(DeviceSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed, 0xDE71CE), faults_(spec_.faults)
+{
+    if (spec_.capacityPages == 0)
+        fatal("BlockDevice '" + spec_.name + "': capacityPages must be > 0");
+    if (spec_.channels == 0)
+        fatal("BlockDevice '" + spec_.name + "': channels must be >= 1");
+    channelBusy_.assign(spec_.channels, 0.0);
+    if (spec_.detailedFtl && spec_.kind == DeviceKind::FlashSsd) {
+        ftl_ = std::make_unique<ftl::PageMappedFtl>(
+            ftl::makeGeometry(spec_.capacityPages, spec_.ftlOverprovision,
+                              spec_.ftlPagesPerBlock));
+    }
+}
+
+AccessTiming
+BlockDevice::access(SimTime now, OpType op, PageId page,
+                    std::uint32_t sizePages, AccessClass cls)
+{
+    assert(sizePages >= 1);
+    // Serve on the earliest-free channel; queueing emerges only when
+    // every channel is busy.
+    auto channel = std::min_element(channelBusy_.begin(),
+                                    channelBusy_.end());
+    AccessTiming timing;
+    timing.startUs = std::max(now, *channel);
+    timing.queueUs = timing.startUs - now;
+
+    bool gcStall = false;
+    timing.serviceUs = serviceTime(timing.startUs, op, page, sizePages, cls,
+                                   gcStall);
+    timing.gcStall = gcStall;
+    if (faults_.enabled()) {
+        // Degradation scales the whole operation (positioning, transfer,
+        // GC interference); error handling re-pays the base command
+        // latency per retry on top.
+        timing.serviceUs *= faults_.degradationMultiplier(timing.startUs);
+        const double baseCmd = op == OpType::Read ? spec_.readLatencyUs
+                                                  : spec_.writeLatencyUs;
+        timing.serviceUs += faults_.errorLatencyUs(op, baseCmd, rng_);
+    }
+    timing.finishUs = timing.startUs + timing.serviceUs;
+    *channel = timing.finishUs;
+
+    // Bookkeeping.
+    if (op == OpType::Read) {
+        counters_.reads++;
+        counters_.pagesRead += sizePages;
+        counters_.readBusyUs += timing.serviceUs;
+    } else {
+        counters_.writes++;
+        counters_.pagesWritten += sizePages;
+        counters_.writeBusyUs += timing.serviceUs;
+    }
+    if (gcStall)
+        counters_.gcStalls++;
+    counters_.busyUs += timing.serviceUs;
+    // Background migration batches are scheduled around the foreground
+    // stream (elevator/NCQ), so they do not break its sequentiality.
+    if (cls == AccessClass::Foreground)
+        lastEndPage_ = page + sizePages;
+    lastAccessUs_ = timing.startUs;
+    return timing;
+}
+
+double
+BlockDevice::serviceTime(SimTime start, OpType op, PageId page,
+                         std::uint32_t sizePages, AccessClass cls,
+                         bool &gcStall)
+{
+    gcStall = false;
+    const bool sequential =
+        lastEndPage_ != kInvalidPage && page == lastEndPage_;
+    if (sequential)
+        counters_.sequentialHits++;
+
+    double transfer = spec_.seqTransferUs(op, sizePages);
+
+    // Background migration I/O is issued in coalesced batches, so its
+    // positioning cost is amortized.
+    const double amortize =
+        cls == AccessClass::Migration ? 1.0 / kMigrationBatch : 1.0;
+
+    switch (spec_.kind) {
+      case DeviceKind::Nvm: {
+        double base =
+            op == OpType::Read ? spec_.readLatencyUs : spec_.writeLatencyUs;
+        double penalty = sequential ? 0.0 : spec_.randomPenaltyUs(op);
+        return base * amortize + transfer + penalty * amortize;
+      }
+
+      case DeviceKind::Hdd: {
+        double position = sequential
+            ? 0.0
+            : spec_.seekUs * rng_.nextDouble(0.6, 1.4) + spec_.rotationalUs;
+        // Near-sequential accesses still pay a small repositioning cost
+        // now and then (track switches).
+        if (sequential && rng_.nextBool(0.05))
+            position = spec_.trackSwitchUs;
+        double base =
+            op == OpType::Read ? spec_.readLatencyUs : spec_.writeLatencyUs;
+        return (base + position) * amortize + transfer;
+      }
+
+      case DeviceKind::FlashSsd: {
+        double base =
+            op == OpType::Read ? spec_.readLatencyUs : spec_.writeLatencyUs;
+        double penalty = sequential ? 0.0 : spec_.randomPenaltyUs(op);
+        base *= amortize;
+        penalty *= amortize;
+
+        if (op == OpType::Write && spec_.writeBufferPages > 0) {
+            // Drain the buffer for the elapsed idle time, then try to
+            // absorb the write.
+            double elapsed = std::max(0.0, start - lastAccessUs_);
+            double drained =
+                elapsed * spec_.bufferDrainMBps / 1e6 *
+                1e6 / static_cast<double>(kPageSize); // pages drained
+            bufferFillPages_ = std::max(0.0, bufferFillPages_ - drained);
+            if (bufferFillPages_ + sizePages <=
+                static_cast<double>(spec_.writeBufferPages)) {
+                bufferFillPages_ += sizePages;
+                base = spec_.bufferWriteLatencyUs;
+                penalty = 0.0; // buffer hides media positioning
+            }
+        }
+
+        double service = base + transfer + penalty;
+
+        if (ftl_) {
+            // Detailed FTL: run the page-level mechanism and charge the
+            // foreground share of any relocation/erase work it caused.
+            std::uint32_t copies = 0;
+            std::uint32_t erases = 0;
+            for (std::uint32_t i = 0; i < sizePages; i++) {
+                const ftl::FtlOpResult r = op == OpType::Write
+                    ? ftl_->write(page + i, start)
+                    : ftl_->read(page + i);
+                copies += r.gcPageCopies;
+                erases += r.erases;
+            }
+            if (copies > 0 || erases > 0) {
+                service += spec_.gcForegroundFraction *
+                           (copies * spec_.gcCopyPageUs +
+                            erases * spec_.eraseUs);
+                gcStall = true;
+            }
+            return service;
+        }
+
+        // GC pressure: once utilization exceeds the threshold, writes
+        // occasionally collide with background garbage collection.
+        if (op == OpType::Write && utilization() > spec_.gcUtilThreshold) {
+            double severity = (utilization() - spec_.gcUtilThreshold) /
+                              std::max(1e-9, 1.0 - spec_.gcUtilThreshold);
+            double prob = std::clamp(severity, 0.0, 1.0) *
+                          spec_.gcMaxStallProb;
+            if (rng_.nextBool(prob)) {
+                service += spec_.gcStallUs * rng_.nextDouble(0.5, 1.5);
+                gcStall = true;
+            }
+        }
+        return service;
+      }
+    }
+    return transfer;
+}
+
+void
+BlockDevice::occupyPages(std::uint64_t pages)
+{
+    usedPages_ += pages;
+    if (usedPages_ > spec_.capacityPages)
+        panic("BlockDevice '" + spec_.name + "': over-allocated");
+}
+
+void
+BlockDevice::trimPage(PageId page)
+{
+    if (ftl_)
+        ftl_->trim(page);
+}
+
+void
+BlockDevice::releasePages(std::uint64_t pages)
+{
+    if (pages > usedPages_)
+        panic("BlockDevice '" + spec_.name + "': double free");
+    usedPages_ -= pages;
+}
+
+std::uint64_t
+BlockDevice::freePages() const
+{
+    return spec_.capacityPages - usedPages_;
+}
+
+double
+BlockDevice::utilization() const
+{
+    return static_cast<double>(usedPages_) /
+           static_cast<double>(spec_.capacityPages);
+}
+
+SimTime
+BlockDevice::busyUntil() const
+{
+    return *std::min_element(channelBusy_.begin(), channelBusy_.end());
+}
+
+void
+BlockDevice::reset()
+{
+    channelBusy_.assign(spec_.channels, 0.0);
+    lastEndPage_ = kInvalidPage;
+    usedPages_ = 0;
+    bufferFillPages_ = 0.0;
+    lastAccessUs_ = 0.0;
+    counters_ = DeviceCounters();
+    faults_.resetCounters();
+    if (ftl_)
+        ftl_->reset();
+}
+
+} // namespace sibyl::device

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Queued block-device timing model.
+ *
+ * Each device is a single server with a busy-until horizon: a request
+ * arriving while the device is busy waits in FIFO order, so queueing
+ * delay emerges naturally when a device saturates. The service time
+ * depends on operation type, request size, sequentiality relative to the
+ * previous access, and — for flash devices — write-buffer occupancy and
+ * garbage-collection pressure.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "device/device_spec.hh"
+#include "device/fault_model.hh"
+#include "ftl/ftl.hh"
+
+namespace sibyl::device
+{
+
+/**
+ * How an access is issued. Foreground accesses pay full positioning
+ * costs; migration accesses (promotion/eviction copies) are issued in
+ * coalesced background batches by the storage management layer, so
+ * their positioning cost is amortized over kMigrationBatch pages.
+ */
+enum class AccessClass : std::uint8_t { Foreground, Migration };
+
+/** Pages per coalesced background-migration batch. Migration batches
+ *  are elevator-sorted, log-structured bulk copies, so one positioning
+ *  operation covers a 256 KiB extent (64 pages). */
+inline constexpr double kMigrationBatch = 64.0;
+
+/** Timing outcome of one device access. */
+struct AccessTiming
+{
+    SimTime startUs = 0.0;   ///< when the device began servicing
+    SimTime finishUs = 0.0;  ///< completion time
+    SimTime serviceUs = 0.0; ///< raw service time (finish - start)
+    SimTime queueUs = 0.0;   ///< time spent waiting for the device
+    bool gcStall = false;    ///< a GC stall was charged
+};
+
+/** Aggregate per-device counters. */
+struct DeviceCounters
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t pagesRead = 0;
+    std::uint64_t pagesWritten = 0;
+    std::uint64_t gcStalls = 0;
+    std::uint64_t sequentialHits = 0;
+    double busyUs = 0.0;
+    double readBusyUs = 0.0;  ///< busy time servicing reads (energy)
+    double writeBusyUs = 0.0; ///< busy time servicing writes (energy)
+};
+
+/**
+ * A single storage device inside a hybrid storage system.
+ *
+ * The device does not manage page allocation (that is the storage
+ * management layer's job in `src/hss`); it only tracks occupancy for the
+ * GC-pressure model and converts accesses into timing.
+ */
+class BlockDevice
+{
+  public:
+    /**
+     * @param spec Parameter set (capacityPages must be > 0).
+     * @param seed Seed for the device's jitter RNG.
+     */
+    explicit BlockDevice(DeviceSpec spec, std::uint64_t seed = 0x0DDBALL);
+
+    /**
+     * Service an access at simulated time @p now.
+     *
+     * @param now       Arrival time of the request at the device.
+     * @param op        Read or write.
+     * @param page      Device-local first page (used for sequentiality).
+     * @param sizePages Pages transferred.
+     */
+    AccessTiming access(SimTime now, OpType op, PageId page,
+                        std::uint32_t sizePages,
+                        AccessClass cls = AccessClass::Foreground);
+
+    /** HSS allocation bookkeeping: mark @p pages additional pages live. */
+    void occupyPages(std::uint64_t pages);
+
+    /** HSS allocation bookkeeping: mark @p pages pages free again. */
+    void releasePages(std::uint64_t pages);
+
+    /** Invalidate @p page's on-device data (eviction left the device).
+     *  Forwards a trim to the detailed FTL when one is attached; no-op
+     *  otherwise. Does not change the occupancy counter. */
+    void trimPage(PageId page);
+
+    /** The attached detailed FTL, or nullptr in the coarse model. */
+    const ftl::PageMappedFtl *ftl() const { return ftl_.get(); }
+
+    /** Live pages currently allocated on the device. */
+    std::uint64_t usedPages() const { return usedPages_; }
+
+    /** Free pages remaining. */
+    std::uint64_t freePages() const;
+
+    /** Fraction of capacity in use, in [0, 1]. */
+    double utilization() const;
+
+    const DeviceSpec &spec() const { return spec_; }
+    const DeviceCounters &counters() const { return counters_; }
+
+    /** Fault-handling counters (all zero unless spec().faults is
+     *  configured). */
+    const FaultCounters &faultCounters() const
+    {
+        return faults_.counters();
+    }
+
+    /** Earliest time a new request could start service (the first
+     *  channel to free up). */
+    SimTime busyUntil() const;
+
+    /** Reset all dynamic state (queue, buffer, counters). */
+    void reset();
+
+  private:
+    /** Raw service time (excluding queueing) for one access. */
+    double serviceTime(SimTime start, OpType op, PageId page,
+                       std::uint32_t sizePages, AccessClass cls,
+                       bool &gcStall);
+
+    DeviceSpec spec_;
+    Pcg32 rng_;
+    FaultModel faults_;
+
+    /** Per-channel busy horizon (size = spec_.channels). */
+    std::vector<SimTime> channelBusy_;
+    PageId lastEndPage_ = kInvalidPage;
+    std::uint64_t usedPages_ = 0;
+
+    // Write-buffer occupancy model: fill level drains linearly between
+    // accesses at spec_.bufferDrainMBps.
+    double bufferFillPages_ = 0.0;
+    SimTime lastAccessUs_ = 0.0;
+
+    /** Detailed FTL (only when spec_.detailedFtl && kind == FlashSsd). */
+    std::unique_ptr<ftl::PageMappedFtl> ftl_;
+
+    DeviceCounters counters_;
+};
+
+} // namespace sibyl::device

@@ -1,0 +1,131 @@
+#include "device/device_spec.hh"
+
+#include <stdexcept>
+
+namespace sibyl::device
+{
+
+double
+DeviceSpec::seqTransferUs(OpType op, std::uint32_t pages) const
+{
+    double mbps = op == OpType::Read ? seqReadMBps : seqWriteMBps;
+    if (mbps <= 0.0)
+        return 0.0;
+    double bytes = static_cast<double>(pages) *
+                   static_cast<double>(kPageSize);
+    // 1 MB/s == 1 byte/us, so time_us = bytes / mbps.
+    return bytes / mbps;
+}
+
+double
+DeviceSpec::randomPenaltyUs(OpType op) const
+{
+    double iops = op == OpType::Read ? randReadIops : randWriteIops;
+    if (iops <= 0.0)
+        return 0.0;
+    return 1e6 / iops;
+}
+
+DeviceSpec
+deviceH()
+{
+    DeviceSpec d;
+    d.name = "H";
+    d.kind = DeviceKind::Nvm;
+    // Optane P4800X: ~10 us access, 2.4/2.0 GB/s, 550K/500K random IOPS,
+    // no flash-style GC, no DRAM write buffer needed.
+    d.readLatencyUs = 10.0;
+    d.writeLatencyUs = 10.0;
+    d.seqReadMBps = 2400.0;
+    d.seqWriteMBps = 2000.0;
+    d.randReadIops = 550000.0;
+    d.randWriteIops = 500000.0;
+    d.writeBufferPages = 0;
+    d.gcUtilThreshold = 1.1; // disabled
+    return d;
+}
+
+DeviceSpec
+deviceM()
+{
+    DeviceSpec d;
+    d.name = "M";
+    d.kind = DeviceKind::FlashSsd;
+    // D3-S4510: SATA TLC. ~90/60 us command latency, 550/510 MB/s,
+    // ~97K/21K sustained random IOPS, DRAM write buffer, GC under
+    // sustained writes.
+    d.readLatencyUs = 90.0;
+    d.writeLatencyUs = 60.0;
+    d.seqReadMBps = 550.0;
+    d.seqWriteMBps = 510.0;
+    d.randReadIops = 97000.0;
+    d.randWriteIops = 21000.0;
+    d.writeBufferPages = 1024;
+    d.bufferWriteLatencyUs = 15.0;
+    d.bufferDrainMBps = 300.0;
+    d.gcUtilThreshold = 0.6;
+    d.gcStallUs = 2000.0;
+    d.gcMaxStallProb = 0.05;
+    return d;
+}
+
+DeviceSpec
+deviceL()
+{
+    DeviceSpec d;
+    d.name = "L";
+    d.kind = DeviceKind::Hdd;
+    // Seagate 7200 RPM: 210 MB/s sustained sequential, 4.17 ms
+    // half-rotation plus a short-stroked seek for random accesses (the
+    // evaluated working sets span a small fraction of the platter, so
+    // the average seek is far below the full-stroke 8.5 ms figure).
+    d.readLatencyUs = 100.0;
+    d.writeLatencyUs = 100.0;
+    d.seqReadMBps = 210.0;
+    d.seqWriteMBps = 210.0;
+    d.seekUs = 1500.0;
+    d.rotationalUs = 4170.0;
+    d.trackSwitchUs = 1000.0;
+    d.gcUtilThreshold = 1.1; // no GC on disks
+    return d;
+}
+
+DeviceSpec
+deviceLssd()
+{
+    DeviceSpec d;
+    d.name = "L_SSD";
+    d.kind = DeviceKind::FlashSsd;
+    // ADATA SU630: DRAM-less TLC with an SLC cache. Noticeably slower
+    // than M, aggressive GC once the SLC cache saturates, but still far
+    // faster than the HDD for random accesses.
+    d.readLatencyUs = 170.0;
+    d.writeLatencyUs = 320.0;
+    d.seqReadMBps = 520.0;
+    d.seqWriteMBps = 450.0;
+    d.randReadIops = 40000.0;
+    d.randWriteIops = 10000.0;
+    d.writeBufferPages = 256;
+    d.bufferWriteLatencyUs = 30.0;
+    d.bufferDrainMBps = 120.0;
+    d.gcUtilThreshold = 0.5;
+    d.gcStallUs = 5000.0;
+    d.gcMaxStallProb = 0.08;
+    return d;
+}
+
+DeviceSpec
+devicePreset(const std::string &shorthand)
+{
+    if (shorthand == "H")
+        return deviceH();
+    if (shorthand == "M")
+        return deviceM();
+    if (shorthand == "L")
+        return deviceL();
+    if (shorthand == "L_SSD" || shorthand == "Lssd" || shorthand == "LSSD")
+        return deviceLssd();
+    throw std::invalid_argument("unknown device preset: " + shorthand);
+}
+
+} // namespace sibyl::device

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Storage-device parameter sets.
+ *
+ * The paper's hybrid storage configurations (Table 3) combine four real
+ * devices; we model each with a datasheet-derived parameter set:
+ *
+ *  - H:     Intel Optane SSD P4800X (PCIe NVMe, SLC 3D-XPoint)
+ *  - M:     Intel SSD D3-S4510 (SATA, 3D TLC)
+ *  - L:     Seagate ST1000DM010 (SATA, 7200 RPM HDD)
+ *  - L_SSD: ADATA SU630 (SATA, DRAM-less TLC)
+ *
+ * The goal is not cycle accuracy but a faithful *observable surface* for
+ * the placement policies: large cross-device latency gaps, read/write
+ * asymmetry, sequential-vs-random sensitivity, and state-dependent
+ * effects (write-buffer absorption, GC stalls) that make the reward
+ * signal noisy in the same way real devices do.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "device/fault_model.hh"
+
+namespace sibyl::device
+{
+
+/** Broad device technology class; selects the service-time model. */
+enum class DeviceKind : std::uint8_t
+{
+    Nvm,      ///< ultra-low-latency SSD (Optane-class)
+    FlashSsd, ///< NAND flash SSD with write buffer + GC
+    Hdd,      ///< rotating disk with seek/rotation
+};
+
+/** Full parameter set for one device model. */
+struct DeviceSpec
+{
+    std::string name = "device";
+    DeviceKind kind = DeviceKind::FlashSsd;
+
+    // --- Base command latencies (us): time to service a minimal request
+    //     once the media is positioned / the channel is free.
+    double readLatencyUs = 90.0;
+    double writeLatencyUs = 60.0;
+
+    // --- Sequential transfer bandwidth (MB/s).
+    double seqReadMBps = 500.0;
+    double seqWriteMBps = 450.0;
+
+    // --- Random-access throughput limits (IOPS). Converted into a
+    //     per-request pacing penalty for non-sequential accesses.
+    double randReadIops = 90000.0;
+    double randWriteIops = 20000.0;
+
+    // --- HDD mechanics (used when kind == Hdd).
+    double seekUs = 8500.0;           ///< average seek
+    double rotationalUs = 4170.0;     ///< half rotation @7200 RPM
+    double trackSwitchUs = 1000.0;    ///< near-sequential repositioning
+
+    // --- SSD write buffer (used when kind == FlashSsd).
+    std::uint32_t writeBufferPages = 0; ///< 0 disables the buffer
+    double bufferWriteLatencyUs = 15.0; ///< hit latency into the buffer
+    double bufferDrainMBps = 200.0;     ///< background drain rate
+
+    // --- Garbage collection (used when kind == FlashSsd).
+    double gcUtilThreshold = 1.1;  ///< >1 disables GC
+    double gcStallUs = 2000.0;     ///< stall charged when GC interferes
+    double gcMaxStallProb = 0.05;  ///< stall probability at 100% util
+
+    /** Capacity in pages; assigned per experiment (e.g., 10% of the
+     *  workload working set for the fast device, per §3). */
+    std::uint64_t capacityPages = 0;
+
+    /** Independent service channels (NVMe-style internal parallelism).
+     *  1 = strictly serial device (SATA/HDD); the Optane-class preset
+     *  uses more. Concurrent requests occupy distinct channels, so
+     *  queueing emerges only once all channels are busy. */
+    std::uint32_t channels = 1;
+
+    // --- Detailed FTL mode (used when kind == FlashSsd). When enabled
+    //     the probabilistic GC-stall model above is replaced by a real
+    //     page-mapped FTL: writes trigger actual relocation traffic and
+    //     erases, whose time is charged to the foreground write.
+    bool detailedFtl = false;           ///< run a page-mapped FTL
+    std::uint32_t ftlPagesPerBlock = 256;
+    double ftlOverprovision = 0.07;     ///< spare-space fraction
+    double gcCopyPageUs = 45.0;         ///< per relocated page (rd+prog)
+    double eraseUs = 2500.0;            ///< per block erase
+    /** Fraction of GC work that stalls the foreground write (the rest
+     *  overlaps with idle time / other channels). */
+    double gcForegroundFraction = 0.3;
+
+    /** Fault injection (error retries, degradation windows). Defaults
+     *  inject nothing; the fault-ablation bench and robustness tests
+     *  configure it. */
+    FaultConfig faults;
+
+    /** Transfer time for @p pages at sequential bandwidth, in us. */
+    double seqTransferUs(OpType op, std::uint32_t pages) const;
+
+    /** Per-request random-access pacing penalty, in us. */
+    double randomPenaltyUs(OpType op) const;
+};
+
+/** Preset: Intel Optane SSD P4800X ("H" in Table 3). */
+DeviceSpec deviceH();
+
+/** Preset: Intel SSD D3-S4510 ("M" in Table 3). */
+DeviceSpec deviceM();
+
+/** Preset: Seagate ST1000DM010 HDD ("L" in Table 3). */
+DeviceSpec deviceL();
+
+/** Preset: ADATA SU630 low-end SSD ("L_SSD" in Table 3). */
+DeviceSpec deviceLssd();
+
+/** Look up a preset by its Table 3 shorthand ("H", "M", "L", "L_SSD"). */
+DeviceSpec devicePreset(const std::string &shorthand);
+
+} // namespace sibyl::device

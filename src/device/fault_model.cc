@@ -1,0 +1,69 @@
+#include "device/fault_model.hh"
+
+#include "common/logging.hh"
+
+namespace sibyl::device
+{
+
+bool
+FaultConfig::enabled() const
+{
+    return readErrorProb > 0.0 || writeErrorProb > 0.0 || !windows.empty();
+}
+
+FaultModel::FaultModel(FaultConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.readErrorProb < 0.0 || cfg_.readErrorProb > 1.0 ||
+        cfg_.writeErrorProb < 0.0 || cfg_.writeErrorProb > 1.0)
+        fatal("FaultModel: error probabilities must be in [0,1]");
+    if (cfg_.retryMultiplier < 0.0)
+        fatal("FaultModel: retryMultiplier must be >= 0");
+    for (const auto &w : cfg_.windows) {
+        if (w.endUs < w.startUs)
+            fatal("FaultModel: degradation window ends before it starts");
+        if (w.latencyMultiplier <= 0.0)
+            fatal("FaultModel: window latencyMultiplier must be > 0");
+    }
+}
+
+double
+FaultModel::degradationMultiplier(SimTime startUs)
+{
+    double mult = 1.0;
+    for (const auto &w : cfg_.windows) {
+        if (startUs >= w.startUs && startUs < w.endUs)
+            mult *= w.latencyMultiplier;
+    }
+    if (mult != 1.0)
+        counters_.degradedOps++;
+    return mult;
+}
+
+double
+FaultModel::errorLatencyUs(OpType op, double baseCommandUs, Pcg32 &rng)
+{
+    const double prob =
+        op == OpType::Read ? cfg_.readErrorProb : cfg_.writeErrorProb;
+    if (prob <= 0.0)
+        return 0.0;
+
+    double extra = 0.0;
+    std::uint32_t attempts = 0;
+    while (attempts < cfg_.maxRetries && rng.nextBool(prob)) {
+        attempts++;
+        extra += cfg_.retryMultiplier * baseCommandUs;
+    }
+    if (attempts > 0) {
+        counters_.erroredOps++;
+        counters_.retries += attempts;
+        if (attempts == cfg_.maxRetries) {
+            // Every retry failed: heroic recovery, then success.
+            counters_.recoveries++;
+            extra += cfg_.recoveryUs;
+        }
+    }
+    counters_.errorLatencyUs += extra;
+    return extra;
+}
+
+} // namespace sibyl::device

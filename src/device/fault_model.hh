@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Device fault injection: transient error retries and degradation
+ * windows.
+ *
+ * The paper's central argument for a latency-shaped reward is that the
+ * served request latency "significantly varies depending on ... the
+ * internal state and characteristics of the device", explicitly
+ * including *error handling latencies* (§5, §11). Real flash devices
+ * re-issue reads at adjusted voltages when ECC fails (read-retry,
+ * Park et al. [87]) and can spend orders of magnitude longer on a
+ * request during media degradation. This module injects exactly those
+ * effects into the timing model so that (a) the reward signal carries
+ * realistic error-handling noise and (b) the fault-ablation bench can
+ * test whether an online learner re-routes traffic away from a device
+ * that degrades mid-run — an adaptivity test no static heuristic can
+ * pass.
+ *
+ * Two orthogonal mechanisms:
+ *  - Transient errors: with a per-op probability, the command fails
+ *    and is retried; each retry re-pays a multiple of the base command
+ *    latency. An op that exhausts its retries pays a final (large)
+ *    recovery cost and then succeeds — the block layer never sees a
+ *    hard failure, only latency, matching how an enterprise drive's
+ *    internal RAID/ECC recovery appears to the host.
+ *  - Degradation windows: during [startUs, endUs) the whole service
+ *    time is multiplied by a factor, modeling thermal throttling, a
+ *    failing head, or a firmware rebuild.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace sibyl::device
+{
+
+/** One degraded-performance interval of a device's lifetime. */
+struct DegradedWindow
+{
+    SimTime startUs = 0.0;          ///< window start (simulated time)
+    SimTime endUs = 0.0;            ///< window end (exclusive)
+    double latencyMultiplier = 1.0; ///< service-time factor inside it
+};
+
+/** Fault-injection knobs. Defaults inject nothing. */
+struct FaultConfig
+{
+    /** Probability that one read/write command attempt errors and is
+     *  retried. Applied per attempt, so retries can themselves fail. */
+    double readErrorProb = 0.0;
+    double writeErrorProb = 0.0;
+
+    /** Retry attempts before the device escalates to full recovery. */
+    std::uint32_t maxRetries = 3;
+
+    /** Each retry costs retryMultiplier x the base command latency
+     *  (the command is re-issued with adjusted parameters). */
+    double retryMultiplier = 2.0;
+
+    /** Charged once when all retries are exhausted (heroic ECC/RAID
+     *  recovery), after which the op completes. 0 = just the retries. */
+    double recoveryUs = 0.0;
+
+    /** Degraded-performance intervals. Overlapping windows multiply. */
+    std::vector<DegradedWindow> windows;
+
+    /** True when any mechanism can fire. */
+    bool enabled() const;
+};
+
+/** Aggregate fault-handling counters. */
+struct FaultCounters
+{
+    std::uint64_t erroredOps = 0;  ///< ops that hit >= 1 error
+    std::uint64_t retries = 0;     ///< total retry attempts
+    std::uint64_t recoveries = 0;  ///< ops that exhausted retries
+    std::uint64_t degradedOps = 0; ///< ops inside a degradation window
+    double errorLatencyUs = 0.0;   ///< total added error-handling time
+};
+
+/**
+ * Stateless evaluator over a FaultConfig plus running counters. The
+ * owning BlockDevice consults it per access; randomness comes from the
+ * device's own RNG so runs stay reproducible.
+ */
+class FaultModel
+{
+  public:
+    explicit FaultModel(FaultConfig cfg = FaultConfig());
+
+    /** True when any fault mechanism is configured. */
+    bool enabled() const { return cfg_.enabled(); }
+
+    /**
+     * Combined latency multiplier of the degradation windows containing
+     * @p startUs (1.0 outside all windows). Counts the op as degraded
+     * when the multiplier differs from 1.
+     */
+    double degradationMultiplier(SimTime startUs);
+
+    /**
+     * Extra latency for the error handling of one command, in us.
+     * Draws one Bernoulli trial per attempt from @p rng.
+     *
+     * @param op            Read or write (selects the error rate).
+     * @param baseCommandUs Base command latency the retries re-pay.
+     */
+    double errorLatencyUs(OpType op, double baseCommandUs, Pcg32 &rng);
+
+    const FaultCounters &counters() const { return counters_; }
+    const FaultConfig &config() const { return cfg_; }
+
+    void resetCounters() { counters_ = FaultCounters(); }
+
+  private:
+    FaultConfig cfg_;
+    FaultCounters counters_;
+};
+
+} // namespace sibyl::device

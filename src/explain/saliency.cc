@@ -1,0 +1,56 @@
+#include "explain/saliency.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sibyl::explain
+{
+
+std::vector<FeatureSaliency>
+featureSaliency(rl::Agent &agent, const std::vector<ml::Vector> &states,
+                std::uint32_t probes)
+{
+    std::vector<FeatureSaliency> out;
+    if (states.empty())
+        return out;
+    const std::size_t dims = states.front().size();
+    probes = std::max(1u, probes);
+
+    for (std::size_t f = 0; f < dims; f++) {
+        FeatureSaliency s;
+        s.feature = f;
+        std::uint64_t flips = 0;
+        double deltaQ = 0.0;
+        std::uint64_t samples = 0;
+
+        for (const auto &state : states) {
+            if (f >= state.size())
+                continue;
+            const auto baseQ = agent.qValues(state);
+            const auto baseA = static_cast<std::uint32_t>(
+                std::max_element(baseQ.begin(), baseQ.end()) -
+                baseQ.begin());
+
+            ml::Vector probe = state;
+            for (std::uint32_t p = 0; p < probes; p++) {
+                probe[f] = static_cast<float>(p) /
+                           static_cast<float>(std::max(1u, probes - 1));
+                const auto q = agent.qValues(probe);
+                const auto a = static_cast<std::uint32_t>(
+                    std::max_element(q.begin(), q.end()) - q.begin());
+                flips += a != baseA ? 1 : 0;
+                deltaQ += std::abs(q[baseA] - baseQ[baseA]);
+                samples++;
+            }
+        }
+        if (samples > 0) {
+            s.actionFlipRate = static_cast<double>(flips) /
+                               static_cast<double>(samples);
+            s.meanAbsDeltaQ = deltaQ / static_cast<double>(samples);
+        }
+        out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace sibyl::explain

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Per-erase-block bookkeeping for the page-mapped FTL.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "ftl/flash_geometry.hh"
+
+namespace sibyl::ftl
+{
+
+/** Lifecycle state of an erase block. */
+enum class BlockState : std::uint8_t
+{
+    Free,   ///< erased; all pages programmable
+    Open,   ///< currently accepting host/GC writes
+    Closed, ///< fully programmed; GC candidate
+};
+
+/** Human-readable name for a BlockState. */
+inline const char *
+blockStateName(BlockState s)
+{
+    switch (s) {
+      case BlockState::Free:
+        return "free";
+      case BlockState::Open:
+        return "open";
+      case BlockState::Closed:
+        return "closed";
+    }
+    return "?";
+}
+
+/**
+ * One erase block: a program pointer (NAND pages must be programmed in
+ * order), a validity bitmap with the owning logical page of each slot
+ * (the reverse map GC needs), and a wear counter.
+ */
+class FlashBlock
+{
+  public:
+    explicit FlashBlock(std::uint32_t pagesPerBlock)
+        : valid_(pagesPerBlock, false), owner_(pagesPerBlock, kInvalidPage)
+    {
+    }
+
+    BlockState state() const { return state_; }
+    void setState(BlockState s) { state_ = s; }
+
+    /** Next in-block page to program. */
+    std::uint32_t writePtr() const { return writePtr_; }
+
+    /** Live (valid) pages in this block. */
+    std::uint32_t validCount() const { return validCount_; }
+
+    /** Pages programmed so far (valid + stale). */
+    std::uint32_t programmedCount() const { return writePtr_; }
+
+    /** Times this block has been erased (wear). */
+    std::uint64_t eraseCount() const { return eraseCount_; }
+
+    /** Simulated time of the last program into this block. */
+    SimTime lastWriteUs() const { return lastWriteUs_; }
+
+    /** True when every page has been programmed. */
+    bool
+    full() const
+    {
+        return writePtr_ >= static_cast<std::uint32_t>(valid_.size());
+    }
+
+    /** Validity of in-block page @p slot. */
+    bool isValid(std::uint32_t slot) const { return valid_.at(slot); }
+
+    /** Logical owner of in-block page @p slot (kInvalidPage if stale). */
+    PageId owner(std::uint32_t slot) const { return owner_.at(slot); }
+
+    /**
+     * Program the next page for logical page @p lpn at time @p now.
+     * @return The in-block slot programmed.
+     */
+    std::uint32_t
+    program(PageId lpn, SimTime now)
+    {
+        std::uint32_t slot = writePtr_++;
+        valid_.at(slot) = true;
+        owner_.at(slot) = lpn;
+        validCount_++;
+        lastWriteUs_ = now;
+        return slot;
+    }
+
+    /** Mark in-block page @p slot stale (its data was overwritten). */
+    void
+    invalidate(std::uint32_t slot)
+    {
+        if (valid_.at(slot)) {
+            valid_.at(slot) = false;
+            owner_.at(slot) = kInvalidPage;
+            validCount_--;
+        }
+    }
+
+    /** Erase the block: clears all pages, bumps the wear counter. */
+    void
+    erase()
+    {
+        std::fill(valid_.begin(), valid_.end(), false);
+        std::fill(owner_.begin(), owner_.end(), kInvalidPage);
+        writePtr_ = 0;
+        validCount_ = 0;
+        eraseCount_++;
+        state_ = BlockState::Free;
+    }
+
+  private:
+    BlockState state_ = BlockState::Free;
+    std::uint32_t writePtr_ = 0;
+    std::uint32_t validCount_ = 0;
+    std::uint64_t eraseCount_ = 0;
+    SimTime lastWriteUs_ = 0.0;
+    std::vector<bool> valid_;
+    std::vector<PageId> owner_;
+};
+
+} // namespace sibyl::ftl

@@ -1,0 +1,299 @@
+#include "ftl/ftl.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sibyl::ftl
+{
+
+bool
+FlashGeometry::valid() const
+{
+    if (pagesPerBlock < 2 || totalBlocks < 3 || exportedPages == 0)
+        return false;
+    // Need at least one block of true spare so GC can relocate.
+    return totalPages() >= exportedPages + pagesPerBlock;
+}
+
+FlashGeometry
+makeGeometry(std::uint64_t exportedPages, double overprovision,
+             std::uint32_t pagesPerBlock)
+{
+    if (exportedPages == 0)
+        fatal("makeGeometry: exportedPages must be > 0");
+    if (pagesPerBlock < 2)
+        fatal("makeGeometry: pagesPerBlock must be >= 2");
+    overprovision = std::clamp(overprovision, 0.0, 0.5);
+
+    FlashGeometry geo;
+    geo.pagesPerBlock = pagesPerBlock;
+    geo.exportedPages = exportedPages;
+
+    const double physPages =
+        static_cast<double>(exportedPages) / (1.0 - overprovision);
+    auto blocks = static_cast<std::uint64_t>(
+        std::ceil(physPages / pagesPerBlock));
+    // Spare floor: 5 extra blocks beyond the exported capacity (host
+    // open + GC open + GC reserve + high-watermark slack). Together
+    // with the dual-stream design this guarantees GC forward progress
+    // for any workload within the exported capacity.
+    const std::uint64_t minBlocks =
+        (exportedPages + pagesPerBlock - 1) / pagesPerBlock + 5;
+    blocks = std::max(blocks, minBlocks);
+    geo.totalBlocks = static_cast<std::uint32_t>(blocks);
+    return geo;
+}
+
+PageMappedFtl::PageMappedFtl(FlashGeometry geo,
+                             std::unique_ptr<GcVictimPolicy> gc,
+                             std::uint32_t lowWatermarkBlocks,
+                             std::uint32_t highWatermarkBlocks)
+    : geo_(geo),
+      gc_(gc ? std::move(gc) : std::make_unique<GreedyGc>()),
+      lowWatermark_(std::max(1u, lowWatermarkBlocks)),
+      highWatermark_(std::max(lowWatermarkBlocks + 1, highWatermarkBlocks))
+{
+    if (!geo_.valid())
+        fatal("PageMappedFtl: invalid geometry (blocks=" +
+              std::to_string(geo_.totalBlocks) +
+              ", exported=" + std::to_string(geo_.exportedPages) + ")");
+    blocks_.assign(geo_.totalBlocks, FlashBlock(geo_.pagesPerBlock));
+    freeList_.reserve(geo_.totalBlocks);
+    for (BlockIndex i = 0; i < geo_.totalBlocks; i++)
+        freeList_.push_back(geo_.totalBlocks - 1 - i);
+}
+
+std::uint32_t
+PageMappedFtl::freeBlocks() const
+{
+    return static_cast<std::uint32_t>(freeList_.size());
+}
+
+void
+PageMappedFtl::invalidatePhys(PageId lpn)
+{
+    auto it = l2p_.find(lpn);
+    if (it == l2p_.end())
+        return;
+    const PhysPage phys = it->second;
+    const auto block = static_cast<BlockIndex>(phys / geo_.pagesPerBlock);
+    const auto slot = static_cast<std::uint32_t>(phys % geo_.pagesPerBlock);
+    blocks_.at(block).invalidate(slot);
+    l2p_.erase(it);
+}
+
+BlockIndex &
+PageMappedFtl::openBlock(Stream stream)
+{
+    return stream == Stream::Host ? hostOpen_ : gcOpen_;
+}
+
+void
+PageMappedFtl::programPage(PageId lpn, SimTime now, FtlOpResult &result,
+                           Stream stream)
+{
+    BlockIndex &open = openBlock(stream);
+    if (open == kNoBlock) {
+        // Only the host stream triggers GC; the GC stream must be able
+        // to allocate from the reserve unconditionally, which the
+        // geometry's spare floor guarantees is never empty mid-reclaim.
+        if (stream == Stream::Host && !inGc_ &&
+            freeList_.size() <= lowWatermark_) {
+            collectGarbage(now, result);
+        }
+        if (freeList_.empty())
+            panic("PageMappedFtl: no free blocks (GC cannot make "
+                  "progress; exported capacity exceeded?)");
+        open = freeList_.back();
+        freeList_.pop_back();
+        blocks_[open].setState(BlockState::Open);
+    }
+    auto &blk = blocks_[open];
+    const std::uint32_t slot = blk.program(lpn, now);
+    l2p_[lpn] = static_cast<PhysPage>(open) * geo_.pagesPerBlock + slot;
+    if (blk.full()) {
+        blk.setState(BlockState::Closed);
+        open = kNoBlock;
+    }
+}
+
+void
+PageMappedFtl::collectGarbage(SimTime now, FtlOpResult &result)
+{
+    inGc_ = true;
+    while (freeList_.size() < highWatermark_) {
+        const BlockIndex victim = gc_->pickVictim(blocks_, now);
+        if (victim == kNoBlock)
+            break; // nothing closed yet; fresh device
+        auto &blk = blocks_[victim];
+        if (blk.validCount() >= geo_.pagesPerBlock) {
+            // The chosen victim is fully valid: reclaiming it nets zero
+            // free space. If any other closed block holds stale pages a
+            // smarter victim exists; otherwise there is nothing to
+            // reclaim and the spare blocks must carry the write stream
+            // until overwrites create stale data.
+            const BlockIndex alt = GreedyGc().pickVictim(blocks_, now);
+            if (alt == kNoBlock ||
+                blocks_[alt].validCount() >= geo_.pagesPerBlock) {
+                break;
+            }
+            reclaimBlock(alt, now, result);
+            continue;
+        }
+        reclaimBlock(victim, now, result);
+    }
+    inGc_ = false;
+}
+
+void
+PageMappedFtl::reclaimBlock(BlockIndex victim, SimTime now,
+                            FtlOpResult &result)
+{
+    auto &blk = blocks_[victim];
+    // Relocate the victim's valid pages into the open block.
+    for (std::uint32_t slot = 0; slot < geo_.pagesPerBlock; slot++) {
+        if (!blk.isValid(slot))
+            continue;
+        const PageId lpn = blk.owner(slot);
+        blk.invalidate(slot);
+        l2p_.erase(lpn);
+        programPage(lpn, now, result, Stream::Gc);
+        stats_.gcCopies++;
+        result.gcPageCopies++;
+    }
+    blk.erase();
+    freeList_.push_back(victim);
+    stats_.erases++;
+    stats_.gcRuns++;
+    result.erases++;
+    result.gcRan = true;
+}
+
+FtlOpResult
+PageMappedFtl::write(PageId lpn, SimTime now)
+{
+    FtlOpResult result;
+    const bool overwrite = l2p_.count(lpn) != 0;
+    if (!overwrite && mappedPages() >= geo_.exportedPages)
+        fatal("PageMappedFtl: write beyond exported capacity (" +
+              std::to_string(geo_.exportedPages) + " pages)");
+    invalidatePhys(lpn);
+    programPage(lpn, now, result, Stream::Host);
+    stats_.hostWrites++;
+    return result;
+}
+
+FtlOpResult
+PageMappedFtl::read(PageId lpn)
+{
+    FtlOpResult result;
+    result.mapped = l2p_.count(lpn) != 0;
+    stats_.hostReads++;
+    if (!result.mapped)
+        stats_.readMisses++;
+    return result;
+}
+
+FtlOpResult
+PageMappedFtl::trim(PageId lpn)
+{
+    FtlOpResult result;
+    result.mapped = l2p_.count(lpn) != 0;
+    invalidatePhys(lpn);
+    if (result.mapped)
+        stats_.hostTrims++;
+    return result;
+}
+
+void
+PageMappedFtl::reset()
+{
+    blocks_.assign(geo_.totalBlocks, FlashBlock(geo_.pagesPerBlock));
+    freeList_.clear();
+    for (BlockIndex i = 0; i < geo_.totalBlocks; i++)
+        freeList_.push_back(geo_.totalBlocks - 1 - i);
+    hostOpen_ = kNoBlock;
+    gcOpen_ = kNoBlock;
+    l2p_.clear();
+    stats_ = FtlStats();
+    inGc_ = false;
+}
+
+std::string
+PageMappedFtl::checkInvariants() const
+{
+    std::ostringstream err;
+
+    // 1. Every L2P entry points at a valid slot owned by that lpn.
+    for (const auto &[lpn, phys] : l2p_) {
+        const auto block = static_cast<BlockIndex>(phys /
+                                                   geo_.pagesPerBlock);
+        const auto slot =
+            static_cast<std::uint32_t>(phys % geo_.pagesPerBlock);
+        if (block >= blocks_.size()) {
+            err << "lpn " << lpn << " maps past the flash array";
+            return err.str();
+        }
+        if (!blocks_[block].isValid(slot)) {
+            err << "lpn " << lpn << " maps to stale slot " << phys;
+            return err.str();
+        }
+        if (blocks_[block].owner(slot) != lpn) {
+            err << "lpn " << lpn << " maps to slot owned by "
+                << blocks_[block].owner(slot);
+            return err.str();
+        }
+    }
+
+    // 2. Per-block valid counts match bitmaps; total valid == mapped.
+    std::uint64_t totalValid = 0;
+    std::uint32_t openCount = 0;
+    std::uint32_t freeCount = 0;
+    for (BlockIndex i = 0; i < blocks_.size(); i++) {
+        const auto &b = blocks_[i];
+        std::uint32_t count = 0;
+        for (std::uint32_t s = 0; s < geo_.pagesPerBlock; s++)
+            count += b.isValid(s) ? 1 : 0;
+        if (count != b.validCount()) {
+            err << "block " << i << " validCount " << b.validCount()
+                << " != bitmap " << count;
+            return err.str();
+        }
+        totalValid += count;
+        if (b.state() == BlockState::Open)
+            openCount++;
+        if (b.state() == BlockState::Free) {
+            freeCount++;
+            if (b.validCount() != 0 || b.writePtr() != 0) {
+                err << "free block " << i << " not erased";
+                return err.str();
+            }
+        }
+    }
+    if (totalValid != l2p_.size()) {
+        err << "valid pages " << totalValid << " != mapped "
+            << l2p_.size();
+        return err.str();
+    }
+
+    // 3. Open blocks match the two stream pointers.
+    const std::uint32_t expectOpen = (hostOpen_ == kNoBlock ? 0 : 1) +
+                                     (gcOpen_ == kNoBlock ? 0 : 1);
+    if (openCount != expectOpen) {
+        err << openCount << " open blocks, expected " << expectOpen;
+        return err.str();
+    }
+
+    // 4. Free list is consistent with block states.
+    if (freeCount != freeList_.size()) {
+        err << "free list " << freeList_.size() << " != free blocks "
+            << freeCount;
+        return err.str();
+    }
+    return std::string();
+}
+
+} // namespace sibyl::ftl

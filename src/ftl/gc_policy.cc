@@ -1,0 +1,71 @@
+#include "ftl/gc_policy.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace sibyl::ftl
+{
+
+BlockIndex
+GreedyGc::pickVictim(const std::vector<FlashBlock> &blocks,
+                     SimTime now) const
+{
+    (void)now;
+    BlockIndex best = kNoBlock;
+    std::uint32_t bestValid = std::numeric_limits<std::uint32_t>::max();
+    for (BlockIndex i = 0; i < blocks.size(); i++) {
+        const auto &b = blocks[i];
+        if (b.state() != BlockState::Closed)
+            continue;
+        if (b.validCount() < bestValid) {
+            bestValid = b.validCount();
+            best = i;
+        }
+    }
+    return best;
+}
+
+BlockIndex
+CostBenefitGc::pickVictim(const std::vector<FlashBlock> &blocks,
+                          SimTime now) const
+{
+    BlockIndex best = kNoBlock;
+    double bestScore = -1.0;
+    for (BlockIndex i = 0; i < blocks.size(); i++) {
+        const auto &b = blocks[i];
+        if (b.state() != BlockState::Closed)
+            continue;
+        const double u = static_cast<double>(b.validCount()) /
+                         static_cast<double>(b.programmedCount());
+        // Age in (arbitrary) microseconds; +1 keeps fully-hot, fresh
+        // blocks selectable when nothing better exists.
+        const double age = std::max(0.0, now - b.lastWriteUs()) + 1.0;
+        const double score = (1.0 - u) * age / (1.0 + u);
+        if (score > bestScore) {
+            bestScore = score;
+            best = i;
+        }
+    }
+    return best;
+}
+
+BlockIndex
+FifoGc::pickVictim(const std::vector<FlashBlock> &blocks,
+                   SimTime now) const
+{
+    (void)now;
+    BlockIndex best = kNoBlock;
+    SimTime oldest = std::numeric_limits<SimTime>::max();
+    for (BlockIndex i = 0; i < blocks.size(); i++) {
+        const auto &b = blocks[i];
+        if (b.state() != BlockState::Closed)
+            continue;
+        if (b.lastWriteUs() < oldest) {
+            oldest = b.lastWriteUs();
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace sibyl::ftl

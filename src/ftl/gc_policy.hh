@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Garbage-collection victim-selection policies.
+ *
+ * When the FTL runs low on free blocks it must pick a closed block to
+ * reclaim; the choice determines write amplification. Three classic
+ * policies are provided: greedy (fewest valid pages — minimal immediate
+ * copy cost), cost-benefit (Rosenblum & Ousterhout's LFS cleaner, which
+ * weighs copy cost against block age so cold blocks are preferred), and
+ * FIFO (oldest block first — the degenerate baseline).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftl/flash_block.hh"
+
+namespace sibyl::ftl
+{
+
+/** Strategy object choosing the next GC victim. */
+class GcVictimPolicy
+{
+  public:
+    virtual ~GcVictimPolicy() = default;
+
+    /** Display name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Pick a victim among closed blocks.
+     *
+     * @param blocks All blocks; only entries with state Closed are
+     *               eligible.
+     * @param now    Current simulated time (for age-based policies).
+     * @return Index of the victim, or kNoBlock if no closed block exists.
+     */
+    virtual BlockIndex pickVictim(const std::vector<FlashBlock> &blocks,
+                                  SimTime now) const = 0;
+};
+
+/** Fewest-valid-pages-first: minimizes pages copied per reclaim. */
+class GreedyGc : public GcVictimPolicy
+{
+  public:
+    std::string name() const override { return "greedy"; }
+    BlockIndex pickVictim(const std::vector<FlashBlock> &blocks,
+                          SimTime now) const override;
+};
+
+/**
+ * Cost-benefit cleaner: maximizes (1 - u) * age / (1 + u) where u is
+ * the block's valid fraction and age the time since its last write.
+ * Prefers cold blocks even when slightly fuller, which reduces
+ * amplification under skewed (hot/cold) write mixes.
+ */
+class CostBenefitGc : public GcVictimPolicy
+{
+  public:
+    std::string name() const override { return "cost-benefit"; }
+    BlockIndex pickVictim(const std::vector<FlashBlock> &blocks,
+                          SimTime now) const override;
+};
+
+/** Oldest-closed-block-first. */
+class FifoGc : public GcVictimPolicy
+{
+  public:
+    std::string name() const override { return "fifo"; }
+    BlockIndex pickVictim(const std::vector<FlashBlock> &blocks,
+                          SimTime now) const override;
+};
+
+} // namespace sibyl::ftl

@@ -1,0 +1,45 @@
+#include "ftl/wear_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sibyl::ftl
+{
+
+WearReport
+makeWearReport(const PageMappedFtl &f, std::uint64_t ratedPeCycles)
+{
+    WearReport report;
+    const auto &blocks = f.blocks();
+    if (blocks.empty())
+        return report;
+
+    report.minErases = blocks.front().eraseCount();
+    for (const auto &b : blocks) {
+        report.totalErases += b.eraseCount();
+        report.minErases = std::min(report.minErases, b.eraseCount());
+        report.maxErases = std::max(report.maxErases, b.eraseCount());
+    }
+    report.meanErases = static_cast<double>(report.totalErases) /
+                        static_cast<double>(blocks.size());
+
+    double sq = 0.0;
+    for (const auto &b : blocks) {
+        const double d =
+            static_cast<double>(b.eraseCount()) - report.meanErases;
+        sq += d * d;
+    }
+    report.stddevErases =
+        std::sqrt(sq / static_cast<double>(blocks.size()));
+    report.imbalance = report.meanErases > 0.0
+        ? static_cast<double>(report.maxErases) / report.meanErases
+        : 1.0;
+    report.writeAmplification = f.stats().writeAmplification();
+    if (ratedPeCycles > 0) {
+        report.lifeConsumed = static_cast<double>(report.maxErases) /
+                              static_cast<double>(ratedPeCycles);
+    }
+    return report;
+}
+
+} // namespace sibyl::ftl

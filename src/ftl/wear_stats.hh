@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Flash wear accounting.
+ *
+ * Summarizes per-block erase counts into the endurance metrics the
+ * paper's §11 extension discussion targets ("to optimize for endurance,
+ * one might use the number of writes to an endurance-critical device in
+ * the reward function"): total/mean/max erases, wear imbalance, and the
+ * consumed fraction of the device's rated program/erase budget.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "ftl/ftl.hh"
+
+namespace sibyl::ftl
+{
+
+/** Snapshot of device wear derived from per-block erase counts. */
+struct WearReport
+{
+    std::uint64_t totalErases = 0;
+    double meanErases = 0.0;
+    std::uint64_t minErases = 0;
+    std::uint64_t maxErases = 0;
+
+    /** Population standard deviation of per-block erase counts. */
+    double stddevErases = 0.0;
+
+    /** max/mean erase ratio; 1.0 = perfectly even wear. */
+    double imbalance = 1.0;
+
+    /** Write amplification at snapshot time. */
+    double writeAmplification = 1.0;
+
+    /** Fraction of the rated P/E budget consumed by the *worst* block
+     *  (device end-of-life is governed by its most-worn block). */
+    double lifeConsumed = 0.0;
+};
+
+/**
+ * Compute a wear report for @p f.
+ *
+ * @param f             The FTL to inspect.
+ * @param ratedPeCycles Rated program/erase cycles per block (consumer
+ *                      TLC is typically rated ~1000-3000 cycles).
+ */
+WearReport makeWearReport(const PageMappedFtl &f,
+                          std::uint64_t ratedPeCycles = 3000);
+
+} // namespace sibyl::ftl

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-page metadata table of the storage management layer.
+ *
+ * Tracks, for every logical page: where it lives, how often it has been
+ * accessed (cnt_t), and how long ago it was last accessed in units of
+ * page accesses (intr_t) — the two reuse features of Sibyl's state
+ * vector (Table 1) — plus an LRU ordering per device used for default
+ * eviction-victim selection.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sibyl::hss
+{
+
+/** Metadata kept for each mapped logical page. */
+struct PageMeta
+{
+    DeviceId placement = kNoDevice;
+    std::uint64_t accessCount = 0;
+    std::uint64_t lastAccessTick = 0;
+    /** Position in the owning device's LRU list. */
+    std::list<PageId>::iterator lruIt;
+};
+
+/**
+ * Mapping table plus recency bookkeeping.
+ *
+ * The global tick increments once per *page access*; the paper defines
+ * the access interval of a page as the number of page accesses between
+ * two consecutive references to it.
+ */
+class PageMetaTable
+{
+  public:
+    explicit PageMetaTable(std::uint32_t numDevices);
+
+    /** True if the page has ever been mapped. */
+    bool isMapped(PageId page) const;
+
+    /** Device the page lives on, or kNoDevice. */
+    DeviceId placement(PageId page) const;
+
+    /** Total accesses to the page so far (0 if unseen). */
+    std::uint64_t accessCount(PageId page) const;
+
+    /**
+     * Page accesses since this page was last referenced; returns the
+     * current tick for pages never seen (i.e., "infinite" interval).
+     */
+    std::uint64_t accessInterval(PageId page) const;
+
+    /** Record one access to @p page (bumps count, tick, and recency). */
+    void recordAccess(PageId page);
+
+    /** Map an unmapped page onto @p dev. */
+    void map(PageId page, DeviceId dev);
+
+    /** Move a mapped page to @p dev (migration). */
+    void remap(PageId page, DeviceId dev);
+
+    /** Least-recently-used page on @p dev, or kInvalidPage if empty. */
+    PageId lruVictim(DeviceId dev) const;
+
+    /** Number of pages mapped to @p dev. */
+    std::uint64_t pagesOn(DeviceId dev) const;
+
+    /** Pages currently resident on @p dev, LRU order (cold first). */
+    const std::list<PageId> &residency(DeviceId dev) const;
+
+    std::uint64_t tick() const { return tick_; }
+    std::uint64_t mappedPages() const { return meta_.size(); }
+
+    void reset();
+
+  private:
+    std::uint32_t numDevices_;
+    std::uint64_t tick_ = 0;
+    std::unordered_map<PageId, PageMeta> meta_;
+    /** Per-device recency lists: front = MRU, back = LRU. */
+    std::vector<std::list<PageId>> lru_;
+};
+
+} // namespace sibyl::hss

@@ -1,0 +1,130 @@
+#include "ml/activations.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sibyl::ml
+{
+
+namespace
+{
+
+float
+sigmoidf(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+const char *
+activationName(Activation a)
+{
+    switch (a) {
+      case Activation::Identity: return "identity";
+      case Activation::ReLU:     return "relu";
+      case Activation::Sigmoid:  return "sigmoid";
+      case Activation::Tanh:     return "tanh";
+      case Activation::Swish:    return "swish";
+    }
+    return "?";
+}
+
+float
+activate(Activation a, float x)
+{
+    switch (a) {
+      case Activation::Identity:
+        return x;
+      case Activation::ReLU:
+        return x > 0.0f ? x : 0.0f;
+      case Activation::Sigmoid:
+        return sigmoidf(x);
+      case Activation::Tanh:
+        return std::tanh(x);
+      case Activation::Swish:
+        return x * sigmoidf(x);
+    }
+    return x;
+}
+
+float
+activateGrad(Activation a, float x)
+{
+    switch (a) {
+      case Activation::Identity:
+        return 1.0f;
+      case Activation::ReLU:
+        return x > 0.0f ? 1.0f : 0.0f;
+      case Activation::Sigmoid: {
+        float s = sigmoidf(x);
+        return s * (1.0f - s);
+      }
+      case Activation::Tanh: {
+        float t = std::tanh(x);
+        return 1.0f - t * t;
+      }
+      case Activation::Swish: {
+        // d/dx [x*s(x)] = s(x) + x*s(x)*(1-s(x))
+        float s = sigmoidf(x);
+        return s + x * s * (1.0f - s);
+      }
+    }
+    return 1.0f;
+}
+
+void
+activate(Activation a, const Vector &in, Vector &out)
+{
+    out.resize(in.size());
+    for (std::size_t i = 0; i < in.size(); i++)
+        out[i] = activate(a, in[i]);
+}
+
+void
+activateGrad(Activation a, const Vector &in, Vector &out)
+{
+    out.resize(in.size());
+    for (std::size_t i = 0; i < in.size(); i++)
+        out[i] = activateGrad(a, in[i]);
+}
+
+void
+softmax(Vector &v)
+{
+    if (v.empty())
+        return;
+    float mx = *std::max_element(v.begin(), v.end());
+    float sum = 0.0f;
+    for (auto &x : v) {
+        x = std::exp(x - mx);
+        sum += x;
+    }
+    if (sum <= 0.0f)
+        sum = 1.0f;
+    for (auto &x : v)
+        x /= sum;
+}
+
+void
+groupedSoftmax(Vector &v, std::size_t groupSize)
+{
+    assert(groupSize > 0 && v.size() % groupSize == 0);
+    for (std::size_t g = 0; g < v.size(); g += groupSize) {
+        float mx = v[g];
+        for (std::size_t i = 1; i < groupSize; i++)
+            mx = std::max(mx, v[g + i]);
+        float sum = 0.0f;
+        for (std::size_t i = 0; i < groupSize; i++) {
+            v[g + i] = std::exp(v[g + i] - mx);
+            sum += v[g + i];
+        }
+        if (sum <= 0.0f)
+            sum = 1.0f;
+        for (std::size_t i = 0; i < groupSize; i++)
+            v[g + i] /= sum;
+    }
+}
+
+} // namespace sibyl::ml

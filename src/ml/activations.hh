@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Activation functions for the dense layers.
+ *
+ * The paper uses the swish activation (x * sigmoid(x)) for all hidden
+ * layers of Sibyl's networks because it outperformed ReLU in their design
+ * exploration (§6.2.2). We also provide ReLU/sigmoid/tanh/identity for the
+ * baseline models (Archivist classifier, RNN-HSS) and for ablations.
+ */
+
+#pragma once
+
+#include "ml/matrix.hh"
+
+namespace sibyl::ml
+{
+
+/** Supported activation kinds. */
+enum class Activation
+{
+    Identity,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    Swish,
+};
+
+/** Human-readable name. */
+const char *activationName(Activation a);
+
+/** Scalar forward evaluation. */
+float activate(Activation a, float x);
+
+/**
+ * Scalar derivative d(out)/d(pre-activation), expressed in terms of the
+ * pre-activation @p x (all supported activations are cheap to re-derive
+ * from the pre-activation value).
+ */
+float activateGrad(Activation a, float x);
+
+/** Vectorized forward: out[i] = f(in[i]). Resizes @p out. */
+void activate(Activation a, const Vector &in, Vector &out);
+
+/** Vectorized derivative in terms of pre-activations @p in. */
+void activateGrad(Activation a, const Vector &in, Vector &out);
+
+/** In-place numerically stable softmax. */
+void softmax(Vector &v);
+
+/** Softmax over consecutive groups of @p groupSize elements (C51 heads). */
+void groupedSoftmax(Vector &v, std::size_t groupSize);
+
+} // namespace sibyl::ml

@@ -1,0 +1,68 @@
+#include "ml/layers.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace sibyl::ml
+{
+
+DenseLayer::DenseLayer(std::size_t inSize, std::size_t outSize,
+                       Activation act)
+    : weights_(outSize, inSize),
+      bias_(outSize, 0.0f),
+      gradW_(outSize, inSize),
+      gradB_(outSize, 0.0f),
+      act_(act)
+{
+}
+
+void
+DenseLayer::initWeights(Pcg32 &rng)
+{
+    // He initialization: stddev = sqrt(2 / fan_in). Works well for both
+    // relu-like and swish activations on these small networks.
+    double stddev = std::sqrt(2.0 / static_cast<double>(inSize()));
+    for (std::size_t r = 0; r < weights_.rows(); r++)
+        for (std::size_t c = 0; c < weights_.cols(); c++)
+            weights_(r, c) =
+                static_cast<float>(rng.nextGaussian(0.0, stddev));
+    for (auto &b : bias_)
+        b = 0.0f;
+}
+
+void
+DenseLayer::forward(const Vector &in, Vector &out)
+{
+    assert(in.size() == inSize());
+    lastIn_ = in;
+    weights_.matvec(in, preAct_);
+    for (std::size_t i = 0; i < preAct_.size(); i++)
+        preAct_[i] += bias_[i];
+    activate(act_, preAct_, out);
+}
+
+void
+DenseLayer::backward(const Vector &gradOut, Vector &gradIn)
+{
+    assert(gradOut.size() == outSize());
+    assert(lastIn_.size() == inSize() && "forward() must precede backward()");
+
+    // delta = gradOut .* f'(preAct)
+    Vector delta(outSize());
+    for (std::size_t i = 0; i < delta.size(); i++)
+        delta[i] = gradOut[i] * activateGrad(act_, preAct_[i]);
+
+    gradW_.addOuter(delta, lastIn_, 1.0f);
+    axpy(delta, gradB_, 1.0f);
+    weights_.matvecTransposed(delta, gradIn);
+}
+
+void
+DenseLayer::clearGrads()
+{
+    gradW_.fill(0.0f);
+    for (auto &g : gradB_)
+        g = 0.0f;
+}
+
+} // namespace sibyl::ml

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fully-connected layer with activation and backprop support.
+ */
+
+#pragma once
+
+#include "common/rng.hh"
+#include "ml/activations.hh"
+#include "ml/matrix.hh"
+
+namespace sibyl::ml
+{
+
+/**
+ * Dense layer: out = f(W x + b).
+ *
+ * The layer caches its last input and pre-activation so that backward()
+ * can be called immediately after forward() on the same sample. Gradients
+ * accumulate into gradW/gradB until the optimizer consumes and clears
+ * them, which is how mini-batch training is expressed: run
+ * forward/backward for each sample of the batch, then take one step.
+ */
+class DenseLayer
+{
+  public:
+    DenseLayer(std::size_t inSize, std::size_t outSize, Activation act);
+
+    /**
+     * He-style random initialization scaled for the fan-in. Uses the
+     * caller's RNG so whole-network init is reproducible.
+     */
+    void initWeights(Pcg32 &rng);
+
+    /** Compute the layer output for @p in, caching intermediates. */
+    void forward(const Vector &in, Vector &out);
+
+    /**
+     * Backpropagate @p gradOut (dL/d out) through the cached sample,
+     * accumulating parameter gradients and producing @p gradIn (dL/d in).
+     */
+    void backward(const Vector &gradOut, Vector &gradIn);
+
+    /** Zero accumulated gradients. */
+    void clearGrads();
+
+    std::size_t inSize() const { return weights_.cols(); }
+    std::size_t outSize() const { return weights_.rows(); }
+    Activation activation() const { return act_; }
+    std::size_t paramCount() const { return weights_.size() + bias_.size(); }
+
+    Matrix &weights() { return weights_; }
+    const Matrix &weights() const { return weights_; }
+    Vector &bias() { return bias_; }
+    const Vector &bias() const { return bias_; }
+    Matrix &gradWeights() { return gradW_; }
+    Vector &gradBias() { return gradB_; }
+
+  private:
+    Matrix weights_;
+    Vector bias_;
+    Matrix gradW_;
+    Vector gradB_;
+    Activation act_;
+
+    // Cached forward intermediates for backward().
+    Vector lastIn_;
+    Vector preAct_;
+};
+
+} // namespace sibyl::ml

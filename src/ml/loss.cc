@@ -1,0 +1,56 @@
+#include "ml/loss.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "ml/activations.hh"
+
+namespace sibyl::ml
+{
+
+float
+mseLoss(const Vector &pred, const Vector &target, Vector &grad)
+{
+    assert(pred.size() == target.size());
+    grad.resize(pred.size());
+    float loss = 0.0f;
+    float n = static_cast<float>(pred.size());
+    for (std::size_t i = 0; i < pred.size(); i++) {
+        float d = pred[i] - target[i];
+        loss += d * d;
+        grad[i] = 2.0f * d / n;
+    }
+    return loss / n;
+}
+
+float
+softmaxCrossEntropy(const Vector &logits, const Vector &target,
+                    Vector &gradLogits)
+{
+    assert(logits.size() == target.size());
+    Vector probs = logits;
+    softmax(probs);
+    float loss = 0.0f;
+    gradLogits.resize(logits.size());
+    for (std::size_t i = 0; i < logits.size(); i++) {
+        float p = std::max(probs[i], 1e-12f);
+        if (target[i] > 0.0f)
+            loss -= target[i] * std::log(p);
+        gradLogits[i] = probs[i] - target[i];
+    }
+    return loss;
+}
+
+float
+binaryCrossEntropy(float logit, float target, float &gradLogit)
+{
+    float p = 1.0f / (1.0f + std::exp(-logit));
+    p = std::clamp(p, 1e-7f, 1.0f - 1e-7f);
+    float loss = -(target * std::log(p) +
+                   (1.0f - target) * std::log(1.0f - p));
+    gradLogit = p - target;
+    return loss;
+}
+
+} // namespace sibyl::ml

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Loss functions with gradients w.r.t. network outputs.
+ *
+ * C51 trains by minimizing the cross-entropy between a projected target
+ * distribution and the predicted distribution for the taken action, so
+ * the key loss here is softmax cross-entropy against a *soft* target.
+ */
+
+#pragma once
+
+#include "ml/matrix.hh"
+
+namespace sibyl::ml
+{
+
+/**
+ * Mean-squared error. Returns the loss and fills @p grad with
+ * dL/d pred (same size as pred).
+ */
+float mseLoss(const Vector &pred, const Vector &target, Vector &grad);
+
+/**
+ * Softmax cross-entropy with a soft target distribution, evaluated on raw
+ * logits. Returns the loss and fills @p gradLogits with the well-known
+ * closed-form gradient softmax(logits) - target.
+ *
+ * @pre target sums to ~1 and is non-negative.
+ */
+float softmaxCrossEntropy(const Vector &logits, const Vector &target,
+                          Vector &gradLogits);
+
+/**
+ * Binary cross-entropy on a single sigmoid output given its logit.
+ * Returns the loss and the scalar gradient w.r.t. the logit.
+ */
+float binaryCrossEntropy(float logit, float target, float &gradLogit);
+
+} // namespace sibyl::ml

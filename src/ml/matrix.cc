@@ -1,0 +1,108 @@
+#include "ml/matrix.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace sibyl::ml
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+void
+Matrix::fill(float v)
+{
+    for (auto &x : data_)
+        x = v;
+}
+
+void
+Matrix::matvec(const Vector &x, Vector &y) const
+{
+    assert(x.size() == cols_);
+    y.assign(rows_, 0.0f);
+    const float *row = data_.data();
+    for (std::size_t r = 0; r < rows_; r++, row += cols_) {
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < cols_; c++)
+            acc += row[c] * x[c];
+        y[r] = acc;
+    }
+}
+
+void
+Matrix::matvecTransposed(const Vector &x, Vector &y) const
+{
+    assert(x.size() == rows_);
+    y.assign(cols_, 0.0f);
+    const float *row = data_.data();
+    for (std::size_t r = 0; r < rows_; r++, row += cols_) {
+        float xv = x[r];
+        if (xv == 0.0f)
+            continue;
+        for (std::size_t c = 0; c < cols_; c++)
+            y[c] += row[c] * xv;
+    }
+}
+
+void
+Matrix::addOuter(const Vector &u, const Vector &v, float scale)
+{
+    assert(u.size() == rows_ && v.size() == cols_);
+    float *row = data_.data();
+    for (std::size_t r = 0; r < rows_; r++, row += cols_) {
+        float uv = u[r] * scale;
+        if (uv == 0.0f)
+            continue;
+        for (std::size_t c = 0; c < cols_; c++)
+            row[c] += uv * v[c];
+    }
+}
+
+void
+Matrix::addScaled(const Matrix &b, float scale)
+{
+    assert(rows_ == b.rows_ && cols_ == b.cols_);
+    for (std::size_t i = 0; i < data_.size(); i++)
+        data_[i] += scale * b.data_[i];
+}
+
+float
+Matrix::norm() const
+{
+    double acc = 0.0;
+    for (float v : data_)
+        acc += static_cast<double>(v) * v;
+    return static_cast<float>(std::sqrt(acc));
+}
+
+void
+axpy(const Vector &x, Vector &y, float scale)
+{
+    assert(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); i++)
+        y[i] += scale * x[i];
+}
+
+float
+dot(const Vector &a, const Vector &b)
+{
+    assert(a.size() == b.size());
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < a.size(); i++)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+float
+norm(const Vector &v)
+{
+    double acc = 0.0;
+    for (float x : v)
+        acc += static_cast<double>(x) * x;
+    return static_cast<float>(std::sqrt(acc));
+}
+
+} // namespace sibyl::ml

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Small dense linear-algebra kernels for the ML substrate.
+ *
+ * The networks in this project are tiny (Sibyl's is 6-20-30-|A|x51), so we
+ * favor a simple, cache-friendly row-major matrix with hand-rolled loops
+ * over an external BLAS. Everything is float32; the paper stores weights
+ * in fp16 for its overhead accounting, which we reproduce analytically in
+ * the overhead bench.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sibyl::ml
+{
+
+using Vector = std::vector<float>;
+
+/** Row-major dense matrix of float32. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    float &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    float operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Set every element to @p v. */
+    void fill(float v);
+
+    /** y = A * x. Requires x.size() == cols. */
+    void matvec(const Vector &x, Vector &y) const;
+
+    /** y = A^T * x. Requires x.size() == rows. */
+    void matvecTransposed(const Vector &x, Vector &y) const;
+
+    /** A += scale * outer(u, v), with u.size()==rows, v.size()==cols. */
+    void addOuter(const Vector &u, const Vector &v, float scale);
+
+    /** A += scale * B (element-wise). */
+    void addScaled(const Matrix &b, float scale);
+
+    /** Frobenius norm. */
+    float norm() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** y += scale * x (element-wise). */
+void axpy(const Vector &x, Vector &y, float scale);
+
+/** Dot product. */
+float dot(const Vector &a, const Vector &b);
+
+/** L2 norm. */
+float norm(const Vector &v);
+
+} // namespace sibyl::ml

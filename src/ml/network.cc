@@ -1,0 +1,110 @@
+#include "ml/network.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sibyl::ml
+{
+
+Network::Network(std::size_t inputSize, const std::vector<LayerSpec> &layers,
+                 Pcg32 &rng)
+    : inputSize_(inputSize)
+{
+    if (layers.empty())
+        throw std::invalid_argument("Network: at least one layer required");
+    std::size_t prev = inputSize;
+    for (const auto &spec : layers) {
+        layers_.emplace_back(prev, spec.size, spec.act);
+        layers_.back().initWeights(rng);
+        prev = spec.size;
+    }
+    acts_.resize(layers_.size());
+}
+
+const Vector &
+Network::forward(const Vector &in)
+{
+    assert(in.size() == inputSize_);
+    const Vector *cur = &in;
+    for (std::size_t i = 0; i < layers_.size(); i++) {
+        layers_[i].forward(*cur, acts_[i]);
+        cur = &acts_[i];
+    }
+    return acts_.back();
+}
+
+void
+Network::backward(const Vector &gradOut)
+{
+    assert(gradOut.size() == outputSize());
+    Vector grad = gradOut;
+    Vector gradIn;
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+        layers_[i].backward(grad, gradIn);
+        grad.swap(gradIn);
+    }
+}
+
+void
+Network::clearGrads()
+{
+    for (auto &l : layers_)
+        l.clearGrads();
+}
+
+void
+Network::copyWeightsFrom(const Network &other)
+{
+    assert(layers_.size() == other.layers_.size());
+    for (std::size_t i = 0; i < layers_.size(); i++) {
+        assert(layers_[i].inSize() == other.layers_[i].inSize() &&
+               layers_[i].outSize() == other.layers_[i].outSize());
+        layers_[i].weights() = other.layers_[i].weights();
+        layers_[i].bias() = other.layers_[i].bias();
+    }
+}
+
+std::size_t
+Network::paramCount() const
+{
+    std::size_t n = 0;
+    for (const auto &l : layers_)
+        n += l.paramCount();
+    return n;
+}
+
+std::vector<float>
+Network::saveParams() const
+{
+    std::vector<float> out;
+    out.reserve(paramCount());
+    for (const auto &l : layers_) {
+        const Matrix &w = l.weights();
+        out.insert(out.end(), w.data(), w.data() + w.size());
+        out.insert(out.end(), l.bias().begin(), l.bias().end());
+    }
+    return out;
+}
+
+void
+Network::loadParams(const std::vector<float> &params)
+{
+    if (params.size() != paramCount())
+        throw std::invalid_argument("Network::loadParams: size mismatch");
+    std::size_t pos = 0;
+    for (auto &l : layers_) {
+        Matrix &w = l.weights();
+        for (std::size_t i = 0; i < w.size(); i++)
+            w.data()[i] = params[pos++];
+        for (auto &b : l.bias())
+            b = params[pos++];
+    }
+}
+
+std::size_t
+Network::outputSize() const
+{
+    return layers_.back().outSize();
+}
+
+} // namespace sibyl::ml

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Feed-forward network built from DenseLayers.
+ *
+ * This is the function approximator behind Sibyl's C51 agent (§6.2: two
+ * hidden layers of 20 and 30 swish neurons), the Archivist classifier,
+ * and the output head of RNN-HSS.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "ml/layers.hh"
+
+namespace sibyl::ml
+{
+
+/** Describes one layer of a network topology. */
+struct LayerSpec
+{
+    std::size_t size;
+    Activation act;
+};
+
+/**
+ * A plain multilayer perceptron with backprop training support.
+ *
+ * Usage:
+ *   Network net(6, {{20, Swish}, {30, Swish}, {102, Identity}}, rng);
+ *   const Vector &out = net.forward(x);
+ *   net.backward(dLoss_dOut);   // accumulates gradients
+ *   optimizer.step(net);        // applies and clears them
+ */
+class Network
+{
+  public:
+    /**
+     * @param inputSize  Number of input features.
+     * @param layers     Hidden and output layer sizes/activations.
+     * @param rng        Source for weight initialization.
+     */
+    Network(std::size_t inputSize, const std::vector<LayerSpec> &layers,
+            Pcg32 &rng);
+
+    /** Run inference; the returned reference stays valid until the next
+     *  forward() call. */
+    const Vector &forward(const Vector &in);
+
+    /** Backpropagate the loss gradient of the last forward() sample. */
+    void backward(const Vector &gradOut);
+
+    /** Zero all accumulated parameter gradients. */
+    void clearGrads();
+
+    /** Copy the weights of @p other into this network (same topology).
+     *  This is the "training network -> inference network" weight copy
+     *  the paper performs every 1000 requests. */
+    void copyWeightsFrom(const Network &other);
+
+    /** Total trainable parameter count (weights + biases). */
+    std::size_t paramCount() const;
+
+    /** Flatten all parameters (for checkpointing/tests). */
+    std::vector<float> saveParams() const;
+
+    /** Restore parameters saved by saveParams(). */
+    void loadParams(const std::vector<float> &params);
+
+    std::size_t inputSize() const { return inputSize_; }
+    std::size_t outputSize() const;
+    std::vector<DenseLayer> &layers() { return layers_; }
+    const std::vector<DenseLayer> &layers() const { return layers_; }
+
+  private:
+    std::size_t inputSize_;
+    std::vector<DenseLayer> layers_;
+    std::vector<Vector> acts_; // per-layer outputs from last forward
+};
+
+} // namespace sibyl::ml

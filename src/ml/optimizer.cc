@@ -1,0 +1,98 @@
+#include "ml/optimizer.hh"
+
+#include <cmath>
+
+namespace sibyl::ml
+{
+
+namespace
+{
+
+/** Visit each (param, grad) pair of a layer as flat arrays. */
+template <typename Fn>
+void
+forEachParam(DenseLayer &layer, Fn &&fn)
+{
+    Matrix &w = layer.weights();
+    Matrix &gw = layer.gradWeights();
+    for (std::size_t i = 0; i < w.size(); i++)
+        fn(w.data()[i], gw.data()[i], i);
+    std::size_t base = w.size();
+    Vector &b = layer.bias();
+    Vector &gb = layer.gradBias();
+    for (std::size_t i = 0; i < b.size(); i++)
+        fn(b[i], gb[i], base + i);
+}
+
+} // namespace
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {}
+
+void
+Sgd::step(Network &net, std::size_t batchSize)
+{
+    if (batchSize == 0)
+        batchSize = 1;
+    float scale = 1.0f / static_cast<float>(batchSize);
+    auto &layers = net.layers();
+    if (velocity_.size() != layers.size()) {
+        velocity_.assign(layers.size(), {});
+        for (std::size_t i = 0; i < layers.size(); i++)
+            velocity_[i].assign(layers[i].paramCount(), 0.0f);
+    }
+    for (std::size_t li = 0; li < layers.size(); li++) {
+        auto &vel = velocity_[li];
+        forEachParam(layers[li], [&](float &p, float &g, std::size_t idx) {
+            float grad = g * scale;
+            if (momentum_ > 0.0) {
+                vel[idx] = static_cast<float>(momentum_) * vel[idx] + grad;
+                grad = vel[idx];
+            }
+            p -= static_cast<float>(lr_) * grad;
+        });
+        layers[li].clearGrads();
+    }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+{
+}
+
+void
+Adam::step(Network &net, std::size_t batchSize)
+{
+    if (batchSize == 0)
+        batchSize = 1;
+    float scale = 1.0f / static_cast<float>(batchSize);
+    auto &layers = net.layers();
+    if (m_.size() != layers.size()) {
+        m_.assign(layers.size(), {});
+        v_.assign(layers.size(), {});
+        for (std::size_t i = 0; i < layers.size(); i++) {
+            m_[i].assign(layers[i].paramCount(), 0.0f);
+            v_[i].assign(layers[i].paramCount(), 0.0f);
+        }
+    }
+    t_++;
+    double corr1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    double corr2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    double stepSize = lr_ * std::sqrt(corr2) / corr1;
+
+    for (std::size_t li = 0; li < layers.size(); li++) {
+        auto &m = m_[li];
+        auto &v = v_[li];
+        forEachParam(layers[li], [&](float &p, float &g, std::size_t idx) {
+            float grad = g * scale;
+            m[idx] = static_cast<float>(beta1_) * m[idx] +
+                     static_cast<float>(1.0 - beta1_) * grad;
+            v[idx] = static_cast<float>(beta2_) * v[idx] +
+                     static_cast<float>(1.0 - beta2_) * grad * grad;
+            p -= static_cast<float>(stepSize) * m[idx] /
+                 (std::sqrt(v[idx]) + static_cast<float>(eps_));
+        });
+        layers[li].clearGrads();
+    }
+}
+
+} // namespace sibyl::ml

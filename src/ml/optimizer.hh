@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Gradient-descent optimizers.
+ *
+ * The paper trains Sibyl's training network with stochastic gradient
+ * descent (Algorithm 1, line 18); we provide plain SGD (with optional
+ * momentum) plus Adam, which the TF-Agents C51 implementation uses by
+ * default. SibylConfig selects Adam by default and exposes SGD for
+ * ablation.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "ml/network.hh"
+
+namespace sibyl::ml
+{
+
+/** Abstract optimizer over a Network's accumulated gradients. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /**
+     * Apply one update using the gradients accumulated in @p net (divided
+     * by @p batchSize) and clear them.
+     */
+    virtual void step(Network &net, std::size_t batchSize) = 0;
+
+    /** Learning rate accessor (hyper-parameter alpha in Table 2). */
+    virtual double learningRate() const = 0;
+    virtual void setLearningRate(double lr) = 0;
+};
+
+/** Plain SGD with optional classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    explicit Sgd(double lr, double momentum = 0.0);
+
+    void step(Network &net, std::size_t batchSize) override;
+    double learningRate() const override { return lr_; }
+    void setLearningRate(double lr) override { lr_ = lr; }
+
+  private:
+    double lr_;
+    double momentum_;
+    // One velocity buffer per layer: [weights..., bias...].
+    std::vector<std::vector<float>> velocity_;
+};
+
+/** Adam (Kingma & Ba, 2015). */
+class Adam : public Optimizer
+{
+  public:
+    explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                  double eps = 1e-8);
+
+    void step(Network &net, std::size_t batchSize) override;
+    double learningRate() const override { return lr_; }
+    void setLearningRate(double lr) override { lr_ = lr; }
+
+  private:
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    std::uint64_t t_ = 0;
+    std::vector<std::vector<float>> m_;
+    std::vector<std::vector<float>> v_;
+};
+
+} // namespace sibyl::ml

@@ -1,0 +1,111 @@
+#include "ml/rnn.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "ml/loss.hh"
+
+namespace sibyl::ml
+{
+
+ElmanRnn::ElmanRnn(std::size_t inputSize, std::size_t hiddenSize, Pcg32 &rng)
+    : wx_(hiddenSize, inputSize),
+      wh_(hiddenSize, hiddenSize),
+      bh_(hiddenSize, 0.0f),
+      wo_(hiddenSize, 0.0f)
+{
+    double sx = std::sqrt(1.0 / static_cast<double>(inputSize));
+    double sh = std::sqrt(1.0 / static_cast<double>(hiddenSize));
+    for (std::size_t r = 0; r < hiddenSize; r++) {
+        for (std::size_t c = 0; c < inputSize; c++)
+            wx_(r, c) = static_cast<float>(rng.nextGaussian(0.0, sx));
+        for (std::size_t c = 0; c < hiddenSize; c++)
+            wh_(r, c) = static_cast<float>(rng.nextGaussian(0.0, sh));
+        wo_[r] = static_cast<float>(rng.nextGaussian(0.0, sh));
+    }
+}
+
+float
+ElmanRnn::forward(const std::vector<Vector> &sequence)
+{
+    std::size_t h = hiddenSize();
+    inputs_ = sequence;
+    states_.assign(sequence.size(), Vector(h, 0.0f));
+    preActs_.assign(sequence.size(), Vector(h, 0.0f));
+
+    Vector prev(h, 0.0f);
+    Vector tmp1, tmp2;
+    for (std::size_t t = 0; t < sequence.size(); t++) {
+        assert(sequence[t].size() == inputSize());
+        wx_.matvec(sequence[t], tmp1);
+        wh_.matvec(prev, tmp2);
+        for (std::size_t i = 0; i < h; i++) {
+            float pre = tmp1[i] + tmp2[i] + bh_[i];
+            preActs_[t][i] = pre;
+            states_[t][i] = std::tanh(pre);
+        }
+        prev = states_[t];
+    }
+    float logit = bo_;
+    if (!sequence.empty())
+        logit += dot(wo_, states_.back());
+    return logit;
+}
+
+float
+ElmanRnn::trainStep(const std::vector<Vector> &sequence, float label,
+                    float learningRate)
+{
+    if (sequence.empty())
+        return 0.0f;
+    float logit = forward(sequence);
+    float gradLogit = 0.0f;
+    float loss = binaryCrossEntropy(logit, label, gradLogit);
+
+    std::size_t h = hiddenSize();
+    std::size_t steps = sequence.size();
+
+    Matrix gWx(h, inputSize());
+    Matrix gWh(h, h);
+    Vector gBh(h, 0.0f);
+    Vector gWo(h, 0.0f);
+    float gBo = gradLogit;
+
+    // dL/dh_T from the output head.
+    Vector dh(h, 0.0f);
+    for (std::size_t i = 0; i < h; i++) {
+        gWo[i] = gradLogit * states_[steps - 1][i];
+        dh[i] = gradLogit * wo_[i];
+    }
+
+    Vector dpre(h, 0.0f);
+    Vector dhPrev;
+    for (std::size_t t = steps; t-- > 0;) {
+        for (std::size_t i = 0; i < h; i++) {
+            float tanhv = states_[t][i];
+            dpre[i] = dh[i] * (1.0f - tanhv * tanhv);
+        }
+        gWx.addOuter(dpre, inputs_[t], 1.0f);
+        if (t > 0)
+            gWh.addOuter(dpre, states_[t - 1], 1.0f);
+        axpy(dpre, gBh, 1.0f);
+        wh_.matvecTransposed(dpre, dhPrev);
+        dh = dhPrev;
+    }
+
+    float lr = learningRate;
+    wx_.addScaled(gWx, -lr);
+    wh_.addScaled(gWh, -lr);
+    axpy(gBh, bh_, -lr);
+    axpy(gWo, wo_, -lr);
+    bo_ -= lr * gBo;
+    return loss;
+}
+
+std::size_t
+ElmanRnn::paramCount() const
+{
+    return wx_.size() + wh_.size() + bh_.size() + wo_.size() + 1;
+}
+
+} // namespace sibyl::ml

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Elman recurrent cell with truncated BPTT.
+ *
+ * Substrate for the RNN-HSS baseline (adapted from Kleio [58]): a small
+ * recurrent network predicts whether a page will be "hot" from the
+ * sequence of its recent accesses. The cell is deliberately minimal —
+ * the baseline's published topology is itself tiny — and supports
+ * training over short unrolled sequences.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "ml/activations.hh"
+#include "ml/matrix.hh"
+
+namespace sibyl::ml
+{
+
+/**
+ * h_t = tanh(Wx x_t + Wh h_{t-1} + b); y_t = Wo h_t + bo (logit).
+ *
+ * Training uses truncated backpropagation-through-time on a full short
+ * sequence with a binary cross-entropy loss on the final output.
+ */
+class ElmanRnn
+{
+  public:
+    ElmanRnn(std::size_t inputSize, std::size_t hiddenSize, Pcg32 &rng);
+
+    /**
+     * Run the cell over @p sequence (each element one input vector) from
+     * a zero initial state and return the final output logit.
+     */
+    float forward(const std::vector<Vector> &sequence);
+
+    /**
+     * One training step on @p sequence with binary target @p label
+     * (0 = cold page, 1 = hot page). Returns the loss.
+     */
+    float trainStep(const std::vector<Vector> &sequence, float label,
+                    float learningRate);
+
+    std::size_t paramCount() const;
+    std::size_t hiddenSize() const { return wh_.rows(); }
+    std::size_t inputSize() const { return wx_.cols(); }
+
+  private:
+    Matrix wx_; // hidden x input
+    Matrix wh_; // hidden x hidden
+    Vector bh_; // hidden
+    Vector wo_; // hidden -> scalar logit
+    float bo_ = 0.0f;
+
+    // Forward caches for BPTT.
+    std::vector<Vector> inputs_;
+    std::vector<Vector> states_;   // h_t, post-tanh
+    std::vector<Vector> preActs_;  // pre-tanh
+};
+
+} // namespace sibyl::ml

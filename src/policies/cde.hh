@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CDE — Cold Data Eviction (Matsui et al. [49]).
+ *
+ * Heuristic the paper uses as its primary non-ML baseline: hot or random
+ * *write* requests are allocated in fast storage, while cold and
+ * sequential writes go to (or are demoted to) the slow device. Reads do
+ * not move data. The thresholds are statically chosen at design time —
+ * precisely the rigidity §3 criticizes.
+ */
+
+#pragma once
+
+#include "policies/policy.hh"
+
+namespace sibyl::policies
+{
+
+/** Tunables of the CDE heuristic. */
+struct CdeConfig
+{
+    /** A page with at least this many prior accesses counts as hot. */
+    std::uint64_t hotAccessThreshold = 4;
+
+    /** Requests of at most this many pages count as random (the paper's
+     *  randomness proxy is request size). */
+    std::uint32_t randomSizeThresholdPages = 8;
+};
+
+/** The CDE policy. */
+class CdePolicy : public PlacementPolicy
+{
+  public:
+    explicit CdePolicy(const CdeConfig &cfg = CdeConfig()) : cfg_(cfg) {}
+
+    std::string name() const override { return "CDE"; }
+
+    DeviceId
+    selectPlacement(const hss::HybridSystem &sys, const trace::Request &req,
+                    std::size_t reqIndex) override
+    {
+        (void)reqIndex;
+        const DeviceId fast = 0;
+        const DeviceId slow = sys.numDevices() - 1;
+
+        if (req.op == OpType::Write) {
+            bool hot = sys.accessCount(req.page) >= cfg_.hotAccessThreshold;
+            bool random = req.sizePages <= cfg_.randomSizeThresholdPages;
+            // Hot or random writes -> fast; cold sequential writes are
+            // placed (demoted) to slow storage.
+            return (hot || random) ? fast : slow;
+        }
+
+        // Reads are served wherever the data lives; never migrate.
+        DeviceId cur = sys.placement(req.page);
+        return cur == kNoDevice ? slow : cur;
+    }
+
+  private:
+    CdeConfig cfg_;
+};
+
+} // namespace sibyl::policies

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * HPS — History-based Page Selection (adapted from Meswani et al. [113]).
+ *
+ * Epoch-based heuristic: per-epoch access counters identify the hot set;
+ * pages in the hot set are placed in fast storage during the following
+ * epoch, cold pages are migrated back to slow storage when touched. Like
+ * CDE, its epoch length and hotness threshold are fixed at design time.
+ */
+
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "policies/policy.hh"
+
+namespace sibyl::policies
+{
+
+/** Tunables of the HPS heuristic. */
+struct HpsConfig
+{
+    /** Requests per epoch. */
+    std::size_t epochLength = 1000;
+
+    /** Accesses within an epoch for a page to enter the hot set. */
+    std::uint64_t hotThreshold = 2;
+};
+
+/** The HPS policy. */
+class HpsPolicy : public PlacementPolicy
+{
+  public:
+    explicit HpsPolicy(const HpsConfig &cfg = HpsConfig()) : cfg_(cfg) {}
+
+    std::string name() const override { return "HPS"; }
+
+    DeviceId
+    selectPlacement(const hss::HybridSystem &sys, const trace::Request &req,
+                    std::size_t reqIndex) override
+    {
+        const DeviceId fast = 0;
+        const DeviceId slow = sys.numDevices() - 1;
+
+        if (reqIndex != 0 && reqIndex % cfg_.epochLength == 0)
+            rotateEpoch();
+
+        // Count this access in the current epoch.
+        epochCount_[req.page]++;
+
+        // Hot set from the previous epoch decides placement.
+        return hotSet_.count(req.page) ? fast : slow;
+    }
+
+    void reset() override
+    {
+        epochCount_.clear();
+        hotSet_.clear();
+    }
+
+  private:
+    void rotateEpoch()
+    {
+        hotSet_.clear();
+        for (const auto &[page, cnt] : epochCount_)
+            if (cnt >= cfg_.hotThreshold)
+                hotSet_.insert(page);
+        epochCount_.clear();
+    }
+
+    HpsConfig cfg_;
+    std::unordered_map<PageId, std::uint64_t> epochCount_;
+    std::unordered_set<PageId> hotSet_;
+};
+
+} // namespace sibyl::policies

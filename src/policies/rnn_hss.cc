@@ -1,0 +1,145 @@
+#include "policies/rnn_hss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sibyl::policies
+{
+
+RnnHssPolicy::RnnHssPolicy(const RnnHssConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed, 0x4214F)
+{
+    rnn_ = std::make_unique<ml::ElmanRnn>(1, cfg_.hiddenSize, rng_);
+}
+
+std::vector<ml::Vector>
+RnnHssPolicy::makeSequence(const std::vector<float> &counts) const
+{
+    std::vector<ml::Vector> seq;
+    seq.reserve(counts.size());
+    for (float c : counts)
+        seq.push_back({std::log2(c + 1.0f) / 8.0f});
+    return seq;
+}
+
+void
+RnnHssPolicy::prepare(const trace::Trace &t, hss::HybridSystem &sys)
+{
+    (void)sys;
+    // --- Offline profiling: per-page access counts per window over the
+    //     training prefix of the trace.
+    std::size_t prefixLen = static_cast<std::size_t>(
+        cfg_.profileFraction * static_cast<double>(t.size()));
+    if (prefixLen < cfg_.windowLength * 2)
+        prefixLen = std::min(t.size(), cfg_.windowLength * 2);
+    std::size_t numWindows = prefixLen / cfg_.windowLength;
+    if (numWindows < 2)
+        return; // not enough data to train
+
+    std::unordered_map<PageId, std::vector<float>> counts;
+    for (std::size_t i = 0; i < numWindows * cfg_.windowLength; i++) {
+        std::size_t w = i / cfg_.windowLength;
+        auto &vec = counts[t[i].page];
+        if (vec.size() < numWindows)
+            vec.resize(numWindows, 0.0f);
+        vec[w] += 1.0f;
+    }
+
+    // --- Training set: sliding windows (history -> next-window label).
+    std::vector<PageId> pages;
+    pages.reserve(counts.size());
+    for (const auto &[page, vec] : counts)
+        pages.push_back(page);
+    std::sort(pages.begin(), pages.end());
+    if (pages.size() > cfg_.maxTrainPages) {
+        // Deterministic subsample.
+        std::vector<PageId> sampled;
+        double stride = static_cast<double>(pages.size()) /
+                        static_cast<double>(cfg_.maxTrainPages);
+        for (std::size_t i = 0; i < cfg_.maxTrainPages; i++)
+            sampled.push_back(pages[static_cast<std::size_t>(i * stride)]);
+        pages.swap(sampled);
+    }
+
+    for (std::uint32_t epoch = 0; epoch < cfg_.trainEpochs; epoch++) {
+        for (PageId page : pages) {
+            const auto &vec = counts[page];
+            for (std::size_t end = 1; end < numWindows; end++) {
+                std::size_t begin =
+                    end > cfg_.historyWindows ? end - cfg_.historyWindows
+                                              : 0;
+                std::vector<float> hist(vec.begin() + begin,
+                                        vec.begin() + end);
+                float label = vec[end] >=
+                                      static_cast<float>(cfg_.hotThreshold)
+                    ? 1.0f
+                    : 0.0f;
+                rnn_->trainStep(makeSequence(hist), label,
+                                static_cast<float>(cfg_.learningRate));
+            }
+        }
+    }
+    trained_ = true;
+}
+
+DeviceId
+RnnHssPolicy::selectPlacement(const hss::HybridSystem &sys,
+                              const trace::Request &req,
+                              std::size_t reqIndex)
+{
+    const DeviceId fast = 0;
+    const DeviceId slow = sys.numDevices() - 1;
+
+    // Window rollover: fold the finished window's counts into each
+    // page's history ring.
+    std::uint64_t window = reqIndex / cfg_.windowLength;
+    if (window != currentWindow_) {
+        for (const auto &[page, cnt] : windowCount_) {
+            auto &h = history_[page];
+            if (h.counts.size() < cfg_.historyWindows) {
+                h.counts.push_back(cnt);
+            } else {
+                h.counts[h.cursor] = cnt;
+                h.cursor = (h.cursor + 1) % cfg_.historyWindows;
+            }
+        }
+        windowCount_.clear();
+        currentWindow_ = window;
+    }
+    windowCount_[req.page] += 1.0f;
+
+    if (!trained_)
+        return slow;
+
+    auto &h = history_[req.page];
+    if (h.counts.empty())
+        return slow;
+
+    // One prediction per page per window: cache the verdict.
+    if (h.cachedWindow != window) {
+        // Unroll the ring into chronological order.
+        std::vector<float> ordered;
+        ordered.reserve(h.counts.size());
+        for (std::size_t i = 0; i < h.counts.size(); i++) {
+            ordered.push_back(
+                h.counts[(h.cursor + i) % h.counts.size()]);
+        }
+        float logit = rnn_->forward(makeSequence(ordered));
+        h.cachedHot = logit > 0.0f;
+        h.cachedWindow = window;
+    }
+    return h.cachedHot ? fast : slow;
+}
+
+void
+RnnHssPolicy::reset()
+{
+    history_.clear();
+    windowCount_.clear();
+    currentWindow_ = 0;
+    trained_ = false;
+    Pcg32 initRng(cfg_.seed, 0x4214F);
+    rnn_ = std::make_unique<ml::ElmanRnn>(1, cfg_.hiddenSize, initRng);
+}
+
+} // namespace sibyl::policies

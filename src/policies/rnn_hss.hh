@@ -1,0 +1,81 @@
+/**
+ * @file
+ * RNN-HSS — recurrent-network hotness predictor (adapted from
+ * Kleio [58], as the paper does).
+ *
+ * A supervised baseline: an Elman RNN is trained *offline* on a prefix
+ * of the workload to predict, from a page's recent per-window access
+ * history, whether it will be hot in the next window; hot pages are
+ * placed in fast storage. Like Archivist it receives no system-level
+ * feedback, and its offline training is exactly the property that makes
+ * it lag on unseen/dynamic workloads (§8.2).
+ */
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/rnn.hh"
+#include "policies/policy.hh"
+
+namespace sibyl::policies
+{
+
+/** Tunables of the RNN-HSS baseline. */
+struct RnnHssConfig
+{
+    std::size_t windowLength = 500;   ///< requests per history window
+    std::uint32_t historyWindows = 8; ///< sequence length fed to the RNN
+    std::uint32_t hiddenSize = 8;
+    double profileFraction = 0.25;    ///< trace prefix used for training
+    std::uint64_t hotThreshold = 1;   ///< next-window accesses to be hot
+    std::uint32_t trainEpochs = 3;
+    std::size_t maxTrainPages = 400;  ///< cap offline training cost
+    double learningRate = 5e-2;
+    std::uint64_t seed = 0x4214;
+};
+
+/** The RNN-HSS policy. */
+class RnnHssPolicy : public PlacementPolicy
+{
+  public:
+    explicit RnnHssPolicy(const RnnHssConfig &cfg = RnnHssConfig());
+
+    std::string name() const override { return "RNN-HSS"; }
+
+    /** Offline profiling + RNN training on the trace prefix. */
+    void prepare(const trace::Trace &t, hss::HybridSystem &sys) override;
+
+    DeviceId selectPlacement(const hss::HybridSystem &sys,
+                             const trace::Request &req,
+                             std::size_t reqIndex) override;
+
+    void reset() override;
+
+  private:
+    /** Per-page online history of window access counts. */
+    struct PageHistory
+    {
+        std::vector<float> counts; // ring of historyWindows entries
+        std::uint32_t cursor = 0;
+        bool cachedHot = false;
+        std::uint64_t cachedWindow = ~0ULL;
+    };
+
+    /** Build the RNN input sequence from a count history. */
+    std::vector<ml::Vector> makeSequence(const std::vector<float> &counts)
+        const;
+
+    RnnHssConfig cfg_;
+    Pcg32 rng_;
+    std::unique_ptr<ml::ElmanRnn> rnn_;
+    bool trained_ = false;
+
+    std::uint64_t currentWindow_ = 0;
+    std::unordered_map<PageId, PageHistory> history_;
+    std::unordered_map<PageId, float> windowCount_;
+};
+
+} // namespace sibyl::policies

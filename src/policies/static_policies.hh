@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The two extreme baselines of §3/§7: Fast-Only and Slow-Only.
+ *
+ * Fast-Only places everything on the fast device (the simulation harness
+ * gives it a fast device large enough for the whole working set — the
+ * paper's definition is "all data resides in the fast storage device");
+ * it is the normalization baseline for every figure. Slow-Only ignores
+ * the fast device entirely.
+ */
+
+#pragma once
+
+#include "policies/policy.hh"
+
+namespace sibyl::policies
+{
+
+/** Everything on device 0. */
+class FastOnlyPolicy : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "Fast-Only"; }
+
+    DeviceId
+    selectPlacement(const hss::HybridSystem &sys, const trace::Request &req,
+                    std::size_t reqIndex) override
+    {
+        (void)sys;
+        (void)req;
+        (void)reqIndex;
+        return 0;
+    }
+};
+
+/** Everything on the slowest device. */
+class SlowOnlyPolicy : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "Slow-Only"; }
+
+    DeviceId
+    selectPlacement(const hss::HybridSystem &sys, const trace::Request &req,
+                    std::size_t reqIndex) override
+    {
+        (void)req;
+        (void)reqIndex;
+        return sys.numDevices() - 1;
+    }
+};
+
+} // namespace sibyl::policies

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Heuristic tri-hybrid policy (Matsui et al. [76], §8.7 baseline).
+ *
+ * Extends CDE's idea to three devices by statically classifying data
+ * into hot / cold / frozen and pinning each class to the H / M / L
+ * device respectively. The thresholds, and the promotion/eviction paths
+ * between the three devices, must all be chosen by the designer at
+ * design time — the extensibility burden the paper quantifies.
+ */
+
+#pragma once
+
+#include "policies/policy.hh"
+
+namespace sibyl::policies
+{
+
+/** Tunables of the tri-hybrid heuristic. */
+struct TriHeuristicConfig
+{
+    std::uint64_t hotThreshold = 8;  ///< accesses to classify as hot
+    std::uint64_t coldThreshold = 2; ///< accesses to classify as cold
+    std::uint32_t randomSizeThresholdPages = 8;
+};
+
+/** The hot/cold/frozen heuristic for three-device systems. */
+class TriHeuristicPolicy : public PlacementPolicy
+{
+  public:
+    explicit TriHeuristicPolicy(
+        const TriHeuristicConfig &cfg = TriHeuristicConfig())
+        : cfg_(cfg)
+    {}
+
+    std::string name() const override { return "Heuristic-Tri-Hybrid"; }
+
+    DeviceId
+    selectPlacement(const hss::HybridSystem &sys, const trace::Request &req,
+                    std::size_t reqIndex) override
+    {
+        (void)reqIndex;
+        const DeviceId frozenDev = sys.numDevices() - 1;
+        const DeviceId coldDev = sys.numDevices() >= 2
+            ? sys.numDevices() - 2
+            : frozenDev;
+
+        std::uint64_t cnt = sys.accessCount(req.page);
+        bool random = req.sizePages <= cfg_.randomSizeThresholdPages;
+
+        // Hot data -> H; random writes also favor H (CDE heritage).
+        if (cnt >= cfg_.hotThreshold ||
+            (req.op == OpType::Write && random && cnt >= cfg_.coldThreshold))
+            return 0;
+        if (cnt >= cfg_.coldThreshold)
+            return coldDev;
+        return frozenDev;
+    }
+
+  private:
+    TriHeuristicConfig cfg_;
+};
+
+/**
+ * Generalized N-tier hotness heuristic — the tri-hybrid policy's
+ * hot/cold/frozen banding extended to any device count.
+ *
+ * The designer must supply one descending access-count threshold per
+ * tier boundary (N devices need N-1 thresholds): data with at least
+ * thresholds[i] accesses lands on device i, everything below the last
+ * threshold on the slowest device. Random writes above the coldest
+ * threshold are pulled up one tier (CDE heritage, as in the tri-hybrid
+ * baseline). This is precisely the design burden the paper's
+ * extensibility argument targets (§8.7): every added device demands a
+ * hand-chosen threshold and re-tuning of all the existing ones,
+ * whereas Sibyl only grows its action space by one.
+ */
+class MultiTierHeuristicPolicy : public PlacementPolicy
+{
+  public:
+    /**
+     * @param thresholds Descending access-count thresholds, one per
+     *        tier boundary. Example for 4 devices: {16, 4, 1}.
+     * @param randomSizeThresholdPages Requests at most this large count
+     *        as random (CDE's random-write promotion rule).
+     */
+    explicit MultiTierHeuristicPolicy(
+        std::vector<std::uint64_t> thresholds,
+        std::uint32_t randomSizeThresholdPages = 8)
+        : thresholds_(std::move(thresholds)),
+          randomSizeThresholdPages_(randomSizeThresholdPages)
+    {}
+
+    std::string name() const override { return "Heuristic-Multi-Tier"; }
+
+    DeviceId
+    selectPlacement(const hss::HybridSystem &sys, const trace::Request &req,
+                    std::size_t reqIndex) override
+    {
+        (void)reqIndex;
+        const std::uint32_t devices = sys.numDevices();
+        const std::uint64_t cnt = sys.accessCount(req.page);
+        const bool random = req.sizePages <= randomSizeThresholdPages_;
+
+        DeviceId tier = static_cast<DeviceId>(devices - 1);
+        const std::size_t boundaries = std::min<std::size_t>(
+            thresholds_.size(), devices - 1);
+        for (std::size_t i = 0; i < boundaries; i++) {
+            if (cnt >= thresholds_[i]) {
+                tier = static_cast<DeviceId>(i);
+                break;
+            }
+        }
+        // CDE heritage: random writes that are not ice-cold move one
+        // tier up, since they are expensive on the slower media.
+        if (req.op == OpType::Write && random && tier > 0 &&
+            !thresholds_.empty() && cnt >= thresholds_.back())
+            tier--;
+        return tier;
+    }
+
+    const std::vector<std::uint64_t> &thresholds() const
+    {
+        return thresholds_;
+    }
+
+  private:
+    std::vector<std::uint64_t> thresholds_;
+    std::uint32_t randomSizeThresholdPages_;
+};
+
+} // namespace sibyl::policies

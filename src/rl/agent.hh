@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Common reinforcement-learning agent interface and configuration.
+ *
+ * The paper motivates its function-approximation design (§4.1) against
+ * the traditional tabular alternative: a lookup table of Q-values "can
+ * lead to high storage and computation overhead for environments with
+ * a large number of states". To make that trade-off measurable, every
+ * agent in this repository — Sibyl's C51, a plain (non-distributional)
+ * DQN, and a tabular Q-learning agent — implements this interface and
+ * reports its storage footprint, and the agent-ablation bench compares
+ * them head-to-head.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.hh"
+#include "rl/exploration.hh"
+#include "rl/replay_buffer.hh"
+
+namespace sibyl::rl
+{
+
+/**
+ * Hyper-parameters shared by all agents (Table 2 defaults). Fields
+ * that only apply to one family (atoms/vmin/vmax for C51; buffer and
+ * network topology for the neural agents) are ignored by the others.
+ */
+struct AgentConfig
+{
+    std::uint32_t stateDim = 6;
+    std::uint32_t numActions = 2;
+    std::uint32_t atoms = 51;
+    double vmin = 0.0;
+    double vmax = 12.0;
+
+    double gamma = 0.9;          ///< discount factor
+    double learningRate = 1e-4;  ///< alpha
+    double epsilon = 0.001;      ///< exploration rate
+
+    /** Exploration strategy. For the default ConstantEpsilon kind the
+     *  `epsilon` field above is authoritative (the paper's design); the
+     *  other kinds are the exploration-ablation alternatives. */
+    ExplorationConfig exploration;
+    std::uint32_t batchSize = 128;
+    std::uint32_t batchesPerTraining = 8;
+    std::size_t bufferCapacity = 1000; ///< e_EB
+    std::uint32_t targetSyncEvery = 1000; ///< requests between weight copies
+
+    /** Observations between training rounds. 0 = train whenever the
+     *  buffer wraps (every bufferCapacity observations, the paper's
+     *  cadence). Smaller values train more often — useful on the
+     *  scaled-down traces this repository replays. */
+    std::uint32_t trainEvery = 0;
+
+    /** Hidden topology (paper: 20 and 30 swish neurons). */
+    std::vector<std::size_t> hidden = {20, 30};
+
+    /** Use Adam (TF-Agents default) instead of plain SGD. */
+    bool useAdam = true;
+
+    /** Deduplicate replay entries. */
+    bool dedupBuffer = true;
+
+    /** Prioritized experience replay (Schaul et al., 2016) instead of
+     *  uniform sampling — an extension ablation over the paper's
+     *  uniform replay (§6.2.1). */
+    bool prioritizedReplay = false;
+    double perAlpha = 0.6; ///< prioritization exponent
+    double perBeta = 0.4;  ///< importance-weight exponent
+
+    /** Double-DQN target (van Hasselt et al., 2016) for DqnAgent:
+     *  action selection by the training network, value by the frozen
+     *  inference network. */
+    bool doubleDqn = false;
+
+    /** Tabular agent: quantization levels per state dimension. */
+    std::uint32_t tableLevels = 64;
+
+    std::uint64_t seed = 0xC51;
+};
+
+/**
+ * Build the agent's exploration schedule from its configuration. For
+ * the ConstantEpsilon kind, AgentConfig::epsilon wins over
+ * ExplorationConfig::epsilon so that the paper-default code paths (and
+ * the Fig. 14(c) epsilon sweep) keep a single knob.
+ */
+inline ExplorationSchedule
+makeExploration(const AgentConfig &cfg)
+{
+    ExplorationConfig ec = cfg.exploration;
+    if (ec.kind == ExplorationKind::ConstantEpsilon)
+        ec.epsilon = cfg.epsilon;
+    return ExplorationSchedule(ec);
+}
+
+/** Training/behaviour statistics for tests and the overhead bench. */
+struct AgentStats
+{
+    std::uint64_t decisions = 0;
+    std::uint64_t randomActions = 0;
+    std::uint64_t trainingRounds = 0;
+    std::uint64_t gradientSteps = 0;
+    std::uint64_t weightSyncs = 0;
+    double lastLoss = 0.0;
+};
+
+/**
+ * Abstract value-learning agent. Drive it with selectAction() for
+ * each decision and observe() for each completed transition; learning
+ * happens inside observe() at the agent's own cadence.
+ */
+class Agent
+{
+  public:
+    virtual ~Agent() = default;
+
+    /** Display name ("C51", "DQN", "Q-table"). */
+    virtual std::string name() const = 0;
+
+    /** Epsilon-greedy action for @p state. */
+    virtual std::uint32_t selectAction(const ml::Vector &state) = 0;
+
+    /** Greedy action (no exploration) — used by evaluation probes. */
+    virtual std::uint32_t greedyAction(const ml::Vector &state) = 0;
+
+    /** Q-value estimates per action. */
+    virtual std::vector<double> qValues(const ml::Vector &state) = 0;
+
+    /** Record a transition (and learn, at the agent's cadence). */
+    virtual void observe(Experience e) = 0;
+
+    /** Force one training round (for tests); returns the mean loss. */
+    virtual double trainRound() = 0;
+
+    /** Behaviour counters. */
+    virtual const AgentStats &stats() const = 0;
+
+    /** Change the exploration rate online (mixed-workload tuning). */
+    virtual void setEpsilon(double eps) = 0;
+
+    /** Change the learning rate online (Sibyl_Opt uses 1e-5). */
+    virtual void setLearningRate(double lr) = 0;
+
+    /**
+     * Bytes of state the agent needs to persist its learned policy —
+     * the §10.2-style storage-overhead number (fp16 network weights,
+     * replay buffer at 100 bits/entry, or table entries).
+     */
+    virtual std::size_t storageBytes() const = 0;
+};
+
+} // namespace sibyl::rl

@@ -1,0 +1,213 @@
+#include "rl/c51_agent.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ml/activations.hh"
+#include "ml/loss.hh"
+
+namespace sibyl::rl
+{
+
+C51Agent::C51Agent(const C51Config &cfg)
+    : cfg_(cfg),
+      support_(cfg.vmin, cfg.vmax, cfg.atoms),
+      explore_(makeExploration(cfg)),
+      rng_(cfg.seed, 0xA6E47),
+      buffer_(cfg.bufferCapacity, cfg.dedupBuffer)
+{
+    std::vector<ml::LayerSpec> layers;
+    for (auto h : cfg_.hidden)
+        layers.push_back({h, ml::Activation::Swish});
+    layers.push_back({static_cast<std::size_t>(cfg_.numActions) * cfg_.atoms,
+                      ml::Activation::Identity});
+
+    Pcg32 initRng(cfg.seed, 0x1217);
+    trainingNet_ = std::make_unique<ml::Network>(cfg_.stateDim, layers,
+                                                 initRng);
+    Pcg32 initRng2(cfg.seed, 0x1218);
+    inferenceNet_ = std::make_unique<ml::Network>(cfg_.stateDim, layers,
+                                                  initRng2);
+    inferenceNet_->copyWeightsFrom(*trainingNet_);
+
+    if (cfg_.useAdam)
+        optimizer_ = std::make_unique<ml::Adam>(cfg_.learningRate);
+    else
+        optimizer_ = std::make_unique<ml::Sgd>(cfg_.learningRate);
+}
+
+void
+C51Agent::setLearningRate(double lr)
+{
+    cfg_.learningRate = lr;
+    optimizer_->setLearningRate(lr);
+}
+
+void
+C51Agent::extractActionDist(const ml::Vector &out, std::uint32_t action,
+                            std::uint32_t atoms, ml::Vector &dist)
+{
+    dist.assign(out.begin() + action * atoms,
+                out.begin() + (action + 1) * atoms);
+    ml::softmax(dist);
+}
+
+std::vector<double>
+C51Agent::qValues(const ml::Vector &state)
+{
+    const ml::Vector &out = inferenceNet_->forward(state);
+    std::vector<double> q(cfg_.numActions);
+    ml::Vector dist;
+    for (std::uint32_t a = 0; a < cfg_.numActions; a++) {
+        extractActionDist(out, a, cfg_.atoms, dist);
+        q[a] = support_.expectation(dist);
+    }
+    return q;
+}
+
+std::uint32_t
+C51Agent::greedyAction(const ml::Vector &state)
+{
+    auto q = qValues(state);
+    return static_cast<std::uint32_t>(
+        std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+std::uint32_t
+C51Agent::selectAction(const ml::Vector &state)
+{
+    const std::uint64_t step = stats_.decisions++;
+    if (explore_.isBoltzmann()) {
+        const auto q = qValues(state);
+        const auto greedy = static_cast<std::uint32_t>(
+            std::max_element(q.begin(), q.end()) - q.begin());
+        const std::uint32_t a = explore_.sampleBoltzmann(q, rng_);
+        if (a != greedy)
+            stats_.randomActions++;
+        return a;
+    }
+    if (rng_.nextBool(explore_.epsilonAt(step))) {
+        stats_.randomActions++;
+        return rng_.nextBounded(cfg_.numActions);
+    }
+    return greedyAction(state);
+}
+
+void
+C51Agent::observe(Experience e)
+{
+    buffer_.add(std::move(e));
+    observations_++;
+
+    // Train once the buffer has filled, then at every cadence boundary
+    // (Algorithm 1, line 16; the paper's cadence is one buffer fill).
+    std::uint64_t cadence =
+        cfg_.trainEvery ? cfg_.trainEvery : cfg_.bufferCapacity;
+    if (buffer_.full() && observations_ % cadence == 0)
+        trainRound();
+    // Copy training -> inference weights every targetSyncEvery requests
+    // (§6.2.2: every 1000 requests).
+    if (observations_ % cfg_.targetSyncEvery == 0 &&
+        stats_.trainingRounds > 0) {
+        syncWeights();
+    }
+}
+
+double
+C51Agent::trainRound()
+{
+    double loss = 0.0;
+    for (std::uint32_t b = 0; b < cfg_.batchesPerTraining; b++)
+        loss += trainBatch();
+    stats_.trainingRounds++;
+    const double prev = stats_.lastLoss;
+    stats_.lastLoss = loss / std::max(1u, cfg_.batchesPerTraining);
+    // VDBE feedback: the *change* in training loss proxies the
+    // value-update magnitude. The raw cross-entropy cannot be used —
+    // it has an irreducible entropy floor at convergence, so it would
+    // keep epsilon pinned high forever; its round-to-round delta does
+    // vanish once the distribution stops moving.
+    explore_.observeValueDelta(stats_.lastLoss - prev);
+    return stats_.lastLoss;
+}
+
+double
+C51Agent::trainBatch()
+{
+    const auto indices = cfg_.prioritizedReplay
+        ? buffer_.samplePrioritizedIndices(cfg_.batchSize, rng_,
+                                           cfg_.perAlpha)
+        : buffer_.sampleIndices(cfg_.batchSize, rng_);
+    if (indices.empty())
+        return 0.0;
+
+    double totalLoss = 0.0;
+    ml::Vector nextDist, target, predDist, gradOut;
+    for (const std::size_t idx : indices) {
+        const Experience *e = &buffer_[idx];
+        // Bellman target from the *inference* network (frozen between
+        // syncs, playing the target-network role): distribution of the
+        // greedy next action.
+        const ml::Vector &nextOut = inferenceNet_->forward(e->nextState);
+        std::uint32_t bestA = 0;
+        double bestQ = -1e30;
+        for (std::uint32_t a = 0; a < cfg_.numActions; a++) {
+            extractActionDist(nextOut, a, cfg_.atoms, nextDist);
+            double q = support_.expectation(nextDist);
+            if (q > bestQ) {
+                bestQ = q;
+                bestA = a;
+            }
+        }
+        extractActionDist(nextOut, bestA, cfg_.atoms, nextDist);
+        support_.project(nextDist, e->reward, cfg_.gamma, target);
+
+        // Cross-entropy between the projected target and the training
+        // network's prediction for the taken action; gradient flows only
+        // through that action's atom group.
+        const ml::Vector &out = trainingNet_->forward(e->state);
+        ml::Vector logits(out.begin() + e->action * cfg_.atoms,
+                          out.begin() + (e->action + 1) * cfg_.atoms);
+        ml::Vector gradLogits;
+        const double loss =
+            ml::softmaxCrossEntropy(logits, target, gradLogits);
+        totalLoss += loss;
+
+        float weight = 1.0f;
+        if (cfg_.prioritizedReplay) {
+            // Importance-sample to correct the prioritization bias and
+            // refresh the entry's priority with its latest loss.
+            weight = static_cast<float>(buffer_.importanceWeight(
+                idx, cfg_.perAlpha, cfg_.perBeta));
+            buffer_.setPriority(idx, static_cast<float>(loss));
+        }
+
+        gradOut.assign(out.size(), 0.0f);
+        for (std::size_t k = 0; k < gradLogits.size(); k++)
+            gradOut[e->action * cfg_.atoms + k] = gradLogits[k] * weight;
+        trainingNet_->backward(gradOut);
+        stats_.gradientSteps++;
+    }
+    optimizer_->step(*trainingNet_, indices.size());
+    return totalLoss / static_cast<double>(indices.size());
+}
+
+void
+C51Agent::syncWeights()
+{
+    inferenceNet_->copyWeightsFrom(*trainingNet_);
+    stats_.weightSyncs++;
+}
+
+std::size_t
+C51Agent::storageBytes() const
+{
+    // Two fp16 networks (§10.2) plus the replay buffer at 100 bits per
+    // experience (40-bit state + 4-bit action + 16-bit reward + 40-bit
+    // next state).
+    const std::size_t nets = 2 * trainingNet_->paramCount() * 2;
+    const std::size_t buffer = cfg_.bufferCapacity * 100 / 8;
+    return nets + buffer;
+}
+
+} // namespace sibyl::rl

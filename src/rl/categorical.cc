@@ -1,0 +1,55 @@
+#include "rl/categorical.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace sibyl::rl
+{
+
+CategoricalSupport::CategoricalSupport(double vmin, double vmax,
+                                       std::uint32_t atoms)
+    : vmin_(vmin), vmax_(vmax), atoms_(atoms)
+{
+    if (atoms < 2 || vmax <= vmin)
+        throw std::invalid_argument("CategoricalSupport: bad parameters");
+    delta_ = (vmax - vmin) / static_cast<double>(atoms - 1);
+}
+
+double
+CategoricalSupport::expectation(const ml::Vector &probs) const
+{
+    assert(probs.size() == atoms_);
+    double e = 0.0;
+    for (std::uint32_t i = 0; i < atoms_; i++)
+        e += static_cast<double>(probs[i]) * atomValue(i);
+    return e;
+}
+
+void
+CategoricalSupport::project(const ml::Vector &nextProbs, double reward,
+                            double gamma, ml::Vector &target) const
+{
+    assert(nextProbs.size() == atoms_);
+    target.assign(atoms_, 0.0f);
+    for (std::uint32_t i = 0; i < atoms_; i++) {
+        double p = nextProbs[i];
+        if (p <= 0.0)
+            continue;
+        double tz = std::clamp(reward + gamma * atomValue(i), vmin_, vmax_);
+        double b = (tz - vmin_) / delta_;
+        auto lo = static_cast<std::uint32_t>(std::floor(b));
+        auto hi = static_cast<std::uint32_t>(std::ceil(b));
+        lo = std::min(lo, atoms_ - 1);
+        hi = std::min(hi, atoms_ - 1);
+        if (lo == hi) {
+            target[lo] += static_cast<float>(p);
+        } else {
+            target[lo] += static_cast<float>(p * (hi - b));
+            target[hi] += static_cast<float>(p * (b - lo));
+        }
+    }
+}
+
+} // namespace sibyl::rl

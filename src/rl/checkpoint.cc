@@ -1,0 +1,192 @@
+#include "rl/checkpoint.hh"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "rl/c51_agent.hh"
+#include "rl/dqn_agent.hh"
+#include "rl/q_table.hh"
+
+namespace sibyl::rl
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'S', 'B', 'Y', 'L', 'C', 'K', 'P', 'T'};
+
+enum class FamilyTag : std::uint32_t
+{
+    C51 = 1,
+    Dqn = 2,
+    QTable = 3,
+};
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+readPod(std::istream &in, T &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return static_cast<bool>(in);
+}
+
+void
+writeFloats(std::ostream &out, const std::vector<float> &v)
+{
+    writePod(out, static_cast<std::uint64_t>(v.size()));
+    out.write(reinterpret_cast<const char *>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+bool
+readFloats(std::istream &in, std::vector<float> &v)
+{
+    std::uint64_t n = 0;
+    if (!readPod(in, n) || n > (1ull << 30))
+        return false;
+    v.resize(n);
+    in.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    return static_cast<bool>(in);
+}
+
+FamilyTag
+familyOf(const Agent &agent)
+{
+    if (dynamic_cast<const C51Agent *>(&agent))
+        return FamilyTag::C51;
+    if (dynamic_cast<const DqnAgent *>(&agent))
+        return FamilyTag::Dqn;
+    return FamilyTag::QTable;
+}
+
+const AgentConfig &
+configOf(const Agent &agent)
+{
+    if (const auto *c = dynamic_cast<const C51Agent *>(&agent))
+        return c->config();
+    if (const auto *d = dynamic_cast<const DqnAgent *>(&agent))
+        return d->config();
+    return dynamic_cast<const QTableAgent &>(agent).config();
+}
+
+} // namespace
+
+void
+saveCheckpoint(const Agent &agent, std::ostream &out)
+{
+    out.write(kMagic, sizeof(kMagic));
+    writePod(out, kCheckpointVersion);
+    const AgentConfig &cfg = configOf(agent);
+    writePod(out, static_cast<std::uint32_t>(familyOf(agent)));
+    writePod(out, cfg.stateDim);
+    writePod(out, cfg.numActions);
+
+    if (const auto *c = dynamic_cast<const C51Agent *>(&agent)) {
+        writeFloats(out, c->trainingNetwork().saveParams());
+    } else if (const auto *d = dynamic_cast<const DqnAgent *>(&agent)) {
+        writeFloats(out, d->trainingNetwork().saveParams());
+    } else {
+        const auto &q = dynamic_cast<const QTableAgent &>(agent);
+        writePod(out, static_cast<std::uint64_t>(q.table().size()));
+        for (const auto &[key, row] : q.table()) {
+            writePod(out, key);
+            for (double v : row)
+                writePod(out, v);
+        }
+    }
+}
+
+std::string
+loadCheckpoint(Agent &agent, std::istream &in)
+{
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return "not a Sibyl checkpoint (bad magic)";
+
+    std::uint32_t version = 0;
+    std::uint32_t family = 0;
+    std::uint32_t stateDim = 0;
+    std::uint32_t numActions = 0;
+    if (!readPod(in, version) || !readPod(in, family) ||
+        !readPod(in, stateDim) || !readPod(in, numActions)) {
+        return "truncated checkpoint header";
+    }
+    if (version != kCheckpointVersion)
+        return "unsupported checkpoint version " + std::to_string(version);
+    if (family != static_cast<std::uint32_t>(familyOf(agent)))
+        return "checkpoint is for a different agent family";
+    const AgentConfig &cfg = configOf(agent);
+    if (stateDim != cfg.stateDim || numActions != cfg.numActions) {
+        std::ostringstream err;
+        err << "dimension mismatch: checkpoint " << stateDim << "x"
+            << numActions << ", agent " << cfg.stateDim << "x"
+            << cfg.numActions;
+        return err.str();
+    }
+
+    if (auto *c = dynamic_cast<C51Agent *>(&agent)) {
+        std::vector<float> params;
+        if (!readFloats(in, params))
+            return "truncated network parameters";
+        if (params.size() != c->trainingNetwork().saveParams().size())
+            return "parameter count mismatch (different topology?)";
+        c->trainingNetwork().loadParams(params);
+        c->syncWeights();
+    } else if (auto *d = dynamic_cast<DqnAgent *>(&agent)) {
+        std::vector<float> params;
+        if (!readFloats(in, params))
+            return "truncated network parameters";
+        if (params.size() != d->trainingNetwork().saveParams().size())
+            return "parameter count mismatch (different topology?)";
+        d->trainingNetwork().loadParams(params);
+        d->syncWeights();
+    } else {
+        auto &q = dynamic_cast<QTableAgent &>(agent);
+        std::uint64_t entries = 0;
+        if (!readPod(in, entries) || entries > (1ull << 32))
+            return "truncated table header";
+        std::unordered_map<std::uint64_t, std::vector<double>> table;
+        table.reserve(entries);
+        for (std::uint64_t i = 0; i < entries; i++) {
+            std::uint64_t key = 0;
+            if (!readPod(in, key))
+                return "truncated table entry";
+            std::vector<double> row(numActions);
+            for (auto &v : row)
+                if (!readPod(in, v))
+                    return "truncated table row";
+            table.emplace(key, std::move(row));
+        }
+        q.restoreTable(std::move(table));
+    }
+    return std::string();
+}
+
+void
+saveCheckpointFile(const Agent &agent, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    saveCheckpoint(agent, out);
+}
+
+std::string
+loadCheckpointFile(Agent &agent, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "cannot open " + path;
+    return loadCheckpoint(agent, in);
+}
+
+} // namespace sibyl::rl

@@ -1,0 +1,182 @@
+#include "rl/dqn_agent.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sibyl::rl
+{
+
+DqnAgent::DqnAgent(const AgentConfig &cfg)
+    : cfg_(cfg),
+      explore_(makeExploration(cfg)),
+      rng_(cfg.seed, 0xD62),
+      buffer_(cfg.bufferCapacity, cfg.dedupBuffer)
+{
+    std::vector<ml::LayerSpec> layers;
+    for (auto h : cfg_.hidden)
+        layers.push_back({h, ml::Activation::Swish});
+    layers.push_back({static_cast<std::size_t>(cfg_.numActions),
+                      ml::Activation::Identity});
+
+    Pcg32 initRng(cfg.seed, 0x1219);
+    trainingNet_ = std::make_unique<ml::Network>(cfg_.stateDim, layers,
+                                                 initRng);
+    Pcg32 initRng2(cfg.seed, 0x121A);
+    inferenceNet_ = std::make_unique<ml::Network>(cfg_.stateDim, layers,
+                                                  initRng2);
+    inferenceNet_->copyWeightsFrom(*trainingNet_);
+
+    if (cfg_.useAdam)
+        optimizer_ = std::make_unique<ml::Adam>(cfg_.learningRate);
+    else
+        optimizer_ = std::make_unique<ml::Sgd>(cfg_.learningRate);
+}
+
+void
+DqnAgent::setLearningRate(double lr)
+{
+    cfg_.learningRate = lr;
+    optimizer_->setLearningRate(lr);
+}
+
+std::vector<double>
+DqnAgent::qValues(const ml::Vector &state)
+{
+    const ml::Vector &out = inferenceNet_->forward(state);
+    return std::vector<double>(out.begin(), out.end());
+}
+
+std::uint32_t
+DqnAgent::greedyAction(const ml::Vector &state)
+{
+    auto q = qValues(state);
+    return static_cast<std::uint32_t>(
+        std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+std::uint32_t
+DqnAgent::selectAction(const ml::Vector &state)
+{
+    const std::uint64_t step = stats_.decisions++;
+    if (explore_.isBoltzmann()) {
+        const auto q = qValues(state);
+        const auto greedy = static_cast<std::uint32_t>(
+            std::max_element(q.begin(), q.end()) - q.begin());
+        const std::uint32_t a = explore_.sampleBoltzmann(q, rng_);
+        if (a != greedy)
+            stats_.randomActions++;
+        return a;
+    }
+    if (rng_.nextBool(explore_.epsilonAt(step))) {
+        stats_.randomActions++;
+        return rng_.nextBounded(cfg_.numActions);
+    }
+    return greedyAction(state);
+}
+
+void
+DqnAgent::observe(Experience e)
+{
+    buffer_.add(std::move(e));
+    observations_++;
+    const std::uint64_t cadence =
+        cfg_.trainEvery ? cfg_.trainEvery : cfg_.bufferCapacity;
+    if (buffer_.full() && observations_ % cadence == 0)
+        trainRound();
+    if (observations_ % cfg_.targetSyncEvery == 0 &&
+        stats_.trainingRounds > 0) {
+        syncWeights();
+    }
+}
+
+double
+DqnAgent::trainRound()
+{
+    double loss = 0.0;
+    for (std::uint32_t b = 0; b < cfg_.batchesPerTraining; b++)
+        loss += trainBatch();
+    stats_.trainingRounds++;
+    const double prev = stats_.lastLoss;
+    stats_.lastLoss = loss / std::max(1u, cfg_.batchesPerTraining);
+    // VDBE feedback: the change in RMS TD error. The raw TD error
+    // keeps a reward-noise floor at convergence (constant learning
+    // rate), so only its movement signals that the value estimates
+    // are still in flux.
+    explore_.observeValueDelta(std::sqrt(stats_.lastLoss) -
+                               std::sqrt(std::max(0.0, prev)));
+    return stats_.lastLoss;
+}
+
+double
+DqnAgent::trainBatch()
+{
+    const auto indices = cfg_.prioritizedReplay
+        ? buffer_.samplePrioritizedIndices(cfg_.batchSize, rng_,
+                                           cfg_.perAlpha)
+        : buffer_.sampleIndices(cfg_.batchSize, rng_);
+    if (indices.empty())
+        return 0.0;
+
+    double totalLoss = 0.0;
+    ml::Vector gradOut;
+    for (const std::size_t idx : indices) {
+        const Experience *e = &buffer_[idx];
+
+        // TD target from the (frozen) inference network. With Double
+        // DQN the *training* network chooses the next action and the
+        // inference network scores it, decoupling selection from
+        // evaluation (van Hasselt et al., 2016).
+        float nextValue;
+        if (cfg_.doubleDqn) {
+            const ml::Vector &sel = trainingNet_->forward(e->nextState);
+            const auto bestA = static_cast<std::size_t>(
+                std::max_element(sel.begin(), sel.end()) - sel.begin());
+            const ml::Vector &eval =
+                inferenceNet_->forward(e->nextState);
+            nextValue = eval[bestA];
+        } else {
+            const ml::Vector &nextQ =
+                inferenceNet_->forward(e->nextState);
+            nextValue = *std::max_element(nextQ.begin(), nextQ.end());
+        }
+        const float target =
+            e->reward + static_cast<float>(cfg_.gamma) * nextValue;
+
+        // MSE on the taken action's Q-value only.
+        const ml::Vector &out = trainingNet_->forward(e->state);
+        const float pred = out[e->action];
+        const float diff = pred - target;
+        totalLoss += 0.5 * static_cast<double>(diff) * diff;
+
+        float weight = 1.0f;
+        if (cfg_.prioritizedReplay) {
+            weight = static_cast<float>(buffer_.importanceWeight(
+                idx, cfg_.perAlpha, cfg_.perBeta));
+            buffer_.setPriority(idx, std::abs(diff));
+        }
+
+        gradOut.assign(out.size(), 0.0f);
+        gradOut[e->action] = diff * weight;
+        trainingNet_->backward(gradOut);
+        stats_.gradientSteps++;
+    }
+    optimizer_->step(*trainingNet_, indices.size());
+    return totalLoss / static_cast<double>(indices.size());
+}
+
+void
+DqnAgent::syncWeights()
+{
+    inferenceNet_->copyWeightsFrom(*trainingNet_);
+    stats_.weightSyncs++;
+}
+
+std::size_t
+DqnAgent::storageBytes() const
+{
+    const std::size_t nets = 2 * trainingNet_->paramCount() * 2;
+    const std::size_t buffer = cfg_.bufferCapacity * 100 / 8;
+    return nets + buffer;
+}
+
+} // namespace sibyl::rl

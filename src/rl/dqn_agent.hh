@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Plain (non-distributional) Deep Q-Network agent.
+ *
+ * Ablation counterpart to Sibyl's C51 (§6.2.1: "C51's objective is to
+ * learn the distribution of Q-values, whereas other variants of Deep
+ * Q-Networks aim to approximate a single value"). Identical topology
+ * and dual-network arrangement, but the head emits one scalar Q-value
+ * per action trained with an MSE temporal-difference loss. The
+ * agent-ablation bench quantifies what the distributional head buys.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "ml/network.hh"
+#include "ml/optimizer.hh"
+#include "rl/agent.hh"
+
+namespace sibyl::rl
+{
+
+/** The plain-DQN agent (uses the shared AgentConfig). */
+class DqnAgent final : public Agent
+{
+  public:
+    explicit DqnAgent(const AgentConfig &cfg);
+
+    std::string name() const override { return "DQN"; }
+
+    std::uint32_t selectAction(const ml::Vector &state) override;
+    std::uint32_t greedyAction(const ml::Vector &state) override;
+    std::vector<double> qValues(const ml::Vector &state) override;
+    void observe(Experience e) override;
+    double trainRound() override;
+    const AgentStats &stats() const override { return stats_; }
+
+    void
+    setEpsilon(double eps) override
+    {
+        cfg_.epsilon = eps;
+        explore_.overrideConstant(eps);
+    }
+
+    void setLearningRate(double lr) override;
+    std::size_t storageBytes() const override;
+
+    /** The exploration schedule in effect. */
+    const ExplorationSchedule &exploration() const { return explore_; }
+
+    /** Force a training-to-inference weight copy (for tests). */
+    void syncWeights();
+
+    const AgentConfig &config() const { return cfg_; }
+    const ReplayBuffer &buffer() const { return buffer_; }
+    ml::Network &inferenceNetwork() { return *inferenceNet_; }
+    ml::Network &trainingNetwork() { return *trainingNet_; }
+    const ml::Network &inferenceNetwork() const { return *inferenceNet_; }
+    const ml::Network &trainingNetwork() const { return *trainingNet_; }
+
+  private:
+    /** One gradient step on a sampled batch; returns the mean loss. */
+    double trainBatch();
+
+    AgentConfig cfg_;
+    ExplorationSchedule explore_;
+    Pcg32 rng_;
+    ReplayBuffer buffer_;
+    std::unique_ptr<ml::Network> inferenceNet_;
+    std::unique_ptr<ml::Network> trainingNet_;
+    std::unique_ptr<ml::Optimizer> optimizer_;
+    AgentStats stats_;
+    std::uint64_t observations_ = 0;
+};
+
+} // namespace sibyl::rl

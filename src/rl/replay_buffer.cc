@@ -1,0 +1,168 @@
+#include "rl/replay_buffer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace sibyl::rl
+{
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity, bool dedup)
+    : capacity_(capacity ? capacity : 1), dedup_(dedup)
+{
+    entries_.reserve(capacity_);
+    hashes_.reserve(capacity_);
+}
+
+std::uint64_t
+ReplayBuffer::hashExperience(const Experience &e)
+{
+    // FNV-1a over the raw bytes of the transition.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](const void *data, std::size_t len) {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; i++) {
+            h ^= p[i];
+            h *= 1099511628211ULL;
+        }
+    };
+    mix(e.state.data(), e.state.size() * sizeof(float));
+    mix(&e.action, sizeof(e.action));
+    mix(&e.reward, sizeof(e.reward));
+    mix(e.nextState.data(), e.nextState.size() * sizeof(float));
+    return h;
+}
+
+bool
+ReplayBuffer::add(Experience e)
+{
+    std::uint64_t h = hashExperience(e);
+    if (dedup_) {
+        auto it = hashCount_.find(h);
+        if (it != hashCount_.end() && it->second > 0) {
+            duplicates_++;
+            return false;
+        }
+    }
+
+    if (entries_.size() < capacity_) {
+        entries_.push_back(std::move(e));
+        hashes_.push_back(h);
+        priorities_.push_back(maxPriority_);
+    } else {
+        // Overwrite the oldest entry (ring).
+        std::uint64_t old = hashes_[next_];
+        auto it = hashCount_.find(old);
+        if (it != hashCount_.end() && --it->second == 0)
+            hashCount_.erase(it);
+        entries_[next_] = std::move(e);
+        hashes_[next_] = h;
+        priorities_[next_] = maxPriority_;
+        next_ = (next_ + 1) % capacity_;
+    }
+    hashCount_[h]++;
+    totalAdded_++;
+    return true;
+}
+
+std::vector<const Experience *>
+ReplayBuffer::sample(std::size_t n, Pcg32 &rng) const
+{
+    std::vector<const Experience *> out;
+    if (entries_.empty())
+        return out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; i++) {
+        auto idx = static_cast<std::size_t>(
+            rng.nextBounded(static_cast<std::uint32_t>(entries_.size())));
+        out.push_back(&entries_[idx]);
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+ReplayBuffer::sampleIndices(std::size_t n, Pcg32 &rng) const
+{
+    std::vector<std::size_t> out;
+    if (entries_.empty())
+        return out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; i++) {
+        out.push_back(static_cast<std::size_t>(rng.nextBounded(
+            static_cast<std::uint32_t>(entries_.size()))));
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+ReplayBuffer::samplePrioritizedIndices(std::size_t n, Pcg32 &rng,
+                                       double alpha) const
+{
+    std::vector<std::size_t> out;
+    if (entries_.empty())
+        return out;
+
+    // Prefix sums of p_i^alpha, then inverse-CDF draws. The buffer is
+    // small (e_EB = 1000), so O(N + n log N) per batch is cheap.
+    std::vector<double> cum(entries_.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < entries_.size(); i++) {
+        total += std::pow(static_cast<double>(priorities_[i]), alpha) +
+                 1e-8;
+        cum[i] = total;
+    }
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; i++) {
+        const double u = rng.nextDouble() * total;
+        const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+        out.push_back(
+            static_cast<std::size_t>(it - cum.begin()));
+    }
+    return out;
+}
+
+void
+ReplayBuffer::setPriority(std::size_t i, float p)
+{
+    p = std::max(p, 1e-6f);
+    priorities_.at(i) = p;
+    maxPriority_ = std::max(maxPriority_, p);
+}
+
+double
+ReplayBuffer::importanceWeight(std::size_t i, double alpha,
+                               double beta) const
+{
+    if (entries_.empty())
+        return 1.0;
+    double total = 0.0;
+    double minProb = 1e300;
+    for (std::size_t j = 0; j < entries_.size(); j++) {
+        const double pj =
+            std::pow(static_cast<double>(priorities_[j]), alpha) + 1e-8;
+        total += pj;
+        minProb = std::min(minProb, pj);
+    }
+    const auto n = static_cast<double>(entries_.size());
+    const double probI =
+        (std::pow(static_cast<double>(priorities_.at(i)), alpha) +
+         1e-8) / total;
+    const double wI = std::pow(n * probI, -beta);
+    const double wMax = std::pow(n * (minProb / total), -beta);
+    return wI / wMax;
+}
+
+void
+ReplayBuffer::clear()
+{
+    entries_.clear();
+    hashes_.clear();
+    priorities_.clear();
+    maxPriority_ = 1.0f;
+    hashCount_.clear();
+    next_ = 0;
+    totalAdded_ = 0;
+    duplicates_ = 0;
+}
+
+} // namespace sibyl::rl

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Experience replay buffer (§6.2.1).
+ *
+ * Sibyl stores <state, action, reward, next-state> transitions in a
+ * bounded buffer in host DRAM, deduplicating identical experiences to
+ * minimize its footprint, and trains on uniformly sampled batches
+ * ("experience replay", Mnih et al. 2015).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ml/matrix.hh"
+
+namespace sibyl::rl
+{
+
+/** One transition observed by the agent. */
+struct Experience
+{
+    ml::Vector state;
+    std::uint32_t action = 0;
+    float reward = 0.0f;
+    ml::Vector nextState;
+};
+
+/**
+ * Bounded FIFO replay buffer with optional content deduplication and
+ * uniform random sampling.
+ */
+class ReplayBuffer
+{
+  public:
+    /**
+     * @param capacity Max entries (e_EB in Table 2; paper default 1000).
+     * @param dedup    Skip insertion of transitions identical to one
+     *                 already stored (paper §6.2.1).
+     */
+    explicit ReplayBuffer(std::size_t capacity, bool dedup = true);
+
+    /** Insert @p e; evicts the oldest entry if full. Returns false if the
+     *  entry was dropped as a duplicate. */
+    bool add(Experience e);
+
+    /** Uniformly sample @p n experiences (with replacement). */
+    std::vector<const Experience *> sample(std::size_t n, Pcg32 &rng) const;
+
+    /** Uniformly sample @p n entry indices (with replacement). */
+    std::vector<std::size_t> sampleIndices(std::size_t n,
+                                           Pcg32 &rng) const;
+
+    /**
+     * Prioritized sampling (Schaul et al., 2016): entry i is drawn with
+     * probability proportional to priority_i^alpha. New entries start
+     * at the current max priority so they are replayed at least once.
+     *
+     * @param n     Samples to draw (with replacement).
+     * @param alpha Prioritization exponent (0 = uniform).
+     */
+    std::vector<std::size_t> samplePrioritizedIndices(std::size_t n,
+                                                      Pcg32 &rng,
+                                                      double alpha) const;
+
+    /** Priority of entry @p i (default: max priority at insert time). */
+    float priority(std::size_t i) const { return priorities_.at(i); }
+
+    /** Update entry @p i's priority (e.g., to its latest |TD error|). */
+    void setPriority(std::size_t i, float p);
+
+    /**
+     * Importance-sampling weight for entry @p i under prioritized
+     * sampling, normalized so the largest weight in the buffer is 1:
+     * w_i = (N * P(i))^-beta / max_j w_j.
+     */
+    double importanceWeight(std::size_t i, double alpha,
+                            double beta) const;
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    bool full() const { return entries_.size() == capacity_; }
+
+    /** Total add() calls accepted since construction/clear. */
+    std::uint64_t totalAdded() const { return totalAdded_; }
+    /** add() calls rejected as duplicates. */
+    std::uint64_t duplicatesDropped() const { return duplicates_; }
+
+    void clear();
+
+    const Experience &operator[](std::size_t i) const
+    {
+        return entries_[i];
+    }
+
+  private:
+    static std::uint64_t hashExperience(const Experience &e);
+
+    std::size_t capacity_;
+    bool dedup_;
+    std::vector<Experience> entries_; // ring once full
+    std::size_t next_ = 0;            // ring cursor
+    std::vector<std::uint64_t> hashes_;
+    std::vector<float> priorities_;
+    float maxPriority_ = 1.0f;
+    std::unordered_map<std::uint64_t, std::uint32_t> hashCount_;
+    std::uint64_t totalAdded_ = 0;
+    std::uint64_t duplicates_ = 0;
+};
+
+} // namespace sibyl::rl

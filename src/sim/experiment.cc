@@ -1,0 +1,128 @@
+#include "sim/experiment.hh"
+
+#include <stdexcept>
+
+#include "energy/energy_model.hh"
+
+#include "core/sibyl_policy.hh"
+#include "policies/archivist.hh"
+#include "policies/cde.hh"
+#include "policies/hps.hh"
+#include "policies/oracle.hh"
+#include "policies/rnn_hss.hh"
+#include "policies/static_policies.hh"
+#include "policies/tri_heuristic.hh"
+
+namespace sibyl::sim
+{
+
+Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {}
+
+std::uint32_t
+Experiment::numDevices() const
+{
+    // Derive the count from the authoritative config builder so every
+    // shorthand (dual, tri, quad) stays in sync automatically.
+    return static_cast<std::uint32_t>(
+        hss::makeHssConfig(cfg_.hssConfig, 4096, cfg_.fastCapacityFrac)
+            .size());
+}
+
+const RunMetrics &
+Experiment::fastOnlyBaseline(const trace::Trace &t)
+{
+    auto it = baselineCache_.find(t.name());
+    if (it != baselineCache_.end())
+        return it->second;
+
+    // Fast-Only: "all data resides in the fast storage device" — the
+    // fast device is sized to hold the entire working set.
+    auto specs = hss::makeHssConfig(cfg_.hssConfig, t.uniquePages(),
+                                    /*fastCapacityFrac=*/1.6);
+    hss::HybridSystem sys(std::move(specs), cfg_.seed);
+    policies::FastOnlyPolicy fastOnly;
+    RunMetrics m = runSimulation(t, sys, fastOnly, cfg_.sim);
+    return baselineCache_.emplace(t.name(), std::move(m)).first->second;
+}
+
+PolicyResult
+Experiment::run(const trace::Trace &t, policies::PlacementPolicy &policy)
+{
+    auto specs = hss::makeHssConfig(cfg_.hssConfig, t.uniquePages(),
+                                    cfg_.fastCapacityFrac);
+    if (cfg_.specTweak)
+        cfg_.specTweak(specs);
+    hss::HybridSystem sys(std::move(specs), cfg_.seed);
+
+    PolicyResult r;
+    r.policy = policy.name();
+    r.workload = t.name();
+    r.metrics = runSimulation(t, sys, policy, cfg_.sim);
+
+    const RunMetrics &base = fastOnlyBaseline(t);
+    r.normalizedLatency = base.avgLatencyUs > 0.0
+        ? r.metrics.avgLatencyUs / base.avgLatencyUs
+        : 0.0;
+    r.normalizedIops =
+        base.iops > 0.0 ? r.metrics.iops / base.iops : 0.0;
+
+    // Post-run device accounting for the endurance/energy ablations.
+    for (DeviceId d = 0; d < sys.numDevices(); d++) {
+        const auto &dev = sys.device(d);
+        r.devicePagesWritten.push_back(dev.counters().pagesWritten);
+        const auto power = energy::powerPreset(dev.spec().name);
+        r.totalEnergyMj +=
+            energy::computeEnergy(dev, power, r.metrics.makespanUs)
+                .totalMj();
+    }
+    return r;
+}
+
+std::unique_ptr<policies::PlacementPolicy>
+makePolicy(const std::string &name, std::uint32_t numDevices,
+           const core::SibylConfig &sibylCfg)
+{
+    using namespace policies;
+    if (name == "Slow-Only")
+        return std::make_unique<SlowOnlyPolicy>();
+    if (name == "Fast-Only")
+        return std::make_unique<FastOnlyPolicy>();
+    if (name == "CDE")
+        return std::make_unique<CdePolicy>();
+    if (name == "HPS")
+        return std::make_unique<HpsPolicy>();
+    if (name == "Archivist")
+        return std::make_unique<ArchivistPolicy>();
+    if (name == "RNN-HSS")
+        return std::make_unique<RnnHssPolicy>();
+    if (name == "Oracle")
+        return std::make_unique<OraclePolicy>();
+    if (name == "Heuristic-Tri-Hybrid")
+        return std::make_unique<TriHeuristicPolicy>();
+    if (name == "Heuristic-Multi-Tier") {
+        // One designer-chosen threshold per tier boundary, descending.
+        // These defaults were hand-tuned for the quad-hybrid
+        // configuration — the tuning burden is the point (§8.7).
+        std::vector<std::uint64_t> thresholds;
+        for (std::uint32_t i = 0; i + 1 < numDevices; i++)
+            thresholds.push_back(1ULL << (2 * (numDevices - 2 - i)));
+        return std::make_unique<MultiTierHeuristicPolicy>(
+            std::move(thresholds));
+    }
+    if (name == "Sibyl" || name.rfind("Sibyl", 0) == 0)
+        return std::make_unique<core::SibylPolicy>(sibylCfg, numDevices,
+                                                   name);
+    throw std::invalid_argument("makePolicy: unknown policy " + name);
+}
+
+const std::vector<std::string> &
+standardPolicyLineup()
+{
+    static const std::vector<std::string> lineup = {
+        "Slow-Only", "CDE", "HPS", "Archivist", "RNN-HSS", "Sibyl",
+        "Oracle",
+    };
+    return lineup;
+}
+
+} // namespace sibyl::sim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Experiment harness: builds (workload, HSS configuration, policy)
+ * combinations, normalizes results to the Fast-Only baseline exactly as
+ * every figure in the paper does, and provides a policy factory shared
+ * by the benches and examples.
+ */
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/sibyl_config.hh"
+#include "policies/policy.hh"
+#include "sim/metrics.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+
+namespace sibyl::sim
+{
+
+/** Configuration of one experiment family. */
+struct ExperimentConfig
+{
+    /** HSS shorthand: "H&M", "H&L", "H&M&L", "H&M&L_SSD" (Table 3),
+     *  or the quad-hybrid "H&M&L_SSD&L" extensibility configuration. */
+    std::string hssConfig = "H&M";
+
+    /** Fast-device capacity as a fraction of the workload working set
+     *  (paper default: 10%; tri-hybrid H: 5%; Fig. 15 sweeps this). */
+    double fastCapacityFrac = 0.10;
+
+    /** Device-jitter seed. */
+    std::uint64_t seed = 42;
+
+    /** Simulation-loop knobs. */
+    SimConfig sim;
+
+    /** Optional hook applied to the device specs of every policy run
+     *  (but not to the Fast-Only normalization baseline, which stays
+     *  the healthy reference) — e.g. to inject fault windows or tweak
+     *  device parameters without a custom harness. */
+    std::function<void(std::vector<device::DeviceSpec> &)> specTweak;
+};
+
+/** One (policy, workload) outcome with Fast-Only normalization. */
+struct PolicyResult
+{
+    std::string policy;
+    std::string workload;
+    RunMetrics metrics;
+
+    /** avgLatency / FastOnly.avgLatency — the paper's y-axis. */
+    double normalizedLatency = 0.0;
+
+    /** iops / FastOnly.iops. */
+    double normalizedIops = 0.0;
+
+    /** Pages written per device (foreground + migration), for the
+     *  endurance ablation. Index = DeviceId. */
+    std::vector<std::uint64_t> devicePagesWritten;
+
+    /** Total energy across all devices over the run, in millijoules,
+     *  using the Table 3 power presets (energy ablation). */
+    double totalEnergyMj = 0.0;
+};
+
+/**
+ * Runs policies over traces under a fixed experiment configuration,
+ * caching the Fast-Only baseline per trace.
+ */
+class Experiment
+{
+  public:
+    explicit Experiment(ExperimentConfig cfg);
+
+    /** Number of devices in the configured HSS. */
+    std::uint32_t numDevices() const;
+
+    /**
+     * Run @p policy on @p t with a freshly built system and return the
+     * normalized result.
+     */
+    PolicyResult run(const trace::Trace &t,
+                     policies::PlacementPolicy &policy);
+
+    /** Fast-Only reference metrics for @p t (fast device sized to hold
+     *  the entire working set, per the paper's baseline definition). */
+    const RunMetrics &fastOnlyBaseline(const trace::Trace &t);
+
+    const ExperimentConfig &config() const { return cfg_; }
+
+  private:
+    ExperimentConfig cfg_;
+    std::map<std::string, RunMetrics> baselineCache_;
+};
+
+/**
+ * Policy factory. Recognized names: "Slow-Only", "Fast-Only", "CDE",
+ * "HPS", "Archivist", "RNN-HSS", "Oracle", "Heuristic-Tri-Hybrid",
+ * "Heuristic-Multi-Tier" (N-tier banding with default thresholds),
+ * "Sibyl". For Sibyl, @p sibylCfg supplies hyper-parameters.
+ */
+std::unique_ptr<policies::PlacementPolicy>
+makePolicy(const std::string &name, std::uint32_t numDevices,
+           const core::SibylConfig &sibylCfg = core::SibylConfig());
+
+/** The policy lineup of Figs. 9/10 (excluding Fast-Only, the divisor). */
+const std::vector<std::string> &standardPolicyLineup();
+
+} // namespace sibyl::sim

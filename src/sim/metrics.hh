@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Metrics collected from one simulation run — the quantities the paper
+ * reports: average request latency (Figs. 2, 9, 11-13, 15, 16), request
+ * throughput in IOPS (Figs. 10, 14), eviction fraction (Fig. 18), and
+ * fast-placement preference (Fig. 17).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace sibyl::sim
+{
+
+/** Results of one (trace, system, policy) simulation. */
+struct RunMetrics
+{
+    std::uint64_t requests = 0;
+
+    /** Average end-to-end request latency (us) — the primary metric. */
+    double avgLatencyUs = 0.0;
+
+    /** Average latency over the second half of the trace only — the
+     *  post-warmup view, where an online learner has converged. */
+    double steadyAvgLatencyUs = 0.0;
+
+    /** Latency tail statistics. */
+    double p50LatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+    double maxLatencyUs = 0.0;
+
+    /** Completed I/O operations per second over the run's makespan. */
+    double iops = 0.0;
+
+    /** Simulated makespan (us): last completion minus first arrival. */
+    double makespanUs = 0.0;
+
+    /** Requests that triggered at least one eviction, as a fraction of
+     *  all requests (Fig. 18). */
+    double evictionFraction = 0.0;
+
+    /** Pages evicted from the fast device per request. */
+    double evictedPagesPerRequest = 0.0;
+
+    /** #fast placements / #all placements (Fig. 17). */
+    double fastPlacementPreference = 0.0;
+
+    /** Placement-decision counts per device. */
+    std::vector<std::uint64_t> placements;
+
+    /** Promotions and demotions performed by the system. */
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+
+    /** Per-request traces, filled only when
+     *  SimConfig::recordPerRequest is set: arrival time, end-to-end
+     *  latency, and the placement action taken. Indexed by request. */
+    std::vector<double> perRequestArrivalUs;
+    std::vector<double> perRequestLatencyUs;
+    std::vector<std::uint8_t> perRequestAction;
+};
+
+} // namespace sibyl::sim

@@ -1,0 +1,95 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace sibyl::sim
+{
+
+RunMetrics
+runSimulation(const trace::Trace &t, hss::HybridSystem &sys,
+              policies::PlacementPolicy &policy, const SimConfig &cfg)
+{
+    RunMetrics m;
+    if (t.empty())
+        return m;
+
+    if (!cfg.skipPrepare)
+        policy.prepare(t, sys);
+
+    const std::uint32_t qd = std::max<std::uint32_t>(1, cfg.queueDepth);
+    std::vector<SimTime> finishRing(qd, 0.0);
+
+    if (cfg.recordPerRequest) {
+        m.perRequestArrivalUs.reserve(t.size());
+        m.perRequestLatencyUs.reserve(t.size());
+        m.perRequestAction.reserve(t.size());
+    }
+
+    RunningStat latency;
+    RunningStat steadyLatency; // second half only (post-convergence)
+    Histogram latencyHist(0.0, 1e6, 4096); // 0 .. 1 s, ~244 us bins
+    SimTime firstArrival = 0.0;
+    SimTime lastFinish = 0.0;
+
+    for (std::size_t i = 0; i < t.size(); i++) {
+        const trace::Request &req = t[i];
+
+        // Bounded outstanding window: wait for request i-qd.
+        SimTime gate = finishRing[i % qd];
+        SimTime arrival = std::max(req.timestamp, gate);
+        if (i == 0)
+            firstArrival = arrival;
+
+        DeviceId action = policy.selectPlacement(sys, req, i);
+        hss::ServeResult result = sys.serve(arrival, req, action);
+        policy.observeOutcome(sys, req, action, result);
+
+        if (cfg.recordPerRequest) {
+            m.perRequestArrivalUs.push_back(arrival);
+            m.perRequestLatencyUs.push_back(result.latencyUs);
+            m.perRequestAction.push_back(static_cast<std::uint8_t>(action));
+        }
+
+        finishRing[i % qd] = result.finishUs;
+        lastFinish = std::max(lastFinish, result.finishUs);
+        latency.add(result.latencyUs);
+        if (i >= t.size() / 2)
+            steadyLatency.add(result.latencyUs);
+        latencyHist.add(result.latencyUs);
+    }
+
+    const auto &c = sys.counters();
+    m.requests = t.size();
+    m.avgLatencyUs = latency.mean();
+    // Histogram quantiles interpolate inside a bin and can overshoot
+    // the largest observed sample; clamp so p50 <= p99 <= max always
+    // holds in reported metrics.
+    m.maxLatencyUs = latency.max();
+    m.p50LatencyUs = std::min(latencyHist.quantile(0.50),
+                              m.maxLatencyUs);
+    m.p99LatencyUs = std::min(latencyHist.quantile(0.99),
+                              m.maxLatencyUs);
+    m.steadyAvgLatencyUs = steadyLatency.mean();
+    m.makespanUs = lastFinish - firstArrival;
+    m.iops = m.makespanUs > 0.0
+        ? static_cast<double>(t.size()) / (m.makespanUs / 1e6)
+        : 0.0;
+    m.evictionFraction = static_cast<double>(c.evictionEvents) /
+                         static_cast<double>(t.size());
+    m.evictedPagesPerRequest = static_cast<double>(c.evictedPages) /
+                               static_cast<double>(t.size());
+    std::uint64_t totalPlacements = 0;
+    for (auto p : c.placements)
+        totalPlacements += p;
+    m.fastPlacementPreference = totalPlacements
+        ? static_cast<double>(c.placements[0]) /
+          static_cast<double>(totalPlacements)
+        : 0.0;
+    m.placements = c.placements;
+    m.promotions = c.promotions;
+    m.demotions = c.demotions;
+    return m;
+}
+
+} // namespace sibyl::sim

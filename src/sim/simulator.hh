@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Trace-driven simulation loop.
+ *
+ * Replays a trace against a hybrid system under a placement policy the
+ * way the paper's real-system harness replays MSRC traces: requests are
+ * issued at their trace timestamps, subject to a bounded number of
+ * outstanding requests (the OS block layer's queue depth), so a
+ * saturated device back-pressures the workload instead of queueing
+ * unboundedly.
+ */
+
+#pragma once
+
+#include "hss/hybrid_system.hh"
+#include "policies/policy.hh"
+#include "sim/metrics.hh"
+#include "trace/trace.hh"
+
+namespace sibyl::sim
+{
+
+/** Simulation-loop knobs. */
+struct SimConfig
+{
+    /** Maximum in-flight requests (host queue depth). Request i may not
+     *  be issued before request i-queueDepth completed. The default of 1
+     *  reproduces the paper's closed-loop replay: per-request latency is
+     *  service time plus interference from background migration I/O. */
+    std::uint32_t queueDepth = 1;
+
+    /** Skip the policy's prepare() hook (used by tests that pre-train). */
+    bool skipPrepare = false;
+
+    /** Record per-request arrival/latency/action vectors in the
+     *  RunMetrics (off by default — costs memory). Used by benches
+     *  that need phase-resolved views, e.g. the fault ablation. */
+    bool recordPerRequest = false;
+};
+
+/**
+ * Run @p policy over @p t on @p sys and collect metrics.
+ *
+ * Per request (Algorithm 1 shape):
+ *   1. policy observes the pre-action state and picks a device,
+ *   2. the system serves the request and reports latency/evictions,
+ *   3. the policy receives the outcome as feedback.
+ */
+RunMetrics runSimulation(const trace::Trace &t, hss::HybridSystem &sys,
+                         policies::PlacementPolicy &policy,
+                         const SimConfig &cfg = SimConfig());
+
+} // namespace sibyl::sim

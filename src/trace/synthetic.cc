@@ -1,0 +1,154 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sibyl::trace
+{
+
+namespace
+{
+
+/** Large prime used for the rank->page multiplicative permutation. */
+constexpr std::uint64_t kPermPrime = 2654435761ULL;
+
+} // namespace
+
+std::uint64_t
+syntheticUniquePages(const SyntheticConfig &cfg)
+{
+    double pages = static_cast<double>(cfg.numRequests) *
+                   cfg.avgRequestSizePages /
+                   std::max(1.0, cfg.avgAccessCount);
+    return std::max<std::uint64_t>(64, static_cast<std::uint64_t>(pages));
+}
+
+Trace
+generateSynthetic(const SyntheticConfig &cfg)
+{
+    Trace t(cfg.name);
+    t.reserve(cfg.numRequests);
+
+    Pcg32 rng(cfg.seed, 0x5151515151ULL);
+    const std::uint64_t universe = syntheticUniquePages(cfg);
+    // The hot set is a set of *extents* (request-sized page runs) whose
+    // total footprint is hotSetFraction of the universe — so a fast tier
+    // sized at ~10% of the working set can actually hold it.
+    const std::uint64_t extentStride = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(cfg.avgRequestSizePages + 0.5));
+    const std::uint64_t hotExtents = std::max<std::uint64_t>(
+        4, static_cast<std::uint64_t>(
+               cfg.hotSetFraction * static_cast<double>(universe) /
+               static_cast<double>(extentStride)));
+    ZipfSampler zipf(hotExtents, std::clamp(cfg.zipfTheta, 0.0, 0.99));
+
+    const std::uint32_t phases = std::max<std::uint32_t>(1, cfg.numPhases);
+    const std::size_t phaseLen =
+        std::max<std::size_t>(1, cfg.numRequests / phases);
+
+    SimTime now = 0.0;
+    PageId seqNext = 0;
+    std::uint32_t seqRemaining = 0;
+    std::uint32_t lastSize = 1;
+
+    for (std::size_t i = 0; i < cfg.numRequests; i++) {
+        std::uint32_t phase =
+            std::min<std::uint32_t>(phases - 1,
+                                    static_cast<std::uint32_t>(i / phaseLen));
+
+        // Per-phase perturbation of the sequential mix keeps the workload
+        // dynamic without changing its aggregate statistics much.
+        double phaseSeqBias =
+            0.75 + 0.5 * ((phase * 2654435761u % 100) / 100.0);
+        double seqFrac = std::clamp(cfg.seqFraction * phaseSeqBias, 0.0, 0.95);
+        // seqFrac is the *steady-state fraction of requests* inside
+        // sequential runs; convert it to the per-request probability of
+        // starting a run of mean length L: p = f / (L(1-f) + f).
+        double runLen = std::max(1.0, cfg.seqRunLen);
+        double startProb =
+            seqFrac / (runLen * (1.0 - seqFrac) + seqFrac);
+
+        Request r;
+
+        // Deterministic per-page size: repeated accesses to the same
+        // start page re-read the same extent (files are re-read in the
+        // same blocks), so hot requests are stable page sets that can be
+        // cached as a whole. The quantile-transform of a per-page hash
+        // keeps sizes exponentially distributed around the target mean.
+        auto sizeForPage = [&](PageId page) {
+            std::uint64_t h = (page + cfg.seed) * 0x9E3779B97F4A7C15ULL;
+            h ^= h >> 33;
+            h *= 0xff51afd7ed558ccdULL;
+            h ^= h >> 33;
+            double u = static_cast<double>(h >> 11) / 9007199254740992.0;
+            double sz = -cfg.avgRequestSizePages * std::log(1.0 - u);
+            return static_cast<std::uint32_t>(std::clamp(sz, 1.0, 64.0));
+        };
+
+        // Hot-set/cold-tail popularity: most non-sequential accesses hit
+        // a small hot set (Zipf-skewed within it); the rest spread
+        // uniformly across the universe. Phases rotate which universe
+        // indices are hot, creating the drift of Fig. 4.
+        auto samplePage = [&]() -> PageId {
+            std::uint64_t idx;
+            if (rng.nextBool(cfg.hotAccessFraction)) {
+                std::uint64_t rank = zipf.sample(rng);
+                idx = (rank * extentStride +
+                       static_cast<std::uint64_t>(phase) * universe /
+                           phases) % universe;
+            } else {
+                idx = static_cast<std::uint64_t>(
+                    rng.nextRange(0, static_cast<std::int64_t>(universe) -
+                                         1));
+            }
+            return (idx * kPermPrime) % universe;
+        };
+
+        // --- Address.
+        if (seqRemaining > 0) {
+            r.page = seqNext;
+            seqRemaining--;
+        } else if (rng.nextBool(startProb)) {
+            // Start a new sequential run.
+            r.page = samplePage();
+            double len = rng.nextExponential(cfg.seqRunLen);
+            seqRemaining = static_cast<std::uint32_t>(
+                std::clamp(len, 1.0, 64.0));
+        } else {
+            r.page = samplePage();
+        }
+        r.sizePages = sizeForPage(r.page);
+        // Clip the extent at the end of the universe so unique-page
+        // accounting stays exact. The clipped size is still a pure
+        // function of the start page, preserving extent stability.
+        if (r.page + r.sizePages > universe) {
+            r.sizePages = static_cast<std::uint32_t>(universe - r.page);
+            if (r.sizePages == 0) {
+                r.page = universe - 1;
+                r.sizePages = 1;
+            }
+        }
+        seqNext = r.page + r.sizePages;
+        if (seqNext >= universe) {
+            seqNext = 0;
+            seqRemaining = 0;
+        }
+
+        // --- Type.
+        r.op = rng.nextBool(cfg.writeFrac) ? OpType::Write : OpType::Read;
+
+        // --- Timing: bursty Poisson arrivals.
+        double gap = rng.nextBool(cfg.burstFraction)
+            ? rng.nextExponential(cfg.burstGapUs)
+            : rng.nextExponential(cfg.meanInterArrivalUs);
+        now += gap;
+        r.timestamp = now;
+
+        lastSize = r.sizePages;
+        (void)lastSize;
+        t.add(r);
+    }
+    return t;
+}
+
+} // namespace sibyl::trace

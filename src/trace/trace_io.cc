@@ -1,0 +1,154 @@
+#include "trace/trace_io.hh"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sibyl::trace
+{
+
+namespace
+{
+
+/** Split @p line on commas into at most @p maxFields fields. */
+std::vector<std::string_view>
+splitCsv(std::string_view line, std::size_t maxFields)
+{
+    std::vector<std::string_view> fields;
+    std::size_t start = 0;
+    while (fields.size() < maxFields) {
+        std::size_t comma = line.find(',', start);
+        if (comma == std::string_view::npos) {
+            fields.push_back(line.substr(start));
+            break;
+        }
+        fields.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return fields;
+}
+
+template <typename T>
+bool
+parseNum(std::string_view sv, T &out)
+{
+    auto res = std::from_chars(sv.data(), sv.data() + sv.size(), out);
+    return res.ec == std::errc();
+}
+
+} // namespace
+
+Trace
+readMsrcCsv(std::istream &in, const std::string &name)
+{
+    Trace t(name);
+    std::string line;
+    bool haveBase = false;
+    std::uint64_t baseTicks = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        auto f = splitCsv(line, 7);
+        if (f.size() < 6)
+            continue;
+        std::uint64_t ticks = 0;
+        std::uint64_t offset = 0;
+        std::uint64_t bytes = 0;
+        if (!parseNum(f[0], ticks) || !parseNum(f[4], offset) ||
+            !parseNum(f[5], bytes)) {
+            continue; // malformed row
+        }
+        bool isWrite = !f[3].empty() && (f[3][0] == 'W' || f[3][0] == 'w');
+        if (!haveBase) {
+            baseTicks = ticks;
+            haveBase = true;
+        }
+        Request r;
+        // MSRC timestamps are Windows FILETIME ticks (100 ns).
+        r.timestamp = static_cast<double>(ticks - baseTicks) / 10.0;
+        r.page = offset / kPageSize;
+        std::uint64_t endByte = offset + (bytes ? bytes : 1);
+        std::uint64_t endPage = (endByte + kPageSize - 1) / kPageSize;
+        r.sizePages = static_cast<std::uint32_t>(
+            std::max<std::uint64_t>(1, endPage - r.page));
+        r.op = isWrite ? OpType::Write : OpType::Read;
+        t.add(r);
+    }
+    t.sortByTime();
+    return t;
+}
+
+Trace
+readMsrcCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open trace file: " + path);
+    std::string name = path;
+    auto slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    auto dotPos = name.find('.');
+    if (dotPos != std::string::npos)
+        name = name.substr(0, dotPos);
+    return readMsrcCsv(in, name);
+}
+
+void
+writeNativeCsv(std::ostream &os, const Trace &t)
+{
+    os << "timestamp_us,page,size_pages,op\n";
+    for (const auto &r : t) {
+        os << r.timestamp << ',' << r.page << ',' << r.sizePages << ','
+           << (r.op == OpType::Write ? 'W' : 'R') << '\n';
+    }
+}
+
+Trace
+readNativeCsv(std::istream &in, const std::string &name)
+{
+    Trace t(name);
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (first) {
+            first = false;
+            if (line.rfind("timestamp", 0) == 0)
+                continue; // header
+        }
+        auto f = splitCsv(line, 4);
+        if (f.size() < 4)
+            continue;
+        Request r;
+        double ts = 0.0;
+        // from_chars for double is not universally available for
+        // string_view slices with trailing data; use stod on a copy.
+        try {
+            ts = std::stod(std::string(f[0]));
+        } catch (...) {
+            continue;
+        }
+        std::uint64_t page = 0;
+        std::uint32_t size = 0;
+        if (!parseNum(f[1], page) || !parseNum(f[2], size))
+            continue;
+        r.timestamp = ts;
+        r.page = page;
+        r.sizePages = size ? size : 1;
+        r.op = (!f[3].empty() && (f[3][0] == 'W' || f[3][0] == 'w'))
+            ? OpType::Write
+            : OpType::Read;
+        t.add(r);
+    }
+    t.sortByTime();
+    return t;
+}
+
+} // namespace sibyl::trace

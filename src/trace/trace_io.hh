@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trace file input/output.
+ *
+ * Supports the MSR Cambridge CSV format used by the paper's workloads
+ * (`Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime`, with
+ * timestamps in Windows 100 ns ticks and offsets/sizes in bytes) plus a
+ * simple native CSV format for round-tripping synthetic traces.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace sibyl::trace
+{
+
+/**
+ * Parse an MSRC-format CSV stream. Rows that fail to parse are skipped
+ * (real MSRC files contain occasional malformed lines).
+ *
+ * @param in    Input stream positioned at the first row.
+ * @param name  Name to give the resulting trace.
+ * @return The parsed trace, sorted by timestamp and rebased to t=0.
+ */
+Trace readMsrcCsv(std::istream &in, const std::string &name);
+
+/** Convenience overload opening @p path. Throws std::runtime_error if the
+ *  file cannot be opened. */
+Trace readMsrcCsvFile(const std::string &path);
+
+/**
+ * Write a trace in the native format:
+ * `timestamp_us,page,size_pages,R|W` one request per line, with a header.
+ */
+void writeNativeCsv(std::ostream &os, const Trace &t);
+
+/** Parse the native format produced by writeNativeCsv(). */
+Trace readNativeCsv(std::istream &in, const std::string &name);
+
+} // namespace sibyl::trace

@@ -1,0 +1,63 @@
+#include "trace/trace_stats.hh"
+
+#include <unordered_map>
+
+namespace sibyl::trace
+{
+
+TraceStats
+TraceStats::compute(const Trace &t)
+{
+    TraceStats s;
+    s.requests = t.size();
+    if (t.empty())
+        return s;
+
+    std::uint64_t writes = 0;
+    std::uint64_t totalPages = 0;
+    std::unordered_map<PageId, std::uint64_t> accessCount;
+    double firstTs = t[0].timestamp;
+    double lastTs = t[0].timestamp;
+
+    for (const auto &r : t) {
+        if (r.op == OpType::Write)
+            writes++;
+        totalPages += r.sizePages;
+        for (PageId p = r.page; p < r.endPage(); p++)
+            accessCount[p]++;
+        lastTs = r.timestamp;
+    }
+
+    s.writePct = 100.0 * static_cast<double>(writes) /
+                 static_cast<double>(t.size());
+    s.readPct = 100.0 - s.writePct;
+    s.avgRequestSizeKiB = static_cast<double>(totalPages) *
+                          (kPageSize / 1024.0) /
+                          static_cast<double>(t.size());
+    s.uniquePages = accessCount.size();
+    s.avgAccessCount = s.uniquePages
+        ? static_cast<double>(totalPages) /
+          static_cast<double>(s.uniquePages)
+        : 0.0;
+    s.durationSec = (lastTs - firstTs) / kSecond;
+    s.avgInterArrivalUs = t.size() > 1
+        ? (lastTs - firstTs) / static_cast<double>(t.size() - 1)
+        : 0.0;
+    return s;
+}
+
+std::vector<TimelinePoint>
+sampleTimeline(const Trace &t, std::size_t maxPoints)
+{
+    std::vector<TimelinePoint> out;
+    if (t.empty() || maxPoints == 0)
+        return out;
+    std::size_t stride = t.size() > maxPoints ? t.size() / maxPoints : 1;
+    for (std::size_t i = 0; i < t.size(); i += stride) {
+        const auto &r = t[i];
+        out.push_back({r.timestamp / kSecond, r.page, r.sizePages});
+    }
+    return out;
+}
+
+} // namespace sibyl::trace

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Workload characterization (Table 4 / Fig. 3 / Fig. 4 of the paper).
+ *
+ * Computes, for a trace, the read/write mix, average request size,
+ * average page access count (hotness), unique page count, and the
+ * randomness proxy the paper uses (average request size: larger requests
+ * imply more sequential workloads).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace sibyl::trace
+{
+
+/** Aggregate characteristics of one trace. */
+struct TraceStats
+{
+    std::uint64_t requests = 0;
+    double writePct = 0.0;          ///< % of requests that are writes
+    double readPct = 0.0;           ///< % of requests that are reads
+    double avgRequestSizeKiB = 0.0; ///< randomness proxy (Fig. 3 x-axis)
+    double avgAccessCount = 0.0;    ///< hotness proxy (Fig. 3 y-axis)
+    std::uint64_t uniquePages = 0;
+    double durationSec = 0.0;       ///< span of the trace timestamps
+    double avgInterArrivalUs = 0.0;
+
+    /** Compute all statistics in one pass over @p t. */
+    static TraceStats compute(const Trace &t);
+};
+
+/** One sample of the Fig. 4 execution timeline. */
+struct TimelinePoint
+{
+    double timeSec;
+    PageId page;
+    std::uint32_t sizePages;
+};
+
+/**
+ * Downsample a trace to at most @p maxPoints timeline samples for the
+ * Fig. 4 reproduction (accessed addresses and request sizes over time).
+ */
+std::vector<TimelinePoint> sampleTimeline(const Trace &t,
+                                          std::size_t maxPoints);
+
+} // namespace sibyl::trace

@@ -1,0 +1,188 @@
+#include "trace/workloads.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sibyl::trace
+{
+
+namespace
+{
+
+/** FNV-1a hash so each workload gets a distinct default seed. */
+std::uint64_t
+hashName(const std::string &name)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h ? h : 1;
+}
+
+/** Table 4 rows with synthesizer skew/sequentiality assignments. The
+ *  Zipf theta follows the hotness (avg access count) and the sequential
+ *  fraction follows the randomness proxy (avg request size), per Fig. 3. */
+const std::vector<WorkloadProfile> kMsrc = {
+    // name      W%    szKiB  cnt    uniq   theta  seq   phases hot%
+    {"hm_1",     4.7,  15.2,  44.5,  6265,  0.90,  0.25, 4, 0.88},
+    {"mds_0",    88.1, 9.6,   3.5,   31933, 0.60,  0.12, 5, 0.50},
+    {"prn_1",    24.7, 20.0,  2.6,   6891,  0.60,  0.40, 4, 0.45},
+    {"proj_0",   87.5, 38.0,  48.3,  1381,  0.90,  0.55, 3, 0.88},
+    {"proj_2",   12.4, 42.4,  2.9,   27967, 0.60,  0.55, 5, 0.45},
+    {"proj_3",   5.2,  9.6,   3.6,   19397, 0.60,  0.12, 4, 0.50},
+    {"prxy_0",   96.9, 7.2,   95.7,  525,   0.98,  0.12, 6, 0.93},
+    {"prxy_1",   34.5, 12.8,  150.1, 6845,  0.98,  0.25, 6, 0.93},
+    {"rsrch_0",  90.7, 9.2,   34.7,  5504,  0.90,  0.12, 6, 0.85},
+    {"src1_0",   43.6, 43.2,  12.7,  13640, 0.80,  0.55, 4, 0.70},
+    {"stg_1",    36.3, 40.8,  1.1,   3787,  0.25,  0.55, 3, 0.25},
+    {"usr_0",    59.6, 22.8,  19.7,  2138,  0.80,  0.40, 4, 0.75},
+    {"wdev_2",   99.9, 8.0,   17.7,  4270,  0.80,  0.12, 4, 0.75},
+    {"web_1",    45.9, 29.6,  1.2,   6095,  0.25,  0.40, 4, 0.25},
+};
+
+/** FileBench/YCSB personalities (documented mixes; not in Table 4). */
+const std::vector<WorkloadProfile> kFilebench = {
+    {"fileserver", 50.0, 32.0, 4.0,  0, 0.60, 0.50, 4, 0.50},
+    {"ntrx_rw",    80.0, 8.0,  20.0, 0, 0.80, 0.15, 4, 0.75},
+    {"oltp_rw",    25.0, 8.0,  60.0, 0, 0.90, 0.10, 4, 0.88},
+    {"varmail",    55.0, 6.0,  8.0,  0, 0.70, 0.10, 4, 0.60},
+    {"ycsb_c",     0.0,  4.0,  30.0, 0, 0.99, 0.05, 2, 0.90},
+};
+
+const std::vector<std::string> kMotivation = {
+    "hm_1", "prn_1", "proj_2", "prxy_1", "usr_0", "wdev_2",
+};
+
+const std::vector<std::string> kMixNames = {
+    "mix1", "mix2", "mix3", "mix4", "mix5", "mix6",
+};
+
+/** Table 5 composition. */
+std::vector<std::string>
+mixComponents(const std::string &mixName)
+{
+    if (mixName == "mix1") return {"prxy_0", "ntrx_rw"};
+    if (mixName == "mix2") return {"rsrch_0", "oltp_rw"};
+    if (mixName == "mix3") return {"proj_3", "ycsb_c"};
+    if (mixName == "mix4") return {"src1_0", "fileserver"};
+    if (mixName == "mix5") return {"prxy_0", "oltp_rw", "fileserver"};
+    if (mixName == "mix6") return {"src1_0", "ycsb_c", "fileserver"};
+    throw std::invalid_argument("unknown mix: " + mixName);
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+msrcProfiles()
+{
+    return kMsrc;
+}
+
+const std::vector<WorkloadProfile> &
+filebenchProfiles()
+{
+    return kFilebench;
+}
+
+std::optional<WorkloadProfile>
+findProfile(const std::string &name)
+{
+    for (const auto &p : kMsrc)
+        if (p.name == name)
+            return p;
+    for (const auto &p : kFilebench)
+        if (p.name == name)
+            return p;
+    return std::nullopt;
+}
+
+const std::vector<std::string> &
+motivationWorkloads()
+{
+    return kMotivation;
+}
+
+std::size_t
+defaultTraceLength()
+{
+    double scale = 1.0;
+    if (const char *env = std::getenv("SIBYL_TRACE_SCALE")) {
+        scale = std::atof(env);
+        if (scale <= 0.0)
+            scale = 1.0;
+    }
+    return static_cast<std::size_t>(30000.0 * scale);
+}
+
+Trace
+makeWorkload(const WorkloadProfile &profile, std::size_t numRequests,
+             std::uint64_t seed)
+{
+    SyntheticConfig cfg;
+    cfg.name = profile.name;
+    cfg.numRequests = numRequests ? numRequests : defaultTraceLength();
+    cfg.writeFrac = profile.writePct / 100.0;
+    cfg.avgRequestSizePages = profile.avgReqSizeKiB / 4.0;
+    cfg.avgAccessCount = profile.avgAccessCount;
+    cfg.zipfTheta = profile.zipfTheta;
+    cfg.hotAccessFraction = profile.hotAccessFraction;
+    cfg.seqFraction = profile.seqFraction;
+    cfg.numPhases = profile.numPhases;
+    cfg.seed = seed ? seed : hashName(profile.name);
+    return generateSynthetic(cfg);
+}
+
+Trace
+makeWorkload(const std::string &name, std::size_t numRequests,
+             std::uint64_t seed)
+{
+    auto p = findProfile(name);
+    if (!p)
+        throw std::invalid_argument("unknown workload: " + name);
+    return makeWorkload(*p, numRequests, seed);
+}
+
+const std::vector<std::string> &
+mixedWorkloadNames()
+{
+    return kMixNames;
+}
+
+Trace
+makeMixedWorkload(const std::string &mixName, std::size_t numRequestsPerTrace,
+                  std::uint64_t seed)
+{
+    auto components = mixComponents(mixName);
+    if (!seed)
+        seed = hashName(mixName);
+    Pcg32 rng(seed, 0x77);
+
+    std::size_t perTrace = numRequestsPerTrace
+        ? numRequestsPerTrace
+        : defaultTraceLength() / components.size();
+
+    Trace mixed(mixName);
+    bool first = true;
+    SimTime span = 0.0;
+    PageId pageBase = 0;
+    for (const auto &comp : components) {
+        Trace t = makeWorkload(comp, perTrace, seed ^ hashName(comp));
+        // The mixed applications are independent (§8.3), so give each
+        // component a disjoint slice of the unified address space.
+        for (std::size_t i = 0; i < t.size(); i++)
+            t[i].page += pageBase;
+        pageBase = t.addressSpacePages() + 1024;
+        if (!t.empty())
+            span = std::max(span, t[t.size() - 1].timestamp);
+        // Randomly vary the relative start time (§8.3) within 20% of the
+        // longest component's duration.
+        SimTime offset = first ? 0.0 : rng.nextDouble(0.0, 0.2 * span);
+        mixed.merge(t, offset);
+        first = false;
+    }
+    return mixed;
+}
+
+} // namespace sibyl::trace

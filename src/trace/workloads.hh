@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The paper's evaluated workloads as synthesizer profiles.
+ *
+ * Fourteen MSRC enterprise traces (Table 4), four FileBench workloads plus
+ * YCSB-C used as *unseen* workloads (§8.2), and the six mixed workloads of
+ * Table 5 (§8.3).
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+#include "trace/trace.hh"
+
+namespace sibyl::trace
+{
+
+/** Published characteristics of one workload (Table 4 row). */
+struct WorkloadProfile
+{
+    std::string name;
+    double writePct;        ///< % write requests
+    double avgReqSizeKiB;   ///< average request size
+    double avgAccessCount;  ///< average accesses per page
+    std::uint64_t uniqueRequests; ///< paper's unique-request count
+    double zipfTheta;       ///< popularity skew within the hot set
+    double seqFraction;     ///< sequential-run probability
+    std::uint32_t numPhases;
+    double hotAccessFraction; ///< share of random accesses to the hot set
+};
+
+/** All fourteen MSRC profiles of Table 4, in the paper's order. */
+const std::vector<WorkloadProfile> &msrcProfiles();
+
+/** The FileBench/YCSB profiles used as unseen workloads in §8.2/§8.3:
+ *  fileserver, ntrx_rw, oltp_rw, varmail, ycsb_c. */
+const std::vector<WorkloadProfile> &filebenchProfiles();
+
+/** Look up a profile by name across both suites. */
+std::optional<WorkloadProfile> findProfile(const std::string &name);
+
+/** Names of the six motivation workloads of Fig. 2 / Fig. 13. */
+const std::vector<std::string> &motivationWorkloads();
+
+/**
+ * Synthesize a workload from its profile.
+ *
+ * @param profile      Which workload.
+ * @param numRequests  Trace length (scaled-down from the full MSRC runs;
+ *                     see DESIGN.md). 0 selects the default length, which
+ *                     honors the SIBYL_TRACE_SCALE environment variable.
+ * @param seed         RNG seed (defaults to a hash of the name so each
+ *                     workload is distinct but reproducible).
+ */
+Trace makeWorkload(const WorkloadProfile &profile, std::size_t numRequests = 0,
+                   std::uint64_t seed = 0);
+
+/** Convenience overload by name; throws std::invalid_argument if the
+ *  name is unknown. */
+Trace makeWorkload(const std::string &name, std::size_t numRequests = 0,
+                   std::uint64_t seed = 0);
+
+/** Default per-workload request count after applying SIBYL_TRACE_SCALE. */
+std::size_t defaultTraceLength();
+
+/**
+ * The six mixed workloads of Table 5 (mix1..mix6): two or three traces
+ * merged with randomized relative start offsets.
+ */
+Trace makeMixedWorkload(const std::string &mixName,
+                        std::size_t numRequestsPerTrace = 0,
+                        std::uint64_t seed = 0);
+
+/** Names mix1..mix6. */
+const std::vector<std::string> &mixedWorkloadNames();
+
+} // namespace sibyl::trace

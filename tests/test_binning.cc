@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the Table 1 feature quantizers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/binning.hh"
+
+namespace sibyl
+{
+namespace
+{
+
+TEST(LogBinner, PowerOfTwoBoundaries)
+{
+    LogBinner b(8);
+    EXPECT_EQ(b.bin(0), 0u);
+    EXPECT_EQ(b.bin(1), 1u);
+    EXPECT_EQ(b.bin(2), 2u);
+    EXPECT_EQ(b.bin(3), 2u);
+    EXPECT_EQ(b.bin(4), 3u);
+    EXPECT_EQ(b.bin(7), 3u);
+    EXPECT_EQ(b.bin(8), 4u);
+    EXPECT_EQ(b.bin(63), 6u);
+    EXPECT_EQ(b.bin(64), 7u);
+}
+
+TEST(LogBinner, SaturatesAtLastBin)
+{
+    LogBinner b(8);
+    EXPECT_EQ(b.bin(1ULL << 40), 7u);
+    EXPECT_EQ(b.bin(UINT64_MAX), 7u);
+}
+
+/** Binning must be monotone: larger values never map to smaller bins. */
+TEST(LogBinner, Monotone)
+{
+    LogBinner b(64);
+    std::uint32_t prev = 0;
+    for (std::uint64_t v = 0; v < 100000; v += 7) {
+        std::uint32_t cur = b.bin(v);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(LogBinner, NormalizedInUnitRange)
+{
+    LogBinner b(64);
+    for (std::uint64_t v :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{1000},
+          std::uint64_t{UINT64_MAX}}) {
+        double n = b.normalized(v);
+        EXPECT_GE(n, 0.0);
+        EXPECT_LE(n, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(b.normalized(0), 0.0);
+    EXPECT_DOUBLE_EQ(b.normalized(UINT64_MAX), 1.0);
+}
+
+TEST(LogBinner, SingleBinAlwaysZero)
+{
+    LogBinner b(1);
+    EXPECT_EQ(b.bin(12345), 0u);
+    EXPECT_EQ(b.normalized(12345), 0.0);
+}
+
+TEST(LinearBinner, EvenSplit)
+{
+    LinearBinner b(1.0, 8);
+    EXPECT_EQ(b.bin(0.0), 0u);
+    EXPECT_EQ(b.bin(0.124), 0u);
+    EXPECT_EQ(b.bin(0.125), 1u);
+    EXPECT_EQ(b.bin(0.5), 4u);
+    EXPECT_EQ(b.bin(0.999), 7u);
+    EXPECT_EQ(b.bin(1.0), 7u);
+}
+
+TEST(LinearBinner, ClampsOutOfRange)
+{
+    LinearBinner b(1.0, 8);
+    EXPECT_EQ(b.bin(-0.5), 0u);
+    EXPECT_EQ(b.bin(42.0), 7u);
+}
+
+TEST(LinearBinner, NormalizedEndpoints)
+{
+    LinearBinner b(1.0, 8);
+    EXPECT_DOUBLE_EQ(b.normalized(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(b.normalized(1.0), 1.0);
+}
+
+} // namespace
+} // namespace sibyl

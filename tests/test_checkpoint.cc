@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for agent checkpointing: round trips for every agent family,
+ * header validation, corruption handling, and behaviour equivalence
+ * after restore.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "rl/c51_agent.hh"
+#include "rl/checkpoint.hh"
+#include "rl/dqn_agent.hh"
+#include "rl/q_table.hh"
+
+namespace sibyl::rl
+{
+namespace
+{
+
+AgentConfig
+smallConfig(std::uint64_t seed = 5)
+{
+    AgentConfig cfg;
+    cfg.stateDim = 4;
+    cfg.numActions = 2;
+    cfg.bufferCapacity = 32;
+    cfg.batchSize = 8;
+    cfg.batchesPerTraining = 1;
+    cfg.trainEvery = 8;
+    cfg.targetSyncEvery = 16;
+    cfg.learningRate = 1e-2;
+    cfg.dedupBuffer = false;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Drive some learning so the agents have non-trivial state. */
+template <typename AgentT>
+void
+trainABit(AgentT &agent, int steps = 300)
+{
+    Pcg32 rng(42);
+    for (int i = 0; i < steps; i++) {
+        Experience e;
+        e.state = {static_cast<float>(rng.nextDouble()),
+                   static_cast<float>(rng.nextDouble()), 0.5f, 0.5f};
+        e.nextState = e.state;
+        e.action = static_cast<std::uint32_t>(i % 2);
+        e.reward = e.action == 1 ? 1.0f : 0.0f;
+        agent.observe(e);
+    }
+}
+
+template <typename AgentT>
+void
+expectSameQ(AgentT &a, AgentT &b)
+{
+    Pcg32 rng(7);
+    for (int i = 0; i < 20; i++) {
+        ml::Vector s = {static_cast<float>(rng.nextDouble()),
+                        static_cast<float>(rng.nextDouble()),
+                        static_cast<float>(rng.nextDouble()),
+                        static_cast<float>(rng.nextDouble())};
+        const auto qa = a.qValues(s);
+        const auto qb = b.qValues(s);
+        ASSERT_EQ(qa.size(), qb.size());
+        for (std::size_t k = 0; k < qa.size(); k++)
+            EXPECT_FLOAT_EQ(static_cast<float>(qa[k]),
+                            static_cast<float>(qb[k]));
+    }
+}
+
+TEST(Checkpoint, C51RoundTripPreservesQValues)
+{
+    C51Agent trained(smallConfig(1));
+    trainABit(trained);
+    trained.syncWeights();
+
+    std::stringstream buf;
+    saveCheckpoint(trained, buf);
+
+    C51Agent fresh(smallConfig(2)); // different init seed
+    EXPECT_EQ(loadCheckpoint(fresh, buf), "");
+    expectSameQ(trained, fresh);
+}
+
+TEST(Checkpoint, DqnRoundTripPreservesQValues)
+{
+    DqnAgent trained(smallConfig(1));
+    trainABit(trained);
+    trained.syncWeights();
+
+    std::stringstream buf;
+    saveCheckpoint(trained, buf);
+
+    DqnAgent fresh(smallConfig(9));
+    EXPECT_EQ(loadCheckpoint(fresh, buf), "");
+    expectSameQ(trained, fresh);
+}
+
+TEST(Checkpoint, QTableRoundTripPreservesTable)
+{
+    QTableAgent trained(smallConfig(1));
+    trainABit(trained);
+    ASSERT_GT(trained.tableEntries(), 0u);
+
+    std::stringstream buf;
+    saveCheckpoint(trained, buf);
+
+    QTableAgent fresh(smallConfig(1));
+    EXPECT_EQ(loadCheckpoint(fresh, buf), "");
+    EXPECT_EQ(fresh.tableEntries(), trained.tableEntries());
+    expectSameQ(trained, fresh);
+}
+
+TEST(Checkpoint, RestoredAgentActsIdentically)
+{
+    C51Agent trained(smallConfig(1));
+    trainABit(trained);
+    trained.syncWeights();
+    trained.setEpsilon(0.0);
+
+    std::stringstream buf;
+    saveCheckpoint(trained, buf);
+    C51Agent fresh(smallConfig(3));
+    ASSERT_EQ(loadCheckpoint(fresh, buf), "");
+    fresh.setEpsilon(0.0);
+
+    Pcg32 rng(11);
+    for (int i = 0; i < 50; i++) {
+        ml::Vector s = {static_cast<float>(rng.nextDouble()),
+                        static_cast<float>(rng.nextDouble()), 0.0f,
+                        1.0f};
+        EXPECT_EQ(trained.greedyAction(s), fresh.greedyAction(s));
+    }
+}
+
+TEST(Checkpoint, RejectsWrongFamily)
+{
+    C51Agent c51(smallConfig());
+    std::stringstream buf;
+    saveCheckpoint(c51, buf);
+    DqnAgent dqn(smallConfig());
+    EXPECT_NE(loadCheckpoint(dqn, buf), "");
+}
+
+TEST(Checkpoint, RejectsDimensionMismatch)
+{
+    C51Agent a(smallConfig());
+    std::stringstream buf;
+    saveCheckpoint(a, buf);
+    AgentConfig other = smallConfig();
+    other.stateDim = 7;
+    C51Agent b(other);
+    const auto err = loadCheckpoint(b, buf);
+    EXPECT_NE(err.find("mismatch"), std::string::npos) << err;
+}
+
+TEST(Checkpoint, RejectsGarbage)
+{
+    std::stringstream buf;
+    buf << "this is not a checkpoint at all";
+    C51Agent a(smallConfig());
+    EXPECT_NE(loadCheckpoint(a, buf), "");
+}
+
+TEST(Checkpoint, RejectsTruncated)
+{
+    C51Agent a(smallConfig());
+    std::stringstream buf;
+    saveCheckpoint(a, buf);
+    const std::string full = buf.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    C51Agent b(smallConfig());
+    EXPECT_NE(loadCheckpoint(b, cut), "");
+}
+
+TEST(Checkpoint, RejectsTopologyMismatch)
+{
+    AgentConfig big = smallConfig();
+    big.hidden = {40, 60};
+    C51Agent a(big);
+    std::stringstream buf;
+    saveCheckpoint(a, buf);
+    C51Agent b(smallConfig()); // 20x30
+    const auto err = loadCheckpoint(b, buf);
+    EXPECT_NE(err.find("topology"), std::string::npos) << err;
+}
+
+TEST(Checkpoint, FileRoundTrip)
+{
+    const std::string path = "/tmp/sibyl_ckpt_test.bin";
+    C51Agent trained(smallConfig(1));
+    trainABit(trained);
+    trained.syncWeights();
+    saveCheckpointFile(trained, path);
+
+    C51Agent fresh(smallConfig(4));
+    EXPECT_EQ(loadCheckpointFile(fresh, path), "");
+    expectSameQ(trained, fresh);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileReportsError)
+{
+    C51Agent a(smallConfig());
+    const auto err =
+        loadCheckpointFile(a, "/nonexistent/dir/ckpt.bin");
+    EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+}
+
+} // namespace
+} // namespace sibyl::rl

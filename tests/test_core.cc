@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for Sibyl's core: state encoding (Table 1), reward function
+ * (Eq. 1), feature masking (Fig. 13), and the policy adapter's
+ * experience plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reward.hh"
+#include "core/sibyl_policy.hh"
+#include "core/state.hh"
+#include "hss/hybrid_system.hh"
+
+namespace sibyl::core
+{
+namespace
+{
+
+std::vector<device::DeviceSpec>
+config(std::uint64_t fastPages = 64)
+{
+    auto h = device::deviceH();
+    h.capacityPages = fastPages;
+    auto m = device::deviceM();
+    m.capacityPages = 8192;
+    return {h, m};
+}
+
+trace::Request
+req(PageId page, std::uint32_t size, OpType op)
+{
+    return {0.0, page, size, op};
+}
+
+TEST(StateEncoder, DimensionPerDeviceCount)
+{
+    FeatureConfig f;
+    EXPECT_EQ(StateEncoder(f, 2).dimension(), 6u);
+    EXPECT_EQ(StateEncoder(f, 3).dimension(), 7u); // + M capacity (§8.7)
+    EXPECT_EQ(StateEncoder(f, 4).dimension(), 8u);
+}
+
+TEST(StateEncoder, EncodesTable1Features)
+{
+    hss::HybridSystem sys(config(/*fastPages=*/10));
+    StateEncoder enc(FeatureConfig{}, 2);
+
+    // Touch page 5 twice so count/interval are non-trivial; place it on
+    // fast so curr_t = 0.
+    sys.serve(0.0, req(5, 1, OpType::Write), 0);
+    sys.serve(1.0, req(5, 1, OpType::Write), 0);
+
+    auto obs = enc.encode(sys, req(5, 4, OpType::Write));
+    ASSERT_EQ(obs.size(), 6u);
+    EXPECT_GT(obs[0], 0.0f);        // size bin for 4 pages
+    EXPECT_EQ(obs[1], 1.0f);        // write
+    EXPECT_EQ(obs[2], 0.0f);        // interval 0 (just accessed)
+    EXPECT_GT(obs[3], 0.0f);        // count 2
+    EXPECT_GT(obs[4], 0.0f);        // 9/10 free
+    EXPECT_EQ(obs[5], 0.0f);        // currently on fast
+
+    // Unknown page: curr_t reads as slowest, interval large.
+    auto obs2 = enc.encode(sys, req(99, 1, OpType::Read));
+    EXPECT_EQ(obs2[1], 0.0f);
+    EXPECT_EQ(obs2[5], 1.0f);
+    EXPECT_GT(obs2[2], 0.0f);
+}
+
+TEST(StateEncoder, AllValuesInUnitRange)
+{
+    hss::HybridSystem sys(config());
+    StateEncoder enc(FeatureConfig{}, 2);
+    for (PageId p = 0; p < 50; p++)
+        sys.serve(static_cast<double>(p), req(p, 1 + p % 60,
+                  p % 2 ? OpType::Read : OpType::Write), p % 2);
+    for (PageId p = 0; p < 50; p++) {
+        auto obs = enc.encode(sys, req(p, 1 + p % 64, OpType::Read));
+        for (float v : obs) {
+            EXPECT_GE(v, 0.0f);
+            EXPECT_LE(v, 1.0f);
+        }
+    }
+}
+
+TEST(StateEncoder, MaskZeroesDisabledFeatures)
+{
+    hss::HybridSystem sys(config());
+    sys.serve(0.0, req(5, 1, OpType::Write), 0);
+    FeatureConfig onlyCount;
+    onlyCount.mask = kFeatCount;
+    StateEncoder enc(onlyCount, 2);
+    auto obs = enc.encode(sys, req(5, 8, OpType::Write));
+    EXPECT_EQ(obs[0], 0.0f); // size masked
+    EXPECT_EQ(obs[1], 0.0f); // type masked
+    EXPECT_EQ(obs[2], 0.0f); // interval masked
+    EXPECT_GT(obs[3], 0.0f); // count present
+    EXPECT_EQ(obs[4], 0.0f); // capacity masked
+    EXPECT_EQ(obs[5], 0.0f); // current masked
+}
+
+TEST(StateEncoder, TriHybridObservesMidCapacity)
+{
+    auto specs = hss::makeHssConfig("H&M&L", 10000, 0.05);
+    hss::HybridSystem sys(specs);
+    StateEncoder enc(FeatureConfig{}, 3);
+    auto obs = enc.encode(sys, req(1, 1, OpType::Read));
+    ASSERT_EQ(obs.size(), 7u);
+    EXPECT_EQ(obs[6], 1.0f); // M device fully free
+}
+
+TEST(Reward, InverseLatency)
+{
+    RewardFunction r(RewardConfig{});
+    hss::ServeResult res;
+    res.latencyUs = 10.0; // == latencyScaleUs
+    EXPECT_FLOAT_EQ(r(res), 1.0f);
+    res.latencyUs = 100.0;
+    EXPECT_FLOAT_EQ(r(res), 0.1f);
+}
+
+TEST(Reward, EvictionPenaltySubtracts)
+{
+    RewardFunction r(RewardConfig{});
+    hss::ServeResult res;
+    res.latencyUs = 10.0;
+    res.eviction = true;
+    res.evictionTimeUs = 1000.0;
+    // R_p = 0.001 * (1000/10) = 0.1 -> reward 0.9.
+    EXPECT_NEAR(r(res), 0.9f, 1e-6);
+}
+
+TEST(Reward, ClampedAtZero)
+{
+    RewardFunction r(RewardConfig{});
+    hss::ServeResult res;
+    res.latencyUs = 10000.0;
+    res.eviction = true;
+    res.evictionTimeUs = 1e9; // massive eviction penalty
+    EXPECT_FLOAT_EQ(r(res), 0.0f);
+}
+
+TEST(Reward, FasterServiceEarnsMore)
+{
+    RewardFunction r(RewardConfig{});
+    EXPECT_GT(r.latencyTerm(15.0), r.latencyTerm(150.0));
+    EXPECT_GT(r.latencyTerm(150.0), r.latencyTerm(6000.0));
+}
+
+TEST(SibylPolicy, ActionsAreValidDevices)
+{
+    hss::HybridSystem sys(config());
+    SibylConfig cfg;
+    SibylPolicy sibyl(cfg, 2);
+    for (std::size_t i = 0; i < 200; i++) {
+        auto r = req(i % 30, 1 + i % 8,
+                     i % 3 ? OpType::Read : OpType::Write);
+        DeviceId a = sibyl.selectPlacement(sys, r, i);
+        EXPECT_LT(a, 2u);
+        auto res = sys.serve(static_cast<double>(i), r, a);
+        sibyl.observeOutcome(sys, r, a, res);
+    }
+    EXPECT_EQ(sibyl.agent().stats().decisions, 200u);
+}
+
+TEST(SibylPolicy, ExperiencesFlowIntoBuffer)
+{
+    hss::HybridSystem sys(config());
+    SibylConfig cfg;
+    SibylPolicy sibyl(cfg, 2);
+    for (std::size_t i = 0; i < 100; i++) {
+        auto r = req(i % 10, 1, OpType::Write);
+        DeviceId a = sibyl.selectPlacement(sys, r, i);
+        sibyl.observeOutcome(sys, r, a, sys.serve(i, r, a));
+    }
+    // The transition for request i completes at request i+1: 99 total,
+    // minus any dropped as duplicates.
+    EXPECT_EQ(sibyl.c51().buffer().totalAdded() +
+                  sibyl.c51().buffer().duplicatesDropped(),
+              99u);
+}
+
+TEST(SibylPolicy, TriHybridHasThreeActions)
+{
+    auto specs = hss::makeHssConfig("H&M&L", 10000, 0.05);
+    hss::HybridSystem sys(specs);
+    SibylConfig cfg;
+    SibylPolicy sibyl(cfg, 3);
+    EXPECT_EQ(sibyl.encoder().dimension(), 7u);
+    bool sawAll[3] = {false, false, false};
+    // With epsilon = 1.0 every action is exploration.
+    sibyl.agent().setEpsilon(1.0);
+    for (std::size_t i = 0; i < 300; i++) {
+        auto a = sibyl.selectPlacement(sys, req(i, 1, OpType::Write), i);
+        ASSERT_LT(a, 3u);
+        sawAll[a] = true;
+        sys.serve(static_cast<double>(i), req(i, 1, OpType::Write), a);
+    }
+    EXPECT_TRUE(sawAll[0] && sawAll[1] && sawAll[2]);
+}
+
+TEST(SibylPolicy, ResetForgetsLearning)
+{
+    hss::HybridSystem sys(config());
+    SibylConfig cfg;
+    SibylPolicy sibyl(cfg, 2);
+    for (std::size_t i = 0; i < 50; i++) {
+        auto r = req(i, 1, OpType::Write);
+        auto a = sibyl.selectPlacement(sys, r, i);
+        sibyl.observeOutcome(sys, r, a, sys.serve(i, r, a));
+    }
+    sibyl.reset();
+    EXPECT_EQ(sibyl.agent().stats().decisions, 0u);
+    EXPECT_EQ(sibyl.c51().buffer().size(), 0u);
+}
+
+TEST(SibylPolicy, EncodedBitsMatchPaper)
+{
+    // §6.2.1: the stored state representation is 40 bits.
+    EXPECT_EQ(StateEncoder::kEncodedBits, 40u);
+}
+
+} // namespace
+} // namespace sibyl::core

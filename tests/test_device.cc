@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the block-device timing models: latency asymmetries,
+ * sequential/random sensitivity, queueing, write-buffer absorption, GC
+ * pressure, and the Table 3 presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/block_device.hh"
+#include "device/device_spec.hh"
+
+namespace sibyl::device
+{
+namespace
+{
+
+DeviceSpec
+withCapacity(DeviceSpec d, std::uint64_t pages)
+{
+    d.capacityPages = pages;
+    return d;
+}
+
+TEST(DeviceSpec, TransferTimeMatchesBandwidth)
+{
+    DeviceSpec d = deviceH();
+    // 2400 MB/s -> 2400 bytes/us; one 4 KiB page = 4096/2400 us.
+    EXPECT_NEAR(d.seqTransferUs(OpType::Read, 1), 4096.0 / 2400.0, 1e-9);
+    EXPECT_NEAR(d.seqTransferUs(OpType::Write, 10), 40960.0 / 2000.0,
+                1e-9);
+}
+
+TEST(DeviceSpec, RandomPenaltyFromIops)
+{
+    DeviceSpec d = deviceM();
+    EXPECT_NEAR(d.randomPenaltyUs(OpType::Write), 1e6 / 21000.0, 1e-9);
+}
+
+TEST(DeviceSpec, PresetLookup)
+{
+    EXPECT_EQ(devicePreset("H").kind, DeviceKind::Nvm);
+    EXPECT_EQ(devicePreset("M").kind, DeviceKind::FlashSsd);
+    EXPECT_EQ(devicePreset("L").kind, DeviceKind::Hdd);
+    EXPECT_EQ(devicePreset("L_SSD").kind, DeviceKind::FlashSsd);
+    EXPECT_THROW(devicePreset("X"), std::invalid_argument);
+}
+
+/** Table 3 ordering: H is much faster than M, M much faster than L for
+ *  random reads. */
+TEST(DeviceSpec, CrossDeviceLatencyOrdering)
+{
+    BlockDevice h(withCapacity(deviceH(), 1000), 1);
+    BlockDevice m(withCapacity(deviceM(), 1000), 1);
+    BlockDevice l(withCapacity(deviceL(), 1000), 1);
+    // Random single-page reads at scattered addresses.
+    double th = h.access(0.0, OpType::Read, 500, 1).serviceUs;
+    double tm = m.access(0.0, OpType::Read, 500, 1).serviceUs;
+    double tl = l.access(0.0, OpType::Read, 500, 1).serviceUs;
+    EXPECT_LT(th * 5, tm);
+    EXPECT_LT(tm * 5, tl);
+}
+
+TEST(BlockDevice, QueueingDelaysBackToBack)
+{
+    BlockDevice d(withCapacity(deviceM(), 1000), 1);
+    auto first = d.access(0.0, OpType::Read, 0, 1);
+    auto second = d.access(0.0, OpType::Read, 500, 1);
+    EXPECT_DOUBLE_EQ(second.startUs, first.finishUs);
+    EXPECT_GT(second.queueUs, 0.0);
+    // After the queue drains, a later request starts immediately.
+    auto third = d.access(second.finishUs + 1000.0, OpType::Read, 900, 1);
+    EXPECT_DOUBLE_EQ(third.queueUs, 0.0);
+}
+
+TEST(BlockDevice, SequentialCheaperThanRandomOnHdd)
+{
+    BlockDevice d(withCapacity(deviceL(), 100000), 1);
+    d.access(0.0, OpType::Read, 0, 8);
+    // Sequential continuation: starts exactly at page 8.
+    double seqTotal = 0.0, randTotal = 0.0;
+    PageId next = 8;
+    SimTime now = 1e9;
+    for (int i = 0; i < 50; i++) {
+        auto t = d.access(now, OpType::Read, next, 8);
+        seqTotal += t.serviceUs;
+        next += 8;
+        now = t.finishUs;
+    }
+    for (int i = 0; i < 50; i++) {
+        auto t = d.access(now, OpType::Read, (i * 7919 + 13) % 90000, 8);
+        randTotal += t.serviceUs;
+        now = t.finishUs;
+    }
+    EXPECT_LT(seqTotal * 10, randTotal);
+}
+
+TEST(BlockDevice, MigrationClassAmortizesPositioning)
+{
+    BlockDevice a(withCapacity(deviceL(), 100000), 1);
+    BlockDevice b(withCapacity(deviceL(), 100000), 1);
+    double fg = 0.0, mig = 0.0;
+    SimTime nowA = 0.0, nowB = 0.0;
+    for (int i = 0; i < 100; i++) {
+        PageId p = (i * 7919 + 13) % 90000;
+        auto ta = a.access(nowA, OpType::Write, p, 1,
+                           AccessClass::Foreground);
+        auto tb = b.access(nowB, OpType::Write, p, 1,
+                           AccessClass::Migration);
+        fg += ta.serviceUs;
+        mig += tb.serviceUs;
+        nowA = ta.finishUs;
+        nowB = tb.finishUs;
+    }
+    EXPECT_LT(mig * 4, fg);
+}
+
+TEST(BlockDevice, MigrationDoesNotBreakForegroundSequentiality)
+{
+    BlockDevice d(withCapacity(deviceL(), 100000), 1);
+    auto t0 = d.access(0.0, OpType::Read, 0, 8);
+    // Interleave a migration write somewhere else...
+    d.access(t0.finishUs, OpType::Write, 50000, 1, AccessClass::Migration);
+    // ...the next foreground read continuing at page 8 is still
+    // sequential (no seek).
+    auto t1 = d.access(1e9, OpType::Read, 8, 8);
+    EXPECT_LT(t1.serviceUs, deviceL().seekUs);
+}
+
+TEST(BlockDevice, WriteBufferAbsorbsBursts)
+{
+    DeviceSpec spec = deviceM();
+    spec.capacityPages = 10000;
+    BlockDevice d(spec, 1);
+    // First random write hits the buffer: far below the full random
+    // write path (~60us base + ~48us penalty).
+    auto t = d.access(0.0, OpType::Write, 5000, 1);
+    EXPECT_LT(t.serviceUs, 30.0);
+}
+
+TEST(BlockDevice, WriteBufferFillsThenSlows)
+{
+    DeviceSpec spec = deviceM();
+    spec.capacityPages = 1 << 20;
+    spec.writeBufferPages = 64;
+    spec.bufferDrainMBps = 1.0; // effectively no draining
+    BlockDevice d(spec, 1);
+    SimTime now = 0.0;
+    double firstSvc = 0.0, lastSvc = 0.0;
+    for (int i = 0; i < 40; i++) {
+        auto t = d.access(now, OpType::Write, (i * 7919) % 100000, 4);
+        if (i == 0)
+            firstSvc = t.serviceUs;
+        lastSvc = t.serviceUs;
+        now = t.finishUs;
+    }
+    EXPECT_GT(lastSvc, firstSvc * 2); // buffer full -> full write path
+}
+
+TEST(BlockDevice, GcStallsAppearUnderHighUtilization)
+{
+    DeviceSpec spec = deviceLssd();
+    spec.capacityPages = 1000;
+    spec.writeBufferPages = 0; // isolate the GC path
+    BlockDevice d(spec, 1);
+    d.occupyPages(950); // 95% full, beyond the 0.5 threshold
+    SimTime now = 0.0;
+    std::uint64_t before = d.counters().gcStalls;
+    for (int i = 0; i < 3000; i++) {
+        auto t = d.access(now, OpType::Write, (i * 7919) % 900, 1);
+        now = t.finishUs;
+    }
+    EXPECT_GT(d.counters().gcStalls, before);
+}
+
+TEST(BlockDevice, NoGcBelowThreshold)
+{
+    DeviceSpec spec = deviceLssd();
+    spec.capacityPages = 1000;
+    BlockDevice d(spec, 1);
+    d.occupyPages(100); // 10% used, below 0.5 threshold
+    SimTime now = 0.0;
+    for (int i = 0; i < 1000; i++) {
+        auto t = d.access(now, OpType::Write, (i * 7919) % 900, 1);
+        now = t.finishUs;
+    }
+    EXPECT_EQ(d.counters().gcStalls, 0u);
+}
+
+TEST(BlockDevice, OccupancyAccounting)
+{
+    BlockDevice d(withCapacity(deviceH(), 100), 1);
+    EXPECT_EQ(d.freePages(), 100u);
+    d.occupyPages(60);
+    EXPECT_EQ(d.usedPages(), 60u);
+    EXPECT_DOUBLE_EQ(d.utilization(), 0.6);
+    d.releasePages(10);
+    EXPECT_EQ(d.freePages(), 50u);
+}
+
+TEST(BlockDeviceDeath, OverAllocatePanics)
+{
+    BlockDevice d(withCapacity(deviceH(), 10), 1);
+    EXPECT_DEATH(d.occupyPages(11), "over-allocated");
+}
+
+TEST(BlockDeviceDeath, DoubleFreePanics)
+{
+    BlockDevice d(withCapacity(deviceH(), 10), 1);
+    d.occupyPages(5);
+    EXPECT_DEATH(d.releasePages(6), "double free");
+}
+
+TEST(BlockDevice, ResetClearsState)
+{
+    BlockDevice d(withCapacity(deviceM(), 100), 1);
+    d.occupyPages(50);
+    d.access(0.0, OpType::Read, 0, 1);
+    d.reset();
+    EXPECT_EQ(d.usedPages(), 0u);
+    EXPECT_EQ(d.counters().reads, 0u);
+    EXPECT_DOUBLE_EQ(d.busyUntil(), 0.0);
+}
+
+TEST(BlockDevice, CountersTrackOps)
+{
+    BlockDevice d(withCapacity(deviceM(), 1000), 1);
+    d.access(0.0, OpType::Read, 0, 3);
+    d.access(0.0, OpType::Write, 10, 2);
+    EXPECT_EQ(d.counters().reads, 1u);
+    EXPECT_EQ(d.counters().writes, 1u);
+    EXPECT_EQ(d.counters().pagesRead, 3u);
+    EXPECT_EQ(d.counters().pagesWritten, 2u);
+    EXPECT_GT(d.counters().busyUs, 0.0);
+}
+
+
+TEST(BlockDevice, SingleChannelSerializes)
+{
+    DeviceSpec d = deviceM();
+    d.capacityPages = 1000;
+    d.channels = 1;
+    BlockDevice dev(d);
+    auto a = dev.access(0.0, OpType::Read, 100, 1);
+    auto b = dev.access(0.0, OpType::Read, 5000, 1);
+    EXPECT_GE(b.startUs, a.finishUs);
+    EXPECT_GT(b.queueUs, 0.0);
+}
+
+TEST(BlockDevice, ChannelsServeConcurrently)
+{
+    DeviceSpec d = deviceM();
+    d.capacityPages = 1000;
+    d.channels = 4;
+    BlockDevice dev(d);
+    for (int i = 0; i < 4; i++) {
+        auto t = dev.access(0.0, OpType::Read,
+                            static_cast<PageId>(i * 1000), 1);
+        EXPECT_DOUBLE_EQ(t.queueUs, 0.0) << "request " << i;
+    }
+    // The fifth request must wait for the earliest channel.
+    auto fifth = dev.access(0.0, OpType::Read, 9000, 1);
+    EXPECT_GT(fifth.queueUs, 0.0);
+}
+
+TEST(BlockDevice, BusyUntilIsEarliestChannel)
+{
+    DeviceSpec d = deviceM();
+    d.capacityPages = 1000;
+    d.channels = 2;
+    BlockDevice dev(d);
+    dev.access(0.0, OpType::Write, 0, 64);  // long transfer on ch 0
+    EXPECT_DOUBLE_EQ(dev.busyUntil(), 0.0); // ch 1 still free
+    dev.access(0.0, OpType::Write, 5000, 64);
+    EXPECT_GT(dev.busyUntil(), 0.0);
+}
+
+TEST(BlockDevice, ZeroChannelsIsFatal)
+{
+    DeviceSpec d = deviceM();
+    d.capacityPages = 10;
+    d.channels = 0;
+    EXPECT_EXIT(BlockDevice dev(d), ::testing::ExitedWithCode(1),
+                "channels");
+}
+
+} // namespace
+} // namespace sibyl::device

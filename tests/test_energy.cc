@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the device energy model: presets, accounting identities,
+ * and cross-device orderings the energy-aware reward relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace sibyl::energy
+{
+namespace
+{
+
+device::DeviceSpec
+specWithCapacity(const std::string &shorthand, std::uint64_t pages)
+{
+    device::DeviceSpec d = device::devicePreset(shorthand);
+    d.capacityPages = pages;
+    return d;
+}
+
+TEST(PowerPreset, AllShorthandsResolve)
+{
+    for (const char *s : {"H", "M", "L", "L_SSD"}) {
+        const PowerSpec p = powerPreset(s);
+        EXPECT_GT(p.readActiveW, 0.0) << s;
+        EXPECT_GT(p.writeActiveW, 0.0) << s;
+        EXPECT_GT(p.idleW, 0.0) << s;
+    }
+}
+
+TEST(PowerPreset, WriteDrawsAtLeastReadPower)
+{
+    // Programs/erases draw more than reads on every Table 3 technology.
+    for (const char *s : {"H", "M", "L", "L_SSD"})
+        EXPECT_GE(powerPreset(s).writeActiveW, powerPreset(s).readActiveW)
+            << s;
+}
+
+TEST(PowerPreset, ActiveExceedsIdle)
+{
+    for (const char *s : {"H", "M", "L", "L_SSD"}) {
+        EXPECT_GT(powerPreset(s).readActiveW, powerPreset(s).idleW) << s;
+        EXPECT_GT(powerPreset(s).writeActiveW, powerPreset(s).idleW) << s;
+    }
+}
+
+TEST(PowerPreset, HddIdleDominatesSsdIdle)
+{
+    // The spindle keeps the HDD's idle power above every SSD's.
+    EXPECT_GT(powerPreset("L").idleW, powerPreset("M").idleW);
+    EXPECT_GT(powerPreset("L").idleW, powerPreset("L_SSD").idleW);
+}
+
+TEST(RequestEnergy, ScalesLinearlyWithServiceTime)
+{
+    const PowerSpec p = powerPreset("M");
+    const double e1 = requestEnergyUj(p, OpType::Read, 100.0);
+    const double e2 = requestEnergyUj(p, OpType::Read, 200.0);
+    EXPECT_DOUBLE_EQ(e2, 2.0 * e1);
+}
+
+TEST(RequestEnergy, WriteCostsMoreThanRead)
+{
+    const PowerSpec p = powerPreset("M");
+    EXPECT_GT(requestEnergyUj(p, OpType::Write, 50.0),
+              requestEnergyUj(p, OpType::Read, 50.0));
+}
+
+TEST(RequestEnergy, WattTimesMicrosecondIsMicrojoule)
+{
+    const PowerSpec p{2.0, 3.0, 0.5};
+    EXPECT_DOUBLE_EQ(requestEnergyUj(p, OpType::Read, 10.0), 20.0);
+    EXPECT_DOUBLE_EQ(requestEnergyUj(p, OpType::Write, 10.0), 30.0);
+}
+
+TEST(ComputeEnergy, IdleOnlyDeviceConsumesIdlePower)
+{
+    device::BlockDevice dev(specWithCapacity("M", 1000));
+    const PowerSpec p = powerPreset("M");
+    const EnergyBreakdown e = computeEnergy(dev, p, 1000.0);
+    EXPECT_DOUBLE_EQ(e.readUj, 0.0);
+    EXPECT_DOUBLE_EQ(e.writeUj, 0.0);
+    EXPECT_DOUBLE_EQ(e.idleUj, 1000.0 * p.idleW);
+}
+
+TEST(ComputeEnergy, BreakdownSumsToTotal)
+{
+    device::BlockDevice dev(specWithCapacity("M", 1000));
+    SimTime t = 0.0;
+    for (int i = 0; i < 50; i++) {
+        auto a = dev.access(t, i % 2 == 0 ? OpType::Read : OpType::Write,
+                            static_cast<PageId>(i * 17 % 997), 4);
+        t = a.finishUs;
+    }
+    const PowerSpec p = powerPreset("M");
+    const EnergyBreakdown e = computeEnergy(dev, p, t);
+    EXPECT_NEAR(e.totalUj(), e.readUj + e.writeUj + e.idleUj, 1e-9);
+    EXPECT_GT(e.readUj, 0.0);
+    EXPECT_GT(e.writeUj, 0.0);
+}
+
+TEST(ComputeEnergy, BusySplitMatchesCounters)
+{
+    device::BlockDevice dev(specWithCapacity("H", 1000));
+    SimTime t = 0.0;
+    for (int i = 0; i < 20; i++) {
+        auto a = dev.access(t, OpType::Read, static_cast<PageId>(i), 1);
+        t = a.finishUs;
+    }
+    const auto &c = dev.counters();
+    EXPECT_GT(c.readBusyUs, 0.0);
+    EXPECT_DOUBLE_EQ(c.writeBusyUs, 0.0);
+    EXPECT_NEAR(c.readBusyUs + c.writeBusyUs, c.busyUs, 1e-9);
+
+    const PowerSpec p = powerPreset("H");
+    const EnergyBreakdown e = computeEnergy(dev, p, t);
+    EXPECT_NEAR(e.readUj, c.readBusyUs * p.readActiveW, 1e-9);
+}
+
+TEST(ComputeEnergy, MakespanShorterThanBusyClampsIdle)
+{
+    device::BlockDevice dev(specWithCapacity("M", 1000));
+    dev.access(0.0, OpType::Write, 0, 64);
+    const EnergyBreakdown e = computeEnergy(dev, powerPreset("M"), 0.0);
+    EXPECT_DOUBLE_EQ(e.idleUj, 0.0);
+    EXPECT_GT(e.writeUj, 0.0);
+}
+
+TEST(ComputeEnergy, ServingFromHddCostsMoreEnergyThanOptane)
+{
+    // Same single random read; the HDD's seek makes it busy ~1000x
+    // longer, which dominates energy despite the lower active power.
+    device::BlockDevice h(specWithCapacity("H", 1000));
+    device::BlockDevice l(specWithCapacity("L", 1000));
+    h.access(0.0, OpType::Read, 12345, 1);
+    l.access(0.0, OpType::Read, 12345, 1);
+    const double makespan =
+        std::max(h.counters().busyUs, l.counters().busyUs);
+    const double eh =
+        computeEnergy(h, powerPreset("H"), makespan).readUj;
+    const double el =
+        computeEnergy(l, powerPreset("L"), makespan).readUj;
+    EXPECT_GT(el, eh);
+}
+
+} // namespace
+} // namespace sibyl::energy

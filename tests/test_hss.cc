@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the storage management layer: mapping metadata, LRU
+ * recency, and the hybrid system's serve/migrate/evict machinery,
+ * including the occupancy == residency invariant under random load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "hss/hybrid_system.hh"
+#include "hss/metadata.hh"
+
+namespace sibyl::hss
+{
+namespace
+{
+
+std::vector<device::DeviceSpec>
+tinyConfig(std::uint64_t fastPages = 8, std::uint64_t slowPages = 1024)
+{
+    auto h = device::deviceH();
+    h.capacityPages = fastPages;
+    auto m = device::deviceM();
+    m.capacityPages = slowPages;
+    return {h, m};
+}
+
+trace::Request
+req(PageId page, std::uint32_t size, OpType op, SimTime ts = 0.0)
+{
+    return {ts, page, size, op};
+}
+
+// --------------------------- PageMetaTable ---------------------------
+
+TEST(PageMetaTable, AccessCountAndInterval)
+{
+    PageMetaTable meta(2);
+    EXPECT_EQ(meta.accessCount(5), 0u);
+    meta.recordAccess(5);
+    meta.recordAccess(6);
+    meta.recordAccess(5);
+    EXPECT_EQ(meta.accessCount(5), 2u);
+    // 5 last touched at tick 3; current tick 3 -> interval 0.
+    EXPECT_EQ(meta.accessInterval(5), 0u);
+    meta.recordAccess(7);
+    meta.recordAccess(8);
+    EXPECT_EQ(meta.accessInterval(5), 2u);
+    // Unknown page: interval == current tick (i.e., "forever ago").
+    EXPECT_EQ(meta.accessInterval(99), meta.tick());
+}
+
+TEST(PageMetaTable, LruOrdering)
+{
+    PageMetaTable meta(2);
+    for (PageId p : {1, 2, 3}) {
+        meta.map(p, 0);
+        meta.recordAccess(p);
+    }
+    EXPECT_EQ(meta.lruVictim(0), 1u);
+    meta.recordAccess(1); // 1 becomes MRU
+    EXPECT_EQ(meta.lruVictim(0), 2u);
+    EXPECT_EQ(meta.pagesOn(0), 3u);
+    EXPECT_EQ(meta.lruVictim(1), kInvalidPage);
+}
+
+TEST(PageMetaTable, RemapMovesBetweenLists)
+{
+    PageMetaTable meta(2);
+    meta.map(1, 0);
+    meta.remap(1, 1);
+    EXPECT_EQ(meta.placement(1), 1u);
+    EXPECT_EQ(meta.pagesOn(0), 0u);
+    EXPECT_EQ(meta.pagesOn(1), 1u);
+}
+
+TEST(PageMetaTableDeath, DoubleMapPanics)
+{
+    PageMetaTable meta(2);
+    meta.map(1, 0);
+    EXPECT_DEATH(meta.map(1, 1), "already mapped");
+}
+
+TEST(PageMetaTableDeath, RemapUnmappedPanics)
+{
+    PageMetaTable meta(2);
+    EXPECT_DEATH(meta.remap(1, 1), "not mapped");
+}
+
+// --------------------------- HybridSystem ----------------------------
+
+TEST(HybridSystem, WritePlacesOnActionDevice)
+{
+    HybridSystem sys(tinyConfig());
+    auto r = sys.serve(0.0, req(10, 2, OpType::Write), 0);
+    EXPECT_EQ(sys.placement(10), 0u);
+    EXPECT_EQ(sys.placement(11), 0u);
+    EXPECT_EQ(r.servedDevice, 0u);
+    EXPECT_GT(r.latencyUs, 0.0);
+    EXPECT_EQ(sys.device(0).usedPages(), 2u);
+}
+
+TEST(HybridSystem, FirstTouchReadMaterializesOnAction)
+{
+    HybridSystem sys(tinyConfig());
+    sys.serve(0.0, req(20, 1, OpType::Read), 1);
+    EXPECT_EQ(sys.placement(20), 1u);
+    sys.serve(0.0, req(30, 1, OpType::Read), 0);
+    EXPECT_EQ(sys.placement(30), 0u);
+}
+
+TEST(HybridSystem, ReadPromotesWhenActionFaster)
+{
+    HybridSystem sys(tinyConfig());
+    sys.serve(0.0, req(5, 1, OpType::Write), 1); // on slow
+    auto r = sys.serve(100.0, req(5, 1, OpType::Read), 0);
+    EXPECT_TRUE(r.migrated);
+    EXPECT_EQ(sys.placement(5), 0u);
+    EXPECT_EQ(sys.counters().promotions, 1u);
+    // The read itself was served from the slow device.
+    EXPECT_EQ(r.servedDevice, 1u);
+}
+
+TEST(HybridSystem, ReadNeverDemotes)
+{
+    HybridSystem sys(tinyConfig());
+    sys.serve(0.0, req(5, 1, OpType::Write), 0); // on fast
+    auto r = sys.serve(100.0, req(5, 1, OpType::Read), 1);
+    EXPECT_FALSE(r.migrated);
+    EXPECT_EQ(sys.placement(5), 0u); // stays put
+}
+
+TEST(HybridSystem, WriteDemotesWhenActionSlower)
+{
+    HybridSystem sys(tinyConfig());
+    sys.serve(0.0, req(5, 1, OpType::Write), 0);
+    sys.serve(100.0, req(5, 1, OpType::Write), 1);
+    EXPECT_EQ(sys.placement(5), 1u);
+    EXPECT_EQ(sys.counters().demotions, 1u);
+    EXPECT_EQ(sys.device(0).usedPages(), 0u);
+}
+
+TEST(HybridSystem, EvictionWhenFastFull)
+{
+    HybridSystem sys(tinyConfig(/*fastPages=*/4));
+    // Fill the 4-page fast device.
+    sys.serve(0.0, req(0, 4, OpType::Write), 0);
+    // One more fast write must evict.
+    auto r = sys.serve(100.0, req(100, 2, OpType::Write), 0);
+    EXPECT_TRUE(r.eviction);
+    EXPECT_EQ(r.evictedPages, 2u);
+    EXPECT_GT(r.evictionTimeUs, 0.0);
+    EXPECT_LE(sys.device(0).usedPages(), 4u);
+    // Evicted pages landed on the slow device.
+    EXPECT_EQ(sys.metadata().pagesOn(1), 2u);
+    EXPECT_EQ(sys.counters().evictionEvents, 1u);
+}
+
+TEST(HybridSystem, LruVictimSelectedByDefault)
+{
+    HybridSystem sys(tinyConfig(/*fastPages=*/2));
+    sys.serve(0.0, req(1, 1, OpType::Write), 0);
+    sys.serve(1.0, req(2, 1, OpType::Write), 0);
+    sys.serve(2.0, req(1, 1, OpType::Read), 0); // 1 becomes MRU
+    sys.serve(3.0, req(9, 1, OpType::Write), 0);
+    EXPECT_EQ(sys.placement(2), 1u); // LRU page 2 evicted
+    EXPECT_EQ(sys.placement(1), 0u);
+}
+
+TEST(HybridSystem, CustomVictimPickerUsed)
+{
+    HybridSystem sys(tinyConfig(/*fastPages=*/2));
+    sys.serve(0.0, req(1, 1, OpType::Write), 0);
+    sys.serve(1.0, req(2, 1, OpType::Write), 0);
+    // Always evict page 2's *opposite* of LRU: pick the MRU page 2...
+    sys.setVictimPicker([](DeviceId) { return PageId{2}; });
+    sys.serve(2.0, req(1, 1, OpType::Read), 0); // 1 MRU, 2 LRU anyway
+    sys.serve(3.0, req(9, 1, OpType::Write), 0);
+    EXPECT_EQ(sys.placement(2), 1u);
+    // Picker returning an invalid page falls back to LRU.
+    sys.setVictimPicker([](DeviceId) { return kInvalidPage; });
+    sys.serve(4.0, req(10, 1, OpType::Write), 0);
+    EXPECT_LE(sys.device(0).usedPages(), 2u);
+}
+
+TEST(HybridSystem, OversizedRequestOverflowsToSlow)
+{
+    HybridSystem sys(tinyConfig(/*fastPages=*/4));
+    // A 6-page request cannot fit on the 4-page fast device at all.
+    auto r = sys.serve(0.0, req(0, 6, OpType::Write), 0);
+    EXPECT_EQ(r.servedDevice, 1u);
+    EXPECT_EQ(sys.placement(0), 1u);
+}
+
+TEST(HybridSystem, RequestLargerThanRemainingCapacityEvicts)
+{
+    HybridSystem sys(tinyConfig(/*fastPages=*/8));
+    sys.serve(0.0, req(0, 6, OpType::Write), 0);
+    auto r = sys.serve(1.0, req(100, 4, OpType::Write), 0);
+    EXPECT_TRUE(r.eviction);
+    EXPECT_LE(sys.device(0).usedPages(), 8u);
+}
+
+TEST(HybridSystem, TriHybridCascadeEviction)
+{
+    auto h = device::deviceH();
+    h.capacityPages = 2;
+    auto m = device::deviceM();
+    m.capacityPages = 2;
+    auto l = device::deviceL();
+    l.capacityPages = 1024;
+    HybridSystem sys({h, m, l});
+    // Fill H, then M via evictions from H, then force a cascade.
+    for (PageId p = 0; p < 6; p++)
+        sys.serve(static_cast<double>(p), req(100 + p, 1, OpType::Write),
+                  0);
+    EXPECT_LE(sys.device(0).usedPages(), 2u);
+    EXPECT_LE(sys.device(1).usedPages(), 2u);
+    EXPECT_GE(sys.device(2).usedPages(), 2u);
+}
+
+TEST(HybridSystem, MakeConfigShapes)
+{
+    auto dual = makeHssConfig("H&M", 10000);
+    ASSERT_EQ(dual.size(), 2u);
+    EXPECT_EQ(dual[0].capacityPages, 1000u); // 10%
+    EXPECT_GT(dual[1].capacityPages, 10000u);
+
+    auto tri = makeHssConfig("H&M&L", 10000, 0.05);
+    ASSERT_EQ(tri.size(), 3u);
+    EXPECT_EQ(tri[0].capacityPages, 500u);   // 5%
+    EXPECT_EQ(tri[1].capacityPages, 1000u);  // 10%
+    EXPECT_EQ(tri[2].name, "L");
+
+    auto triSsd = makeHssConfig("H&M&L_SSD", 10000);
+    EXPECT_EQ(triSsd[2].name, "L_SSD");
+}
+
+/**
+ * Invariant property: after any random request sequence, every device's
+ * occupancy equals the number of pages mapped to it, and fast occupancy
+ * never exceeds capacity.
+ */
+TEST(HybridSystem, OccupancyMatchesResidencyUnderRandomLoad)
+{
+    HybridSystem sys(tinyConfig(/*fastPages=*/16, /*slowPages=*/4096));
+    Pcg32 rng(123);
+    SimTime now = 0.0;
+    for (int i = 0; i < 3000; i++) {
+        PageId page = rng.nextBounded(300);
+        auto size = static_cast<std::uint32_t>(1 + rng.nextBounded(8));
+        OpType op = rng.nextBool(0.5) ? OpType::Read : OpType::Write;
+        DeviceId action = rng.nextBounded(2);
+        now += rng.nextDouble(0.0, 50.0);
+        sys.serve(now, {now, page, size, op}, action);
+
+        ASSERT_EQ(sys.device(0).usedPages(), sys.metadata().pagesOn(0));
+        ASSERT_EQ(sys.device(1).usedPages(), sys.metadata().pagesOn(1));
+        ASSERT_LE(sys.device(0).usedPages(),
+                  sys.device(0).spec().capacityPages);
+    }
+    EXPECT_GT(sys.counters().evictedPages, 0u);
+}
+
+TEST(HybridSystem, ResetRestoresPristine)
+{
+    HybridSystem sys(tinyConfig());
+    sys.serve(0.0, req(1, 1, OpType::Write), 0);
+    sys.reset();
+    EXPECT_EQ(sys.counters().requests, 0u);
+    EXPECT_EQ(sys.device(0).usedPages(), 0u);
+    EXPECT_EQ(sys.placement(1), kNoDevice);
+}
+
+TEST(HybridSystem, FreeFractionTracksOccupancy)
+{
+    HybridSystem sys(tinyConfig(/*fastPages=*/10));
+    EXPECT_DOUBLE_EQ(sys.freeFraction(0), 1.0);
+    sys.serve(0.0, req(0, 5, OpType::Write), 0);
+    EXPECT_DOUBLE_EQ(sys.freeFraction(0), 0.5);
+}
+
+} // namespace
+} // namespace sibyl::hss

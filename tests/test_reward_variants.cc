@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the reward-structure variants (§11 "Necessity of the
+ * reward" and the endurance/energy extension objectives).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reward.hh"
+
+namespace sibyl::core
+{
+namespace
+{
+
+hss::ServeResult
+served(double latencyUs, DeviceId dev, bool eviction = false,
+       double evictionTimeUs = 0.0)
+{
+    hss::ServeResult r;
+    r.latencyUs = latencyUs;
+    r.servedDevice = dev;
+    r.eviction = eviction;
+    r.evictionTimeUs = evictionTimeUs;
+    return r;
+}
+
+RewardInputs
+inputs(const hss::ServeResult &result, OpType op = OpType::Read,
+       std::uint32_t sizePages = 1, DeviceId action = 0)
+{
+    RewardInputs in;
+    in.result = result;
+    in.op = op;
+    in.sizePages = sizePages;
+    in.action = action;
+    return in;
+}
+
+TEST(RewardKindName, AllKindsNamed)
+{
+    EXPECT_STREQ(rewardKindName(RewardKind::Latency), "latency");
+    EXPECT_STREQ(rewardKindName(RewardKind::HitRate), "hit-rate");
+    EXPECT_STREQ(rewardKindName(RewardKind::EvictionOnly),
+                 "eviction-only");
+    EXPECT_STREQ(rewardKindName(RewardKind::EnduranceAware),
+                 "endurance-aware");
+    EXPECT_STREQ(rewardKindName(RewardKind::EnergyAware),
+                 "energy-aware");
+}
+
+TEST(LatencyReward, ComputeMatchesOperator)
+{
+    RewardConfig cfg;
+    const RewardFunction f(cfg);
+    const auto r = served(25.0, 0, true, 4000.0);
+    EXPECT_FLOAT_EQ(f.compute(inputs(r)), f(r));
+}
+
+TEST(HitRateReward, RewardsOnlyFastHits)
+{
+    RewardConfig cfg;
+    cfg.kind = RewardKind::HitRate;
+    const RewardFunction f(cfg);
+    EXPECT_FLOAT_EQ(f.compute(inputs(served(10.0, 0))), 1.0f);
+    EXPECT_FLOAT_EQ(f.compute(inputs(served(10.0, 1))), 0.0f);
+    EXPECT_FLOAT_EQ(f.compute(inputs(served(10.0, 2))), 0.0f);
+}
+
+TEST(HitRateReward, BlindToLatencyAndEvictions)
+{
+    // The §11 failure mode: the hit-rate reward cannot see latency
+    // asymmetry or eviction cost.
+    RewardConfig cfg;
+    cfg.kind = RewardKind::HitRate;
+    const RewardFunction f(cfg);
+    EXPECT_FLOAT_EQ(f.compute(inputs(served(5.0, 0))),
+                    f.compute(inputs(served(5000.0, 0, true, 1e6))));
+}
+
+TEST(EvictionOnlyReward, NegativeOnEvictionZeroOtherwise)
+{
+    RewardConfig cfg;
+    cfg.kind = RewardKind::EvictionOnly;
+    cfg.evictionOnlyPenalty = 2.5f;
+    const RewardFunction f(cfg);
+    EXPECT_FLOAT_EQ(f.compute(inputs(served(10.0, 0))), 0.0f);
+    EXPECT_FLOAT_EQ(f.compute(inputs(served(10.0, 0, true, 100.0))),
+                    -2.5f);
+}
+
+TEST(EvictionOnlyReward, SlowPlacementNeverPenalized)
+{
+    // The §11 failure mode: parking everything in slow storage is a
+    // fixed point of this reward.
+    RewardConfig cfg;
+    cfg.kind = RewardKind::EvictionOnly;
+    const RewardFunction f(cfg);
+    EXPECT_FLOAT_EQ(f.compute(inputs(served(1e6, 1))), 0.0f);
+}
+
+TEST(EnduranceReward, PenalizesWritesToCriticalDevice)
+{
+    RewardConfig cfg;
+    cfg.kind = RewardKind::EnduranceAware;
+    cfg.enduranceWeight = 0.05;
+    cfg.enduranceCriticalDevice = 0;
+    const RewardFunction f(cfg);
+    const auto fast = served(10.0, 0);
+    const float write =
+        f.compute(inputs(fast, OpType::Write, 4, /*action=*/0));
+    const float read =
+        f.compute(inputs(fast, OpType::Read, 4, /*action=*/0));
+    EXPECT_LT(write, read);
+    EXPECT_NEAR(read - write, 0.05f * 4, 1e-5);
+}
+
+TEST(EnduranceReward, WritesToOtherDevicesUnpenalized)
+{
+    RewardConfig cfg;
+    cfg.kind = RewardKind::EnduranceAware;
+    cfg.enduranceCriticalDevice = 0;
+    const RewardFunction f(cfg);
+    const auto slow = served(10.0, 1);
+    EXPECT_FLOAT_EQ(f.compute(inputs(slow, OpType::Write, 8, 1)),
+                    f.compute(inputs(slow, OpType::Read, 8, 1)));
+}
+
+TEST(EnduranceReward, ClampedAtZero)
+{
+    RewardConfig cfg;
+    cfg.kind = RewardKind::EnduranceAware;
+    cfg.enduranceWeight = 100.0;
+    const RewardFunction f(cfg);
+    EXPECT_FLOAT_EQ(
+        f.compute(inputs(served(10.0, 0), OpType::Write, 64, 0)), 0.0f);
+}
+
+TEST(EnergyReward, PenalizesEnergyHungryService)
+{
+    RewardConfig cfg;
+    cfg.kind = RewardKind::EnergyAware;
+    cfg.energyWeight = 1e-3;
+    cfg.devicePower = {energy::powerPreset("H"),
+                       energy::powerPreset("L")};
+    const RewardFunction f(cfg);
+    // Same latency on both devices: the HDD read draws less active
+    // power than Optane here, but a realistic HDD service is ~1000x
+    // longer; check both effects separately.
+    const float fastR = f.compute(inputs(served(10.0, 0)));
+    const float slowSameLat = f.compute(inputs(served(10.0, 1)));
+    EXPECT_GT(slowSameLat, 0.0f);
+    EXPECT_LT(slowSameLat, fastR + 1.0f); // sanity
+
+    // Long HDD service loses to a short Optane service despite lower
+    // power: energy = power x time.
+    const float slowLongLat = f.compute(inputs(served(12000.0, 1)));
+    EXPECT_LT(slowLongLat, fastR);
+}
+
+TEST(EnergyReward, MissingPowerSpecDisablesEnergyTerm)
+{
+    RewardConfig latencyCfg;
+    RewardConfig energyCfg;
+    energyCfg.kind = RewardKind::EnergyAware; // devicePower left empty
+    const RewardFunction fl(latencyCfg);
+    const RewardFunction fe(energyCfg);
+    const auto r = served(42.0, 1);
+    EXPECT_FLOAT_EQ(fe.compute(inputs(r)), fl.compute(inputs(r)));
+}
+
+TEST(EnergyReward, HigherWeightLowersReward)
+{
+    RewardConfig a;
+    a.kind = RewardKind::EnergyAware;
+    a.energyWeight = 1e-4;
+    a.devicePower = {energy::powerPreset("H")};
+    RewardConfig b = a;
+    b.energyWeight = 1e-2;
+    const auto r = served(20.0, 0);
+    EXPECT_GE(RewardFunction(a).compute(inputs(r)),
+              RewardFunction(b).compute(inputs(r)));
+}
+
+} // namespace
+} // namespace sibyl::core

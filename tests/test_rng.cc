@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace sibyl
+{
+namespace
+{
+
+TEST(Pcg32, SameSeedSameStream)
+{
+    Pcg32 a(123), b(123);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; i++)
+        if (a.nextU32() == b.nextU32())
+            same++;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, DifferentStreamsDiverge)
+{
+    Pcg32 a(1, 10), b(1, 11);
+    int same = 0;
+    for (int i = 0; i < 1000; i++)
+        if (a.nextU32() == b.nextU32())
+            same++;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, ReseedResetsSequence)
+{
+    Pcg32 a(99);
+    std::vector<std::uint32_t> first;
+    for (int i = 0; i < 16; i++)
+        first.push_back(a.nextU32());
+    a.seed(99);
+    for (int i = 0; i < 16; i++)
+        EXPECT_EQ(a.nextU32(), first[i]);
+}
+
+TEST(Pcg32, BoundedStaysInRange)
+{
+    Pcg32 rng(7);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Pcg32, BoundedDegenerate)
+{
+    Pcg32 rng(7);
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+    EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Pcg32, RangeInclusive)
+{
+    Pcg32 rng(7);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 10000; i++) {
+        auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Pcg32, DoubleInUnitInterval)
+{
+    Pcg32 rng(7);
+    for (int i = 0; i < 10000; i++) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Pcg32, BernoulliFrequency)
+{
+    Pcg32 rng(7);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Pcg32, GaussianMoments)
+{
+    Pcg32 rng(7);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++) {
+        double g = rng.nextGaussian(2.0, 3.0);
+        sum += g;
+        sq += g * g;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.05);
+    EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(Pcg32, ExponentialMean)
+{
+    Pcg32 rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        sum += rng.nextExponential(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 1.5);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    Pcg32 rng(11);
+    ZipfSampler zipf(100, 0.9);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100000; i++)
+        counts[zipf.sample(rng)]++;
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(Zipf, UniformWhenThetaZero)
+{
+    Pcg32 rng(11);
+    ZipfSampler zipf(10, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; i++)
+        counts[zipf.sample(rng)]++;
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Zipf, SingleItem)
+{
+    Pcg32 rng(11);
+    ZipfSampler zipf(1, 0.9);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(Zipf, AlwaysInRange)
+{
+    Pcg32 rng(11);
+    ZipfSampler zipf(37, 0.99);
+    for (int i = 0; i < 50000; i++)
+        EXPECT_LT(zipf.sample(rng), 37u);
+}
+
+/** Higher theta concentrates more mass on the top ranks. */
+TEST(Zipf, SkewMonotoneInTheta)
+{
+    Pcg32 rng(11);
+    double share[2];
+    int t = 0;
+    for (double theta : {0.3, 0.95}) {
+        ZipfSampler zipf(1000, theta);
+        int top10 = 0;
+        const int n = 50000;
+        for (int i = 0; i < n; i++)
+            if (zipf.sample(rng) < 10)
+                top10++;
+        share[t++] = static_cast<double>(top10) / n;
+    }
+    EXPECT_GT(share[1], share[0] * 2.0);
+}
+
+} // namespace
+} // namespace sibyl

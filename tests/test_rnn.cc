@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the Elman RNN used by the RNN-HSS baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ml/rnn.hh"
+
+namespace sibyl::ml
+{
+namespace
+{
+
+std::vector<Vector>
+constSequence(float v, std::size_t len)
+{
+    return std::vector<Vector>(len, Vector{v});
+}
+
+TEST(ElmanRnn, ForwardDeterministic)
+{
+    Pcg32 rng(9);
+    ElmanRnn rnn(1, 4, rng);
+    auto seq = constSequence(0.5f, 6);
+    EXPECT_FLOAT_EQ(rnn.forward(seq), rnn.forward(seq));
+}
+
+TEST(ElmanRnn, DifferentSequencesDifferentLogits)
+{
+    Pcg32 rng(9);
+    ElmanRnn rnn(1, 4, rng);
+    float a = rnn.forward(constSequence(0.9f, 6));
+    float b = rnn.forward(constSequence(-0.9f, 6));
+    EXPECT_NE(a, b);
+}
+
+TEST(ElmanRnn, LearnsSeparableSequences)
+{
+    Pcg32 rng(9);
+    ElmanRnn rnn(1, 8, rng);
+    // Rising sequences are "hot" (label 1), flat-zero sequences cold.
+    std::vector<Vector> hot, cold;
+    for (int i = 0; i < 6; i++) {
+        hot.push_back({static_cast<float>(i) / 6.0f});
+        cold.push_back({0.0f});
+    }
+    for (int epoch = 0; epoch < 300; epoch++) {
+        rnn.trainStep(hot, 1.0f, 0.05f);
+        rnn.trainStep(cold, 0.0f, 0.05f);
+    }
+    EXPECT_GT(rnn.forward(hot), 0.0f);
+    EXPECT_LT(rnn.forward(cold), 0.0f);
+}
+
+TEST(ElmanRnn, TrainStepReturnsDecreasingLoss)
+{
+    Pcg32 rng(9);
+    ElmanRnn rnn(1, 8, rng);
+    auto seq = constSequence(0.7f, 5);
+    float first = rnn.trainStep(seq, 1.0f, 0.1f);
+    float last = 0.0f;
+    for (int i = 0; i < 100; i++)
+        last = rnn.trainStep(seq, 1.0f, 0.1f);
+    EXPECT_LT(last, first);
+}
+
+TEST(ElmanRnn, ParamCount)
+{
+    Pcg32 rng(9);
+    ElmanRnn rnn(2, 4, rng);
+    // Wx(4x2) + Wh(4x4) + bh(4) + wo(4) + bo(1)
+    EXPECT_EQ(rnn.paramCount(), 8u + 16u + 4u + 4u + 1u);
+}
+
+TEST(ElmanRnn, EmptySequence)
+{
+    Pcg32 rng(9);
+    ElmanRnn rnn(1, 4, rng);
+    EXPECT_EQ(rnn.trainStep({}, 1.0f, 0.1f), 0.0f);
+}
+
+} // namespace
+} // namespace sibyl::ml

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for streaming statistics, histograms, and EWMA.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace sibyl
+{
+namespace
+{
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance)
+{
+    RunningStat s;
+    s.add(42.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.mean(), 42.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    Pcg32 rng(3);
+    RunningStat all, a, b;
+    for (int i = 0; i < 1000; i++) {
+        double x = rng.nextGaussian(10.0, 4.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b); // no-op
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a); // copies
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, CountsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(10.0); // boundary -> overflow
+    h.add(99.0);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, QuantileMedian)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; i++)
+        h.add(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 12.0);
+    EXPECT_DOUBLE_EQ(h.binLow(4), 18.0);
+}
+
+TEST(Ewma, ConvergesToConstant)
+{
+    Ewma e(0.2);
+    for (int i = 0; i < 100; i++)
+        e.add(5.0);
+    EXPECT_NEAR(e.value(), 5.0, 1e-9);
+}
+
+TEST(Ewma, FirstSamplePrimes)
+{
+    Ewma e(0.1);
+    EXPECT_FALSE(e.valid());
+    e.add(7.0);
+    EXPECT_TRUE(e.valid());
+    EXPECT_DOUBLE_EQ(e.value(), 7.0);
+}
+
+TEST(Ewma, ResetClears)
+{
+    Ewma e(0.5);
+    e.add(1.0);
+    e.reset();
+    EXPECT_FALSE(e.valid());
+    EXPECT_EQ(e.value(), 0.0);
+}
+
+
+TEST(Histogram, QuantileCanOvershootSampleMax)
+{
+    // Regression context for the simulator's quantile clamp: bin
+    // interpolation legitimately returns a value inside the containing
+    // bin, which can exceed the largest inserted sample. The simulator
+    // clamps reported p50/p99 to the observed max; this test pins the
+    // raw behaviour the clamp compensates for.
+    Histogram h(0.0, 100.0, 10); // 10-unit bins
+    for (int i = 0; i < 100; i++)
+        h.add(51.0); // all mass in bin [50, 60)
+    const double q99 = h.quantile(0.99);
+    EXPECT_GE(q99, 50.0);
+    EXPECT_LE(q99, 60.0); // may exceed the true max of 51
+}
+
+TEST(Histogram, QuantileMonotoneInP)
+{
+    Histogram h(0.0, 1000.0, 64);
+    Pcg32 rng(5);
+    for (int i = 0; i < 5000; i++)
+        h.add(rng.nextDouble(0.0, 1000.0));
+    double prev = -1.0;
+    for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        const double q = h.quantile(p);
+        EXPECT_GE(q, prev) << "p=" << p;
+        prev = q;
+    }
+}
+
+TEST(Histogram, QuantileZeroAndOneHitBounds)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_LE(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, UnderflowCountsTowardLowQuantiles)
+{
+    Histogram h(10.0, 20.0, 10);
+    for (int i = 0; i < 90; i++)
+        h.add(5.0); // below range
+    for (int i = 0; i < 10; i++)
+        h.add(15.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0); // clamped to lo
+    EXPECT_EQ(h.underflow(), 90u);
+}
+
+TEST(RunningStat, MaxTracksLargest)
+{
+    RunningStat s;
+    s.add(3.0);
+    s.add(-7.0);
+    s.add(5.5);
+    EXPECT_DOUBLE_EQ(s.max(), 5.5);
+}
+
+} // namespace
+} // namespace sibyl

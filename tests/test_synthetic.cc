@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Property tests for the workload synthesizer: for every Table 4
+ * profile, the generated trace's measured statistics must match the
+ * published targets within tolerance, and generation must be
+ * deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.hh"
+#include "trace/trace_stats.hh"
+#include "trace/workloads.hh"
+
+namespace sibyl::trace
+{
+namespace
+{
+
+class ProfileStatsTest : public ::testing::TestWithParam<WorkloadProfile>
+{
+};
+
+TEST_P(ProfileStatsTest, MatchesTable4Targets)
+{
+    const auto &p = GetParam();
+    Trace t = makeWorkload(p, 20000);
+    auto s = TraceStats::compute(t);
+
+    EXPECT_EQ(s.requests, 20000u);
+    // Read/write mix is Bernoulli-sampled: tight tolerance.
+    EXPECT_NEAR(s.writePct, p.writePct, 2.0) << p.name;
+    // Request size distribution is exponential clamped to [1,64] pages:
+    // mean shifts slightly, so allow 25% relative error.
+    EXPECT_NEAR(s.avgRequestSizeKiB, p.avgReqSizeKiB,
+                0.25 * p.avgReqSizeKiB + 2.0)
+        << p.name;
+    // Access count follows from request count / unique pages; the size
+    // clamping and sequential-run wrapping distort it somewhat.
+    EXPECT_NEAR(s.avgAccessCount, p.avgAccessCount,
+                0.45 * p.avgAccessCount + 1.0)
+        << p.name;
+    EXPECT_GT(s.uniquePages, 0u);
+    EXPECT_GT(s.durationSec, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Msrc, ProfileStatsTest, ::testing::ValuesIn(msrcProfiles()),
+    [](const auto &info) { return info.param.name; });
+
+INSTANTIATE_TEST_SUITE_P(
+    Filebench, ProfileStatsTest, ::testing::ValuesIn(filebenchProfiles()),
+    [](const auto &info) { return info.param.name; });
+
+TEST(Synthetic, Deterministic)
+{
+    SyntheticConfig cfg;
+    cfg.numRequests = 5000;
+    cfg.seed = 77;
+    Trace a = generateSynthetic(cfg);
+    Trace b = generateSynthetic(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].page, b[i].page);
+        EXPECT_EQ(a[i].sizePages, b[i].sizePages);
+        EXPECT_EQ(a[i].op, b[i].op);
+        EXPECT_DOUBLE_EQ(a[i].timestamp, b[i].timestamp);
+    }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer)
+{
+    SyntheticConfig cfg;
+    cfg.numRequests = 1000;
+    cfg.seed = 1;
+    Trace a = generateSynthetic(cfg);
+    cfg.seed = 2;
+    Trace b = generateSynthetic(cfg);
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < a.size(); i++)
+        same += a[i].page == b[i].page;
+    EXPECT_LT(same, a.size() / 2);
+}
+
+TEST(Synthetic, TimestampsMonotone)
+{
+    SyntheticConfig cfg;
+    cfg.numRequests = 5000;
+    Trace t = generateSynthetic(cfg);
+    for (std::size_t i = 1; i < t.size(); i++)
+        EXPECT_GE(t[i].timestamp, t[i - 1].timestamp);
+}
+
+TEST(Synthetic, PagesWithinUniverse)
+{
+    SyntheticConfig cfg;
+    cfg.numRequests = 5000;
+    std::uint64_t universe = syntheticUniquePages(cfg);
+    Trace t = generateSynthetic(cfg);
+    for (const auto &r : t)
+        EXPECT_LE(r.endPage(), universe);
+}
+
+TEST(Synthetic, SizeStableForSameStartPage)
+{
+    // Repeated accesses to the same start page re-read the same extent
+    // (deterministic per-page size).
+    SyntheticConfig cfg;
+    cfg.numRequests = 20000;
+    cfg.avgAccessCount = 50.0; // force reuse
+    Trace t = generateSynthetic(cfg);
+    std::unordered_map<PageId, std::uint32_t> firstSize;
+    std::size_t repeats = 0;
+    for (const auto &r : t) {
+        auto [it, inserted] = firstSize.try_emplace(r.page, r.sizePages);
+        if (!inserted) {
+            repeats++;
+            EXPECT_EQ(it->second, r.sizePages);
+        }
+    }
+    EXPECT_GT(repeats, 100u); // the property actually got exercised
+}
+
+TEST(Synthetic, HotSetConcentration)
+{
+    // With hotAccessFraction=0.9, the top 10% of pages must receive far
+    // more than 10% of the accesses.
+    SyntheticConfig cfg;
+    cfg.numRequests = 30000;
+    cfg.hotAccessFraction = 0.9;
+    cfg.seqFraction = 0.0;
+    Trace t = generateSynthetic(cfg);
+    std::unordered_map<PageId, std::uint64_t> counts;
+    std::uint64_t total = 0;
+    for (const auto &r : t) {
+        counts[r.page] += 1;
+        total += 1;
+    }
+    std::vector<std::uint64_t> sorted;
+    for (auto &[p, c] : counts)
+        sorted.push_back(c);
+    std::sort(sorted.rbegin(), sorted.rend());
+    std::uint64_t top = 0;
+    std::size_t topN = sorted.size() / 10 + 1;
+    for (std::size_t i = 0; i < topN && i < sorted.size(); i++)
+        top += sorted[i];
+    EXPECT_GT(static_cast<double>(top) / static_cast<double>(total), 0.5);
+}
+
+TEST(Workloads, FindProfileKnownAndUnknown)
+{
+    EXPECT_TRUE(findProfile("hm_1").has_value());
+    EXPECT_TRUE(findProfile("ycsb_c").has_value());
+    EXPECT_FALSE(findProfile("nope").has_value());
+    EXPECT_THROW(makeWorkload("nope"), std::invalid_argument);
+}
+
+TEST(Workloads, FourteenMsrcProfiles)
+{
+    EXPECT_EQ(msrcProfiles().size(), 14u);
+    EXPECT_EQ(filebenchProfiles().size(), 5u);
+    EXPECT_EQ(motivationWorkloads().size(), 6u);
+}
+
+TEST(Workloads, MixedComponentsDisjointAddressSpaces)
+{
+    Trace mix = makeMixedWorkload("mix2", 2000);
+    EXPECT_GT(mix.size(), 3500u);
+    // Timestamps sorted after merge.
+    for (std::size_t i = 1; i < mix.size(); i++)
+        EXPECT_GE(mix[i].timestamp, mix[i - 1].timestamp);
+}
+
+TEST(Workloads, AllSixMixesGenerate)
+{
+    for (const auto &name : mixedWorkloadNames()) {
+        Trace t = makeMixedWorkload(name, 500);
+        EXPECT_GT(t.size(), 900u) << name;
+    }
+    EXPECT_THROW(makeMixedWorkload("mix99"), std::invalid_argument);
+}
+
+TEST(Workloads, DefaultLengthHonorsScaleEnv)
+{
+    setenv("SIBYL_TRACE_SCALE", "0.5", 1);
+    EXPECT_EQ(defaultTraceLength(), 15000u);
+    setenv("SIBYL_TRACE_SCALE", "bogus", 1);
+    EXPECT_EQ(defaultTraceLength(), 30000u);
+    unsetenv("SIBYL_TRACE_SCALE");
+    EXPECT_EQ(defaultTraceLength(), 30000u);
+}
+
+} // namespace
+} // namespace sibyl::trace

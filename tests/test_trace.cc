@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the trace containers, statistics, and file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+
+namespace sibyl::trace
+{
+namespace
+{
+
+Trace
+tinyTrace()
+{
+    Trace t("tiny");
+    t.add({0.0, 10, 2, OpType::Read});    // pages 10,11
+    t.add({100.0, 10, 1, OpType::Write}); // page 10 again
+    t.add({200.0, 20, 4, OpType::Read});  // pages 20..23
+    return t;
+}
+
+TEST(Trace, UniquePagesCountsSpans)
+{
+    Trace t = tinyTrace();
+    EXPECT_EQ(t.uniquePages(), 6u); // 10,11,20,21,22,23
+    EXPECT_EQ(t.workingSetBytes(), 6u * kPageSize);
+    EXPECT_EQ(t.addressSpacePages(), 24u);
+}
+
+TEST(Trace, PrefixTruncates)
+{
+    Trace t = tinyTrace();
+    Trace p = t.prefix(2);
+    EXPECT_EQ(p.size(), 2u);
+    EXPECT_EQ(p[1].page, 10u);
+    EXPECT_EQ(t.prefix(99).size(), 3u);
+}
+
+TEST(Trace, MergeShiftsAndSorts)
+{
+    Trace a = tinyTrace();
+    Trace b("other");
+    b.add({50.0, 100, 1, OpType::Read});
+    a.merge(b, 100.0); // lands at t=150
+    ASSERT_EQ(a.size(), 4u);
+    EXPECT_EQ(a[0].timestamp, 0.0);
+    EXPECT_EQ(a[2].timestamp, 150.0);
+    EXPECT_EQ(a[2].page, 100u);
+}
+
+TEST(TraceStats, ComputesTable4Columns)
+{
+    Trace t = tinyTrace();
+    auto s = TraceStats::compute(t);
+    EXPECT_EQ(s.requests, 3u);
+    EXPECT_NEAR(s.writePct, 100.0 / 3.0, 1e-9);
+    EXPECT_NEAR(s.readPct, 200.0 / 3.0, 1e-9);
+    // (2+1+4)/3 pages * 4 KiB
+    EXPECT_NEAR(s.avgRequestSizeKiB, 7.0 / 3.0 * 4.0, 1e-9);
+    EXPECT_EQ(s.uniquePages, 6u);
+    EXPECT_NEAR(s.avgAccessCount, 7.0 / 6.0, 1e-9);
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    auto s = TraceStats::compute(Trace("empty"));
+    EXPECT_EQ(s.requests, 0u);
+    EXPECT_EQ(s.uniquePages, 0u);
+}
+
+TEST(TraceStats, TimelineDownsamples)
+{
+    Trace t("big");
+    for (int i = 0; i < 1000; i++)
+        t.add({i * 10.0, static_cast<PageId>(i), 1, OpType::Read});
+    auto tl = sampleTimeline(t, 100);
+    EXPECT_LE(tl.size(), 101u);
+    EXPECT_GE(tl.size(), 90u);
+    EXPECT_EQ(tl[0].page, 0u);
+}
+
+TEST(TraceIo, NativeRoundTrip)
+{
+    Trace t = tinyTrace();
+    std::stringstream ss;
+    writeNativeCsv(ss, t);
+    Trace back = readNativeCsv(ss, "tiny");
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); i++) {
+        EXPECT_EQ(back[i].page, t[i].page);
+        EXPECT_EQ(back[i].sizePages, t[i].sizePages);
+        EXPECT_EQ(back[i].op, t[i].op);
+        EXPECT_DOUBLE_EQ(back[i].timestamp, t[i].timestamp);
+    }
+}
+
+TEST(TraceIo, ParsesMsrcFormat)
+{
+    // Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+    std::stringstream ss;
+    ss << "128166372003061629,hm,0,Read,8192,8192,100\n"
+       << "128166372013061629,hm,0,Write,4096,4096,200\n";
+    Trace t = readMsrcCsv(ss, "hm_0");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].page, 2u); // 8192/4096
+    EXPECT_EQ(t[0].sizePages, 2u);
+    EXPECT_EQ(t[0].op, OpType::Read);
+    EXPECT_EQ(t[1].op, OpType::Write);
+    // 100 ns ticks -> us; second row is 1e7 ticks = 1e6 us later.
+    EXPECT_NEAR(t[1].timestamp - t[0].timestamp, 1e6, 1.0);
+}
+
+TEST(TraceIo, SkipsMalformedRows)
+{
+    std::stringstream ss;
+    ss << "garbage line\n"
+       << "128166372003061629,hm,0,Read,8192,8192,100\n"
+       << "not,enough\n";
+    Trace t = readMsrcCsv(ss, "x");
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(readMsrcCsvFile("/nonexistent/path.csv"),
+                 std::runtime_error);
+}
+
+TEST(TraceIo, SubPageRequestRoundsUp)
+{
+    std::stringstream ss;
+    ss << "1,h,0,Read,100,512,0\n"; // 512 B at offset 100
+    Trace t = readMsrcCsv(ss, "x");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].page, 0u);
+    EXPECT_EQ(t[0].sizePages, 1u);
+}
+
+
+TEST(Trace, CompressTimeDividesTimestamps)
+{
+    Trace t("x");
+    Request r;
+    r.timestamp = 100.0;
+    t.add(r);
+    r.timestamp = 300.0;
+    t.add(r);
+    t.compressTime(10.0);
+    EXPECT_DOUBLE_EQ(t[0].timestamp, 10.0);
+    EXPECT_DOUBLE_EQ(t[1].timestamp, 30.0);
+    t.compressTime(0.0); // no-op guard
+    EXPECT_DOUBLE_EQ(t[1].timestamp, 30.0);
+}
+
+} // namespace
+} // namespace sibyl::trace
