@@ -1,6 +1,7 @@
 #include "bench_util.hh"
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "common/table.hh"
@@ -95,6 +96,29 @@ runLineup(const LineupSpec &spec)
         tab.print(std::cout);
     }
     std::printf("\n");
+}
+
+void
+BenchJson::add(const std::string &key, double value)
+{
+    metrics_.emplace_back(key, value);
+}
+
+bool
+BenchJson::writeTo(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\n  \"bench\": \"" << benchName_ << "\",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); i++) {
+        out << (i ? ",\n    " : "\n    ");
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", metrics_[i].second);
+        out << '"' << metrics_[i].first << "\": " << buf;
+    }
+    out << "\n  }\n}\n";
+    return static_cast<bool>(out);
 }
 
 } // namespace sibyl::bench

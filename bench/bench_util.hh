@@ -63,4 +63,28 @@ void runLineup(const LineupSpec &spec);
 /** Print the standard bench banner. */
 void banner(const std::string &title);
 
+/**
+ * Minimal flat JSON emitter for machine-readable bench results
+ * (BENCH_*.json files consumed by tooling/regression tracking).
+ * Metrics keep insertion order.
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string benchName)
+        : benchName_(std::move(benchName))
+    {
+    }
+
+    /** Record (or append) one scalar metric. */
+    void add(const std::string &key, double value);
+
+    /** Write {"bench": ..., "metrics": {...}} to @p path. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    std::string benchName_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
 } // namespace sibyl::bench

@@ -44,8 +44,41 @@ void activate(Activation a, const Vector &in, Vector &out);
 /** Vectorized derivative in terms of pre-activations @p in. */
 void activateGrad(Activation a, const Vector &in, Vector &out);
 
+/** Span forward: out[i] = f(in[i]) for i in [0, n). May alias. */
+void activate(Activation a, const float *in, float *out, std::size_t n);
+
+/**
+ * Fused backward pointwise step over a span:
+ * delta[i] = gradOut[i] * f'(pre[i]). One pass instead of a derivative
+ * sweep plus a multiply sweep — this runs once per layer per batch in
+ * the training hot loop.
+ */
+void activateGradMul(Activation a, const float *pre, const float *gradOut,
+                     float *delta, std::size_t n);
+
+/**
+ * Forward that additionally stashes the transcendental intermediate —
+ * sigmoid(in) for Sigmoid/Swish, tanh(in) for Tanh — into @p aux
+ * (untouched for Identity/ReLU). activateGradMulAux() then derives the
+ * gradient from @p aux instead of re-evaluating exp/div in backward,
+ * halving the transcendental cost of a training batch.
+ */
+void activateWithAux(Activation a, const float *in, float *out, float *aux,
+                     std::size_t n);
+
+/** Backward companion of activateWithAux():
+ *  delta[i] = gradOut[i] * f'(pre[i]) computed from the cached aux. */
+void activateGradMulAux(Activation a, const float *pre, const float *aux,
+                        const float *gradOut, float *delta, std::size_t n);
+
+/** Whole-batch forward: out = f(in) element-wise. Resizes @p out. */
+void activate(Activation a, const Matrix &in, Matrix &out);
+
 /** In-place numerically stable softmax. */
 void softmax(Vector &v);
+
+/** In-place softmax over a raw span (batched C51 head groups). */
+void softmax(float *v, std::size_t n);
 
 /** Softmax over consecutive groups of @p groupSize elements (C51 heads). */
 void groupedSoftmax(Vector &v, std::size_t groupSize);

@@ -41,6 +41,42 @@ class DenseLayer
      */
     void backward(const Vector &gradOut, Vector &gradIn);
 
+    /**
+     * Batched forward: @p in is (batch x inSize), @p out becomes
+     * (batch x outSize). One GEMM for the whole minibatch instead of a
+     * matvec per sample; intermediates are cached for batched backward.
+     * All scratch lives in reused member buffers, so the steady-state
+     * hot loop performs no heap allocation.
+     *
+     * @warning The layer keeps a *pointer* to @p in (not a copy) as the
+     * cached input for backward(); @p in must stay alive and unchanged
+     * until backward() returns or the next forward() call. Network
+     * guarantees this for its own layer chain; external callers doing
+     * forward->backward must keep their input matrix in scope.
+     */
+    void forward(const Matrix &in, Matrix &out);
+
+    /**
+     * Batched inference-only forward: same math as forward(Matrix) but
+     * skips the backward caches (no aux-transcendental store, no input
+     * pointer). Clobbers the pre-activation scratch, so any pending
+     * backward() state is invalidated — call forward() again before
+     * backpropagating.
+     */
+    void forwardInfer(const Matrix &in, Matrix &out);
+
+    /**
+     * Batched backward for the cached minibatch: @p gradOut is
+     * (batch x outSize); accumulates gradW/gradB summed over the batch
+     * (same semantics as calling the per-sample backward once per row)
+     * and produces @p gradIn (batch x inSize).
+     *
+     * @param computeGradIn Skip the input-gradient GEMM when false —
+     *        the first layer of a network has no consumer for it.
+     */
+    void backward(const Matrix &gradOut, Matrix &gradIn,
+                  bool computeGradIn = true);
+
     /** Zero accumulated gradients. */
     void clearGrads();
 
@@ -49,7 +85,15 @@ class DenseLayer
     Activation activation() const { return act_; }
     std::size_t paramCount() const { return weights_.size() + bias_.size(); }
 
-    Matrix &weights() { return weights_; }
+    /** Mutable weight access. Marks the cached W^T used by the batched
+     *  forward as stale (rebuilt lazily on the next batched forward),
+     *  so optimizer updates and weight copies stay coherent. */
+    Matrix &
+    weights()
+    {
+        weightsTStale_ = true;
+        return weights_;
+    }
     const Matrix &weights() const { return weights_; }
     Vector &bias() { return bias_; }
     const Vector &bias() const { return bias_; }
@@ -57,6 +101,9 @@ class DenseLayer
     Vector &gradBias() { return gradB_; }
 
   private:
+    /** Shared GEMM+bias stage of the batched forwards. */
+    void forwardPreAct(const Matrix &in);
+
     Matrix weights_;
     Vector bias_;
     Matrix gradW_;
@@ -66,6 +113,15 @@ class DenseLayer
     // Cached forward intermediates for backward().
     Vector lastIn_;
     Vector preAct_;
+    Vector delta_; // per-sample backward scratch (reused, no per-call alloc)
+
+    // Batched-path caches and scratch (reused across training batches).
+    const Matrix *lastInBatch_ = nullptr; // see forward(Matrix) warning
+    Matrix preActM_;
+    Matrix auxM_; // forward transcendentals reused by backward
+    Matrix deltaM_;
+    Matrix weightsT_;          // cached W^T for the batched GEMM
+    bool weightsTStale_ = true;
 };
 
 } // namespace sibyl::ml

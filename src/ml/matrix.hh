@@ -45,6 +45,53 @@ class Matrix
     /** Set every element to @p v. */
     void fill(float v);
 
+    /**
+     * Reshape to rows x cols, preserving nothing. Reuses the existing
+     * allocation when capacity suffices, so per-batch reshaping in the
+     * training hot loop is allocation-free at steady state.
+     */
+    void resize(std::size_t rows, std::size_t cols);
+
+    /** Pointer to the start of row @p r. */
+    float *row(std::size_t r) { return data_.data() + r * cols_; }
+    const float *row(std::size_t r) const { return data_.data() + r * cols_; }
+
+    /**
+     * out = A * B. Requires cols == b.rows. Register-blocked (2 output
+     * rows x 4 reduction steps) with contiguous j-inner loops that
+     * compile to FMA vector code; tuned for this codebase's small,
+     * skinny operands. @p out must not alias A or B.
+     */
+    void matmul(const Matrix &b, Matrix &out) const;
+
+    /**
+     * out += A * B: same kernel as matmul() but accumulating into the
+     * caller-initialized @p out (already sized rows x b.cols). Lets the
+     * dense-layer forward seed the output with the broadcast bias and
+     * skip both the zero fill and a separate bias sweep.
+     */
+    void matmulAdd(const Matrix &b, Matrix &out) const;
+
+    /**
+     * out = A * B^T. Requires cols == b.cols. General NT product whose
+     * inner loop runs over the shared contiguous dimension with a bank
+     * of independent accumulators so it vectorizes without -ffast-math.
+     * (The batched dense forward uses matmulAdd() against a cached
+     * W^T instead — the dot-product shape cannot fill vector lanes on
+     * this codebase's tiny fan-ins — but this kernel is the right one
+     * when both operands are row-major views of the same long axis.)
+     */
+    void matmulTransposed(const Matrix &b, Matrix &out) const;
+
+    /**
+     * out += scale * A^T * B. Requires rows == b.rows and
+     * out.rows == cols, out.cols == b.cols. This is the batched weight-
+     * gradient kernel: delta^T (out x batch) times inputs (batch x in)
+     * accumulated into gradW. @p out must not alias A or B.
+     */
+    void transposedMatmulAdd(const Matrix &b, Matrix &out,
+                             float scale) const;
+
     /** y = A * x. Requires x.size() == cols. */
     void matvec(const Vector &x, Vector &y) const;
 

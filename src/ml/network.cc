@@ -1,7 +1,9 @@
 #include "ml/network.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 namespace sibyl::ml
 {
@@ -19,6 +21,7 @@ Network::Network(std::size_t inputSize, const std::vector<LayerSpec> &layers,
         prev = spec.size;
     }
     acts_.resize(layers_.size());
+    actsM_.resize(layers_.size());
 }
 
 const Vector &
@@ -37,11 +40,51 @@ void
 Network::backward(const Vector &gradOut)
 {
     assert(gradOut.size() == outputSize());
-    Vector grad = gradOut;
-    Vector gradIn;
+    gradScratchA_.assign(gradOut.begin(), gradOut.end());
     for (std::size_t i = layers_.size(); i-- > 0;) {
-        layers_[i].backward(grad, gradIn);
-        grad.swap(gradIn);
+        layers_[i].backward(gradScratchA_, gradScratchB_);
+        gradScratchA_.swap(gradScratchB_);
+    }
+}
+
+const Matrix &
+Network::forward(const Matrix &in)
+{
+    assert(in.cols() == inputSize_);
+    const Matrix *cur = &in;
+    for (std::size_t i = 0; i < layers_.size(); i++) {
+        layers_[i].forward(*cur, actsM_[i]);
+        cur = &actsM_[i];
+    }
+    return actsM_.back();
+}
+
+const Matrix &
+Network::infer(const Matrix &in)
+{
+    assert(in.cols() == inputSize_);
+    const Matrix *cur = &in;
+    for (std::size_t i = 0; i < layers_.size(); i++) {
+        layers_[i].forwardInfer(*cur, actsM_[i]);
+        cur = &actsM_[i];
+    }
+    return actsM_.back();
+}
+
+void
+Network::backward(const Matrix &gradOut)
+{
+    assert(gradOut.cols() == outputSize());
+    // Ping-pong between two scratch matrices, feeding the caller's
+    // gradient straight into the top layer (no defensive copy).
+    const Matrix *grad = &gradOut;
+    Matrix *cur = &gradScratchMA_;
+    Matrix *next = &gradScratchMB_;
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+        // The bottom layer's input gradient has no consumer; skip it.
+        layers_[i].backward(*grad, *cur, /*computeGradIn=*/i != 0);
+        grad = cur;
+        std::swap(cur, next);
     }
 }
 

@@ -51,6 +51,32 @@ class Network
     /** Backpropagate the loss gradient of the last forward() sample. */
     void backward(const Vector &gradOut);
 
+    /**
+     * Batched inference: @p in is (batch x inputSize); the returned
+     * (batch x outputSize) reference stays valid until the next batched
+     * forward() call. One GEMM per layer for the whole minibatch.
+     *
+     * @warning For a subsequent batched backward(), @p in must stay
+     * alive and unchanged until that backward() returns — the first
+     * layer caches a pointer to it, not a copy (see DenseLayer).
+     */
+    const Matrix &forward(const Matrix &in);
+
+    /**
+     * Batched inference-only forward: identical result to
+     * forward(Matrix) without storing backward caches. Use for frozen
+     * target-network evaluations; invalidates any pending backward()
+     * state of this network.
+     */
+    const Matrix &infer(const Matrix &in);
+
+    /**
+     * Batched backprop of the last batched forward(). Accumulates the
+     * same summed-over-batch gradients as per-sample backward() called
+     * row by row.
+     */
+    void backward(const Matrix &gradOut);
+
     /** Zero all accumulated parameter gradients. */
     void clearGrads();
 
@@ -77,6 +103,14 @@ class Network
     std::size_t inputSize_;
     std::vector<DenseLayer> layers_;
     std::vector<Vector> acts_; // per-layer outputs from last forward
+
+    // Reused scratch: per-sample backward ping-pong buffers and the
+    // batched path's per-layer activations. No steady-state allocation.
+    Vector gradScratchA_;
+    Vector gradScratchB_;
+    std::vector<Matrix> actsM_;
+    Matrix gradScratchMA_;
+    Matrix gradScratchMB_;
 };
 
 } // namespace sibyl::ml

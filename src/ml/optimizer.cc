@@ -8,20 +8,22 @@ namespace sibyl::ml
 namespace
 {
 
-/** Visit each (param, grad) pair of a layer as flat arrays. */
+/**
+ * Visit a layer's parameters as two flat (param*, grad*, count, offset)
+ * spans — weights then bias. Span-at-a-time lets the per-optimizer
+ * update loops run over __restrict pointers and auto-vectorize
+ * (including vsqrtps/vdivps in Adam); the old one-lambda-per-element
+ * walk kept every step() scalar, which at C51's ~4k parameters per
+ * step was one of the larger costs of a training batch.
+ */
 template <typename Fn>
 void
-forEachParam(DenseLayer &layer, Fn &&fn)
+forEachParamSpan(DenseLayer &layer, Fn &&fn)
 {
     Matrix &w = layer.weights();
-    Matrix &gw = layer.gradWeights();
-    for (std::size_t i = 0; i < w.size(); i++)
-        fn(w.data()[i], gw.data()[i], i);
-    std::size_t base = w.size();
-    Vector &b = layer.bias();
-    Vector &gb = layer.gradBias();
-    for (std::size_t i = 0; i < b.size(); i++)
-        fn(b[i], gb[i], base + i);
+    fn(w.data(), layer.gradWeights().data(), w.size(), std::size_t{0});
+    fn(layer.bias().data(), layer.gradBias().data(), layer.bias().size(),
+       w.size());
 }
 
 } // namespace
@@ -33,7 +35,9 @@ Sgd::step(Network &net, std::size_t batchSize)
 {
     if (batchSize == 0)
         batchSize = 1;
-    float scale = 1.0f / static_cast<float>(batchSize);
+    const float scale = 1.0f / static_cast<float>(batchSize);
+    const float lr = static_cast<float>(lr_);
+    const float mom = static_cast<float>(momentum_);
     auto &layers = net.layers();
     if (velocity_.size() != layers.size()) {
         velocity_.assign(layers.size(), {});
@@ -41,16 +45,30 @@ Sgd::step(Network &net, std::size_t batchSize)
             velocity_[i].assign(layers[i].paramCount(), 0.0f);
     }
     for (std::size_t li = 0; li < layers.size(); li++) {
-        auto &vel = velocity_[li];
-        forEachParam(layers[li], [&](float &p, float &g, std::size_t idx) {
-            float grad = g * scale;
-            if (momentum_ > 0.0) {
-                vel[idx] = static_cast<float>(momentum_) * vel[idx] + grad;
-                grad = vel[idx];
-            }
-            p -= static_cast<float>(lr_) * grad;
-        });
-        layers[li].clearGrads();
+        float *__restrict vel = velocity_[li].data();
+        forEachParamSpan(
+            layers[li],
+            [&](float *__restrict p, float *__restrict g, std::size_t n,
+                std::size_t base) {
+                float *__restrict v = vel + base;
+                // Consuming the gradient (g[i] = 0) inside the update
+                // fuses clearGrads() into this sweep — one pass over
+                // the arrays instead of two.
+                if (momentum_ > 0.0) {
+#pragma GCC ivdep
+                    for (std::size_t i = 0; i < n; i++) {
+                        v[i] = mom * v[i] + g[i] * scale;
+                        g[i] = 0.0f;
+                        p[i] -= lr * v[i];
+                    }
+                } else {
+#pragma GCC ivdep
+                    for (std::size_t i = 0; i < n; i++) {
+                        p[i] -= lr * (g[i] * scale);
+                        g[i] = 0.0f;
+                    }
+                }
+            });
     }
 }
 
@@ -77,21 +95,33 @@ Adam::step(Network &net, std::size_t batchSize)
     t_++;
     double corr1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
     double corr2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
-    double stepSize = lr_ * std::sqrt(corr2) / corr1;
+    const float stepSize =
+        static_cast<float>(lr_ * std::sqrt(corr2) / corr1);
+    const float b1 = static_cast<float>(beta1_);
+    const float b1c = static_cast<float>(1.0 - beta1_);
+    const float b2 = static_cast<float>(beta2_);
+    const float b2c = static_cast<float>(1.0 - beta2_);
+    const float eps = static_cast<float>(eps_);
 
     for (std::size_t li = 0; li < layers.size(); li++) {
-        auto &m = m_[li];
-        auto &v = v_[li];
-        forEachParam(layers[li], [&](float &p, float &g, std::size_t idx) {
-            float grad = g * scale;
-            m[idx] = static_cast<float>(beta1_) * m[idx] +
-                     static_cast<float>(1.0 - beta1_) * grad;
-            v[idx] = static_cast<float>(beta2_) * v[idx] +
-                     static_cast<float>(1.0 - beta2_) * grad * grad;
-            p -= static_cast<float>(stepSize) * m[idx] /
-                 (std::sqrt(v[idx]) + static_cast<float>(eps_));
-        });
-        layers[li].clearGrads();
+        float *__restrict mBase = m_[li].data();
+        float *__restrict vBase = v_[li].data();
+        forEachParamSpan(
+            layers[li],
+            [&](float *__restrict p, float *__restrict g, std::size_t n,
+                std::size_t base) {
+                float *__restrict m = mBase + base;
+                float *__restrict v = vBase + base;
+                // g[i] = 0 fuses clearGrads() into this single sweep.
+#pragma GCC ivdep
+                for (std::size_t i = 0; i < n; i++) {
+                    const float grad = g[i] * scale;
+                    g[i] = 0.0f;
+                    m[i] = b1 * m[i] + b1c * grad;
+                    v[i] = b2 * v[i] + b2c * grad * grad;
+                    p[i] -= stepSize * m[i] / (std::sqrt(v[i]) + eps);
+                }
+            });
     }
 }
 

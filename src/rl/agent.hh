@@ -63,6 +63,15 @@ struct AgentConfig
     /** Use Adam (TF-Agents default) instead of plain SGD. */
     bool useAdam = true;
 
+    /**
+     * Train each minibatch through the batched GEMM engine (3 batched
+     * forwards + 1 batched backward per batch) instead of looping
+     * per-sample matvec passes. Same math up to float summation order;
+     * `false` selects the legacy per-sample path, kept as the
+     * microbenchmark baseline and for A/B numerics tests.
+     */
+    bool batchedTraining = true;
+
     /** Deduplicate replay entries. */
     bool dedupBuffer = true;
 

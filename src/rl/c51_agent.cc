@@ -44,11 +44,10 @@ C51Agent::setLearningRate(double lr)
 }
 
 void
-C51Agent::extractActionDist(const ml::Vector &out, std::uint32_t action,
+C51Agent::extractActionDist(const float *out, std::uint32_t action,
                             std::uint32_t atoms, ml::Vector &dist)
 {
-    dist.assign(out.begin() + action * atoms,
-                out.begin() + (action + 1) * atoms);
+    dist.assign(out + action * atoms, out + (action + 1) * atoms);
     ml::softmax(dist);
 }
 
@@ -59,7 +58,7 @@ C51Agent::qValues(const ml::Vector &state)
     std::vector<double> q(cfg_.numActions);
     ml::Vector dist;
     for (std::uint32_t a = 0; a < cfg_.numActions; a++) {
-        extractActionDist(out, a, cfg_.atoms, dist);
+        extractActionDist(out.data(), a, cfg_.atoms, dist);
         q[a] = support_.expectation(dist);
     }
     return q;
@@ -140,10 +139,106 @@ C51Agent::trainBatch()
         : buffer_.sampleIndices(cfg_.batchSize, rng_);
     if (indices.empty())
         return 0.0;
+    return cfg_.batchedTraining ? trainBatchBatched(indices)
+                                : trainBatchPerSample(indices);
+}
+
+double
+C51Agent::trainBatchBatched(const std::vector<std::size_t> &indices)
+{
+    const std::size_t batch = indices.size();
+    stateBatch_.resize(batch, cfg_.stateDim);
+    nextBatch_.resize(batch, cfg_.stateDim);
+    for (std::size_t r = 0; r < batch; r++) {
+        const Experience &e = buffer_[indices[r]];
+        std::copy(e.state.begin(), e.state.end(), stateBatch_.row(r));
+        std::copy(e.nextState.begin(), e.nextState.end(),
+                  nextBatch_.row(r));
+    }
+
+    // Bellman targets from the *inference* network (frozen between
+    // syncs, playing the target-network role), one batched forward for
+    // all next states. The state forward through the training network
+    // comes last so its cached batch intermediates are the ones the
+    // batched backward consumes.
+    const ml::Matrix &nextOut = inferenceNet_->infer(nextBatch_);
+    const ml::Matrix &out = trainingNet_->forward(stateBatch_);
+    gradOutM_.resize(batch, out.cols());
+    gradOutM_.fill(0.0f);
+
+    // PER importance weights come from the distribution the batch was
+    // sampled under, before the per-element priority refreshes below.
+    std::vector<double> perWeights;
+    if (cfg_.prioritizedReplay)
+        perWeights = buffer_.importanceWeights(indices, cfg_.perAlpha,
+                                               cfg_.perBeta);
 
     double totalLoss = 0.0;
-    ml::Vector nextDist, target, predDist, gradOut;
-    for (const std::size_t idx : indices) {
+    ml::Vector dists, target, logits, gradLogits;
+    for (std::size_t r = 0; r < batch; r++) {
+        const std::size_t idx = indices[r];
+        const Experience &e = buffer_[idx];
+
+        // Greedy next action by distribution expectation. Softmax every
+        // action group once into one scratch buffer; the winner's
+        // distribution is then reused for the projection instead of
+        // being recomputed.
+        const float *nrow = nextOut.row(r);
+        dists.assign(nrow, nrow + cfg_.numActions * cfg_.atoms);
+        std::uint32_t bestA = 0;
+        double bestQ = -1e30;
+        for (std::uint32_t a = 0; a < cfg_.numActions; a++) {
+            float *d = dists.data() + a * cfg_.atoms;
+            ml::softmax(d, cfg_.atoms);
+            const double q = support_.expectation(d);
+            if (q > bestQ) {
+                bestQ = q;
+                bestA = a;
+            }
+        }
+        support_.project(dists.data() + bestA * cfg_.atoms, e.reward,
+                         cfg_.gamma, target);
+
+        // Cross-entropy between the projected target and the training
+        // network's prediction for the taken action; gradient flows only
+        // through that action's atom group.
+        logits.assign(out.row(r) + e.action * cfg_.atoms,
+                      out.row(r) + (e.action + 1) * cfg_.atoms);
+        const double loss =
+            ml::softmaxCrossEntropy(logits, target, gradLogits);
+        totalLoss += loss;
+
+        float weight = 1.0f;
+        if (cfg_.prioritizedReplay) {
+            weight = static_cast<float>(perWeights[r]);
+            buffer_.setPriority(idx, static_cast<float>(loss));
+        }
+
+        float *grow = gradOutM_.row(r);
+        for (std::size_t k = 0; k < gradLogits.size(); k++)
+            grow[e.action * cfg_.atoms + k] = gradLogits[k] * weight;
+    }
+
+    trainingNet_->backward(gradOutM_);
+    stats_.gradientSteps += batch;
+    optimizer_->step(*trainingNet_, batch);
+    return totalLoss / static_cast<double>(batch);
+}
+
+double
+C51Agent::trainBatchPerSample(const std::vector<std::size_t> &indices)
+{
+    // Same sampling-time importance weights as the batched path, so
+    // the two paths stay numerically equivalent.
+    std::vector<double> perWeights;
+    if (cfg_.prioritizedReplay)
+        perWeights = buffer_.importanceWeights(indices, cfg_.perAlpha,
+                                               cfg_.perBeta);
+
+    double totalLoss = 0.0;
+    ml::Vector nextDist, target, gradOut;
+    for (std::size_t k = 0; k < indices.size(); k++) {
+        const std::size_t idx = indices[k];
         const Experience *e = &buffer_[idx];
         // Bellman target from the *inference* network (frozen between
         // syncs, playing the target-network role): distribution of the
@@ -152,14 +247,14 @@ C51Agent::trainBatch()
         std::uint32_t bestA = 0;
         double bestQ = -1e30;
         for (std::uint32_t a = 0; a < cfg_.numActions; a++) {
-            extractActionDist(nextOut, a, cfg_.atoms, nextDist);
+            extractActionDist(nextOut.data(), a, cfg_.atoms, nextDist);
             double q = support_.expectation(nextDist);
             if (q > bestQ) {
                 bestQ = q;
                 bestA = a;
             }
         }
-        extractActionDist(nextOut, bestA, cfg_.atoms, nextDist);
+        extractActionDist(nextOut.data(), bestA, cfg_.atoms, nextDist);
         support_.project(nextDist, e->reward, cfg_.gamma, target);
 
         // Cross-entropy between the projected target and the training
@@ -177,8 +272,7 @@ C51Agent::trainBatch()
         if (cfg_.prioritizedReplay) {
             // Importance-sample to correct the prioritization bias and
             // refresh the entry's priority with its latest loss.
-            weight = static_cast<float>(buffer_.importanceWeight(
-                idx, cfg_.perAlpha, cfg_.perBeta));
+            weight = static_cast<float>(perWeights[k]);
             buffer_.setPriority(idx, static_cast<float>(loss));
         }
 

@@ -96,13 +96,19 @@ class C51Agent final : public Agent
     std::size_t storageBytes() const override;
 
   private:
-    /** Distribution (atoms probs) for @p action of the forward output. */
-    static void extractActionDist(const ml::Vector &out,
-                                  std::uint32_t action, std::uint32_t atoms,
-                                  ml::Vector &dist);
+    /** Distribution (atoms probs) for @p action of a network output row
+     *  starting at @p out. */
+    static void extractActionDist(const float *out, std::uint32_t action,
+                                  std::uint32_t atoms, ml::Vector &dist);
 
     /** One gradient step on a sampled batch; returns mean loss. */
     double trainBatch();
+
+    /** Batched path: whole minibatch per GEMM (cfg.batchedTraining). */
+    double trainBatchBatched(const std::vector<std::size_t> &indices);
+
+    /** Legacy per-sample path (baseline for the perf_train bench). */
+    double trainBatchPerSample(const std::vector<std::size_t> &indices);
 
     C51Config cfg_;
     CategoricalSupport support_;
@@ -114,6 +120,11 @@ class C51Agent final : public Agent
     std::unique_ptr<ml::Optimizer> optimizer_;
     C51Stats stats_;
     std::uint64_t observations_ = 0;
+
+    // Reused batch-assembly scratch (no steady-state allocation).
+    ml::Matrix stateBatch_;
+    ml::Matrix nextBatch_;
+    ml::Matrix gradOutM_;
 };
 
 } // namespace sibyl::rl

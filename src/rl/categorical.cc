@@ -21,6 +21,12 @@ double
 CategoricalSupport::expectation(const ml::Vector &probs) const
 {
     assert(probs.size() == atoms_);
+    return expectation(probs.data());
+}
+
+double
+CategoricalSupport::expectation(const float *probs) const
+{
     double e = 0.0;
     for (std::uint32_t i = 0; i < atoms_; i++)
         e += static_cast<double>(probs[i]) * atomValue(i);
@@ -32,6 +38,13 @@ CategoricalSupport::project(const ml::Vector &nextProbs, double reward,
                             double gamma, ml::Vector &target) const
 {
     assert(nextProbs.size() == atoms_);
+    project(nextProbs.data(), reward, gamma, target);
+}
+
+void
+CategoricalSupport::project(const float *nextProbs, double reward,
+                            double gamma, ml::Vector &target) const
+{
     target.assign(atoms_, 0.0f);
     for (std::uint32_t i = 0; i < atoms_; i++) {
         double p = nextProbs[i];

@@ -43,6 +43,9 @@ class CategoricalSupport
     /** Expected value of a probability vector over this support. */
     double expectation(const ml::Vector &probs) const;
 
+    /** Span variant: expected value of @p probs[0..atoms). */
+    double expectation(const float *probs) const;
+
     /**
      * Project the Bellman-updated distribution onto this support:
      * target[j] accumulates nextProbs[i] mass at clamp(r + gamma*z_i).
@@ -53,6 +56,10 @@ class CategoricalSupport
      * @param target    Output distribution (resized to atoms).
      */
     void project(const ml::Vector &nextProbs, double reward, double gamma,
+                 ml::Vector &target) const;
+
+    /** Span variant of project(): @p nextProbs points at atoms entries. */
+    void project(const float *nextProbs, double reward, double gamma,
                  ml::Vector &target) const;
 
   private:

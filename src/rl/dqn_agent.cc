@@ -116,10 +116,94 @@ DqnAgent::trainBatch()
         : buffer_.sampleIndices(cfg_.batchSize, rng_);
     if (indices.empty())
         return 0.0;
+    return cfg_.batchedTraining ? trainBatchBatched(indices)
+                                : trainBatchPerSample(indices);
+}
+
+double
+DqnAgent::trainBatchBatched(const std::vector<std::size_t> &indices)
+{
+    const std::size_t batch = indices.size();
+    stateBatch_.resize(batch, cfg_.stateDim);
+    nextBatch_.resize(batch, cfg_.stateDim);
+    for (std::size_t r = 0; r < batch; r++) {
+        const Experience &e = buffer_[indices[r]];
+        std::copy(e.state.begin(), e.state.end(), stateBatch_.row(r));
+        std::copy(e.nextState.begin(), e.nextState.end(),
+                  nextBatch_.row(r));
+    }
+
+    // TD targets for the whole batch: one batched forward per network
+    // instead of one matvec chain per sample. Double DQN keeps its
+    // select-with-training / evaluate-with-inference split.
+    nextValue_.resize(batch);
+    if (cfg_.doubleDqn) {
+        const ml::Matrix &sel = trainingNet_->infer(nextBatch_);
+        const ml::Matrix &eval = inferenceNet_->infer(nextBatch_);
+        for (std::size_t r = 0; r < batch; r++) {
+            const float *srow = sel.row(r);
+            const auto bestA = static_cast<std::size_t>(
+                std::max_element(srow, srow + sel.cols()) - srow);
+            nextValue_[r] = eval(r, bestA);
+        }
+    } else {
+        const ml::Matrix &nextQ = inferenceNet_->infer(nextBatch_);
+        for (std::size_t r = 0; r < batch; r++) {
+            const float *qrow = nextQ.row(r);
+            nextValue_[r] = *std::max_element(qrow, qrow + nextQ.cols());
+        }
+    }
+
+    // The state forward must come last so the training network's cached
+    // batch intermediates belong to the samples we backpropagate.
+    const ml::Matrix &out = trainingNet_->forward(stateBatch_);
+    gradOutM_.resize(batch, out.cols());
+    gradOutM_.fill(0.0f);
+
+    // PER importance weights come from the distribution the batch was
+    // sampled under, before the per-element priority refreshes below.
+    std::vector<double> perWeights;
+    if (cfg_.prioritizedReplay)
+        perWeights = buffer_.importanceWeights(indices, cfg_.perAlpha,
+                                               cfg_.perBeta);
+
+    double totalLoss = 0.0;
+    for (std::size_t r = 0; r < batch; r++) {
+        const std::size_t idx = indices[r];
+        const Experience &e = buffer_[idx];
+        const float target =
+            e.reward + static_cast<float>(cfg_.gamma) * nextValue_[r];
+        const float diff = out(r, e.action) - target;
+        totalLoss += 0.5 * static_cast<double>(diff) * diff;
+
+        float weight = 1.0f;
+        if (cfg_.prioritizedReplay) {
+            weight = static_cast<float>(perWeights[r]);
+            buffer_.setPriority(idx, std::abs(diff));
+        }
+        gradOutM_(r, e.action) = diff * weight;
+    }
+
+    trainingNet_->backward(gradOutM_);
+    stats_.gradientSteps += batch;
+    optimizer_->step(*trainingNet_, batch);
+    return totalLoss / static_cast<double>(batch);
+}
+
+double
+DqnAgent::trainBatchPerSample(const std::vector<std::size_t> &indices)
+{
+    // Same sampling-time importance weights as the batched path, so
+    // the two paths stay numerically equivalent.
+    std::vector<double> perWeights;
+    if (cfg_.prioritizedReplay)
+        perWeights = buffer_.importanceWeights(indices, cfg_.perAlpha,
+                                               cfg_.perBeta);
 
     double totalLoss = 0.0;
     ml::Vector gradOut;
-    for (const std::size_t idx : indices) {
+    for (std::size_t k = 0; k < indices.size(); k++) {
+        const std::size_t idx = indices[k];
         const Experience *e = &buffer_[idx];
 
         // TD target from the (frozen) inference network. With Double
@@ -150,8 +234,7 @@ DqnAgent::trainBatch()
 
         float weight = 1.0f;
         if (cfg_.prioritizedReplay) {
-            weight = static_cast<float>(buffer_.importanceWeight(
-                idx, cfg_.perAlpha, cfg_.perBeta));
+            weight = static_cast<float>(perWeights[k]);
             buffer_.setPriority(idx, std::abs(diff));
         }
 

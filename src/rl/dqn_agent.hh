@@ -64,6 +64,12 @@ class DqnAgent final : public Agent
     /** One gradient step on a sampled batch; returns the mean loss. */
     double trainBatch();
 
+    /** Batched path: whole minibatch per GEMM (cfg.batchedTraining). */
+    double trainBatchBatched(const std::vector<std::size_t> &indices);
+
+    /** Legacy per-sample path (baseline for the perf_train bench). */
+    double trainBatchPerSample(const std::vector<std::size_t> &indices);
+
     AgentConfig cfg_;
     ExplorationSchedule explore_;
     Pcg32 rng_;
@@ -73,6 +79,12 @@ class DqnAgent final : public Agent
     std::unique_ptr<ml::Optimizer> optimizer_;
     AgentStats stats_;
     std::uint64_t observations_ = 0;
+
+    // Reused batch-assembly scratch (no steady-state allocation).
+    ml::Matrix stateBatch_;
+    ml::Matrix nextBatch_;
+    ml::Matrix gradOutM_;
+    ml::Vector nextValue_;
 };
 
 } // namespace sibyl::rl

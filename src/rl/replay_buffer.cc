@@ -8,10 +8,27 @@ namespace sibyl::rl
 {
 
 ReplayBuffer::ReplayBuffer(std::size_t capacity, bool dedup)
-    : capacity_(capacity ? capacity : 1), dedup_(dedup)
+    : capacity_(capacity ? capacity : 1), dedup_(dedup), tree_(capacity_)
 {
     entries_.reserve(capacity_);
     hashes_.reserve(capacity_);
+}
+
+double
+ReplayBuffer::transformedPriority(float p, double alpha)
+{
+    return std::pow(static_cast<double>(p), alpha) + 1e-8;
+}
+
+void
+ReplayBuffer::ensureTree(double alpha) const
+{
+    if (treeAlpha_ && *treeAlpha_ == alpha)
+        return;
+    tree_.clear();
+    for (std::size_t i = 0; i < entries_.size(); i++)
+        tree_.set(i, transformedPriority(priorities_[i], alpha));
+    treeAlpha_ = alpha;
 }
 
 std::uint64_t
@@ -45,12 +62,15 @@ ReplayBuffer::add(Experience e)
         }
     }
 
+    std::size_t idx;
     if (entries_.size() < capacity_) {
+        idx = entries_.size();
         entries_.push_back(std::move(e));
         hashes_.push_back(h);
         priorities_.push_back(maxPriority_);
     } else {
         // Overwrite the oldest entry (ring).
+        idx = next_;
         std::uint64_t old = hashes_[next_];
         auto it = hashCount_.find(old);
         if (it != hashCount_.end() && --it->second == 0)
@@ -60,6 +80,8 @@ ReplayBuffer::add(Experience e)
         priorities_[next_] = maxPriority_;
         next_ = (next_ + 1) % capacity_;
     }
+    if (treeAlpha_)
+        tree_.set(idx, transformedPriority(maxPriority_, *treeAlpha_));
     hashCount_[h]++;
     totalAdded_++;
     return true;
@@ -102,13 +124,31 @@ ReplayBuffer::samplePrioritizedIndices(std::size_t n, Pcg32 &rng,
     if (entries_.empty())
         return out;
 
-    // Prefix sums of p_i^alpha, then inverse-CDF draws. The buffer is
-    // small (e_EB = 1000), so O(N + n log N) per batch is cheap.
+    ensureTree(alpha);
+    const double total = tree_.total();
+    const std::size_t last = entries_.size() - 1;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; i++) {
+        const double u = rng.nextDouble() * total;
+        // Clamp for the partially filled buffer: rounding can walk the
+        // descent into the zero-mass unset tail.
+        out.push_back(std::min(tree_.sample(u), last));
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+ReplayBuffer::samplePrioritizedIndicesPrefixSum(std::size_t n, Pcg32 &rng,
+                                                double alpha) const
+{
+    std::vector<std::size_t> out;
+    if (entries_.empty())
+        return out;
+
     std::vector<double> cum(entries_.size());
     double total = 0.0;
     for (std::size_t i = 0; i < entries_.size(); i++) {
-        total += std::pow(static_cast<double>(priorities_[i]), alpha) +
-                 1e-8;
+        total += transformedPriority(priorities_[i], alpha);
         cum[i] = total;
     }
     out.reserve(n);
@@ -127,6 +167,24 @@ ReplayBuffer::setPriority(std::size_t i, float p)
     p = std::max(p, 1e-6f);
     priorities_.at(i) = p;
     maxPriority_ = std::max(maxPriority_, p);
+    if (treeAlpha_)
+        tree_.set(i, transformedPriority(p, *treeAlpha_));
+}
+
+std::vector<double>
+ReplayBuffer::importanceWeights(const std::vector<std::size_t> &indices,
+                                double alpha, double beta) const
+{
+    std::vector<double> out(indices.size(), 1.0);
+    if (entries_.empty())
+        return out;
+    ensureTree(alpha);
+    const double minProb = tree_.minValue();
+    for (std::size_t k = 0; k < indices.size(); k++) {
+        // w_i / w_max = (P(i)/P_min)^-beta; N and the total mass cancel.
+        out[k] = std::pow(tree_.value(indices[k]) / minProb, -beta);
+    }
+    return out;
 }
 
 double
@@ -135,18 +193,11 @@ ReplayBuffer::importanceWeight(std::size_t i, double alpha,
 {
     if (entries_.empty())
         return 1.0;
-    double total = 0.0;
-    double minProb = 1e300;
-    for (std::size_t j = 0; j < entries_.size(); j++) {
-        const double pj =
-            std::pow(static_cast<double>(priorities_[j]), alpha) + 1e-8;
-        total += pj;
-        minProb = std::min(minProb, pj);
-    }
+    ensureTree(alpha);
+    const double total = tree_.total();
+    const double minProb = tree_.minValue();
     const auto n = static_cast<double>(entries_.size());
-    const double probI =
-        (std::pow(static_cast<double>(priorities_.at(i)), alpha) +
-         1e-8) / total;
+    const double probI = tree_.value(i) / total;
     const double wI = std::pow(n * probI, -beta);
     const double wMax = std::pow(n * (minProb / total), -beta);
     return wI / wMax;
@@ -159,6 +210,8 @@ ReplayBuffer::clear()
     hashes_.clear();
     priorities_.clear();
     maxPriority_ = 1.0f;
+    tree_.clear();
+    treeAlpha_.reset();
     hashCount_.clear();
     next_ = 0;
     totalAdded_ = 0;

@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hh"
 #include "ml/matrix.hh"
+#include "rl/sum_tree.hh"
 
 namespace sibyl::rl
 {
@@ -59,12 +61,27 @@ class ReplayBuffer
      * probability proportional to priority_i^alpha. New entries start
      * at the current max priority so they are replayed at least once.
      *
+     * Draws are O(log N) inverse-CDF descents of a sum tree keyed by
+     * p_i^alpha; the tree is updated incrementally by add()/setPriority()
+     * and only rebuilt when @p alpha changes between calls.
+     *
      * @param n     Samples to draw (with replacement).
      * @param alpha Prioritization exponent (0 = uniform).
      */
     std::vector<std::size_t> samplePrioritizedIndices(std::size_t n,
                                                       Pcg32 &rng,
                                                       double alpha) const;
+
+    /**
+     * Reference prioritized sampler: rebuilds an O(N) prefix-sum array
+     * and draws by lower_bound, exactly as the pre-sum-tree
+     * implementation did. Kept for distribution-equivalence tests and
+     * the training microbenchmark's baseline; the hot path uses
+     * samplePrioritizedIndices().
+     */
+    std::vector<std::size_t>
+    samplePrioritizedIndicesPrefixSum(std::size_t n, Pcg32 &rng,
+                                      double alpha) const;
 
     /** Priority of entry @p i (default: max priority at insert time). */
     float priority(std::size_t i) const { return priorities_.at(i); }
@@ -76,9 +93,25 @@ class ReplayBuffer
      * Importance-sampling weight for entry @p i under prioritized
      * sampling, normalized so the largest weight in the buffer is 1:
      * w_i = (N * P(i))^-beta / max_j w_j.
+     *
+     * The total mass and minimum probability come from the sum tree's
+     * cached root aggregates, so each call is O(1) after the tree is
+     * keyed to @p alpha (previously this rescanned all N priorities per
+     * call — O(batchSize * N) per training batch).
      */
     double importanceWeight(std::size_t i, double alpha,
                             double beta) const;
+
+    /**
+     * Importance weights for a whole sampled batch, evaluated against
+     * the distribution the batch was *sampled* from (i.e. before any
+     * setPriority() refreshes — the Schaul et al. formulation). The
+     * max-weight normalizer is hoisted out of the loop, so this costs
+     * one pow per element instead of importanceWeight()'s two.
+     */
+    std::vector<double>
+    importanceWeights(const std::vector<std::size_t> &indices, double alpha,
+                      double beta) const;
 
     std::size_t size() const { return entries_.size(); }
     std::size_t capacity() const { return capacity_; }
@@ -99,6 +132,12 @@ class ReplayBuffer
   private:
     static std::uint64_t hashExperience(const Experience &e);
 
+    /** p^alpha + epsilon, the mass the samplers weight entries by. */
+    static double transformedPriority(float p, double alpha);
+
+    /** (Re)key the sum tree to @p alpha if it isn't already. */
+    void ensureTree(double alpha) const;
+
     std::size_t capacity_;
     bool dedup_;
     std::vector<Experience> entries_; // ring once full
@@ -106,6 +145,11 @@ class ReplayBuffer
     std::vector<std::uint64_t> hashes_;
     std::vector<float> priorities_;
     float maxPriority_ = 1.0f;
+
+    // Sum tree over p^alpha for the alpha last used; lazily rebuilt on
+    // alpha changes, incrementally maintained by add()/setPriority().
+    mutable SumTree tree_;
+    mutable std::optional<double> treeAlpha_;
     std::unordered_map<std::uint64_t, std::uint32_t> hashCount_;
     std::uint64_t totalAdded_ = 0;
     std::uint64_t duplicates_ = 0;

@@ -1,0 +1,84 @@
+#include "rl/sum_tree.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sibyl::rl
+{
+
+namespace
+{
+constexpr double kUnsetMin = std::numeric_limits<double>::infinity();
+} // namespace
+
+SumTree::SumTree(std::size_t capacity) : capacity_(capacity)
+{
+    leafBase_ = 1;
+    while (leafBase_ < std::max<std::size_t>(capacity, 1))
+        leafBase_ <<= 1;
+    sum_.assign(2 * leafBase_, 0.0);
+    min_.assign(2 * leafBase_, kUnsetMin);
+}
+
+void
+SumTree::set(std::size_t i, double value)
+{
+    assert(i < capacity_);
+    assert(value >= 0.0);
+    std::size_t node = leafBase_ + i;
+    sum_[node] = value;
+    min_[node] = value;
+    for (node >>= 1; node >= 1; node >>= 1) {
+        sum_[node] = sum_[2 * node] + sum_[2 * node + 1];
+        min_[node] = std::min(min_[2 * node], min_[2 * node + 1]);
+    }
+}
+
+double
+SumTree::value(std::size_t i) const
+{
+    assert(i < capacity_);
+    return sum_[leafBase_ + i];
+}
+
+double
+SumTree::total() const
+{
+    return sum_.empty() ? 0.0 : sum_[1];
+}
+
+double
+SumTree::minValue() const
+{
+    return min_.empty() ? kUnsetMin : min_[1];
+}
+
+std::size_t
+SumTree::sample(double prefix) const
+{
+    assert(!sum_.empty());
+    std::size_t node = 1;
+    while (node < leafBase_) {
+        const std::size_t left = 2 * node;
+        if (prefix < sum_[left]) {
+            node = left;
+        } else {
+            prefix -= sum_[left];
+            node = left + 1;
+        }
+    }
+    // Guard against floating-point drift landing one past the last set
+    // leaf (prefix == total after rounding).
+    std::size_t idx = node - leafBase_;
+    return std::min(idx, capacity_ ? capacity_ - 1 : 0);
+}
+
+void
+SumTree::clear()
+{
+    std::fill(sum_.begin(), sum_.end(), 0.0);
+    std::fill(min_.begin(), min_.end(), kUnsetMin);
+}
+
+} // namespace sibyl::rl

@@ -307,7 +307,8 @@ TEST(Optimizer, StepClearsGradients)
     Network net(2, {{2, Activation::Identity}}, rng);
     Sgd opt(0.1);
     Vector grad = {1.0f, 1.0f};
-    net.forward({1.0f, 1.0f});
+    const Vector x = {1.0f, 1.0f};
+    net.forward(x);
     net.backward(grad);
     opt.step(net, 1);
     EXPECT_FLOAT_EQ(net.layers()[0].gradWeights()(0, 0), 0.0f);

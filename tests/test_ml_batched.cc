@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Equivalence tests for the batched GEMM training engine: the blocked
+ * matmul kernels against naive references, batched DenseLayer/Network
+ * forward/backward against the per-sample path across every activation
+ * kind, and whole-agent training (DQN and C51) batched vs. per-sample.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/rng.hh"
+#include "ml/activations.hh"
+#include "ml/layers.hh"
+#include "ml/matrix.hh"
+#include "ml/network.hh"
+#include "rl/c51_agent.hh"
+#include "rl/dqn_agent.hh"
+
+namespace sibyl::ml
+{
+namespace
+{
+
+constexpr float kRelTol = 1e-5f;
+
+void
+expectClose(float a, float b, const char *what)
+{
+    const float tol = kRelTol * std::max({1.0f, std::abs(a), std::abs(b)});
+    EXPECT_NEAR(a, b, tol) << what;
+}
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, Pcg32 &rng)
+{
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); i++)
+        m.data()[i] = static_cast<float>(rng.nextDouble(-1.0, 1.0));
+    return m;
+}
+
+// ---------------------------------------------------------------------
+// Kernel correctness against naive triple loops (odd shapes exercise
+// the blocking and accumulator-tail paths).
+// ---------------------------------------------------------------------
+
+TEST(Matmul, MatchesNaive)
+{
+    Pcg32 rng(42);
+    for (auto [m, k, n] : {std::array<std::size_t, 3>{3, 5, 7},
+                           {1, 1, 1},
+                           {17, 65, 9},
+                           {32, 128, 30}}) {
+        Matrix a = randomMatrix(m, k, rng);
+        Matrix b = randomMatrix(k, n, rng);
+        Matrix c;
+        a.matmul(b, c);
+        ASSERT_EQ(c.rows(), m);
+        ASSERT_EQ(c.cols(), n);
+        for (std::size_t i = 0; i < m; i++)
+            for (std::size_t j = 0; j < n; j++) {
+                float ref = 0.0f;
+                for (std::size_t kk = 0; kk < k; kk++)
+                    ref += a(i, kk) * b(kk, j);
+                expectClose(c(i, j), ref, "matmul");
+            }
+    }
+}
+
+TEST(Matmul, TransposedBMatchesNaive)
+{
+    Pcg32 rng(43);
+    for (auto [m, k, n] : {std::array<std::size_t, 3>{3, 5, 7},
+                           {1, 9, 1},
+                           {13, 21, 11},
+                           {32, 6, 102}}) {
+        Matrix a = randomMatrix(m, k, rng);
+        Matrix b = randomMatrix(n, k, rng); // used as B^T
+        Matrix c;
+        a.matmulTransposed(b, c);
+        ASSERT_EQ(c.rows(), m);
+        ASSERT_EQ(c.cols(), n);
+        for (std::size_t i = 0; i < m; i++)
+            for (std::size_t j = 0; j < n; j++) {
+                float ref = 0.0f;
+                for (std::size_t kk = 0; kk < k; kk++)
+                    ref += a(i, kk) * b(j, kk);
+                expectClose(c(i, j), ref, "matmulTransposed");
+            }
+    }
+}
+
+TEST(Matmul, TransposedAAccumulates)
+{
+    Pcg32 rng(44);
+    const std::size_t batch = 19, rows = 7, cols = 11;
+    Matrix a = randomMatrix(batch, rows, rng);
+    Matrix b = randomMatrix(batch, cols, rng);
+    Matrix c = randomMatrix(rows, cols, rng);
+    Matrix ref = c;
+    a.transposedMatmulAdd(b, c, 0.5f);
+    for (std::size_t i = 0; i < rows; i++)
+        for (std::size_t j = 0; j < cols; j++) {
+            float acc = ref(i, j);
+            for (std::size_t r = 0; r < batch; r++)
+                acc += 0.5f * a(r, i) * b(r, j);
+            expectClose(c(i, j), acc, "transposedMatmulAdd");
+        }
+}
+
+// ---------------------------------------------------------------------
+// Batched layer forward/backward vs. the per-sample path, for every
+// activation kind.
+// ---------------------------------------------------------------------
+
+class BatchedLayerTest : public ::testing::TestWithParam<Activation>
+{
+};
+
+TEST_P(BatchedLayerTest, ForwardMatchesPerSample)
+{
+    Pcg32 rng(7);
+    DenseLayer batched(9, 13, GetParam());
+    batched.initWeights(rng);
+    DenseLayer scalar(9, 13, GetParam());
+    scalar.weights() = batched.weights();
+    scalar.bias() = batched.bias();
+
+    const std::size_t batch = 6;
+    Pcg32 data(99);
+    Matrix in = randomMatrix(batch, 9, data);
+    Matrix out;
+    batched.forward(in, out);
+    ASSERT_EQ(out.rows(), batch);
+    ASSERT_EQ(out.cols(), 13u);
+
+    Vector x(9), y;
+    for (std::size_t r = 0; r < batch; r++) {
+        x.assign(in.row(r), in.row(r) + 9);
+        scalar.forward(x, y);
+        for (std::size_t c = 0; c < 13; c++)
+            expectClose(out(r, c), y[c], activationName(GetParam()));
+    }
+}
+
+TEST_P(BatchedLayerTest, BackwardMatchesPerSampleAccumulation)
+{
+    Pcg32 rng(8);
+    DenseLayer batched(5, 8, GetParam());
+    batched.initWeights(rng);
+    DenseLayer scalar(5, 8, GetParam());
+    scalar.weights() = batched.weights();
+    scalar.bias() = batched.bias();
+
+    const std::size_t batch = 7;
+    Pcg32 data(123);
+    Matrix in = randomMatrix(batch, 5, data);
+    Matrix gradOut = randomMatrix(batch, 8, data);
+
+    Matrix out, gradIn;
+    batched.forward(in, out);
+    batched.backward(gradOut, gradIn);
+    ASSERT_EQ(gradIn.rows(), batch);
+    ASSERT_EQ(gradIn.cols(), 5u);
+
+    Vector x(5), y, g(8), gi;
+    for (std::size_t r = 0; r < batch; r++) {
+        x.assign(in.row(r), in.row(r) + 5);
+        g.assign(gradOut.row(r), gradOut.row(r) + 8);
+        scalar.forward(x, y);
+        scalar.backward(g, gi);
+        for (std::size_t c = 0; c < 5; c++)
+            expectClose(gradIn(r, c), gi[c], "gradIn");
+    }
+    // Parameter gradients: batched accumulation == sum over samples.
+    for (std::size_t i = 0; i < batched.gradWeights().size(); i++)
+        expectClose(batched.gradWeights().data()[i],
+                    scalar.gradWeights().data()[i], "gradW");
+    for (std::size_t i = 0; i < 8; i++)
+        expectClose(batched.gradBias()[i], scalar.gradBias()[i], "gradB");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllActivations, BatchedLayerTest,
+    ::testing::Values(Activation::Identity, Activation::ReLU,
+                      Activation::Sigmoid, Activation::Tanh,
+                      Activation::Swish),
+    [](const auto &info) { return activationName(info.param); });
+
+// ---------------------------------------------------------------------
+// Whole-network equivalence.
+// ---------------------------------------------------------------------
+
+TEST(BatchedNetwork, ForwardBackwardMatchPerSample)
+{
+    Pcg32 rngA(11);
+    Network batched(6,
+                    {{20, Activation::Swish},
+                     {30, Activation::Swish},
+                     {4, Activation::Identity}},
+                    rngA);
+    Pcg32 rngB(12);
+    Network scalar(6,
+                   {{20, Activation::Swish},
+                    {30, Activation::Swish},
+                    {4, Activation::Identity}},
+                   rngB);
+    scalar.copyWeightsFrom(batched);
+
+    const std::size_t batch = 16;
+    Pcg32 data(3);
+    Matrix in = randomMatrix(batch, 6, data);
+    Matrix gradOut = randomMatrix(batch, 4, data);
+
+    const Matrix &out = batched.forward(in);
+    batched.backward(gradOut);
+
+    Vector x(6), g(4);
+    for (std::size_t r = 0; r < batch; r++) {
+        x.assign(in.row(r), in.row(r) + 6);
+        g.assign(gradOut.row(r), gradOut.row(r) + 4);
+        const Vector &y = scalar.forward(x);
+        for (std::size_t c = 0; c < 4; c++)
+            expectClose(out(r, c), y[c], "net forward");
+        scalar.backward(g);
+    }
+    for (std::size_t li = 0; li < batched.layers().size(); li++) {
+        const Matrix &gb = batched.layers()[li].gradWeights();
+        const Matrix &gs = scalar.layers()[li].gradWeights();
+        for (std::size_t i = 0; i < gb.size(); i++)
+            expectClose(gb.data()[i], gs.data()[i], "net gradW");
+    }
+}
+
+TEST(BatchedNetwork, BatchOfOneMatchesVectorPath)
+{
+    Pcg32 rng(21);
+    Network net(4, {{8, Activation::Swish}, {3, Activation::Identity}},
+                rng);
+    Pcg32 data(5);
+    Matrix in = randomMatrix(1, 4, data);
+    const Matrix &outM = net.forward(in);
+    Vector x(in.data(), in.data() + 4);
+    const Vector &outV = net.forward(x);
+    for (std::size_t c = 0; c < 3; c++)
+        expectClose(outM(0, c), outV[c], "batch-of-one");
+}
+
+} // namespace
+} // namespace sibyl::ml
+
+// ---------------------------------------------------------------------
+// Agent-level equivalence: a full training round through the batched
+// engine must match the legacy per-sample loop on identically seeded
+// twin agents (same sampled indices, same math up to summation order).
+// ---------------------------------------------------------------------
+
+namespace sibyl::rl
+{
+namespace
+{
+
+void
+fillBuffer(Agent &agent, const AgentConfig &cfg, std::uint64_t seed)
+{
+    Pcg32 data(seed);
+    for (std::size_t i = 0; i < cfg.bufferCapacity; i++) {
+        Experience e;
+        e.state.resize(cfg.stateDim);
+        e.nextState.resize(cfg.stateDim);
+        for (auto &v : e.state)
+            v = static_cast<float>(data.nextDouble(0.0, 1.0));
+        for (auto &v : e.nextState)
+            v = static_cast<float>(data.nextDouble(0.0, 1.0));
+        e.action = data.nextBounded(cfg.numActions);
+        e.reward = static_cast<float>(data.nextDouble(0.0, 2.0));
+        agent.observe(std::move(e));
+    }
+}
+
+template <typename AgentT>
+void
+expectTwinTrainingMatches(AgentConfig cfg, double tol)
+{
+    // trainEvery larger than the fill so observe() never trains; the
+    // round under test is the explicit trainRound() below.
+    cfg.trainEvery = 10 * cfg.bufferCapacity;
+    cfg.targetSyncEvery = 10 * cfg.bufferCapacity;
+
+    AgentConfig perSampleCfg = cfg;
+    perSampleCfg.batchedTraining = false;
+    cfg.batchedTraining = true;
+
+    AgentT batched(cfg);
+    AgentT scalar(perSampleCfg);
+    fillBuffer(batched, cfg, 77);
+    fillBuffer(scalar, perSampleCfg, 77);
+
+    const double lossB = batched.trainRound();
+    const double lossS = scalar.trainRound();
+    EXPECT_NEAR(lossB, lossS, tol * std::max(1.0, std::abs(lossS)));
+
+    const auto pb = batched.trainingNetwork().saveParams();
+    const auto ps = scalar.trainingNetwork().saveParams();
+    ASSERT_EQ(pb.size(), ps.size());
+    double maxDiff = 0.0;
+    for (std::size_t i = 0; i < pb.size(); i++)
+        maxDiff = std::max(maxDiff,
+                           static_cast<double>(std::abs(pb[i] - ps[i])));
+    EXPECT_LT(maxDiff, tol);
+}
+
+TEST(BatchedAgent, DqnMatchesPerSample)
+{
+    AgentConfig cfg;
+    cfg.batchSize = 32;
+    cfg.batchesPerTraining = 2;
+    cfg.bufferCapacity = 128;
+    expectTwinTrainingMatches<DqnAgent>(cfg, 1e-4);
+}
+
+TEST(BatchedAgent, DoubleDqnMatchesPerSample)
+{
+    AgentConfig cfg;
+    cfg.doubleDqn = true;
+    cfg.batchSize = 32;
+    cfg.batchesPerTraining = 2;
+    cfg.bufferCapacity = 128;
+    expectTwinTrainingMatches<DqnAgent>(cfg, 1e-4);
+}
+
+TEST(BatchedAgent, DqnPrioritizedMatchesPerSample)
+{
+    AgentConfig cfg;
+    cfg.prioritizedReplay = true;
+    cfg.batchSize = 32;
+    cfg.batchesPerTraining = 2;
+    cfg.bufferCapacity = 128;
+    expectTwinTrainingMatches<DqnAgent>(cfg, 1e-4);
+}
+
+TEST(BatchedAgent, C51MatchesPerSample)
+{
+    AgentConfig cfg;
+    cfg.batchSize = 16;
+    cfg.batchesPerTraining = 2;
+    cfg.bufferCapacity = 64;
+    expectTwinTrainingMatches<C51Agent>(cfg, 1e-4);
+}
+
+TEST(BatchedAgent, C51PrioritizedMatchesPerSample)
+{
+    AgentConfig cfg;
+    cfg.prioritizedReplay = true;
+    cfg.batchSize = 16;
+    cfg.batchesPerTraining = 2;
+    cfg.bufferCapacity = 64;
+    expectTwinTrainingMatches<C51Agent>(cfg, 1e-4);
+}
+
+} // namespace
+} // namespace sibyl::rl
