@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "sim/parallel_runner.hh"
 
 namespace sibyl::bench
 {
@@ -53,13 +54,29 @@ void
 runLineup(const LineupSpec &spec)
 {
     banner(spec.title);
-    for (const auto &cfgName : spec.configs) {
-        sim::ExperimentConfig cfg;
-        cfg.hssConfig = cfgName;
-        cfg.fastCapacityFrac = spec.fastFrac;
-        sim::Experiment exp(cfg);
 
-        std::printf("\n[%s]  metric: %s\n", cfgName.c_str(),
+    sim::ExperimentMatrix matrix;
+    matrix.policies = spec.policies;
+    matrix.workloads = spec.workloads;
+    matrix.hssConfigs = spec.configs;
+    matrix.mixedWorkloads = spec.mixed;
+    matrix.fastCapacityFrac = spec.fastFrac;
+    // Mixed workloads split the request budget across their components.
+    matrix.traceLen =
+        spec.mixed && spec.traceLen ? spec.traceLen / 2 : spec.traceLen;
+    matrix.timeCompress = spec.timeCompress;
+    matrix.sibylCfg = spec.sibylCfg;
+
+    sim::ParallelConfig pcfg;
+    pcfg.numThreads = spec.numThreads;
+    sim::ParallelRunner runner(pcfg);
+    const auto records = runner.runMatrix(matrix);
+
+    // expand() nests config (outer), workload, policy (inner).
+    const std::size_t nPolicies = spec.policies.size();
+    const std::size_t nWorkloads = spec.workloads.size();
+    for (std::size_t ci = 0; ci < spec.configs.size(); ci++) {
+        std::printf("\n[%s]  metric: %s\n", spec.configs[ci].c_str(),
                     metricName(spec.metric));
         TextTable tab;
         std::vector<std::string> header = {"workload"};
@@ -67,22 +84,13 @@ runLineup(const LineupSpec &spec)
                       spec.policies.end());
         tab.header(header);
 
-        std::vector<double> sums(spec.policies.size(), 0.0);
-        for (const auto &wl : spec.workloads) {
-            trace::Trace t = spec.mixed
-                ? trace::makeMixedWorkload(wl, spec.traceLen
-                                                   ? spec.traceLen / 2
-                                                   : 0)
-                : trace::makeWorkload(wl, spec.traceLen);
-            if (spec.timeCompress > 1.0)
-                t.compressTime(spec.timeCompress);
-            std::vector<std::string> row = {wl};
-            for (std::size_t pi = 0; pi < spec.policies.size(); pi++) {
-                auto policy = sim::makePolicy(spec.policies[pi],
-                                              exp.numDevices(),
-                                              spec.sibylCfg);
-                auto r = exp.run(t, *policy);
-                double v = metricValue(spec.metric, r);
+        std::vector<double> sums(nPolicies, 0.0);
+        for (std::size_t wi = 0; wi < nWorkloads; wi++) {
+            std::vector<std::string> row = {spec.workloads[wi]};
+            for (std::size_t pi = 0; pi < nPolicies; pi++) {
+                const auto &rec =
+                    records[(ci * nWorkloads + wi) * nPolicies + pi];
+                double v = metricValue(spec.metric, rec.result);
                 sums[pi] += v;
                 row.push_back(cell(v, 3));
             }
@@ -91,11 +99,19 @@ runLineup(const LineupSpec &spec)
         std::vector<std::string> avg = {"AVG"};
         for (double s : sums)
             avg.push_back(
-                cell(s / static_cast<double>(spec.workloads.size()), 3));
+                cell(s / static_cast<double>(nWorkloads), 3));
         tab.addRow(avg);
         tab.print(std::cout);
     }
     std::printf("\n");
+
+    if (!spec.jsonPath.empty()) {
+        if (sim::writeResultsJsonFile(spec.jsonPath, records))
+            std::printf("wrote %s\n", spec.jsonPath.c_str());
+        else
+            std::printf("WARNING: could not write %s\n",
+                        spec.jsonPath.c_str());
+    }
 }
 
 void

@@ -46,6 +46,14 @@ struct LineupSpec
     Metric metric = Metric::NormalizedLatency;
     bool mixed = false;                 ///< workloads are mix names
     core::SibylConfig sibylCfg;         ///< hyper-parameters for Sibyl
+
+    /** Worker threads for the grid (0 = SIBYL_THREADS env override,
+     *  else hardware concurrency; 1 = the serial oracle path). */
+    unsigned numThreads = 0;
+
+    /** When non-empty, also emit the full machine-readable result set
+     *  (sim::writeResultsJsonFile) to this path. */
+    std::string jsonPath;
 };
 
 /** Extract the configured metric from a result. */
@@ -55,8 +63,11 @@ double metricValue(Metric metric, const sim::PolicyResult &r);
 const char *metricName(Metric metric);
 
 /**
- * Run the full grid and print one table per HSS configuration, with an
- * AVG row (arithmetic mean over workloads, as the paper reports).
+ * Run the full grid — sharded across cores by sim::ParallelRunner, with
+ * per-run RNG streams derived from stable run keys so the output is
+ * independent of thread count — and print one table per HSS
+ * configuration, with an AVG row (arithmetic mean over workloads, as
+ * the paper reports).
  */
 void runLineup(const LineupSpec &spec);
 

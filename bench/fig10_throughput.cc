@@ -26,6 +26,7 @@ main()
     // compress inter-arrival gaps so the H&M devices are the
     // bottleneck, as they are on the real testbed.
     spec.timeCompress = 100.0;
+    spec.jsonPath = "BENCH_fig10.json";
     bench::runLineup(spec);
     return 0;
 }

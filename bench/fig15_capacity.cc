@@ -12,6 +12,7 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "sim/parallel_runner.hh"
 
 using namespace sibyl;
 
@@ -28,29 +29,46 @@ main()
                                                "Oracle"};
     const std::vector<std::string> workloads = {"hm_1", "prxy_1",
                                                 "rsrch_0", "usr_0"};
+    const std::vector<std::string> configs = {"H&M", "H&L"};
     // Shorter traces keep the 2x10x6x4 grid fast.
     const std::size_t traceLen = 8000;
 
-    for (const char *cfgName : {"H&M", "H&L"}) {
-        std::printf("\n[%s]\n", cfgName);
+    // One flat spec list over (config, capacity, policy, workload):
+    // the runner shards the whole sweep across cores, sharing each
+    // workload trace and each per-config Fast-Only baseline.
+    std::vector<sim::RunSpec> specs;
+    for (const auto &cfgName : configs) {
+        for (double frac : fracs) {
+            for (const auto &pname : policies) {
+                for (const auto &wl : workloads) {
+                    sim::RunSpec s;
+                    s.policy = pname;
+                    s.workload = wl;
+                    s.hssConfig = cfgName;
+                    s.fastCapacityFrac = frac;
+                    s.traceLen = traceLen;
+                    specs.push_back(std::move(s));
+                }
+            }
+        }
+    }
+    sim::ParallelRunner runner;
+    const auto records = runner.runAll(specs);
+
+    std::size_t idx = 0;
+    for (const auto &cfgName : configs) {
+        std::printf("\n[%s]\n", cfgName.c_str());
         TextTable tab;
         std::vector<std::string> header = {"capacity"};
         header.insert(header.end(), policies.begin(), policies.end());
         tab.header(header);
 
         for (double frac : fracs) {
-            sim::ExperimentConfig cfg;
-            cfg.hssConfig = cfgName;
-            cfg.fastCapacityFrac = frac;
-            sim::Experiment exp(cfg);
             std::vector<std::string> row = {cell(frac * 100.0, 1) + "%"};
-            for (const auto &pname : policies) {
+            for (std::size_t pi = 0; pi < policies.size(); pi++) {
                 double sum = 0.0;
-                for (const auto &wl : workloads) {
-                    trace::Trace t = trace::makeWorkload(wl, traceLen);
-                    auto p = sim::makePolicy(pname, exp.numDevices());
-                    sum += exp.run(t, *p).normalizedLatency;
-                }
+                for (std::size_t wi = 0; wi < workloads.size(); wi++)
+                    sum += records[idx++].result.normalizedLatency;
                 row.push_back(
                     cell(sum / static_cast<double>(workloads.size()), 2));
             }
@@ -58,6 +76,8 @@ main()
         }
         tab.print(std::cout);
     }
+    if (sim::writeResultsJsonFile("BENCH_fig15.json", records))
+        std::printf("\nwrote BENCH_fig15.json\n");
 
     std::printf("\nPaper reference: Sibyl outperforms the baselines at "
                 "every capacity point; latency approaches Fast-Only\n"

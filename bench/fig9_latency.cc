@@ -26,6 +26,7 @@ main()
     for (const auto &p : trace::msrcProfiles())
         spec.workloads.push_back(p.name);
     spec.configs = {"H&M", "H&L"};
+    spec.jsonPath = "BENCH_fig9.json";
     bench::runLineup(spec);
 
     std::printf("Paper reference (shape, not absolute): Sibyl beats the "

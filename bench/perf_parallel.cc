@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment-orchestration scaling bench: wall-clock of a 24-run
+ * (policy x workload x HSS config) matrix on the serial oracle path
+ * (numThreads = 1) vs the parallel runner at the machine's core count,
+ * plus a bit-exactness check between the two result sets (serialized
+ * JSON compared byte-for-byte). Emits BENCH_parallel.json with the
+ * wall times, the speedup, and the equivalence verdict.
+ *
+ * The acceptance bar for the orchestration subsystem is >= 3x at 8
+ * threads on a CI-class (>= 8 core) machine; on smaller hosts the
+ * speedup degrades gracefully toward 1x and the bit-exactness check is
+ * the part that must always hold.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "sim/parallel_runner.hh"
+
+using namespace sibyl;
+
+namespace
+{
+
+sim::ExperimentMatrix
+scalingMatrix()
+{
+    sim::ExperimentMatrix m;
+    // 4 policies x 3 workloads x 2 configs = 24 runs. The policy mix
+    // includes the RL policy so the matrix exercises both cheap
+    // heuristic runs and the heavier training loop.
+    m.policies = {"CDE", "HPS", "Archivist", "Sibyl"};
+    m.workloads = {"hm_1", "prxy_1", "usr_0"};
+    m.hssConfigs = {"H&M", "H&L"};
+    m.traceLen = 10000;
+    return m;
+}
+
+/** Run the matrix on a fresh runner (cold trace/baseline caches) and
+ *  return {wallSeconds, resultsJson}. */
+std::pair<double, std::string>
+timedRun(unsigned numThreads)
+{
+    sim::ParallelConfig cfg;
+    cfg.numThreads = numThreads;
+    sim::ParallelRunner runner(cfg);
+    const auto start = std::chrono::steady_clock::now();
+    const auto records = runner.runMatrix(scalingMatrix());
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::ostringstream json;
+    sim::writeResultsJson(json, records);
+    return {wall, json.str()};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("perf_parallel: experiment-matrix wall-clock, serial "
+                  "oracle vs parallel runner");
+
+    const unsigned hw = ThreadPool::defaultThreads();
+    const auto matrix = scalingMatrix();
+    const std::size_t runs = matrix.policies.size() *
+                             matrix.workloads.size() *
+                             matrix.hssConfigs.size();
+    std::printf("matrix: %zu runs, traceLen %zu, %u worker threads "
+                "available\n\n",
+                runs, matrix.traceLen, hw);
+
+    const auto [serialWall, serialJson] = timedRun(1);
+    const auto [parallelWall, parallelJson] = timedRun(hw);
+    const bool bitExact = serialJson == parallelJson;
+    const double speedup =
+        parallelWall > 0.0 ? serialWall / parallelWall : 0.0;
+
+    TextTable tab;
+    tab.header({"path", "threads", "wall (s)", "speedup"});
+    tab.addRow({"serial oracle", "1", cell(serialWall, 2), "1.00"});
+    tab.addRow({"parallel runner", std::to_string(hw),
+                cell(parallelWall, 2), cell(speedup, 2)});
+    tab.print(std::cout);
+    std::printf("\nresults bit-exact across paths: %s\n",
+                bitExact ? "YES" : "NO (BUG)");
+
+    bench::BenchJson json("perf_parallel");
+    json.add("runs", static_cast<double>(runs));
+    json.add("threads", static_cast<double>(hw));
+    json.add("serial_wall_seconds", serialWall);
+    json.add("parallel_wall_seconds", parallelWall);
+    json.add("speedup", speedup);
+    json.add("bit_exact", bitExact ? 1.0 : 0.0);
+    if (json.writeTo("BENCH_parallel.json"))
+        std::printf("wrote BENCH_parallel.json\n");
+
+    // Scheduling nondeterminism must never leak into results; a
+    // mismatch is a correctness bug, not a perf miss.
+    return bitExact ? 0 : 1;
+}

@@ -18,19 +18,23 @@
  *             --policy Heuristic-Multi-Tier
  *   sibyl_cli --exploration linear --epsilon 0.001
  *   sibyl_cli --degrade-fast 2000:5000:30 --policy Sibyl --policy CDE
+ *   sibyl_cli --policy Sibyl --policy CDE --policy Oracle --threads 4 \
+ *             --json results.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/table.hh"
 #include "core/sibyl_policy.hh"
 #include "rl/checkpoint.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
 
@@ -56,6 +60,8 @@ struct Options
     bool csv = false;
     std::string saveAgent;
     std::string loadAgent;
+    unsigned threads = 0;           ///< 0 = all cores, 1 = serial
+    std::string jsonPath;           ///< machine-readable result dump
 };
 
 void
@@ -87,6 +93,11 @@ usage(const char *prog)
         "  --save-agent PATH   checkpoint Sibyl's learned policy "
         "after the run\n"
         "  --load-agent PATH   warm-start Sibyl from a checkpoint\n"
+        "  --threads N         run the policies across N worker "
+        "threads\n"
+        "                      (0 = all cores; results are identical "
+        "at any N)\n"
+        "  --json PATH         also dump machine-readable results\n"
         "  --csv               emit CSV instead of an aligned table\n",
         prog);
 }
@@ -163,6 +174,14 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!(v = need(i)))
                 return false;
             opt.loadAgent = v;
+        } else if (a == "--threads") {
+            if (!(v = need(i)))
+                return false;
+            opt.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (a == "--json") {
+            if (!(v = need(i)))
+                return false;
+            opt.jsonPath = v;
         } else if (a == "--csv") {
             opt.csv = true;
         } else {
@@ -185,25 +204,42 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, opt))
         return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 2;
 
-    // Workload: synthesizer profile or a real MSRC CSV.
-    trace::Trace t;
+    // Workload: synthesizer profile or a real MSRC CSV. A profile
+    // workload goes through the runner's shared trace cache; a CSV is
+    // loaded here and handed to every run as an external trace.
+    std::shared_ptr<const trace::Trace> externalTrace;
     if (!opt.tracePath.empty()) {
-        t = trace::readMsrcCsvFile(opt.tracePath);
+        trace::Trace t = trace::readMsrcCsvFile(opt.tracePath);
         if (opt.requests > 0 && opt.requests < t.size())
             t = t.prefix(opt.requests);
-    } else {
-        t = trace::makeWorkload(opt.workload, opt.requests);
+        externalTrace =
+            std::make_shared<const trace::Trace>(std::move(t));
     }
-    std::printf("workload %s: %zu requests, %llu unique pages "
-                "(%.1f MiB working set)\n",
-                t.name().c_str(), t.size(),
-                static_cast<unsigned long long>(t.uniquePages()),
-                static_cast<double>(t.workingSetBytes()) / (1 << 20));
 
-    sim::ExperimentConfig cfg;
-    cfg.hssConfig = opt.config;
-    cfg.fastCapacityFrac = opt.fastFrac;
-    cfg.seed = opt.seed;
+    sim::ParallelConfig pcfg;
+    pcfg.numThreads = opt.threads;
+    sim::ParallelRunner runner(pcfg);
+
+    sim::RunSpec proto;
+    proto.workload = opt.workload;
+    proto.hssConfig = opt.config;
+    proto.fastCapacityFrac = opt.fastFrac;
+    proto.traceLen = opt.requests;
+    proto.seed = opt.seed;
+    proto.externalTrace = externalTrace;
+
+    {
+        const auto t = externalTrace
+            ? externalTrace
+            : runner.traceCache().get(proto.traceKey());
+        std::printf("workload %s: %zu requests, %llu unique pages "
+                    "(%.1f MiB working set)\n",
+                    t->name().c_str(), t->size(),
+                    static_cast<unsigned long long>(t->uniquePages()),
+                    static_cast<double>(t->workingSetBytes()) /
+                        (1 << 20));
+    }
+
     if (!opt.degradeFast.empty()) {
         // "startMs:endMs:multiplier" -> a fault window on device 0.
         double startMs = 0.0, endMs = 0.0, mult = 1.0;
@@ -214,14 +250,13 @@ main(int argc, char **argv)
                          "--degrade-fast wants START_MS:END_MS:MULT\n");
             return 2;
         }
-        cfg.specTweak = [=](std::vector<device::DeviceSpec> &specs) {
+        proto.specTweak = [=](std::vector<device::DeviceSpec> &specs) {
             specs[0].faults.windows.push_back(
                 {startMs * 1e3, endMs * 1e3, mult});
         };
         std::printf("fast device degraded x%.1f in [%.0f, %.0f] ms\n",
                     mult, startMs, endMs);
     }
-    sim::Experiment exp(cfg);
 
     core::SibylConfig sibylCfg;
     if (opt.learningRate > 0.0)
@@ -252,41 +287,75 @@ main(int argc, char **argv)
         }
     }
 
+    proto.sibylCfg = sibylCfg;
+
+    // One spec per policy; the runner shards them across workers and
+    // returns results in policy order regardless of scheduling.
+    std::vector<sim::RunSpec> specs;
+    for (const auto &name : opt.policies) {
+        sim::RunSpec s = proto;
+        s.policy = name;
+        if (!opt.loadAgent.empty() || !opt.saveAgent.empty()) {
+            const std::string loadPath = opt.loadAgent;
+            const std::string savePath = opt.saveAgent;
+            // A failed warm-start throws: the run must not proceed
+            // with a cold agent, and the save hook must not clobber
+            // an existing checkpoint with an untrained one.
+            s.policySetup = [name,
+                             loadPath](policies::PlacementPolicy &p) {
+                auto *sibyl = dynamic_cast<core::SibylPolicy *>(&p);
+                if (!sibyl || loadPath.empty())
+                    return;
+                const auto err =
+                    rl::loadCheckpointFile(sibyl->agent(), loadPath);
+                if (!err.empty())
+                    throw std::runtime_error("load-agent: " + err);
+                std::printf("warm-started %s from %s\n", name.c_str(),
+                            loadPath.c_str());
+            };
+            s.policyFinish = [name,
+                              savePath](policies::PlacementPolicy &p) {
+                auto *sibyl = dynamic_cast<core::SibylPolicy *>(&p);
+                if (!sibyl || savePath.empty())
+                    return;
+                rl::saveCheckpointFile(sibyl->agent(), savePath);
+                std::printf("saved %s's learned policy to %s\n",
+                            name.c_str(), savePath.c_str());
+            };
+        }
+        specs.push_back(std::move(s));
+    }
+    std::vector<sim::RunRecord> records;
+    try {
+        records = runner.runAll(specs);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+
     TextTable tab;
     tab.header({"policy", "avg latency (us)", "vs Fast-Only", "IOPS",
                 "evictions", "fast pref", "energy (mJ)"});
-    for (const auto &name : opt.policies) {
-        auto policy = sim::makePolicy(name, exp.numDevices(), sibylCfg);
-
-        auto *sibyl = dynamic_cast<core::SibylPolicy *>(policy.get());
-        if (sibyl && !opt.loadAgent.empty()) {
-            const auto err =
-                rl::loadCheckpointFile(sibyl->agent(), opt.loadAgent);
-            if (!err.empty()) {
-                std::fprintf(stderr, "load-agent: %s\n", err.c_str());
-                return 1;
-            }
-            std::printf("warm-started %s from %s\n", name.c_str(),
-                        opt.loadAgent.c_str());
-        }
-
-        const auto r = exp.run(t, *policy);
-        tab.addRow({name, cell(r.metrics.avgLatencyUs, 1),
+    for (const auto &rec : records) {
+        const auto &r = rec.result;
+        tab.addRow({rec.spec.policy, cell(r.metrics.avgLatencyUs, 1),
                     cell(r.normalizedLatency, 3),
                     cell(r.metrics.iops, 0),
                     cell(r.metrics.evictionFraction, 3),
                     cell(r.metrics.fastPlacementPreference, 3),
                     cell(r.totalEnergyMj, 1)});
-
-        if (sibyl && !opt.saveAgent.empty()) {
-            rl::saveCheckpointFile(sibyl->agent(), opt.saveAgent);
-            std::printf("saved %s's learned policy to %s\n",
-                        name.c_str(), opt.saveAgent.c_str());
-        }
     }
     if (opt.csv)
         tab.printCsv(std::cout);
     else
         tab.print(std::cout);
+
+    if (!opt.jsonPath.empty()) {
+        if (sim::writeResultsJsonFile(opt.jsonPath, records))
+            std::printf("wrote %s\n", opt.jsonPath.c_str());
+        else
+            std::fprintf(stderr, "could not write %s\n",
+                         opt.jsonPath.c_str());
+    }
     return 0;
 }

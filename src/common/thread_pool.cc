@@ -1,0 +1,135 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace sibyl
+{
+
+ThreadPool::ThreadPool(unsigned numThreads)
+{
+    if (numThreads == 0)
+        numThreads = defaultThreads();
+    workers_.reserve(numThreads);
+    for (unsigned i = 0; i < numThreads; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        inFlight_++;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ with a drained queue
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inFlight_--;
+            if (inFlight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("SIBYL_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body,
+                        unsigned numThreads)
+{
+    if (numThreads == 0)
+        numThreads = defaultThreads();
+    // Never spawn more workers than there are indices (also guards
+    // against absurd widths from unvalidated user input).
+    if (n < numThreads)
+        numThreads = static_cast<unsigned>(n);
+    if (numThreads <= 1 || n <= 1) {
+        // Serial oracle path: same work, same order, same thread.
+        for (std::size_t i = 0; i < n; i++)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex errMutex;
+    std::exception_ptr firstError;
+
+    ThreadPool pool(numThreads);
+    for (unsigned w = 0; w < numThreads; w++) {
+        pool.submit([&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errMutex);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                    // Drain remaining indices so the pool winds down
+                    // quickly after a failure.
+                    next.store(n, std::memory_order_relaxed);
+                    return;
+                }
+            }
+        });
+    }
+    pool.wait();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace sibyl

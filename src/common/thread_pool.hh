@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-size worker pool with a shared FIFO work queue.
+ *
+ * The experiment layer fans (workload x HSS config x policy x seed)
+ * matrices across cores with this pool. Jobs must be independent: the
+ * pool provides no ordering guarantees between jobs, only that every
+ * submitted job runs exactly once and that wait() returns after all
+ * previously submitted jobs completed. Determinism of results is the
+ * caller's job — the parallel runner achieves it by deriving every
+ * run's RNG streams from a stable run key and writing each result into
+ * a preallocated slot, so scheduling order never influences output.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sibyl
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p numThreads workers (0 = defaultThreads()). */
+    explicit ThreadPool(unsigned numThreads = 0);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. Thread-safe; may be called from worker threads. */
+    void submit(std::function<void()> job);
+
+    /** Block until every job submitted so far has finished. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Pool width to use when the caller did not pick one: the
+     * SIBYL_THREADS environment variable if set to a positive integer,
+     * otherwise std::thread::hardware_concurrency() (minimum 1).
+     */
+    static unsigned defaultThreads();
+
+    /**
+     * Run body(0..n-1), each index exactly once.
+     *
+     * With @p numThreads <= 1 the loop runs inline on the calling
+     * thread in index order — this is the serial equivalence oracle the
+     * determinism tests compare the parallel path against. Otherwise a
+     * temporary pool of @p numThreads workers pulls indices from an
+     * atomic counter. The first exception thrown by any iteration is
+     * rethrown on the caller after all workers stopped.
+     */
+    static void parallelFor(std::size_t n,
+                            const std::function<void(std::size_t)> &body,
+                            unsigned numThreads);
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t inFlight_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace sibyl

@@ -19,52 +19,53 @@ namespace sibyl::sim
 Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {}
 
 std::uint32_t
-Experiment::numDevices() const
+numHssDevices(const std::string &hssConfig, double fastCapacityFrac)
 {
     // Derive the count from the authoritative config builder so every
     // shorthand (dual, tri, quad) stays in sync automatically.
     return static_cast<std::uint32_t>(
-        hss::makeHssConfig(cfg_.hssConfig, 4096, cfg_.fastCapacityFrac)
-            .size());
+        hss::makeHssConfig(hssConfig, 4096, fastCapacityFrac).size());
 }
 
-const RunMetrics &
-Experiment::fastOnlyBaseline(const trace::Trace &t)
+std::uint32_t
+Experiment::numDevices() const
 {
-    auto it = baselineCache_.find(t.name());
-    if (it != baselineCache_.end())
-        return it->second;
+    return numHssDevices(cfg_.hssConfig, cfg_.fastCapacityFrac);
+}
 
+RunMetrics
+computeFastOnlyBaseline(const ExperimentConfig &cfg, const trace::Trace &t)
+{
     // Fast-Only: "all data resides in the fast storage device" — the
     // fast device is sized to hold the entire working set.
-    auto specs = hss::makeHssConfig(cfg_.hssConfig, t.uniquePages(),
+    auto specs = hss::makeHssConfig(cfg.hssConfig, t.uniquePages(),
                                     /*fastCapacityFrac=*/1.6);
-    hss::HybridSystem sys(std::move(specs), cfg_.seed);
+    hss::HybridSystem sys(std::move(specs), cfg.seed);
     policies::FastOnlyPolicy fastOnly;
-    RunMetrics m = runSimulation(t, sys, fastOnly, cfg_.sim);
-    return baselineCache_.emplace(t.name(), std::move(m)).first->second;
+    return runSimulation(t, sys, fastOnly, cfg.sim);
 }
 
 PolicyResult
-Experiment::run(const trace::Trace &t, policies::PlacementPolicy &policy)
+runPolicyExperiment(const ExperimentConfig &cfg, const trace::Trace &t,
+                    policies::PlacementPolicy &policy,
+                    const RunMetrics &baseline)
 {
-    auto specs = hss::makeHssConfig(cfg_.hssConfig, t.uniquePages(),
-                                    cfg_.fastCapacityFrac);
-    if (cfg_.specTweak)
-        cfg_.specTweak(specs);
-    hss::HybridSystem sys(std::move(specs), cfg_.seed);
+    auto specs = hss::makeHssConfig(cfg.hssConfig, t.uniquePages(),
+                                    cfg.fastCapacityFrac);
+    if (cfg.specTweak)
+        cfg.specTweak(specs);
+    hss::HybridSystem sys(std::move(specs), cfg.seed);
 
     PolicyResult r;
     r.policy = policy.name();
     r.workload = t.name();
-    r.metrics = runSimulation(t, sys, policy, cfg_.sim);
+    r.metrics = runSimulation(t, sys, policy, cfg.sim);
 
-    const RunMetrics &base = fastOnlyBaseline(t);
-    r.normalizedLatency = base.avgLatencyUs > 0.0
-        ? r.metrics.avgLatencyUs / base.avgLatencyUs
+    r.normalizedLatency = baseline.avgLatencyUs > 0.0
+        ? r.metrics.avgLatencyUs / baseline.avgLatencyUs
         : 0.0;
     r.normalizedIops =
-        base.iops > 0.0 ? r.metrics.iops / base.iops : 0.0;
+        baseline.iops > 0.0 ? r.metrics.iops / baseline.iops : 0.0;
 
     // Post-run device accounting for the endurance/energy ablations.
     for (DeviceId d = 0; d < sys.numDevices(); d++) {
@@ -76,6 +77,29 @@ Experiment::run(const trace::Trace &t, policies::PlacementPolicy &policy)
                 .totalMj();
     }
     return r;
+}
+
+const RunMetrics &
+Experiment::fastOnlyBaseline(const trace::Trace &t)
+{
+    {
+        std::lock_guard<std::mutex> lock(baselineMutex_);
+        auto it = baselineCache_.find(t.name());
+        if (it != baselineCache_.end())
+            return it->second;
+    }
+    // Compute outside the lock so two threads working on different
+    // traces don't serialize; racers on the same trace compute the
+    // same (deterministic) metrics and the first emplace wins.
+    RunMetrics m = computeFastOnlyBaseline(cfg_, t);
+    std::lock_guard<std::mutex> lock(baselineMutex_);
+    return baselineCache_.emplace(t.name(), std::move(m)).first->second;
+}
+
+PolicyResult
+Experiment::run(const trace::Trace &t, policies::PlacementPolicy &policy)
+{
+    return runPolicyExperiment(cfg_, t, policy, fastOnlyBaseline(t));
 }
 
 std::unique_ptr<policies::PlacementPolicy>

@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/sibyl_config.hh"
@@ -68,9 +69,38 @@ struct PolicyResult
     double totalEnergyMj = 0.0;
 };
 
+/** Device count of an HSS shorthand (shared by the serial harness and
+ *  the parallel runner so the two can never disagree). */
+std::uint32_t numHssDevices(const std::string &hssConfig,
+                            double fastCapacityFrac = 0.10);
+
+/**
+ * Compute the Fast-Only reference run for @p t under @p cfg: the fast
+ * device is sized to hold the entire working set, per the paper's
+ * baseline definition. Ignores cfg.specTweak (the baseline stays the
+ * healthy reference). Deterministic in (cfg, t); safe to call
+ * concurrently from multiple threads on distinct or shared traces.
+ */
+RunMetrics computeFastOnlyBaseline(const ExperimentConfig &cfg,
+                                   const trace::Trace &t);
+
+/**
+ * Run @p policy on @p t under @p cfg with a freshly built system and
+ * normalize against @p baseline. This is the single-run core shared by
+ * the serial Experiment harness and the parallel runner; it touches no
+ * shared state.
+ */
+PolicyResult runPolicyExperiment(const ExperimentConfig &cfg,
+                                 const trace::Trace &t,
+                                 policies::PlacementPolicy &policy,
+                                 const RunMetrics &baseline);
+
 /**
  * Runs policies over traces under a fixed experiment configuration,
- * caching the Fast-Only baseline per trace.
+ * caching the Fast-Only baseline per trace. Thread-safe: concurrent
+ * run()/fastOnlyBaseline() calls on one Experiment are allowed (the
+ * baseline cache is guarded; cached entries are never invalidated, so
+ * returned references stay valid for the Experiment's lifetime).
  */
 class Experiment
 {
@@ -95,6 +125,7 @@ class Experiment
 
   private:
     ExperimentConfig cfg_;
+    std::mutex baselineMutex_;
     std::map<std::string, RunMetrics> baselineCache_;
 };
 

@@ -58,9 +58,11 @@ struct RunMetrics
 
     /** Per-request traces, filled only when
      *  SimConfig::recordPerRequest is set: arrival time, end-to-end
-     *  latency, and the placement action taken. Indexed by request. */
+     *  latency, completion time of the foreground operation, and the
+     *  placement action taken. Indexed by request. */
     std::vector<double> perRequestArrivalUs;
     std::vector<double> perRequestLatencyUs;
+    std::vector<double> perRequestFinishUs;
     std::vector<std::uint8_t> perRequestAction;
 };
 

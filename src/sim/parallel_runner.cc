@@ -1,0 +1,338 @@
+#include "sim/parallel_runner.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/thread_pool.hh"
+
+namespace sibyl::sim
+{
+
+namespace
+{
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Canonical run string hashed into the run key (see header). */
+std::string
+canonicalRunString(const RunSpec &spec)
+{
+    std::string s = spec.policy;
+    s += '\0';
+    s += spec.traceKey().canonical();
+    s += '\0';
+    s += spec.hssConfig;
+    s += '\0';
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.17g", spec.fastCapacityFrac);
+    s += buf;
+    s += '\0';
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(spec.seed));
+    s += buf;
+    s += '\0';
+    std::snprintf(buf, sizeof(buf), "%u", spec.sim.queueDepth);
+    s += buf;
+    s += '\0';
+    s += spec.sim.skipPrepare ? '1' : '0';
+    return s;
+}
+
+} // namespace
+
+trace::TraceKey
+RunSpec::traceKey() const
+{
+    trace::TraceKey k;
+    if (externalTrace) {
+        k.workload = "ext:" + externalTrace->name();
+        k.numRequests = externalTrace->size();
+        return k;
+    }
+    k.workload = workload;
+    k.numRequests = traceLen;
+    k.seed = traceSeed;
+    k.mixed = mixedWorkload;
+    k.timeCompress = timeCompress;
+    return k;
+}
+
+std::vector<RunSpec>
+ExperimentMatrix::expand() const
+{
+    std::vector<RunSpec> specs;
+    specs.reserve(hssConfigs.size() * workloads.size() * policies.size() *
+                  seeds.size());
+    for (const auto &cfgName : hssConfigs) {
+        for (const auto &wl : workloads) {
+            for (const auto &pol : policies) {
+                for (std::uint64_t sd : seeds) {
+                    RunSpec s;
+                    s.policy = pol;
+                    s.workload = wl;
+                    s.mixedWorkload = mixedWorkloads;
+                    s.hssConfig = cfgName;
+                    s.fastCapacityFrac = fastCapacityFrac;
+                    s.traceLen = traceLen;
+                    s.traceSeed = traceSeed;
+                    s.timeCompress = timeCompress;
+                    s.seed = sd;
+                    s.sim = sim;
+                    s.sibylCfg = sibylCfg;
+                    specs.push_back(std::move(s));
+                }
+            }
+        }
+    }
+    return specs;
+}
+
+ParallelRunner::ParallelRunner(ParallelConfig cfg) : cfg_(cfg) {}
+
+std::uint64_t
+ParallelRunner::runKey(const RunSpec &spec)
+{
+    return fnv1a(canonicalRunString(spec));
+}
+
+std::uint64_t
+ParallelRunner::deriveStream(std::uint64_t key, std::uint64_t salt)
+{
+    return splitmix64(key ^ splitmix64(salt));
+}
+
+std::shared_ptr<const trace::Trace>
+ParallelRunner::traceFor(const RunSpec &spec)
+{
+    if (spec.externalTrace)
+        return spec.externalTrace;
+    return traces_.get(spec.traceKey());
+}
+
+std::shared_ptr<const RunMetrics>
+ParallelRunner::baselineFor(const RunSpec &spec, const trace::Trace &t)
+{
+    // The baseline is shared by every policy on the same (config,
+    // trace, seed, sim): key a pseudo-run whose policy name no real
+    // policy can take. Its fast-capacity fraction is pinned to the
+    // baseline's own 1.6 so a capacity sweep reuses one baseline.
+    RunSpec baseSpec = spec;
+    baseSpec.policy = "Fast-Only-baseline";
+    baseSpec.fastCapacityFrac = 1.6;
+    const std::string id = canonicalRunString(baseSpec);
+
+    std::shared_future<std::shared_ptr<const RunMetrics>> future;
+    std::promise<std::shared_ptr<const RunMetrics>> promise;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(baselineMutex_);
+        auto it = baselines_.find(id);
+        if (it == baselines_.end()) {
+            future = promise.get_future().share();
+            baselines_.emplace(id, future);
+            builder = true;
+        } else {
+            future = it->second;
+        }
+    }
+
+    if (builder) {
+        try {
+            ExperimentConfig ecfg;
+            ecfg.hssConfig = spec.hssConfig;
+            ecfg.fastCapacityFrac = spec.fastCapacityFrac;
+            ecfg.seed = cfg_.deriveRunSeeds
+                ? deriveStream(fnv1a(id), kDeviceJitterSalt)
+                : spec.seed;
+            ecfg.sim = spec.sim;
+            ecfg.sim.recordPerRequest = false;
+            promise.set_value(std::make_shared<const RunMetrics>(
+                computeFastOnlyBaseline(ecfg, t)));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(baselineMutex_);
+            baselines_.erase(id);
+        }
+    }
+    return future.get();
+}
+
+std::size_t
+ParallelRunner::baselineCount() const
+{
+    std::lock_guard<std::mutex> lock(baselineMutex_);
+    return baselines_.size();
+}
+
+std::vector<RunRecord>
+ParallelRunner::runAll(const std::vector<RunSpec> &specs)
+{
+    std::vector<RunRecord> records(specs.size());
+    ThreadPool::parallelFor(
+        specs.size(),
+        [&](std::size_t i) {
+            const RunSpec &spec = specs[i];
+            const std::uint64_t key = runKey(spec);
+
+            auto trace = traceFor(spec);
+            auto baseline = baselineFor(spec, *trace);
+
+            ExperimentConfig ecfg;
+            ecfg.hssConfig = spec.hssConfig;
+            ecfg.fastCapacityFrac = spec.fastCapacityFrac;
+            ecfg.seed = cfg_.deriveRunSeeds
+                ? deriveStream(key, kDeviceJitterSalt)
+                : spec.seed;
+            ecfg.sim = spec.sim;
+            ecfg.specTweak = spec.specTweak;
+
+            core::SibylConfig sibylCfg = spec.sibylCfg;
+            if (cfg_.deriveRunSeeds)
+                sibylCfg.seed = deriveStream(key, kAgentSalt);
+
+            auto policy = makePolicy(
+                spec.policy,
+                numHssDevices(spec.hssConfig, spec.fastCapacityFrac),
+                sibylCfg);
+            if (spec.policySetup)
+                spec.policySetup(*policy);
+
+            RunRecord &rec = records[i];
+            rec.spec = spec;
+            rec.runKey = key;
+            rec.result =
+                runPolicyExperiment(ecfg, *trace, *policy, *baseline);
+            if (spec.policyFinish)
+                spec.policyFinish(*policy);
+        },
+        cfg_.numThreads);
+    return records;
+}
+
+std::vector<RunRecord>
+ParallelRunner::runMatrix(const ExperimentMatrix &m)
+{
+    return runAll(m.expand());
+}
+
+namespace
+{
+
+void
+jsonNum(std::ostream &os, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+/** JSON string escaping (names can come from user-supplied trace
+ *  paths, so quotes/backslashes/control bytes must not leak). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeResultsJson(std::ostream &os, const std::vector<RunRecord> &records)
+{
+    os << "{\n  \"results\": [";
+    for (std::size_t i = 0; i < records.size(); i++) {
+        const RunRecord &r = records[i];
+        const RunMetrics &m = r.result.metrics;
+        os << (i ? ",\n    " : "\n    ");
+        char key[32];
+        std::snprintf(key, sizeof(key), "0x%016llx",
+                      static_cast<unsigned long long>(r.runKey));
+        os << "{\"policy\": \"" << jsonEscape(r.result.policy)
+           << "\", \"workload\": \"" << jsonEscape(r.result.workload)
+           << "\", \"config\": \"" << jsonEscape(r.spec.hssConfig)
+           << "\", \"seed\": " << r.spec.seed
+           << ", \"runKey\": \"" << key << "\"";
+        os << ", \"requests\": " << m.requests;
+        const std::pair<const char *, double> scalars[] = {
+            {"avgLatencyUs", m.avgLatencyUs},
+            {"steadyAvgLatencyUs", m.steadyAvgLatencyUs},
+            {"p50LatencyUs", m.p50LatencyUs},
+            {"p99LatencyUs", m.p99LatencyUs},
+            {"maxLatencyUs", m.maxLatencyUs},
+            {"iops", m.iops},
+            {"makespanUs", m.makespanUs},
+            {"evictionFraction", m.evictionFraction},
+            {"fastPlacementPreference", m.fastPlacementPreference},
+            {"normalizedLatency", r.result.normalizedLatency},
+            {"normalizedIops", r.result.normalizedIops},
+            {"totalEnergyMj", r.result.totalEnergyMj},
+        };
+        for (const auto &[name, v] : scalars) {
+            os << ", \"" << name << "\": ";
+            jsonNum(os, v);
+        }
+        os << ", \"promotions\": " << m.promotions
+           << ", \"demotions\": " << m.demotions;
+        os << ", \"placements\": [";
+        for (std::size_t d = 0; d < m.placements.size(); d++)
+            os << (d ? ", " : "") << m.placements[d];
+        os << "], \"devicePagesWritten\": [";
+        for (std::size_t d = 0; d < r.result.devicePagesWritten.size();
+             d++)
+            os << (d ? ", " : "") << r.result.devicePagesWritten[d];
+        os << "]}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+bool
+writeResultsJsonFile(const std::string &path,
+                     const std::vector<RunRecord> &records)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeResultsJson(out, records);
+    return static_cast<bool>(out);
+}
+
+} // namespace sibyl::sim

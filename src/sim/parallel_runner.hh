@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Parallel experiment orchestration.
+ *
+ * Shards an experiment matrix (policies x workloads x HSS configs x
+ * seeds) across cores: each run is an independent (trace, system,
+ * policy) simulation writing its PolicyResult into a preallocated slot,
+ * traces are generated once and shared read-only through a
+ * trace::TraceCache, and Fast-Only baselines are computed once per
+ * (config, trace, seed) and shared the same way. `ParallelConfig::
+ * numThreads = 1` runs the identical work inline on the calling thread
+ * in matrix order — the serial equivalence oracle the determinism tests
+ * compare the parallel path against.
+ *
+ * ## Run-key -> RNG-stream derivation rule
+ *
+ * Every run owns private RNG streams derived from a *stable run key*,
+ * never from scheduling order, thread ids, or global counters — this is
+ * what makes N-thread results bit-identical to the serial path:
+ *
+ *  1. `runKey(spec)` = FNV-1a 64-bit hash of the canonical run string
+ *     `policy NUL traceKey.canonical() NUL hssConfig NUL fastFrac(%.17g)
+ *      NUL seed NUL queueDepth NUL skipPrepare`
+ *     — i.e. exactly the fields that influence simulation dynamics.
+ *     Matrix position, thread count, and result-only knobs
+ *     (recordPerRequest) are deliberately excluded.
+ *  2. `deriveStream(runKey, salt)` = splitmix64(runKey ^
+ *     splitmix64(salt)): independent well-mixed streams per salt.
+ *  3. With `ParallelConfig::deriveRunSeeds` (the default), a run's
+ *     device-jitter seed is deriveStream(runKey, kDeviceJitterSalt) and
+ *     the Sibyl agent seed is deriveStream(runKey, kAgentSalt). The
+ *     Fast-Only baseline, shared by every policy on the same (config,
+ *     trace, seed), uses deriveStream(baselineKey, kDeviceJitterSalt)
+ *     where baselineKey is the run key of a pseudo-run with policy
+ *     "Fast-Only-baseline". With deriveRunSeeds = false, RunSpec::seed
+ *     and RunSpec::sibylCfg.seed are used verbatim (the legacy serial
+ *     Experiment behavior).
+ *
+ * Changing the canonical string format invalidates every golden-run
+ * snapshot; treat it like an on-disk format.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trace/trace_cache.hh"
+
+namespace sibyl::sim
+{
+
+/** Salts for deriveStream(); one per independent per-run stream. */
+inline constexpr std::uint64_t kDeviceJitterSalt = 0xD591CE5EEDULL;
+inline constexpr std::uint64_t kAgentSalt = 0xA9E27A11ULL;
+
+/** One cell of an experiment matrix: everything that defines a run. */
+struct RunSpec
+{
+    /** Policy name understood by makePolicy(). */
+    std::string policy = "Sibyl";
+
+    /** Workload profile name — or mix name when `mixedWorkload`. */
+    std::string workload = "prxy_1";
+    bool mixedWorkload = false;
+
+    /** HSS shorthand ("H&M", "H&L", "H&M&L", "H&M&L_SSD", quad). */
+    std::string hssConfig = "H&M";
+    double fastCapacityFrac = 0.10;
+
+    /** Trace shape: request count (0 = default), generator seed
+     *  (0 = per-workload default), and time compression. */
+    std::size_t traceLen = 0;
+    std::uint64_t traceSeed = 0;
+    double timeCompress = 1.0;
+
+    /** Experiment seed; feeds the run key (and, with deriveRunSeeds
+     *  off, is used verbatim as the device-jitter seed). */
+    std::uint64_t seed = 42;
+
+    SimConfig sim;
+    core::SibylConfig sibylCfg;
+
+    /** Optional device-spec hook, as ExperimentConfig::specTweak. */
+    std::function<void(std::vector<device::DeviceSpec> &)> specTweak;
+
+    /** Replay this trace instead of synthesizing `workload` (used by
+     *  the CLI's --trace). Bypasses the cache; `workload` and
+     *  `traceLen` should still describe it for the run key. */
+    std::shared_ptr<const trace::Trace> externalTrace;
+
+    /** Optional hooks around the policy's lifetime, e.g. checkpoint
+     *  warm-start/save. Called from the worker thread that owns the
+     *  run; must not touch other runs' state. */
+    std::function<void(policies::PlacementPolicy &)> policySetup;
+    std::function<void(policies::PlacementPolicy &)> policyFinish;
+
+    /** Cache identity of this spec's trace. */
+    trace::TraceKey traceKey() const;
+};
+
+/** One finished run. */
+struct RunRecord
+{
+    RunSpec spec;
+    std::uint64_t runKey = 0;
+    PolicyResult result;
+};
+
+/** Orchestration knobs. */
+struct ParallelConfig
+{
+    /** Worker count: 0 = ThreadPool::defaultThreads() (SIBYL_THREADS
+     *  env override, else hardware concurrency); 1 = serial oracle. */
+    unsigned numThreads = 0;
+
+    /** Derive per-run RNG streams from the run key (see file header). */
+    bool deriveRunSeeds = true;
+};
+
+/**
+ * Dense cross-product description of an experiment matrix. expand()
+ * enumerates RunSpecs in a deterministic nesting order — HSS config
+ * (outermost), workload, policy, seed (innermost) — which is also the
+ * row order of the emitted results.
+ */
+struct ExperimentMatrix
+{
+    std::vector<std::string> policies;
+    std::vector<std::string> workloads;
+    std::vector<std::string> hssConfigs = {"H&M"};
+    std::vector<std::uint64_t> seeds = {42};
+
+    bool mixedWorkloads = false;
+    double fastCapacityFrac = 0.10;
+    std::size_t traceLen = 0;
+    std::uint64_t traceSeed = 0;
+    double timeCompress = 1.0;
+    SimConfig sim;
+    core::SibylConfig sibylCfg;
+
+    std::vector<RunSpec> expand() const;
+};
+
+/**
+ * Runs RunSpec batches across a worker pool. Stateless between runAll()
+ * calls except for the trace and baseline caches, which persist so
+ * successive matrices over the same workloads reuse them.
+ */
+class ParallelRunner
+{
+  public:
+    explicit ParallelRunner(ParallelConfig cfg = ParallelConfig());
+
+    /**
+     * Run every spec and return records in spec order (index i of the
+     * result corresponds to specs[i] regardless of scheduling).
+     */
+    std::vector<RunRecord> runAll(const std::vector<RunSpec> &specs);
+
+    /** Convenience: runAll(matrix.expand()). */
+    std::vector<RunRecord> runMatrix(const ExperimentMatrix &m);
+
+    trace::TraceCache &traceCache() { return traces_; }
+    const ParallelConfig &config() const { return cfg_; }
+
+    /** Fast-Only baselines computed so far (for tests/diagnostics). */
+    std::size_t baselineCount() const;
+
+    /** Stable run key of @p spec (see file header for the rule). */
+    static std::uint64_t runKey(const RunSpec &spec);
+
+    /** Independent RNG stream for (@p key, @p salt). */
+    static std::uint64_t deriveStream(std::uint64_t key,
+                                      std::uint64_t salt);
+
+  private:
+    std::shared_ptr<const trace::Trace> traceFor(const RunSpec &spec);
+    std::shared_ptr<const RunMetrics>
+    baselineFor(const RunSpec &spec, const trace::Trace &t);
+
+    ParallelConfig cfg_;
+    trace::TraceCache traces_;
+    mutable std::mutex baselineMutex_;
+    std::map<std::string,
+             std::shared_future<std::shared_ptr<const RunMetrics>>>
+        baselines_;
+};
+
+/**
+ * Structured result sink: emit records as machine-readable JSON
+ * (`{"results": [...]}`, one object per run with the spec identity and
+ * the Fast-Only-normalized metrics). Doubles are printed with %.17g so
+ * two bit-identical result sets serialize to byte-identical JSON.
+ */
+void writeResultsJson(std::ostream &os,
+                      const std::vector<RunRecord> &records);
+
+/** writeResultsJson() to @p path; returns false on I/O failure. */
+bool writeResultsJsonFile(const std::string &path,
+                          const std::vector<RunRecord> &records);
+
+} // namespace sibyl::sim

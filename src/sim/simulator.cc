@@ -23,6 +23,7 @@ runSimulation(const trace::Trace &t, hss::HybridSystem &sys,
     if (cfg.recordPerRequest) {
         m.perRequestArrivalUs.reserve(t.size());
         m.perRequestLatencyUs.reserve(t.size());
+        m.perRequestFinishUs.reserve(t.size());
         m.perRequestAction.reserve(t.size());
     }
 
@@ -48,6 +49,7 @@ runSimulation(const trace::Trace &t, hss::HybridSystem &sys,
         if (cfg.recordPerRequest) {
             m.perRequestArrivalUs.push_back(arrival);
             m.perRequestLatencyUs.push_back(result.latencyUs);
+            m.perRequestFinishUs.push_back(result.finishUs);
             m.perRequestAction.push_back(static_cast<std::uint8_t>(action));
         }
 

@@ -1,0 +1,84 @@
+#include "trace/trace_cache.hh"
+
+#include <cstdio>
+
+#include "trace/workloads.hh"
+
+namespace sibyl::trace
+{
+
+std::string
+TraceKey::canonical() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "|%zu|%llu|%d|%.17g", numRequests,
+                  static_cast<unsigned long long>(seed), mixed ? 1 : 0,
+                  timeCompress);
+    return workload + buf;
+}
+
+std::shared_ptr<const Trace>
+TraceCache::get(const TraceKey &key)
+{
+    const std::string id = key.canonical();
+
+    std::shared_future<std::shared_ptr<const Trace>> future;
+    std::promise<std::shared_ptr<const Trace>> promise;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        requests_++;
+        auto it = cache_.find(id);
+        if (it == cache_.end()) {
+            future = promise.get_future().share();
+            cache_.emplace(id, future);
+            builder = true;
+        } else {
+            future = it->second;
+        }
+    }
+
+    if (builder) {
+        // Build outside the lock so unrelated keys generate in
+        // parallel; racers on the same key wait on the future.
+        try {
+            auto t = std::make_shared<Trace>(
+                key.mixed
+                    ? makeMixedWorkload(key.workload, key.numRequests,
+                                        key.seed)
+                    : makeWorkload(key.workload, key.numRequests,
+                                   key.seed));
+            if (key.timeCompress > 1.0)
+                t->compressTime(key.timeCompress);
+            promise.set_value(std::move(t));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mutex_);
+            cache_.erase(id); // let a later call retry
+        }
+    }
+    return future.get();
+}
+
+std::size_t
+TraceCache::generatedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+std::size_t
+TraceCache::requestCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return requests_;
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+} // namespace sibyl::trace

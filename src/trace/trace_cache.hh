@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared immutable trace cache.
+ *
+ * A parallel experiment matrix reuses the same synthetic/MSRC-style
+ * workloads across many (policy x config x seed) runs. Generating a
+ * trace is expensive relative to sharing it, and the generators are
+ * deterministic in their (name, length, seed) inputs, so each distinct
+ * trace is built exactly once and handed out read-only as a
+ * std::shared_ptr<const Trace>. Concurrent requests for the same key
+ * block on the first builder instead of duplicating work.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace sibyl::trace
+{
+
+/** Identity of one cached trace. */
+struct TraceKey
+{
+    /** Workload profile name — or mix name when `mixed` is set. */
+    std::string workload;
+
+    /** Request count (0 = the generator's default length). */
+    std::size_t numRequests = 0;
+
+    /** Generator seed (0 = the per-workload default seed). */
+    std::uint64_t seed = 0;
+
+    /** Build via makeMixedWorkload() instead of makeWorkload(). */
+    bool mixed = false;
+
+    /** Trace::compressTime() factor applied after generation
+     *  (values <= 1 leave timestamps untouched). */
+    double timeCompress = 1.0;
+
+    /** Canonical "workload|len|seed|mixed|compress" form — the map key
+     *  and the trace component of the parallel runner's run key. */
+    std::string canonical() const;
+};
+
+class TraceCache
+{
+  public:
+    /**
+     * Return the trace for @p key, generating it on first use.
+     * The returned trace is immutable and shared: callers needing to
+     * mutate (e.g. further time compression) must copy it first.
+     */
+    std::shared_ptr<const Trace> get(const TraceKey &key);
+
+    /** Traces generated so far (== distinct keys requested). */
+    std::size_t generatedCount() const;
+
+    /** Total get() calls served. */
+    std::size_t requestCount() const;
+
+    /** Drop all cached traces (not thread-safe vs concurrent get()). */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_future<std::shared_ptr<const Trace>>>
+        cache_;
+    std::size_t requests_ = 0;
+};
+
+} // namespace sibyl::trace

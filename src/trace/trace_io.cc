@@ -1,6 +1,7 @@
 #include "trace/trace_io.hh"
 
 #include <charconv>
+#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -103,8 +104,12 @@ void
 writeNativeCsv(std::ostream &os, const Trace &t)
 {
     os << "timestamp_us,page,size_pages,op\n";
+    char ts[40];
     for (const auto &r : t) {
-        os << r.timestamp << ',' << r.page << ',' << r.sizePages << ','
+        // %.17g: enough digits that read-back reproduces the exact
+        // double, so write -> read round-trips are lossless.
+        std::snprintf(ts, sizeof(ts), "%.17g", r.timestamp);
+        os << ts << ',' << r.page << ',' << r.sizePages << ','
            << (r.op == OpType::Write ? 'W' : 'R') << '\n';
     }
 }

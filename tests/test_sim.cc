@@ -8,6 +8,7 @@
 
 #include <sstream>
 
+#include "common/rng.hh"
 #include "common/table.hh"
 #include "sim/experiment.hh"
 #include "trace/workloads.hh"
@@ -96,6 +97,60 @@ TEST(Simulator, QueueDepthGatesArrivals)
     auto m1 = runSimulation(t, sysA, *slow, qd1);
     auto m8 = runSimulation(t, sysB, *slow, qd8);
     EXPECT_LT(m1.avgLatencyUs * 3, m8.avgLatencyUs);
+}
+
+TEST(Simulator, QueueDepthBackPressureInvariant)
+{
+    // Property test over random traces and queue depths: with host
+    // queue depth qd, request i may never be issued before request
+    // i - qd completed, every request is issued no earlier than its
+    // trace timestamp, and with qd = 1 (strictly closed-loop replay)
+    // completions are monotone non-decreasing.
+    Pcg32 rng(0xBADCAFE);
+    for (int iter = 0; iter < 6; iter++) {
+        const std::uint32_t qd =
+            1u + static_cast<std::uint32_t>(rng.nextBounded(15));
+        trace::Trace t("random");
+        SimTime ts = 0.0;
+        const std::size_t n = 600 + rng.nextBounded(600);
+        for (std::size_t i = 0; i < n; i++) {
+            // Bursty arrivals so back-pressure actually engages.
+            if (rng.nextBool(0.7))
+                ts += rng.nextDouble(0.0, 30.0);
+            t.add({ts, rng.nextBounded(5000),
+                   1u + static_cast<std::uint32_t>(rng.nextBounded(8)),
+                   rng.nextBool(0.4) ? OpType::Write : OpType::Read});
+        }
+
+        auto specs = hss::makeHssConfig("H&M", t.uniquePages(), 0.10);
+        hss::HybridSystem sys(specs, 7 + iter);
+        auto policy = makePolicy(rng.nextBool(0.5) ? "CDE" : "HPS", 2);
+        SimConfig cfg;
+        cfg.queueDepth = qd;
+        cfg.recordPerRequest = true;
+        RunMetrics m = runSimulation(t, sys, *policy, cfg);
+
+        ASSERT_EQ(m.perRequestArrivalUs.size(), t.size());
+        ASSERT_EQ(m.perRequestFinishUs.size(), t.size());
+        for (std::size_t i = 0; i < t.size(); i++) {
+            SCOPED_TRACE("iter " + std::to_string(iter) + " qd " +
+                         std::to_string(qd) + " req " +
+                         std::to_string(i));
+            // Issued at or after the workload asked for it...
+            EXPECT_GE(m.perRequestArrivalUs[i], t[i].timestamp - 1e-9);
+            // ...never finishing before it was issued...
+            EXPECT_GE(m.perRequestFinishUs[i],
+                      m.perRequestArrivalUs[i] - 1e-9);
+            // ...and never issued before request i - qd completed.
+            if (i >= qd)
+                EXPECT_GE(m.perRequestArrivalUs[i],
+                          m.perRequestFinishUs[i - qd] - 1e-9);
+            // qd = 1: one request in flight, completions monotone.
+            if (qd == 1 && i > 0)
+                EXPECT_GE(m.perRequestFinishUs[i],
+                          m.perRequestFinishUs[i - 1] - 1e-9);
+        }
+    }
 }
 
 TEST(Experiment, NormalizationAgainstFastOnly)

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the worker pool underlying the parallel experiment runner:
+ * every submitted job runs exactly once, wait() is a full barrier,
+ * parallelFor covers each index exactly once at any width, and
+ * exceptions thrown by iterations surface on the caller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace sibyl
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce)
+{
+    constexpr int kJobs = 200;
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.size(), 4u);
+        for (int i = 0; i < kJobs; i++)
+            pool.submit([&counter] {
+                counter.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.wait();
+        EXPECT_EQ(counter.load(), kJobs);
+    }
+    // Destructor path: submitting then destroying still drains.
+    std::atomic<int> late{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; i++)
+            pool.submit([&late] { late.fetch_add(1); });
+    }
+    EXPECT_EQ(late.load(), 50);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(3);
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 5; round++) {
+        for (int i = 0; i < 20; i++)
+            pool.submit([&counter] { counter.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(counter.load(), (round + 1) * 20);
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        constexpr std::size_t kN = 500;
+        std::vector<std::atomic<int>> hits(kN);
+        ThreadPool::parallelFor(
+            kN, [&](std::size_t i) { hits[i].fetch_add(1); }, threads);
+        for (std::size_t i = 0; i < kN; i++)
+            ASSERT_EQ(hits[i].load(), 1)
+                << "index " << i << " at " << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, ParallelForSerialPathPreservesOrder)
+{
+    // numThreads = 1 is the serial oracle: body runs inline, in index
+    // order, on the calling thread.
+    std::vector<std::size_t> order;
+    const auto self = std::this_thread::get_id();
+    ThreadPool::parallelFor(
+        64,
+        [&](std::size_t i) {
+            EXPECT_EQ(std::this_thread::get_id(), self);
+            order.push_back(i);
+        },
+        1);
+    ASSERT_EQ(order.size(), 64u);
+    for (std::size_t i = 0; i < order.size(); i++)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingle)
+{
+    int calls = 0;
+    ThreadPool::parallelFor(0, [&](std::size_t) { calls++; }, 4);
+    EXPECT_EQ(calls, 0);
+    ThreadPool::parallelFor(1, [&](std::size_t) { calls++; }, 4);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        ThreadPool::parallelFor(
+            100,
+            [&](std::size_t i) {
+                ran.fetch_add(1);
+                if (i == 13)
+                    throw std::runtime_error("boom");
+            },
+            4),
+        std::runtime_error);
+    // Failure stops the dispatch quickly: not every index must run.
+    EXPECT_LE(ran.load(), 100);
+    EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnv)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    setenv("SIBYL_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 3u);
+    setenv("SIBYL_THREADS", "garbage", 1);
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    unsetenv("SIBYL_THREADS");
+}
+
+} // namespace
+} // namespace sibyl
