@@ -7,8 +7,9 @@
  * large number of states", §4.1) and a distributional C51 head over a
  * scalar DQN ("this distribution helps Sibyl to capture more
  * information from the environment", §6.2.1). This bench runs all
- * three agent families through the identical Sibyl policy shell and
- * reports performance plus the learned-policy storage footprint.
+ * three agent families — as policy descriptors through the scenario
+ * layer — and reports performance plus the learned-policy storage
+ * footprint.
  */
 
 #include <cstdio>
@@ -17,6 +18,7 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "core/sibyl_policy.hh"
+#include "rl/agent.hh"
 
 using namespace sibyl;
 
@@ -26,55 +28,55 @@ main()
     bench::banner("Agent ablation (§4.1/§6.2.1): C51 vs plain DQN vs "
                   "tabular Q-learning");
 
-    const std::vector<std::string> workloads = {"hm_1",   "mds_0",
-                                                "prxy_1", "rsrch_0",
-                                                "usr_0",  "wdev_2"};
-    const std::vector<std::string> configs = {"H&M", "H&L"};
-
     struct Family
     {
         const char *label;
-        core::AgentKind kind;
-        double learningRate; // tabular updates need a far higher alpha
-        bool per;            // prioritized experience replay
-        bool doubleDqn;
+        const char *descriptor;
     };
     const std::vector<Family> families = {
-        {"C51 (paper)", core::AgentKind::C51, 5e-3, false, false},
-        {"C51 + PER", core::AgentKind::C51, 5e-3, true, false},
-        {"DQN", core::AgentKind::Dqn, 5e-3, false, false},
-        {"Double DQN", core::AgentKind::Dqn, 5e-3, false, true},
-        {"DQN + PER", core::AgentKind::Dqn, 5e-3, true, false},
-        {"Q-table", core::AgentKind::QTable, 0.2, false, false},
+        {"C51 (paper)", "Sibyl-C51"},
+        {"C51 + PER", "Sibyl-C51{per=1}"},
+        {"DQN", "Sibyl-DQN"},
+        {"Double DQN", "Sibyl-DQN{doubleDqn=1}"},
+        {"DQN + PER", "Sibyl-DQN{per=1}"},
+        {"Q-table", "Sibyl-QTable"}, // tabular updates: lr preset 0.2
     };
 
-    for (const auto &hssCfg : configs) {
-        sim::ExperimentConfig cfg;
-        cfg.hssConfig = hssCfg;
-        sim::Experiment exp(cfg);
+    scenario::ScenarioSpec s;
+    s.name = "ablation_agent";
+    for (const auto &fam : families)
+        s.policies.push_back(fam.descriptor);
+    s.workloads = {"hm_1", "mds_0", "prxy_1", "rsrch_0", "usr_0",
+                   "wdev_2"};
+    s.hssConfigs = {"H&M", "H&L"};
+    s.traceLen = bench::requestOverride(0);
 
-        std::printf("\n[%s]\n", hssCfg.c_str());
+    auto specs = s.expand();
+    const auto storage = bench::collectPolicyScalar(
+        specs, [](policies::PlacementPolicy &p) {
+            auto *sibyl = dynamic_cast<core::SibylPolicy *>(&p);
+            return sibyl ? static_cast<double>(
+                               sibyl->agent().storageBytes())
+                         : 0.0;
+        });
+    sim::ParallelRunner runner;
+    const auto records = runner.runAll(specs);
+
+    for (std::size_t ci = 0; ci < s.hssConfigs.size(); ci++) {
+        std::printf("\n[%s]\n", s.hssConfigs[ci].c_str());
         TextTable tab;
         tab.header({"agent", "norm. latency (mean of 6 wl)",
                     "policy storage (KiB)"});
-        for (const auto &fam : families) {
-            double lat = 0.0;
-            double storage = 0.0;
-            for (const auto &wl : workloads) {
-                trace::Trace t = trace::makeWorkload(wl);
-                core::SibylConfig scfg;
-                scfg.agentKind = fam.kind;
-                scfg.learningRate = fam.learningRate;
-                scfg.prioritizedReplay = fam.per;
-                scfg.doubleDqn = fam.doubleDqn;
-                core::SibylPolicy sibyl(scfg, exp.numDevices());
-                lat += exp.run(t, sibyl).normalizedLatency;
-                storage += static_cast<double>(
-                    sibyl.agent().storageBytes());
-            }
-            const auto n = static_cast<double>(workloads.size());
-            tab.addRow({fam.label, cell(lat / n, 3),
-                        cell(storage / n / 1024.0, 1)});
+        for (std::size_t pi = 0; pi < families.size(); pi++) {
+            const double lat = bench::meanOverWorkloads(
+                s, records, ci, pi, [](const sim::RunRecord &r) {
+                    return r.result.normalizedLatency;
+                });
+            double kib = 0.0;
+            for (std::size_t wi = 0; wi < s.workloads.size(); wi++)
+                kib += storage->at(bench::recordIndex(s, ci, wi, pi));
+            kib /= static_cast<double>(s.workloads.size()) * 1024.0;
+            tab.addRow({families[pi].label, cell(lat, 3), cell(kib, 1)});
         }
         tab.print(std::cout);
     }

@@ -5,9 +5,10 @@
  * number of bins (Table 1) based on empirical sensitivity analysis").
  *
  * Sweeps the bin counts of the two 64-bin features (access interval
- * and access count) around the Table 1 choice and reports the
- * performance/encoding-size trade-off the paper's sensitivity
- * analysis settled.
+ * and access count) around the Table 1 choice — one
+ * Sibyl{intervalBins=N,countBins=N} descriptor per point — and
+ * reports the performance/encoding-size trade-off the paper's
+ * sensitivity analysis settled.
  */
 
 #include <cmath>
@@ -16,7 +17,6 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "core/sibyl_policy.hh"
 
 using namespace sibyl;
 
@@ -26,34 +26,35 @@ main()
     bench::banner("State-bin sensitivity (§6.2.1): interval/count bin "
                   "counts vs performance, H&M");
 
-    const std::vector<std::string> workloads = {"hm_1",   "mds_0",
-                                                "prxy_1", "rsrch_0",
-                                                "usr_0",  "wdev_2"};
     const std::vector<std::uint32_t> binCounts = {2, 8, 64, 256, 1024};
 
-    sim::ExperimentConfig cfg;
-    cfg.hssConfig = "H&M";
-    sim::Experiment exp(cfg);
+    scenario::ScenarioSpec s;
+    s.name = "ablation_bins";
+    for (std::uint32_t bins : binCounts)
+        s.policies.push_back("Sibyl{intervalBins=" +
+                             std::to_string(bins) +
+                             ",countBins=" + std::to_string(bins) + "}");
+    s.workloads = {"hm_1", "mds_0", "prxy_1", "rsrch_0", "usr_0",
+                   "wdev_2"};
+    s.hssConfigs = {"H&M"};
+    s.traceLen = bench::requestOverride(0);
+
+    sim::ParallelRunner runner;
+    const auto records = runner.runAll(s.expand());
 
     TextTable tab;
     tab.header({"intr/cnt bins", "norm. latency (mean of 6 wl)",
                 "state encoding (bits)"});
-    for (std::uint32_t bins : binCounts) {
-        double lat = 0.0;
-        for (const auto &wl : workloads) {
-            trace::Trace t = trace::makeWorkload(wl);
-            core::SibylConfig scfg;
-            scfg.features.intervalBins = bins;
-            scfg.features.countBins = bins;
-            core::SibylPolicy sibyl(scfg, exp.numDevices());
-            lat += exp.run(t, sibyl).normalizedLatency;
-        }
+    for (std::size_t pi = 0; pi < binCounts.size(); pi++) {
+        const double lat = bench::meanOverWorkloads(
+            s, records, 0, pi, [](const sim::RunRecord &r) {
+                return r.result.normalizedLatency;
+            });
         // Encoding: size(3b) + type(1b) + 2 x log2(bins) + cap(3b) +
         // curr(1b), before the paper's relaxed 40-bit padding.
         const auto featureBits = static_cast<std::uint32_t>(
-            8 + 2 * std::lround(std::log2(bins)));
-        const auto n = static_cast<double>(workloads.size());
-        tab.addRow({cell(std::uint64_t{bins}), cell(lat / n, 3),
+            8 + 2 * std::lround(std::log2(binCounts[pi])));
+        tab.addRow({cell(std::uint64_t{binCounts[pi]}), cell(lat, 3),
                     cell(std::uint64_t{featureBits})});
     }
     tab.print(std::cout);

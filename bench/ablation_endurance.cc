@@ -5,10 +5,11 @@
  * the number of writes to an endurance-critical device in the reward
  * function").
  *
- * Sweeps the endurance penalty weight and reports the trade-off: as
- * the weight grows, Sibyl routes write traffic away from the
- * endurance-critical fast device (fewer pages written there, at some
- * latency cost).
+ * Sweeps the endurance penalty weight — one Sibyl{reward=endurance,
+ * enduranceWeight=w} descriptor per point — and reports the
+ * trade-off: as the weight grows, Sibyl routes write traffic away
+ * from the endurance-critical fast device (fewer pages written there,
+ * at some latency cost).
  */
 
 #include <cstdio>
@@ -16,7 +17,6 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "core/sibyl_policy.hh"
 
 using namespace sibyl;
 
@@ -27,39 +27,52 @@ main()
                   "endurance-critical fast device vs penalty weight, "
                   "H&M");
 
-    // Write-heavy workloads, where endurance pressure is real.
-    const std::vector<std::string> workloads = {"mds_0", "prxy_0",
-                                                "rsrch_0", "wdev_2"};
     const std::vector<double> weights = {0.0, 0.01, 0.05, 0.2, 1.0};
 
-    sim::ExperimentConfig cfg;
-    cfg.hssConfig = "H&M";
-    sim::Experiment exp(cfg);
+    scenario::ScenarioSpec s;
+    s.name = "ablation_endurance";
+    for (double w : weights) {
+        if (w == 0.0) {
+            s.policies.push_back("Sibyl"); // Eq. (1) control
+        } else {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "Sibyl{reward=endurance,enduranceWeight=%g,"
+                          "enduranceCriticalDevice=0}",
+                          w);
+            s.policies.push_back(buf);
+        }
+    }
+    // Write-heavy workloads, where endurance pressure is real.
+    s.workloads = {"mds_0", "prxy_0", "rsrch_0", "wdev_2"};
+    s.hssConfigs = {"H&M"};
+    s.traceLen = bench::requestOverride(0);
+
+    sim::ParallelRunner runner;
+    const auto records = runner.runAll(s.expand());
 
     TextTable tab;
     tab.header({"endurance weight", "norm. latency",
                 "fast-device pages written (mean)", "fast preference"});
-    for (double w : weights) {
-        double lat = 0.0;
-        double written = 0.0;
-        double pref = 0.0;
-        for (const auto &wl : workloads) {
-            trace::Trace t = trace::makeWorkload(wl);
-            core::SibylConfig scfg;
-            scfg.reward.kind = w == 0.0
-                ? core::RewardKind::Latency
-                : core::RewardKind::EnduranceAware;
-            scfg.reward.enduranceWeight = w;
-            scfg.reward.enduranceCriticalDevice = 0;
-            core::SibylPolicy sibyl(scfg, exp.numDevices());
-            const auto r = exp.run(t, sibyl);
-            lat += r.normalizedLatency;
-            written += static_cast<double>(r.devicePagesWritten.at(0));
-            pref += r.metrics.fastPlacementPreference;
-        }
-        const auto n = static_cast<double>(workloads.size());
-        tab.addRow({cell(w, 2), cell(lat / n, 3), cell(written / n, 0),
-                    cell(pref / n, 3)});
+    for (std::size_t pi = 0; pi < weights.size(); pi++) {
+        auto mean = [&](auto get) {
+            return bench::meanOverWorkloads(s, records, 0, pi, get);
+        };
+        tab.addRow(
+            {cell(weights[pi], 2),
+             cell(mean([](const sim::RunRecord &r) {
+                      return r.result.normalizedLatency;
+                  }),
+                  3),
+             cell(mean([](const sim::RunRecord &r) {
+                      return static_cast<double>(
+                          r.result.devicePagesWritten.at(0));
+                  }),
+                  0),
+             cell(mean([](const sim::RunRecord &r) {
+                      return r.result.metrics.fastPlacementPreference;
+                  }),
+                  3)});
     }
     tab.print(std::cout);
     std::printf(

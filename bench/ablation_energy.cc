@@ -4,9 +4,10 @@
  * direction would be to perform multi-objective optimization, e.g.,
  * optimizing for both performance and energy").
  *
- * Sweeps the energy penalty weight in the H&L configuration, where
- * the HDD's long seeks make slow-device service both slow and
- * energy-hungry, and reports the latency/energy frontier.
+ * Sweeps the energy penalty weight in the H&L configuration — one
+ * Sibyl{reward=energy,energyWeight=w,power=H:L} descriptor per point
+ * — where the HDD's long seeks make slow-device service both slow
+ * and energy-hungry, and reports the latency/energy frontier.
  */
 
 #include <cstdio>
@@ -14,8 +15,6 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "core/sibyl_policy.hh"
-#include "energy/energy_model.hh"
 
 using namespace sibyl;
 
@@ -25,38 +24,49 @@ main()
     bench::banner("Energy extension (§11): latency/energy trade-off vs "
                   "penalty weight, H&L");
 
-    const std::vector<std::string> workloads = {"hm_1", "prxy_1",
-                                                "rsrch_0", "usr_0"};
     const std::vector<double> weights = {0.0, 1e-4, 1e-3, 1e-2};
 
-    sim::ExperimentConfig cfg;
-    cfg.hssConfig = "H&L";
-    sim::Experiment exp(cfg);
+    scenario::ScenarioSpec s;
+    s.name = "ablation_energy";
+    for (double w : weights) {
+        if (w == 0.0) {
+            s.policies.push_back("Sibyl"); // Eq. (1) control
+        } else {
+            char buf[96];
+            std::snprintf(
+                buf, sizeof(buf),
+                "Sibyl{reward=energy,energyWeight=%g,power=H:L}", w);
+            s.policies.push_back(buf);
+        }
+    }
+    s.workloads = {"hm_1", "prxy_1", "rsrch_0", "usr_0"};
+    s.hssConfigs = {"H&L"};
+    s.traceLen = bench::requestOverride(0);
+
+    sim::ParallelRunner runner;
+    const auto records = runner.runAll(s.expand());
 
     TextTable tab;
     tab.header({"energy weight", "norm. latency", "energy (mJ, mean)",
                 "fast preference"});
-    for (double w : weights) {
-        double lat = 0.0;
-        double energyMj = 0.0;
-        double pref = 0.0;
-        for (const auto &wl : workloads) {
-            trace::Trace t = trace::makeWorkload(wl);
-            core::SibylConfig scfg;
-            scfg.reward.kind = w == 0.0 ? core::RewardKind::Latency
-                                        : core::RewardKind::EnergyAware;
-            scfg.reward.energyWeight = w;
-            scfg.reward.devicePower = {energy::powerPreset("H"),
-                                       energy::powerPreset("L")};
-            core::SibylPolicy sibyl(scfg, exp.numDevices());
-            const auto r = exp.run(t, sibyl);
-            lat += r.normalizedLatency;
-            energyMj += r.totalEnergyMj;
-            pref += r.metrics.fastPlacementPreference;
-        }
-        const auto n = static_cast<double>(workloads.size());
-        tab.addRow({cell(w, 4), cell(lat / n, 3), cell(energyMj / n, 1),
-                    cell(pref / n, 3)});
+    for (std::size_t pi = 0; pi < weights.size(); pi++) {
+        auto mean = [&](auto get) {
+            return bench::meanOverWorkloads(s, records, 0, pi, get);
+        };
+        tab.addRow(
+            {cell(weights[pi], 4),
+             cell(mean([](const sim::RunRecord &r) {
+                      return r.result.normalizedLatency;
+                  }),
+                  3),
+             cell(mean([](const sim::RunRecord &r) {
+                      return r.result.totalEnergyMj;
+                  }),
+                  1),
+             cell(mean([](const sim::RunRecord &r) {
+                      return r.result.metrics.fastPlacementPreference;
+                  }),
+                  3)});
     }
     tab.print(std::cout);
     std::printf(

@@ -12,6 +12,9 @@
  * epsilon-greedy to. The online-learning setting has no episode reset,
  * so annealing must front-load its exploration into the warmup
  * phase — the steady-state column shows whether that pays off.
+ *
+ * Each strategy is one Sibyl{explore=...} descriptor run through the
+ * scenario layer.
  */
 
 #include <cstdio>
@@ -20,6 +23,7 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "core/sibyl_policy.hh"
+#include "rl/agent.hh"
 
 using namespace sibyl;
 
@@ -29,94 +33,75 @@ main()
     bench::banner("Exploration ablation (§6.2.1, extends Fig. 14(c)): "
                   "constant vs decaying epsilon vs Boltzmann");
 
-    const std::vector<std::string> workloads = {"hm_1",   "mds_0",
-                                                "prxy_1", "rsrch_0",
-                                                "usr_0",  "wdev_2"};
-    const std::vector<std::string> configs = {"H&M", "H&L"};
-
     struct Strategy
     {
         const char *label;
-        rl::ExplorationConfig explore;
-        double constantEps; // SibylConfig::epsilon (ConstantEpsilon kind)
+        const char *descriptor;
     };
-
-    auto linear = [](double start, double floor, std::uint64_t steps) {
-        rl::ExplorationConfig e;
-        e.kind = rl::ExplorationKind::LinearDecay;
-        e.epsilonStart = start;
-        e.epsilon = floor;
-        e.decaySteps = steps;
-        return e;
-    };
-    auto expo = [](double start, double floor, std::uint64_t halfLife) {
-        rl::ExplorationConfig e;
-        e.kind = rl::ExplorationKind::ExponentialDecay;
-        e.epsilonStart = start;
-        e.epsilon = floor;
-        e.halfLifeSteps = halfLife;
-        return e;
-    };
-    auto boltz = [](double temperature) {
-        rl::ExplorationConfig e;
-        e.kind = rl::ExplorationKind::Boltzmann;
-        e.temperature = temperature;
-        return e;
-    };
-    auto vdbe = [](double sigma) {
-        rl::ExplorationConfig e;
-        e.kind = rl::ExplorationKind::Vdbe;
-        e.epsilonStart = 0.5;
-        e.epsilon = 0.001;
-        e.vdbeSigma = sigma;
-        return e;
-    };
-
     const std::vector<Strategy> strategies = {
-        {"constant eps=0.001 (paper)", rl::ExplorationConfig(), 0.001},
-        {"constant eps=0.1 (Fig14c worst)", rl::ExplorationConfig(), 0.1},
-        {"linear 0.5->0.001 @5k", linear(0.5, 0.001, 5000), 0.001},
-        {"exp 0.5->0.001 hl=1k", expo(0.5, 0.001, 1000), 0.001},
-        {"boltzmann T=0.02", boltz(0.02), 0.001},
-        {"boltzmann T=0.5", boltz(0.5), 0.001},
-        {"VDBE sigma=0.5 [134]", vdbe(0.5), 0.001},
+        {"constant eps=0.001 (paper)", "Sibyl"},
+        {"constant eps=0.1 (Fig14c worst)", "Sibyl{epsilon=0.1}"},
+        {"linear 0.5->0.001 @5k",
+         "Sibyl{explore=linear,epsilonStart=0.5,epsilon=0.001,"
+         "decaySteps=5000}"},
+        {"exp 0.5->0.001 hl=1k",
+         "Sibyl{explore=exp,epsilonStart=0.5,epsilon=0.001,"
+         "halfLifeSteps=1000}"},
+        {"boltzmann T=0.02", "Sibyl{explore=boltzmann,temperature=0.02}"},
+        {"boltzmann T=0.5", "Sibyl{explore=boltzmann,temperature=0.5}"},
+        {"VDBE sigma=0.5 [134]",
+         "Sibyl{explore=vdbe,epsilonStart=0.5,epsilon=0.001,"
+         "vdbeSigma=0.5}"},
     };
 
-    for (const auto &hssCfg : configs) {
-        sim::ExperimentConfig cfg;
-        cfg.hssConfig = hssCfg;
-        sim::Experiment exp(cfg);
+    scenario::ScenarioSpec s;
+    s.name = "ablation_exploration";
+    for (const auto &strat : strategies)
+        s.policies.push_back(strat.descriptor);
+    s.workloads = {"hm_1", "mds_0", "prxy_1", "rsrch_0", "usr_0",
+                   "wdev_2"};
+    s.hssConfigs = {"H&M", "H&L"};
+    s.traceLen = bench::requestOverride(0);
 
-        std::printf("\n[%s]\n", hssCfg.c_str());
+    auto specs = s.expand();
+    const auto randomPct = bench::collectPolicyScalar(
+        specs, [](policies::PlacementPolicy &p) {
+            auto *sibyl = dynamic_cast<core::SibylPolicy *>(&p);
+            if (!sibyl)
+                return 0.0;
+            const auto &st = sibyl->agent().stats();
+            return st.decisions
+                ? 100.0 * static_cast<double>(st.randomActions) /
+                      static_cast<double>(st.decisions)
+                : 0.0;
+        });
+    sim::ParallelRunner runner;
+    const auto records = runner.runAll(specs);
+
+    for (std::size_t ci = 0; ci < s.hssConfigs.size(); ci++) {
+        std::printf("\n[%s]\n", s.hssConfigs[ci].c_str());
         TextTable tab;
         tab.header({"strategy", "norm. latency (mean of 6 wl)",
                     "steady-state norm. latency", "random action %"});
-        for (const auto &strat : strategies) {
-            double lat = 0.0;
-            double steady = 0.0;
-            double randomPct = 0.0;
-            for (const auto &wl : workloads) {
-                trace::Trace t = trace::makeWorkload(wl);
-                core::SibylConfig scfg;
-                scfg.epsilon = strat.constantEps;
-                scfg.exploration = strat.explore;
-                core::SibylPolicy sibyl(scfg, exp.numDevices());
-                const auto r = exp.run(t, sibyl);
-                lat += r.normalizedLatency;
-                const auto &fast = exp.fastOnlyBaseline(t);
-                steady += fast.steadyAvgLatencyUs > 0.0
-                    ? r.metrics.steadyAvgLatencyUs /
-                          fast.steadyAvgLatencyUs
-                    : 0.0;
-                const auto &st = sibyl.agent().stats();
-                randomPct += st.decisions
-                    ? 100.0 * static_cast<double>(st.randomActions) /
-                          static_cast<double>(st.decisions)
-                    : 0.0;
-            }
-            const auto n = static_cast<double>(workloads.size());
-            tab.addRow({strat.label, cell(lat / n, 3),
-                        cell(steady / n, 3), cell(randomPct / n, 2)});
+        for (std::size_t pi = 0; pi < strategies.size(); pi++) {
+            auto mean = [&](auto get) {
+                return bench::meanOverWorkloads(s, records, ci, pi, get);
+            };
+            double rnd = 0.0;
+            for (std::size_t wi = 0; wi < s.workloads.size(); wi++)
+                rnd += randomPct->at(bench::recordIndex(s, ci, wi, pi));
+            rnd /= static_cast<double>(s.workloads.size());
+            tab.addRow(
+                {strategies[pi].label,
+                 cell(mean([](const sim::RunRecord &r) {
+                          return r.result.normalizedLatency;
+                      }),
+                      3),
+                 cell(mean([](const sim::RunRecord &r) {
+                          return r.result.normalizedSteadyLatency;
+                      }),
+                      3),
+                 cell(rnd, 2)});
         }
         tab.print(std::cout);
     }

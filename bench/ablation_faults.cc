@@ -14,6 +14,11 @@
  * characteristics"); this bench stress-tests it with a time-varying
  * device instead of a different device model.
  *
+ * The fault window is a declarative deviceOverride of a per-workload
+ * ScenarioSpec (its timing depends on the trace's span), and the
+ * healthy control is the same scenario without the override; all runs
+ * go through one ParallelRunner.
+ *
  * Reported per policy: average request latency in each third of the
  * run (by arrival time) and Sibyl's fast-placement share per third.
  */
@@ -23,8 +28,6 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "core/sibyl_policy.hh"
-#include "sim/experiment.hh"
 #include "sim/simulator.hh"
 
 using namespace sibyl;
@@ -73,39 +76,74 @@ main()
                                                 "usr_0", "hm_1"};
     const std::vector<std::string> policyNames = {"CDE", "HPS", "Sibyl"};
     const double kDegradeFactor = 30.0;
+    const std::size_t traceLen = bench::requestOverride(0);
 
+    sim::ParallelRunner runner;
+
+    // Phase boundaries depend on each trace's span; pull the shared
+    // trace from the runner's cache (generated once, reused by the
+    // runs below).
+    std::vector<std::pair<SimTime, SimTime>> phases;
+    std::vector<scenario::ScenarioSpec> scenarios;
     for (const auto &wl : workloads) {
-        trace::Trace t = trace::makeWorkload(wl);
-        const SimTime span = t.empty() ? 0.0 : t[t.size() - 1].timestamp;
+        trace::TraceKey key;
+        key.workload = wl;
+        key.numRequests = traceLen;
+        const auto t = runner.traceCache().get(key);
+        const SimTime span =
+            t->empty() ? 0.0 : (*t)[t->size() - 1].timestamp;
         const SimTime t1 = span / 3.0;
         const SimTime t2 = 2.0 * span / 3.0;
+        phases.emplace_back(t1, t2);
 
+        scenario::ScenarioSpec healthy;
+        healthy.name = "ablation_faults_healthy_" + wl;
+        healthy.policies = policyNames;
+        healthy.workloads = {wl};
+        healthy.hssConfigs = {"H&M"};
+        healthy.traceLen = traceLen;
+        healthy.recordPerRequest = true;
+        scenarios.push_back(healthy);
+
+        scenario::ScenarioSpec faulted = healthy;
+        faulted.name = "ablation_faults_degraded_" + wl;
+        scenario::DeviceOverride ov;
+        ov.device = 0;
+        ov.faultWindows.push_back({t1, t2, kDegradeFactor});
+        faulted.deviceOverrides = {ov};
+        scenarios.push_back(faulted);
+    }
+
+    // One flat spec list (6 runs per workload: 3 healthy + 3 faulted).
+    std::vector<sim::RunSpec> specs;
+    for (const auto &sc : scenarios)
+        for (auto &spec : sc.expand())
+            specs.push_back(std::move(spec));
+    const auto records = runner.runAll(specs);
+
+    const std::size_t perWl = 2 * policyNames.size();
+    for (std::size_t wi = 0; wi < workloads.size(); wi++) {
+        const auto [t1, t2] = phases[wi];
+        const SimTime span = t2 * 1.5;
         std::printf("\n[%s]  degraded window: [%.1f, %.1f] ms of %.1f ms\n",
-                    wl.c_str(), t1 / 1e3, t2 / 1e3, span / 1e3);
+                    workloads[wi].c_str(), t1 / 1e3, t2 / 1e3,
+                    span / 1e3);
         TextTable tab;
         tab.header({"policy", "phase1 lat (us)", "phase2 lat (us)",
                     "phase3 lat (us)", "fast share p1/p2/p3"});
 
-        for (const auto &name : policyNames) {
-            // Healthy reference plus the faulted run.
+        for (std::size_t pi = 0; pi < policyNames.size(); pi++) {
             for (const bool faulted : {false, true}) {
-                auto specs = hss::makeHssConfig("H&M", t.uniquePages());
-                if (faulted)
-                    specs[0].faults.windows.push_back(
-                        {t1, t2, kDegradeFactor});
-                hss::HybridSystem sys(std::move(specs), 42);
-
-                auto policy = sim::makePolicy(name, sys.numDevices());
-                sim::SimConfig scfg;
-                scfg.recordPerRequest = true;
-                const auto m = sim::runSimulation(t, sys, *policy, scfg);
-                const PhaseView v = phaseBreakdown(m, t1, t2);
-
+                const std::size_t idx = wi * perWl +
+                                        (faulted ? policyNames.size() : 0) +
+                                        pi;
+                const PhaseView v = phaseBreakdown(
+                    records[idx].result.metrics, t1, t2);
                 char shares[48];
                 std::snprintf(shares, sizeof(shares), "%.2f / %.2f / %.2f",
                               v.fastShare[0], v.fastShare[1],
                               v.fastShare[2]);
-                tab.addRow({std::string(name) +
+                tab.addRow({policyNames[pi] +
                                 (faulted ? " (degraded)" : " (healthy)"),
                             cell(v.avgLatencyUs[0], 1),
                             cell(v.avgLatencyUs[1], 1),

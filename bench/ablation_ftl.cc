@@ -8,7 +8,12 @@
  * The second table is the load-bearing one for the reproduction: the
  * paper argues the latency reward "encapsulates the internal device
  * characteristics" (§5) without modeling them explicitly, so Sibyl's
- * relative standing must survive a change of GC mechanism.
+ * relative standing must survive a change of GC mechanism. The GC
+ * swap is a declarative deviceOverride (detailedFtl on the M device)
+ * of an otherwise identical scenario.
+ *
+ * Table (1) exercises the FTL substrate directly (no placement, no
+ * simulator) and stays a micro-kernel.
  */
 
 #include <cstdio>
@@ -17,12 +22,7 @@
 #include "bench_util.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
-#include "core/sibyl_policy.hh"
 #include "ftl/ftl.hh"
-#include "hss/hybrid_system.hh"
-#include "policies/cde.hh"
-#include "policies/static_policies.hh"
-#include "sim/simulator.hh"
 
 using namespace sibyl;
 
@@ -44,45 +44,6 @@ churnWa(double overprovision, std::unique_ptr<ftl::GcVictimPolicy> gc)
         f.write(p, 4000.0 + i);
     }
     return f.stats().writeAmplification();
-}
-
-/** Mean normalized latency of @p policy over @p workloads on H&M with
- *  the M device optionally running the detailed FTL. */
-double
-meanLatency(const std::vector<std::string> &workloads, bool detailed,
-            bool sibyl)
-{
-    double sum = 0.0;
-    for (const auto &wl : workloads) {
-        trace::Trace t = trace::makeWorkload(wl);
-
-        auto build = [&](double fastFrac) {
-            auto specs = hss::makeHssConfig("H&M", t.uniquePages(),
-                                            fastFrac);
-            if (detailed) {
-                specs[1].detailedFtl = true;
-                specs[1].ftlPagesPerBlock = 64;
-            }
-            return specs;
-        };
-
-        // Fast-Only baseline (fast device holds everything).
-        hss::HybridSystem fastSys(build(1.6));
-        policies::FastOnlyPolicy fastOnly;
-        const double base =
-            sim::runSimulation(t, fastSys, fastOnly).avgLatencyUs;
-
-        hss::HybridSystem sys(build(0.10));
-        std::unique_ptr<policies::PlacementPolicy> policy;
-        if (sibyl) {
-            policy = std::make_unique<core::SibylPolicy>(
-                core::SibylConfig(), sys.numDevices());
-        } else {
-            policy = std::make_unique<policies::CdePolicy>();
-        }
-        sum += sim::runSimulation(t, sys, *policy).avgLatencyUs / base;
-    }
-    return sum / static_cast<double>(workloads.size());
 }
 
 } // namespace
@@ -111,16 +72,43 @@ main()
 
     std::printf("\n(2) Sibyl vs CDE on H&M with the coarse GC model vs "
                 "the mechanistic FTL (norm. latency)\n");
-    const std::vector<std::string> workloads = {"mds_0", "prxy_1",
-                                                "rsrch_0", "wdev_2"};
+
+    scenario::ScenarioSpec coarse;
+    coarse.name = "ablation_ftl_coarse";
+    coarse.policies = {"Sibyl", "CDE"};
+    coarse.workloads = {"mds_0", "prxy_1", "rsrch_0", "wdev_2"};
+    coarse.hssConfigs = {"H&M"};
+    coarse.traceLen = bench::requestOverride(0);
+
+    scenario::ScenarioSpec detailed = coarse;
+    detailed.name = "ablation_ftl_detailed";
+    scenario::DeviceOverride ov;
+    ov.device = 1; // the M flash device runs the page-mapped FTL
+    ov.detailedFtl = 1;
+    ov.ftlPagesPerBlock = 64;
+    detailed.deviceOverrides = {ov};
+
+    sim::ParallelRunner runner;
+    const auto coarseRecs = runner.runAll(coarse.expand());
+    const auto detailRecs = runner.runAll(detailed.expand());
+
+    auto meanLat = [&](const scenario::ScenarioSpec &s,
+                       const std::vector<sim::RunRecord> &recs,
+                       std::size_t pi) {
+        return bench::meanOverWorkloads(
+            s, recs, 0, pi, [](const sim::RunRecord &r) {
+                return r.result.normalizedLatency;
+            });
+    };
+
     TextTable tab;
     tab.header({"GC model", "Sibyl", "CDE"});
     tab.addRow({"coarse (probabilistic)",
-                cell(meanLatency(workloads, false, true), 3),
-                cell(meanLatency(workloads, false, false), 3)});
+                cell(meanLat(coarse, coarseRecs, 0), 3),
+                cell(meanLat(coarse, coarseRecs, 1), 3)});
     tab.addRow({"detailed (page-mapped FTL)",
-                cell(meanLatency(workloads, true, true), 3),
-                cell(meanLatency(workloads, true, false), 3)});
+                cell(meanLat(detailed, detailRecs, 0), 3),
+                cell(meanLat(detailed, detailRecs, 1), 3)});
     tab.print(std::cout);
 
     std::printf(

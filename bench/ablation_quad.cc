@@ -8,7 +8,8 @@
  * tier. §8.7 demonstrates this with three devices; this bench pushes to
  * four (H > M > L_SSD > L, all Table 3 presets in one system) and runs
  * the generalized hot/warm/cold/frozen banding heuristic against the
- * unchanged Sibyl shell with numActions = 4.
+ * unchanged Sibyl shell with numActions = 4 — one ScenarioSpec, two
+ * policy descriptors.
  */
 
 #include <cstdio>
@@ -16,7 +17,6 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "core/sibyl_policy.hh"
 
 using namespace sibyl;
 
@@ -26,31 +26,31 @@ main()
     bench::banner("Quad-hybrid extensibility (extends §8.7/Fig. 16): "
                   "H&M&L_SSD&L, Sibyl vs N-tier banding heuristic");
 
-    const std::vector<std::string> workloads = {
-        "hm_1",   "mds_0",  "prn_1",   "proj_0", "prxy_0",
-        "prxy_1", "rsrch_0", "src1_0", "usr_0",  "wdev_2"};
-    const std::vector<std::string> policies = {"Heuristic-Multi-Tier",
-                                               "Sibyl"};
+    scenario::ScenarioSpec s;
+    s.name = "ablation_quad";
+    s.policies = {"Heuristic-Multi-Tier", "Sibyl"};
+    s.workloads = {"hm_1",   "mds_0",   "prn_1",  "proj_0", "prxy_0",
+                   "prxy_1", "rsrch_0", "src1_0", "usr_0",  "wdev_2"};
+    s.hssConfigs = {"H&M&L_SSD&L"};
+    s.fastCapacityFrac = 0.05; // §8.7 restricts H to 5% of the WSS
+    s.traceLen = bench::requestOverride(0);
 
-    sim::ExperimentConfig cfg;
-    cfg.hssConfig = "H&M&L_SSD&L";
-    cfg.fastCapacityFrac = 0.05; // §8.7 restricts H to 5% of the WSS
-    sim::Experiment exp(cfg);
+    sim::ParallelRunner runner;
+    const auto records = runner.runAll(s.expand());
 
     TextTable tab;
     tab.header({"workload", "Heuristic norm. lat", "Sibyl norm. lat",
                 "Sibyl placement share H/M/Ls/L"});
     double sums[2] = {0.0, 0.0};
-    for (const auto &wl : workloads) {
-        trace::Trace t = trace::makeWorkload(wl);
-        std::vector<std::string> row = {wl};
+    for (std::size_t wi = 0; wi < s.workloads.size(); wi++) {
+        std::vector<std::string> row = {s.workloads[wi]};
         std::string shares;
-        for (std::size_t p = 0; p < policies.size(); p++) {
-            auto policy = sim::makePolicy(policies[p], exp.numDevices());
-            const auto r = exp.run(t, *policy);
-            sums[p] += r.normalizedLatency;
+        for (std::size_t pi = 0; pi < s.policies.size(); pi++) {
+            const auto &r =
+                records[bench::recordIndex(s, 0, wi, pi)].result;
+            sums[pi] += r.normalizedLatency;
             row.push_back(cell(r.normalizedLatency, 2));
-            if (policies[p] == "Sibyl") {
+            if (s.policies[pi] == "Sibyl") {
                 std::uint64_t total = 0;
                 for (auto c : r.metrics.placements)
                     total += c;
@@ -67,7 +67,7 @@ main()
         row.push_back(shares);
         tab.addRow(row);
     }
-    const auto n = static_cast<double>(workloads.size());
+    const auto n = static_cast<double>(s.workloads.size());
     tab.addRow({"AVG", cell(sums[0] / n, 2), cell(sums[1] / n, 2), ""});
     tab.print(std::cout);
 

@@ -6,10 +6,13 @@
  * our simulator exposes the two knobs behind that behaviour: the host
  * block layer's outstanding-request limit (SimConfig::queueDepth) and
  * the device's internal channel parallelism (DeviceSpec::channels).
- * This bench shows the expected queueing-theory shapes — deeper host
- * queues raise throughput at a per-request latency cost, and channel
- * parallelism absorbs that cost on the NVMe-class device — and that
- * Sibyl keeps beating CDE across the sweep.
+ * Each (depth, channels) point is a tiny ScenarioSpec — queueDepth is
+ * a scenario scalar and channels a declarative deviceOverride — all
+ * expanded into one ParallelRunner batch. The bench shows the expected
+ * queueing-theory shapes — deeper host queues raise throughput at a
+ * per-request latency cost, and channel parallelism absorbs that cost
+ * on the NVMe-class device — and that Sibyl keeps beating CDE across
+ * the sweep.
  */
 
 #include <cstdio>
@@ -17,44 +20,8 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "core/sibyl_policy.hh"
-#include "policies/cde.hh"
-#include "sim/simulator.hh"
 
 using namespace sibyl;
-
-namespace
-{
-
-struct Point
-{
-    double latency = 0.0; ///< avg request latency (us)
-    double kiops = 0.0;   ///< throughput (K IOPS)
-};
-
-Point
-run(const trace::Trace &t, std::uint32_t queueDepth,
-    std::uint32_t fastChannels, bool sibyl)
-{
-    auto specs = hss::makeHssConfig("H&M", t.uniquePages(), 0.10);
-    specs[0].channels = fastChannels;
-    hss::HybridSystem sys(std::move(specs));
-
-    sim::SimConfig simCfg;
-    simCfg.queueDepth = queueDepth;
-
-    std::unique_ptr<policies::PlacementPolicy> policy;
-    if (sibyl) {
-        policy = std::make_unique<core::SibylPolicy>(core::SibylConfig(),
-                                                     sys.numDevices());
-    } else {
-        policy = std::make_unique<policies::CdePolicy>();
-    }
-    const auto m = sim::runSimulation(t, sys, *policy, simCfg);
-    return {m.avgLatencyUs, m.iops / 1e3};
-}
-
-} // namespace
 
 int
 main()
@@ -62,21 +29,49 @@ main()
     bench::banner("Queueing ablation: host queue depth x fast-device "
                   "channels, H&M, rsrch_0");
 
-    trace::Trace t = trace::makeWorkload("rsrch_0");
-    // Compress inter-arrival gaps 50x so the run is device-bound (the
-    // original trace's host compute time hides queueing effects).
-    t.compressTime(50.0);
+    const std::vector<std::uint32_t> depths = {1, 2, 4, 8};
+    const std::vector<std::uint32_t> channels = {1, 4};
+
+    std::vector<sim::RunSpec> specs;
+    for (std::uint32_t qd : depths) {
+        for (std::uint32_t ch : channels) {
+            scenario::ScenarioSpec s;
+            s.name = "ablation_queue_qd" + std::to_string(qd) + "_ch" +
+                     std::to_string(ch);
+            s.policies = {"Sibyl", "CDE"};
+            s.workloads = {"rsrch_0"};
+            s.hssConfigs = {"H&M"};
+            // Compress inter-arrival gaps 50x so the run is
+            // device-bound (the original trace's host compute time
+            // hides queueing effects).
+            s.timeCompress = 50.0;
+            s.queueDepth = qd;
+            scenario::DeviceOverride ov;
+            ov.device = 0;
+            ov.channels = ch;
+            s.deviceOverrides = {ov};
+            s.traceLen = bench::requestOverride(0);
+            for (auto &spec : s.expand())
+                specs.push_back(std::move(spec));
+        }
+    }
+
+    sim::ParallelRunner runner;
+    const auto records = runner.runAll(specs);
 
     TextTable tab;
     tab.header({"queue depth", "channels", "Sibyl lat (us)",
                 "Sibyl KIOPS", "CDE lat (us)", "CDE KIOPS"});
-    for (std::uint32_t qd : {1u, 2u, 4u, 8u}) {
-        for (std::uint32_t ch : {1u, 4u}) {
-            const Point s = run(t, qd, ch, true);
-            const Point c = run(t, qd, ch, false);
+    std::size_t idx = 0;
+    for (std::uint32_t qd : depths) {
+        for (std::uint32_t ch : channels) {
+            const auto &sibyl = records[idx++].result.metrics;
+            const auto &cde = records[idx++].result.metrics;
             tab.addRow({cell(std::uint64_t{qd}), cell(std::uint64_t{ch}),
-                        cell(s.latency, 1), cell(s.kiops, 1),
-                        cell(c.latency, 1), cell(c.kiops, 1)});
+                        cell(sibyl.avgLatencyUs, 1),
+                        cell(sibyl.iops / 1e3, 1),
+                        cell(cde.avgLatencyUs, 1),
+                        cell(cde.iops / 1e3, 1)});
         }
     }
     tab.print(std::cout);

@@ -11,9 +11,9 @@
  *    pages in the slow device to avoid evictions ... not able to
  *    effectively utilize the fast storage".
  *
- * This bench trains Sibyl under all three reward structures and
- * reports latency, eviction fraction, and fast-placement preference,
- * which together reproduce both failure signatures.
+ * Each reward structure is one Sibyl{reward=...} descriptor; the
+ * bench reports latency, eviction fraction, and fast-placement
+ * preference, which together reproduce both failure signatures.
  */
 
 #include <cstdio>
@@ -21,7 +21,6 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "core/sibyl_policy.hh"
 
 using namespace sibyl;
 
@@ -31,52 +30,54 @@ main()
     bench::banner("Reward ablation (§11): Eq. (1) latency reward vs the "
                   "two rejected alternatives");
 
-    const std::vector<std::string> workloads = {"hm_1",   "mds_0",
-                                                "prxy_1", "rsrch_0",
-                                                "usr_0",  "wdev_2"};
-
     struct Variant
     {
         const char *label;
-        core::RewardKind kind;
+        const char *descriptor;
     };
     const std::vector<Variant> variants = {
-        {"latency (Eq. 1)", core::RewardKind::Latency},
-        {"hit-rate", core::RewardKind::HitRate},
-        {"eviction-only", core::RewardKind::EvictionOnly},
+        {"latency (Eq. 1)", "Sibyl"},
+        {"hit-rate", "Sibyl{reward=hitrate}"},
+        // The C51 support must represent negative rewards.
+        {"eviction-only", "Sibyl{reward=evictiononly,vmin=-2,vmax=2}"},
     };
 
-    for (const std::string hssCfg : {"H&M", "H&L"}) {
-        sim::ExperimentConfig cfg;
-        cfg.hssConfig = hssCfg;
-        sim::Experiment exp(cfg);
+    scenario::ScenarioSpec s;
+    s.name = "ablation_reward";
+    for (const auto &v : variants)
+        s.policies.push_back(v.descriptor);
+    s.workloads = {"hm_1", "mds_0", "prxy_1", "rsrch_0", "usr_0",
+                   "wdev_2"};
+    s.hssConfigs = {"H&M", "H&L"};
+    s.traceLen = bench::requestOverride(0);
 
-        std::printf("\n[%s]\n", hssCfg.c_str());
+    sim::ParallelRunner runner;
+    const auto records = runner.runAll(s.expand());
+
+    for (std::size_t ci = 0; ci < s.hssConfigs.size(); ci++) {
+        std::printf("\n[%s]\n", s.hssConfigs[ci].c_str());
         TextTable tab;
         tab.header({"reward", "norm. latency", "eviction frac",
                     "fast preference"});
-        for (const auto &v : variants) {
-            double lat = 0.0;
-            double evict = 0.0;
-            double pref = 0.0;
-            for (const auto &wl : workloads) {
-                trace::Trace t = trace::makeWorkload(wl);
-                core::SibylConfig scfg;
-                scfg.reward.kind = v.kind;
-                if (v.kind == core::RewardKind::EvictionOnly) {
-                    // The support must represent negative rewards.
-                    scfg.vmin = -2.0;
-                    scfg.vmax = 2.0;
-                }
-                core::SibylPolicy sibyl(scfg, exp.numDevices());
-                const auto r = exp.run(t, sibyl);
-                lat += r.normalizedLatency;
-                evict += r.metrics.evictionFraction;
-                pref += r.metrics.fastPlacementPreference;
-            }
-            const auto n = static_cast<double>(workloads.size());
-            tab.addRow({v.label, cell(lat / n, 3), cell(evict / n, 3),
-                        cell(pref / n, 3)});
+        for (std::size_t pi = 0; pi < variants.size(); pi++) {
+            auto mean = [&](auto get) {
+                return bench::meanOverWorkloads(s, records, ci, pi, get);
+            };
+            tab.addRow(
+                {variants[pi].label,
+                 cell(mean([](const sim::RunRecord &r) {
+                          return r.result.normalizedLatency;
+                      }),
+                      3),
+                 cell(mean([](const sim::RunRecord &r) {
+                          return r.result.metrics.evictionFraction;
+                      }),
+                      3),
+                 cell(mean([](const sim::RunRecord &r) {
+                          return r.result.metrics
+                              .fastPlacementPreference;
+                      }),
+                      3)});
         }
         tab.print(std::cout);
     }

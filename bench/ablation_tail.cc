@@ -12,6 +12,7 @@
  * to prevent that).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -26,38 +27,43 @@ main()
     bench::banner("Tail-latency analysis (ours): p50/p99/max per policy "
                   "— averages must not hide eviction storms");
 
-    const std::vector<std::string> workloads = {"hm_1",   "prn_1",
-                                                "proj_2", "prxy_1",
-                                                "usr_0",  "wdev_2"};
-    const std::vector<std::string> policies = {"CDE", "HPS", "Archivist",
-                                               "RNN-HSS", "Sibyl",
-                                               "Oracle"};
+    scenario::ScenarioSpec s;
+    s.name = "ablation_tail";
+    s.policies = {"CDE", "HPS", "Archivist", "RNN-HSS", "Sibyl",
+                  "Oracle"};
+    s.workloads = {"hm_1", "prn_1", "proj_2", "prxy_1", "usr_0",
+                   "wdev_2"};
+    s.hssConfigs = {"H&M", "H&L"};
+    s.traceLen = bench::requestOverride(0);
 
-    for (const char *hssCfg : {"H&M", "H&L"}) {
-        sim::ExperimentConfig cfg;
-        cfg.hssConfig = hssCfg;
-        sim::Experiment exp(cfg);
+    sim::ParallelRunner runner;
+    const auto records = runner.runAll(s.expand());
 
+    for (std::size_t ci = 0; ci < s.hssConfigs.size(); ci++) {
         std::printf("\n[%s] mean over %zu workloads, latencies in us\n",
-                    hssCfg, workloads.size());
+                    s.hssConfigs[ci].c_str(), s.workloads.size());
         TextTable tab;
         tab.header({"policy", "avg", "p50", "p99", "max",
                     "p99/p50 ratio"});
-        for (const auto &name : policies) {
-            double avg = 0.0, p50 = 0.0, p99 = 0.0, mx = 0.0;
-            for (const auto &wl : workloads) {
-                trace::Trace t = trace::makeWorkload(wl);
-                auto policy = sim::makePolicy(name, exp.numDevices());
-                const auto r = exp.run(t, *policy);
-                avg += r.metrics.avgLatencyUs;
-                p50 += r.metrics.p50LatencyUs;
-                p99 += r.metrics.p99LatencyUs;
-                mx += r.metrics.maxLatencyUs;
-            }
-            const auto n = static_cast<double>(workloads.size());
-            tab.addRow({name, cell(avg / n, 1), cell(p50 / n, 1),
-                        cell(p99 / n, 1), cell(mx / n, 1),
-                        cell((p99 / n) / std::max(1e-9, p50 / n), 1)});
+        for (std::size_t pi = 0; pi < s.policies.size(); pi++) {
+            auto mean = [&](auto get) {
+                return bench::meanOverWorkloads(s, records, ci, pi, get);
+            };
+            const double avg = mean([](const sim::RunRecord &r) {
+                return r.result.metrics.avgLatencyUs;
+            });
+            const double p50 = mean([](const sim::RunRecord &r) {
+                return r.result.metrics.p50LatencyUs;
+            });
+            const double p99 = mean([](const sim::RunRecord &r) {
+                return r.result.metrics.p99LatencyUs;
+            });
+            const double mx = mean([](const sim::RunRecord &r) {
+                return r.result.metrics.maxLatencyUs;
+            });
+            tab.addRow({s.policies[pi], cell(avg, 1), cell(p50, 1),
+                        cell(p99, 1), cell(mx, 1),
+                        cell(p99 / std::max(1e-9, p50), 1)});
         }
         tab.print(std::cout);
     }

@@ -16,13 +16,19 @@
  *     isolating how much of Sibyl's win is continued adaptation
  *     versus the converged policy itself.
  *
- * The first-half vs second-half latency split shows where the cold
- * start pays its adaptation cost.
+ * Two scenario stages through one ParallelRunner: a training matrix
+ * whose policyFinish hooks capture checkpoints, then the variant
+ * matrix whose policySetup hooks restore them (the same hook pair the
+ * CLI's --save-agent/--load-agent uses). The first-half vs
+ * second-half latency split shows where the cold start pays its
+ * adaptation cost.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "bench_util.hh"
 #include "common/table.hh"
@@ -30,24 +36,6 @@
 #include "rl/checkpoint.hh"
 
 using namespace sibyl;
-
-namespace
-{
-
-/** Train a fresh Sibyl on @p workload and return its checkpoint. */
-std::string
-trainedCheckpoint(sim::Experiment &exp, const std::string &workload)
-{
-    trace::Trace t = trace::makeWorkload(workload);
-    core::SibylConfig scfg;
-    core::SibylPolicy sibyl(scfg, exp.numDevices());
-    exp.run(t, sibyl);
-    std::ostringstream out;
-    rl::saveCheckpoint(sibyl.agent(), out);
-    return out.str();
-}
-
-} // namespace
 
 int
 main()
@@ -63,60 +51,120 @@ main()
         {"prxy_1", "stg_1"},  // hot-random target, cold-sequential donor
         {"usr_0", "mds_0"},   // mixed target, write-heavy donor
     };
+    const std::size_t traceLen = bench::requestOverride(0);
 
-    sim::ExperimentConfig cfg;
-    cfg.hssConfig = "H&M";
-    sim::Experiment exp(cfg);
+    sim::ParallelRunner runner;
+
+    // Stage 1: train one Sibyl per distinct workload and capture its
+    // learned policy as an in-memory checkpoint.
+    scenario::ScenarioSpec train;
+    train.name = "ablation_warmstart_train";
+    train.policies = {"Sibyl"};
+    for (const auto &[target, donor] : pairs) {
+        for (const auto &wl : {target, donor})
+            if (std::find(train.workloads.begin(), train.workloads.end(),
+                          wl) == train.workloads.end())
+                train.workloads.push_back(wl);
+    }
+    train.hssConfigs = {"H&M"};
+    train.traceLen = traceLen;
+
+    auto trainSpecs = train.expand();
+    auto checkpoints = std::make_shared<std::vector<std::string>>(
+        trainSpecs.size());
+    for (std::size_t i = 0; i < trainSpecs.size(); i++) {
+        trainSpecs[i].policyFinish =
+            [checkpoints, i](policies::PlacementPolicy &p) {
+                auto *sibyl = dynamic_cast<core::SibylPolicy *>(&p);
+                if (!sibyl)
+                    return;
+                std::ostringstream out;
+                rl::saveCheckpoint(sibyl->agent(), out);
+                (*checkpoints)[i] = out.str();
+            };
+    }
+    runner.runAll(trainSpecs);
+
+    auto ckptFor = [&](const std::string &wl) {
+        for (std::size_t i = 0; i < train.workloads.size(); i++)
+            if (train.workloads[i] == wl)
+                return std::make_shared<const std::string>(
+                    checkpoints->at(i));
+        throw std::logic_error("no checkpoint for " + wl);
+    };
+    auto restore = [](std::shared_ptr<const std::string> ckpt) {
+        return [ckpt](policies::PlacementPolicy &p) {
+            auto *sibyl = dynamic_cast<core::SibylPolicy *>(&p);
+            if (!sibyl)
+                return;
+            std::istringstream in(*ckpt);
+            const std::string err = rl::loadCheckpoint(sibyl->agent(), in);
+            if (!err.empty())
+                throw std::runtime_error("checkpoint load failed: " +
+                                         err);
+        };
+    };
+
+    // Stage 2: the four variants per (target, donor) pair. Distinct
+    // descriptor names give each variant its own run key (and thus
+    // its own derived RNG streams).
+    struct Variant
+    {
+        const char *label;
+        const char *descriptor;
+        enum { Cold, Self, Donor } checkpoint;
+    };
+    const std::vector<Variant> variants = {
+        {"cold start (paper)", "Sibyl", Variant::Cold},
+        {"warm (same workload)", "Sibyl_Warm", Variant::Self},
+        {"warm (donor workload)", "Sibyl_Transfer", Variant::Donor},
+        // No exploration and no weight updates: the restored policy
+        // runs as-is.
+        {"frozen (same, no training)", "Sibyl_Frozen{epsilon=0,lr=0}",
+         Variant::Self},
+    };
 
     for (const auto &[target, donor] : pairs) {
-        trace::Trace t = trace::makeWorkload(target);
-        const std::string selfCkpt = trainedCheckpoint(exp, target);
-        const std::string donorCkpt = trainedCheckpoint(exp, donor);
+        scenario::ScenarioSpec stage;
+        stage.name = "ablation_warmstart_" + target;
+        for (const auto &v : variants)
+            stage.policies.push_back(v.descriptor);
+        stage.workloads = {target};
+        stage.hssConfigs = {"H&M"};
+        stage.traceLen = traceLen;
 
-        struct Variant
-        {
-            const char *label;
-            const std::string *checkpoint; // nullptr = cold start
-            bool freeze;                   // disable online training
-        };
-        const std::vector<Variant> variants = {
-            {"cold start (paper)", nullptr, false},
-            {"warm (same workload)", &selfCkpt, false},
-            {"warm (donor workload)", &donorCkpt, false},
-            {"frozen (same, no training)", &selfCkpt, true},
-        };
+        auto specs = stage.expand();
+        for (std::size_t pi = 0; pi < variants.size(); pi++) {
+            if (variants[pi].checkpoint == Variant::Cold)
+                continue;
+            specs[pi].policySetup = restore(
+                ckptFor(variants[pi].checkpoint == Variant::Self
+                            ? target
+                            : donor));
+        }
+        std::vector<sim::RunRecord> records;
+        try {
+            records = runner.runAll(specs);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
 
         std::printf("\n[%s, donor %s, H&M]\n", target.c_str(),
                     donor.c_str());
         TextTable tab;
         tab.header({"variant", "norm. latency", "1st-half lat (us)",
                     "2nd-half lat (us)"});
-        for (const auto &v : variants) {
-            core::SibylConfig scfg;
-            if (v.freeze) {
-                // No exploration and no weight updates: the restored
-                // policy runs as-is.
-                scfg.epsilon = 0.0;
-                scfg.learningRate = 0.0;
-            }
-            core::SibylPolicy sibyl(scfg, exp.numDevices());
-            if (v.checkpoint) {
-                std::istringstream in(*v.checkpoint);
-                const std::string err =
-                    rl::loadCheckpoint(sibyl.agent(), in);
-                if (!err.empty()) {
-                    std::fprintf(stderr, "checkpoint load failed: %s\n",
-                                 err.c_str());
-                    return 1;
-                }
-            }
-            const auto r = exp.run(t, sibyl);
-            // First-half average from the aggregate and the second half.
+        for (std::size_t pi = 0; pi < variants.size(); pi++) {
+            const auto &m = records[pi].result.metrics;
+            // First-half average from the aggregate and the second
+            // half.
             const double firstHalf =
-                2.0 * r.metrics.avgLatencyUs - r.metrics.steadyAvgLatencyUs;
-            tab.addRow({v.label, cell(r.normalizedLatency, 3),
+                2.0 * m.avgLatencyUs - m.steadyAvgLatencyUs;
+            tab.addRow({variants[pi].label,
+                        cell(records[pi].result.normalizedLatency, 3),
                         cell(firstHalf, 1),
-                        cell(r.metrics.steadyAvgLatencyUs, 1)});
+                        cell(m.steadyAvgLatencyUs, 1)});
         }
         tab.print(std::cout);
     }

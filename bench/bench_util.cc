@@ -1,9 +1,11 @@
 #include "bench_util.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "sim/parallel_runner.hh"
 
@@ -112,6 +114,62 @@ runLineup(const LineupSpec &spec)
             std::printf("WARNING: could not write %s\n",
                         spec.jsonPath.c_str());
     }
+}
+
+std::size_t
+requestOverride(std::size_t dflt)
+{
+    const char *env = std::getenv("SIBYL_BENCH_REQUESTS");
+    if (!env || !*env)
+        return dflt;
+    // A typo'd override must fail the run, not silently shrink it to
+    // garbage ("3oo" -> 3) or fall back to the full-size bench.
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (*end != '\0' || v == 0)
+        fatal(std::string("SIBYL_BENCH_REQUESTS: not a positive "
+                          "integer: \"") +
+              env + "\"");
+    return static_cast<std::size_t>(v);
+}
+
+std::size_t
+recordIndex(const scenario::ScenarioSpec &s, std::size_t ci,
+            std::size_t wi, std::size_t pi, std::size_t si)
+{
+    return ((ci * s.workloads.size() + wi) * s.policies.size() + pi) *
+               s.seeds.size() +
+           si;
+}
+
+double
+meanOverWorkloads(const scenario::ScenarioSpec &s,
+                  const std::vector<sim::RunRecord> &records,
+                  std::size_t ci, std::size_t pi,
+                  const std::function<double(const sim::RunRecord &)> &get,
+                  std::size_t si)
+{
+    double sum = 0.0;
+    for (std::size_t wi = 0; wi < s.workloads.size(); wi++)
+        sum += get(records.at(recordIndex(s, ci, wi, pi, si)));
+    return sum / static_cast<double>(s.workloads.size());
+}
+
+std::shared_ptr<std::vector<double>>
+collectPolicyScalar(std::vector<sim::RunSpec> &specs,
+                    std::function<double(policies::PlacementPolicy &)> get)
+{
+    auto out = std::make_shared<std::vector<double>>(specs.size(), 0.0);
+    for (std::size_t i = 0; i < specs.size(); i++) {
+        auto prev = specs[i].policyFinish;
+        specs[i].policyFinish = [out, i, get,
+                                 prev](policies::PlacementPolicy &p) {
+            if (prev)
+                prev(p);
+            (*out)[i] = get(p);
+        };
+    }
+    return out;
 }
 
 void

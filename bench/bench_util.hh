@@ -10,9 +10,12 @@
 
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "scenario/scenario_spec.hh"
 #include "sim/experiment.hh"
 #include "trace/workloads.hh"
 
@@ -73,6 +76,43 @@ void runLineup(const LineupSpec &spec);
 
 /** Print the standard bench banner. */
 void banner(const std::string &title);
+
+/**
+ * Request-count override for CI smoke runs: returns the value of the
+ * SIBYL_BENCH_REQUESTS environment variable when set (and > 0), else
+ * @p dflt. Every migrated bench threads this into its scenario's
+ * traceLen, so `SIBYL_BENCH_REQUESTS=300 bench_x` finishes in seconds.
+ */
+std::size_t requestOverride(std::size_t dflt = 0);
+
+/**
+ * Row index of (config ci, workload wi, policy pi, seed si) in the
+ * records returned for @p s — the ScenarioSpec/ExperimentMatrix
+ * nesting order (hssConfig outermost, seed innermost).
+ */
+std::size_t recordIndex(const scenario::ScenarioSpec &s, std::size_t ci,
+                        std::size_t wi, std::size_t pi,
+                        std::size_t si = 0);
+
+/** Mean of @p get over all workloads at (config ci, policy pi). */
+double meanOverWorkloads(
+    const scenario::ScenarioSpec &s,
+    const std::vector<sim::RunRecord> &records, std::size_t ci,
+    std::size_t pi,
+    const std::function<double(const sim::RunRecord &)> &get,
+    std::size_t si = 0);
+
+/**
+ * Attach a policyFinish hook to every spec that records one scalar
+ * per run, read from the finished policy on the worker thread that
+ * owned it (e.g. agent training rounds or storage bytes). Slot i of
+ * the returned vector corresponds to specs[i]; slots are written
+ * without synchronization, which is safe because each run owns its
+ * index exclusively.
+ */
+std::shared_ptr<std::vector<double>> collectPolicyScalar(
+    std::vector<sim::RunSpec> &specs,
+    std::function<double(policies::PlacementPolicy &)> get);
 
 /**
  * Minimal flat JSON emitter for machine-readable bench results

@@ -6,13 +6,15 @@
  *   rt       = request attributes (size_t + type_t)
  *   ft       = access frequency (cnt_t)
  *   rt+ft, rt+ft+mt (adds intr_t), rt+ft+pt (adds curr_t), All (+cap_t).
+ *
+ * Declarative form: one Sibyl{features=...} descriptor per subset,
+ * expanded over the motivation workloads through sim::ParallelRunner.
  */
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.hh"
-#include "core/sibyl_policy.hh"
 #include "common/table.hh"
 
 using namespace sibyl;
@@ -23,51 +25,55 @@ main()
     bench::banner("Fig. 13: Sibyl with different state-feature subsets, "
                   "H&L (normalized avg request latency)");
 
-    using core::FeatureMask;
     struct Subset
     {
         const char *label;
-        std::uint32_t mask;
+        const char *features; // Sibyl{features=...} value
     };
     const std::vector<Subset> subsets = {
-        {"rt", core::kFeatSize | core::kFeatType},
-        {"ft", core::kFeatCount},
-        {"rt+ft", core::kFeatSize | core::kFeatType | core::kFeatCount},
-        {"rt+ft+mt", core::kFeatSize | core::kFeatType |
-                         core::kFeatCount | core::kFeatInterval},
-        {"rt+ft+pt", core::kFeatSize | core::kFeatType |
-                         core::kFeatCount | core::kFeatCurrent},
-        {"All", core::kFeatAll},
+        {"rt", "size|type"},
+        {"ft", "count"},
+        {"rt+ft", "size|type|count"},
+        {"rt+ft+mt", "size|type|count|interval"},
+        {"rt+ft+pt", "size|type|count|current"},
+        {"All", "all"},
     };
 
-    sim::ExperimentConfig cfg;
-    cfg.hssConfig = "H&L";
-    sim::Experiment exp(cfg);
+    scenario::ScenarioSpec s;
+    s.name = "fig13_features";
+    for (const auto &sub : subsets)
+        s.policies.push_back(std::string("Sibyl{features=") +
+                             sub.features + "}");
+    s.workloads = trace::motivationWorkloads();
+    s.hssConfigs = {"H&L"};
+    s.traceLen = bench::requestOverride(0);
+
+    sim::ParallelRunner runner;
+    const auto records = runner.runAll(s.expand());
 
     TextTable tab;
     std::vector<std::string> header = {"workload"};
-    for (const auto &s : subsets)
-        header.push_back(s.label);
+    for (const auto &sub : subsets)
+        header.push_back(sub.label);
     tab.header(header);
 
-    std::vector<double> sums(subsets.size(), 0.0);
-    for (const auto &wl : trace::motivationWorkloads()) {
-        trace::Trace t = trace::makeWorkload(wl);
-        std::vector<std::string> row = {wl};
-        for (std::size_t si = 0; si < subsets.size(); si++) {
-            core::SibylConfig scfg;
-            scfg.features.mask = subsets[si].mask;
-            core::SibylPolicy sibyl(scfg, exp.numDevices());
-            double v = exp.run(t, sibyl).normalizedLatency;
-            sums[si] += v;
-            row.push_back(cell(v, 2));
-        }
+    for (std::size_t wi = 0; wi < s.workloads.size(); wi++) {
+        std::vector<std::string> row = {s.workloads[wi]};
+        for (std::size_t pi = 0; pi < subsets.size(); pi++)
+            row.push_back(
+                cell(records[bench::recordIndex(s, 0, wi, pi)]
+                         .result.normalizedLatency,
+                     2));
         tab.addRow(row);
     }
     std::vector<std::string> avg = {"AVG"};
-    for (double s : sums)
+    for (std::size_t pi = 0; pi < subsets.size(); pi++)
         avg.push_back(cell(
-            s / static_cast<double>(trace::motivationWorkloads().size()),
+            bench::meanOverWorkloads(s, records, 0, pi,
+                                     [](const sim::RunRecord &r) {
+                                         return r.result
+                                             .normalizedLatency;
+                                     }),
             2));
     tab.addRow(avg);
     tab.print(std::cout);

@@ -9,13 +9,16 @@
  * runs, so the learning-rate optimum shifts upward (~1e-3 instead of
  * 1e-4); the *shape* — collapse at gamma=0 and at epsilon=1e-1..1 —
  * is the reproduced result (see EXPERIMENTS.md).
+ *
+ * Declarative form: each panel is a ScenarioSpec whose policies are
+ * Sibyl{<param>=<value>} descriptors; one ParallelRunner shares the
+ * trace and baseline caches across all three panels.
  */
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.hh"
-#include "core/sibyl_policy.hh"
 #include "common/table.hh"
 
 using namespace sibyl;
@@ -23,22 +26,39 @@ using namespace sibyl;
 namespace
 {
 
-const std::vector<std::string> kWorkloads = {"hm_1", "prxy_1", "rsrch_0",
-                                             "usr_0"};
-
-double
-runWith(sim::Experiment &exp, const core::SibylConfig &scfg)
+/** One panel: sweep a single Sibyl parameter over values. */
+void
+runPanel(sim::ParallelRunner &runner, const char *title,
+         const char *column, const std::string &param,
+         const std::vector<double> &values, int precision)
 {
-    double sum = 0.0;
-    for (const auto &wl : kWorkloads) {
-        trace::Trace t = trace::makeWorkload(wl);
-        // Closed-loop replay (as on the paper's testbed): throughput is
-        // device-bound, not think-time-bound.
-        t.compressTime(100.0);
-        core::SibylPolicy sibyl(scfg, exp.numDevices());
-        sum += exp.run(t, sibyl).normalizedIops;
+    scenario::ScenarioSpec s;
+    s.name = std::string("fig14_") + param;
+    for (double v : values) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%g", v);
+        s.policies.push_back("Sibyl{" + param + "=" + buf + "}");
     }
-    return sum / static_cast<double>(kWorkloads.size());
+    s.workloads = {"hm_1", "prxy_1", "rsrch_0", "usr_0"};
+    s.hssConfigs = {"H&M"};
+    // Closed-loop replay (as on the paper's testbed): throughput is
+    // device-bound, not think-time-bound.
+    s.timeCompress = 100.0;
+    s.traceLen = bench::requestOverride(0);
+
+    const auto records = runner.runAll(s.expand());
+
+    std::printf("\n%s\n", title);
+    TextTable tab;
+    tab.header({column, "normalized IOPS"});
+    for (std::size_t pi = 0; pi < values.size(); pi++) {
+        const double iops = bench::meanOverWorkloads(
+            s, records, 0, pi, [](const sim::RunRecord &r) {
+                return r.result.normalizedIops;
+            });
+        tab.addRow({cell(values[pi], precision), cell(iops, 3)});
+    }
+    tab.print(std::cout);
 }
 
 } // namespace
@@ -49,39 +69,13 @@ main()
     bench::banner("Fig. 14: Sibyl throughput sensitivity to gamma / "
                   "alpha / epsilon, H&M (IOPS normalized to Fast-Only)");
 
-    sim::ExperimentConfig cfg;
-    cfg.hssConfig = "H&M";
-    sim::Experiment exp(cfg);
-
-    std::printf("\n(a) discount factor gamma\n");
-    TextTable ga;
-    ga.header({"gamma", "normalized IOPS"});
-    for (double g : {0.0, 0.1, 0.5, 0.9, 0.95, 1.0}) {
-        core::SibylConfig scfg;
-        scfg.gamma = g;
-        ga.addRow({cell(g, 2), cell(runWith(exp, scfg), 3)});
-    }
-    ga.print(std::cout);
-
-    std::printf("\n(b) learning rate alpha\n");
-    TextTable la;
-    la.header({"alpha", "normalized IOPS"});
-    for (double a : {1e-5, 1e-4, 1e-3, 1e-2, 1e-1}) {
-        core::SibylConfig scfg;
-        scfg.learningRate = a;
-        la.addRow({cell(a, 5), cell(runWith(exp, scfg), 3)});
-    }
-    la.print(std::cout);
-
-    std::printf("\n(c) exploration rate epsilon\n");
-    TextTable ea;
-    ea.header({"epsilon", "normalized IOPS"});
-    for (double e : {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0}) {
-        core::SibylConfig scfg;
-        scfg.epsilon = e;
-        ea.addRow({cell(e, 5), cell(runWith(exp, scfg), 3)});
-    }
-    ea.print(std::cout);
+    sim::ParallelRunner runner;
+    runPanel(runner, "(a) discount factor gamma", "gamma", "gamma",
+             {0.0, 0.1, 0.5, 0.9, 0.95, 1.0}, 2);
+    runPanel(runner, "(b) learning rate alpha", "alpha", "lr",
+             {1e-5, 1e-4, 1e-3, 1e-2, 1e-1}, 5);
+    runPanel(runner, "(c) exploration rate epsilon", "epsilon",
+             "epsilon", {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0}, 5);
 
     std::printf("\nPaper reference: throughput drops sharply at gamma=0 "
                 "(myopic agent) and at epsilon >= 1e-1 (excessive\n"

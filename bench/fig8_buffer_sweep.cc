@@ -3,14 +3,19 @@
  * Regenerates Fig. 8 (§6.2.1): effect of the experience-buffer size on
  * Sibyl's average request latency in the H&M configuration. The paper
  * observes saturation at 1000 entries, which it selects as e_EB.
+ *
+ * Declarative form: the sweep is a ScenarioSpec whose policy list is
+ * one Sibyl descriptor per buffer size, run through
+ * sim::ParallelRunner (bit-identical at any thread count).
  */
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.hh"
-#include "core/sibyl_policy.hh"
 #include "common/table.hh"
+#include "core/sibyl_policy.hh"
+#include "rl/agent.hh"
 
 using namespace sibyl;
 
@@ -22,40 +27,51 @@ main()
 
     const std::vector<std::size_t> sizes = {1,    10,    100,
                                             1000, 10000, 100000};
+
+    scenario::ScenarioSpec s;
+    s.name = "fig8_buffer_sweep";
+    // Fixed training cadence across buffer sizes so the sweep isolates
+    // *sample diversity*: tiny buffers train on the same number of
+    // batches but see almost no distinct experiences.
+    for (std::size_t sz : sizes)
+        s.policies.push_back("Sibyl{bufferCapacity=" +
+                             std::to_string(sz) + ",trainEvery=250}");
     // Mix of slowly-converging workloads (hm_1, prxy_1, usr_0), where
     // sample diversity in the buffer matters, and quickly-converging
     // write-heavy ones (mds_0, prxy_0, wdev_2), where an oversized
     // never-filling buffer starves training.
-    const std::vector<std::string> workloads = {"hm_1",  "prxy_1",
-                                                "usr_0", "mds_0",
-                                                "prxy_0", "wdev_2"};
+    s.workloads = {"hm_1", "prxy_1", "usr_0", "mds_0", "prxy_0",
+                   "wdev_2"};
+    s.hssConfigs = {"H&M"};
+    s.traceLen = bench::requestOverride(0);
 
-    sim::ExperimentConfig cfg;
-    cfg.hssConfig = "H&M";
-    sim::Experiment exp(cfg);
+    auto specs = s.expand();
+    const auto rounds = bench::collectPolicyScalar(
+        specs, [](policies::PlacementPolicy &p) {
+            auto *sibyl = dynamic_cast<core::SibylPolicy *>(&p);
+            return sibyl ? static_cast<double>(
+                               sibyl->agent().stats().trainingRounds)
+                         : 0.0;
+        });
+    sim::ParallelRunner runner;
+    const auto records = runner.runAll(specs);
 
     TextTable tab;
     tab.header({"buffer size", "normalized avg latency (mean of 6 wl)",
                 "training rounds"});
-    for (std::size_t sz : sizes) {
-        double sum = 0.0;
-        std::uint64_t rounds = 0;
-        for (const auto &wl : workloads) {
-            trace::Trace t = trace::makeWorkload(wl);
-            core::SibylConfig scfg;
-            scfg.bufferCapacity = sz;
-            // Fixed training cadence across buffer sizes so the sweep
-            // isolates *sample diversity*: tiny buffers train on the
-            // same number of batches but see almost no distinct
-            // experiences.
-            scfg.trainEvery = 250;
-            core::SibylPolicy sibyl(scfg, exp.numDevices());
-            sum += exp.run(t, sibyl).normalizedLatency;
-            rounds += sibyl.agent().stats().trainingRounds;
-        }
-        tab.addRow({cell(std::uint64_t{sz}),
-                    cell(sum / static_cast<double>(workloads.size()), 3),
-                    cell(rounds / workloads.size())});
+    for (std::size_t pi = 0; pi < sizes.size(); pi++) {
+        const double lat = bench::meanOverWorkloads(
+            s, records, 0, pi,
+            [](const sim::RunRecord &r) {
+                return r.result.normalizedLatency;
+            });
+        double roundSum = 0.0;
+        for (std::size_t wi = 0; wi < s.workloads.size(); wi++)
+            roundSum += rounds->at(bench::recordIndex(s, 0, wi, pi));
+        tab.addRow({cell(std::uint64_t{sizes[pi]}), cell(lat, 3),
+                    cell(static_cast<std::uint64_t>(
+                        roundSum /
+                        static_cast<double>(s.workloads.size())))});
     }
     tab.print(std::cout);
     std::printf(

@@ -3,18 +3,21 @@
  * Extending the library with a custom data-placement policy.
  *
  * Implements a least-frequently-used admission heuristic ("LFU-Admit")
- * against the public PlacementPolicy interface and benchmarks it
- * against CDE and Sibyl on a write-heavy enterprise workload — showing
- * how downstream users plug their own policies into the harness.
+ * against the public PlacementPolicy interface, registers it in the
+ * scenario::PolicyFactory — after which it is addressable by
+ * descriptor string everywhere: RunSpecs, scenario files, the CLI —
+ * and benchmarks it against CDE and Sibyl through the parallel
+ * runner, showing how downstream users plug their own policies into
+ * the harness.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
-#include "core/sibyl_policy.hh"
-#include "policies/cde.hh"
 #include "policies/policy.hh"
-#include "sim/experiment.hh"
-#include "trace/workloads.hh"
+#include "scenario/policy_factory.hh"
+#include "scenario/scenario_spec.hh"
 
 using namespace sibyl;
 
@@ -56,27 +59,47 @@ class LfuAdmitPolicy : public policies::PlacementPolicy
 int
 main()
 {
-    trace::Trace workload = trace::makeWorkload("rsrch_0", 20000);
+    // One registration makes the policy constructible from a
+    // descriptor — with a tunable parameter — wherever a policy name
+    // is accepted (scenario JSON files and `sibyl_cli --policy`
+    // included).
+    scenario::PolicyFactory::instance().registerPolicy(
+        "LFU-Admit", "frequency-filter admission {threshold}",
+        [](const scenario::PolicyDesc &d, std::uint32_t,
+           const core::SibylConfig &)
+            -> std::unique_ptr<policies::PlacementPolicy> {
+            // Validate like the built-ins: unknown keys and non-numeric
+            // values are diagnostics, never silent defaults.
+            std::uint64_t threshold = 3;
+            for (const auto &[key, value] : d.params) {
+                char *end = nullptr;
+                threshold = std::strtoull(value.c_str(), &end, 10);
+                if (key != "threshold" || value.empty() ||
+                    end != value.c_str() + value.size())
+                    throw std::invalid_argument(
+                        "policy \"" + d.raw + "\": bad parameter \"" +
+                        key + "=" + value + "\" (valid: threshold=N)");
+            }
+            return std::make_unique<LfuAdmitPolicy>(threshold);
+        });
 
-    sim::ExperimentConfig cfg;
-    cfg.hssConfig = "H&L"; // cost-oriented: Optane over 7200rpm HDD
-    sim::Experiment experiment(cfg);
+    scenario::ScenarioSpec s;
+    s.name = "custom_policy_demo";
+    s.policies = {"LFU-Admit", "LFU-Admit{threshold=8}", "CDE", "Sibyl"};
+    s.workloads = {"rsrch_0"};
+    s.hssConfigs = {"H&L"}; // cost-oriented: Optane over 7200rpm HDD
+    s.traceLen = 20000;
 
-    LfuAdmitPolicy lfu;
-    policies::CdePolicy cde;
-    core::SibylConfig scfg;
-    core::SibylPolicy sibyl(scfg, experiment.numDevices());
+    const auto records = scenario::runScenario(s);
 
     std::printf("workload %s on %s (fast = 10%% of working set)\n\n",
-                workload.name().c_str(), cfg.hssConfig.c_str());
-    std::printf("%-10s %15s %14s %12s\n", "policy", "avg latency",
+                s.workloads[0].c_str(), s.hssConfigs[0].c_str());
+    std::printf("%-22s %15s %14s %12s\n", "policy", "avg latency",
                 "vs Fast-Only", "fast pref");
-    for (policies::PlacementPolicy *p :
-         std::initializer_list<policies::PlacementPolicy *>{&lfu, &cde,
-                                                            &sibyl}) {
-        auto r = experiment.run(workload, *p);
-        std::printf("%-10s %12.1f us %13.2fx %11.1f%%\n",
-                    r.policy.c_str(), r.metrics.avgLatencyUs,
+    for (const auto &rec : records) {
+        const auto &r = rec.result;
+        std::printf("%-22s %12.1f us %13.2fx %11.1f%%\n",
+                    rec.spec.policy.c_str(), r.metrics.avgLatencyUs,
                     r.normalizedLatency,
                     100.0 * r.metrics.fastPlacementPreference);
     }

@@ -20,13 +20,17 @@
  *   sibyl_cli --degrade-fast 2000:5000:30 --policy Sibyl --policy CDE
  *   sibyl_cli --policy Sibyl --policy CDE --policy Oracle --threads 4 \
  *             --json results.json
+ *   sibyl_cli --scenario scenarios/smoke.json --json results.json
+ *   sibyl_cli --list-policies
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -34,6 +38,8 @@
 #include "common/table.hh"
 #include "core/sibyl_policy.hh"
 #include "rl/checkpoint.hh"
+#include "scenario/policy_factory.hh"
+#include "scenario/scenario_spec.hh"
 #include "sim/parallel_runner.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
@@ -61,7 +67,10 @@ struct Options
     std::string saveAgent;
     std::string loadAgent;
     unsigned threads = 0;           ///< 0 = all cores, 1 = serial
+    bool threadsSet = false;        ///< --threads given explicitly
     std::string jsonPath;           ///< machine-readable result dump
+    std::string scenarioPath;       ///< run a scenario file instead
+    bool listPolicies = false;      ///< print the policy registry
 };
 
 void
@@ -98,7 +107,14 @@ usage(const char *prog)
         "                      (0 = all cores; results are identical "
         "at any N)\n"
         "  --json PATH         also dump machine-readable results\n"
-        "  --csv               emit CSV instead of an aligned table\n",
+        "  --csv               emit CSV instead of an aligned table\n"
+        "  --scenario PATH     run a declarative scenario file (JSON\n"
+        "                      ScenarioSpec: policies x workloads x\n"
+        "                      configs x seeds); other experiment flags\n"
+        "                      are ignored, --threads/--json/--csv still\n"
+        "                      apply\n"
+        "  --list-policies     print every registered policy descriptor\n"
+        "                      and exit\n",
         prog);
 }
 
@@ -178,6 +194,13 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!(v = need(i)))
                 return false;
             opt.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+            opt.threadsSet = true;
+        } else if (a == "--scenario") {
+            if (!(v = need(i)))
+                return false;
+            opt.scenarioPath = v;
+        } else if (a == "--list-policies") {
+            opt.listPolicies = true;
         } else if (a == "--json") {
             if (!(v = need(i)))
                 return false;
@@ -197,12 +220,92 @@ parseArgs(int argc, char **argv, Options &opt)
 
 } // namespace
 
+namespace
+{
+
+/** --list-policies: dump the registry as a table. */
+int
+listPolicies()
+{
+    TextTable tab;
+    tab.header({"policy", "description"});
+    for (const auto &info :
+         scenario::PolicyFactory::instance().policies())
+        tab.addRow({info.name + (info.prefix ? " (prefix)" : ""),
+                    info.description});
+    tab.print(std::cout);
+    std::printf("\nAny name accepts {key=value,...} parameters, e.g. "
+                "Sibyl{gamma=0.5,hidden=40x60}.\n");
+    return 0;
+}
+
+/** --scenario: run a declarative scenario file. */
+int
+runScenarioFile(const Options &opt)
+{
+    try {
+        scenario::ScenarioSpec spec =
+            scenario::loadScenarioFile(opt.scenarioPath);
+        if (opt.threadsSet)
+            spec.numThreads = opt.threads;
+
+        std::printf("scenario %s: %zu policies x %zu workloads x %zu "
+                    "configs x %zu seeds\n",
+                    spec.name.c_str(), spec.policies.size(),
+                    spec.workloads.size(), spec.hssConfigs.size(),
+                    spec.seeds.size());
+
+        const auto records = scenario::runScenario(spec);
+
+        TextTable tab;
+        tab.header({"config", "workload", "policy", "seed",
+                    "avg latency (us)", "vs Fast-Only", "IOPS",
+                    "evictions", "fast pref"});
+        for (const auto &rec : records) {
+            const auto &r = rec.result;
+            tab.addRow({rec.spec.hssConfig, rec.spec.workload,
+                        rec.spec.policy,
+                        cell(std::uint64_t{rec.spec.seed}),
+                        cell(r.metrics.avgLatencyUs, 1),
+                        cell(r.normalizedLatency, 3),
+                        cell(r.metrics.iops, 0),
+                        cell(r.metrics.evictionFraction, 3),
+                        cell(r.metrics.fastPlacementPreference, 3)});
+        }
+        if (opt.csv)
+            tab.printCsv(std::cout);
+        else
+            tab.print(std::cout);
+
+        if (!opt.jsonPath.empty()) {
+            if (sim::writeResultsJsonFile(opt.jsonPath, records))
+                std::printf("wrote %s\n", opt.jsonPath.c_str());
+            else {
+                std::fprintf(stderr, "could not write %s\n",
+                             opt.jsonPath.c_str());
+                return 1;
+            }
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     Options opt;
     if (!parseArgs(argc, argv, opt))
         return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 2;
+
+    if (opt.listPolicies)
+        return listPolicies();
+    if (!opt.scenarioPath.empty())
+        return runScenarioFile(opt);
 
     // Workload: synthesizer profile or a real MSRC CSV. A profile
     // workload goes through the runner's shared trace cache; a CSV is
@@ -254,6 +357,8 @@ main(int argc, char **argv)
             specs[0].faults.windows.push_back(
                 {startMs * 1e3, endMs * 1e3, mult});
         };
+        // The fault window changes dynamics: tag it into the run key.
+        proto.variantTag = "degrade-fast=" + opt.degradeFast;
         std::printf("fast device degraded x%.1f in [%.0f, %.0f] ms\n",
                     mult, startMs, endMs);
     }
@@ -291,20 +396,24 @@ main(int argc, char **argv)
 
     // One spec per policy; the runner shards them across workers and
     // returns results in policy order regardless of scheduling.
+    // Checkpoints are captured into per-run buffers on the worker
+    // threads and written *after* runAll: several RL policies sharing
+    // one --save-agent path must not race on the file, and the spec
+    // order (not scheduling) decides which one the file keeps.
     std::vector<sim::RunSpec> specs;
-    for (const auto &name : opt.policies) {
+    std::vector<std::string> savedCheckpoints(opt.policies.size());
+    for (std::size_t i = 0; i < opt.policies.size(); i++) {
+        const std::string &name = opt.policies[i];
         sim::RunSpec s = proto;
         s.policy = name;
-        if (!opt.loadAgent.empty() || !opt.saveAgent.empty()) {
+        if (!opt.loadAgent.empty()) {
             const std::string loadPath = opt.loadAgent;
-            const std::string savePath = opt.saveAgent;
             // A failed warm-start throws: the run must not proceed
-            // with a cold agent, and the save hook must not clobber
-            // an existing checkpoint with an untrained one.
+            // with a cold agent.
             s.policySetup = [name,
                              loadPath](policies::PlacementPolicy &p) {
                 auto *sibyl = dynamic_cast<core::SibylPolicy *>(&p);
-                if (!sibyl || loadPath.empty())
+                if (!sibyl)
                     return;
                 const auto err =
                     rl::loadCheckpointFile(sibyl->agent(), loadPath);
@@ -313,14 +422,16 @@ main(int argc, char **argv)
                 std::printf("warm-started %s from %s\n", name.c_str(),
                             loadPath.c_str());
             };
-            s.policyFinish = [name,
-                              savePath](policies::PlacementPolicy &p) {
+        }
+        if (!opt.saveAgent.empty()) {
+            std::string *slot = &savedCheckpoints[i];
+            s.policyFinish = [slot](policies::PlacementPolicy &p) {
                 auto *sibyl = dynamic_cast<core::SibylPolicy *>(&p);
-                if (!sibyl || savePath.empty())
+                if (!sibyl)
                     return;
-                rl::saveCheckpointFile(sibyl->agent(), savePath);
-                std::printf("saved %s's learned policy to %s\n",
-                            name.c_str(), savePath.c_str());
+                std::ostringstream out;
+                rl::saveCheckpoint(sibyl->agent(), out);
+                *slot = out.str();
             };
         }
         specs.push_back(std::move(s));
@@ -331,6 +442,25 @@ main(int argc, char **argv)
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
+    }
+
+    if (!opt.saveAgent.empty()) {
+        // Last RL policy in --policy order wins, deterministically.
+        for (std::size_t i = savedCheckpoints.size(); i-- > 0;) {
+            if (savedCheckpoints[i].empty())
+                continue;
+            std::ofstream out(opt.saveAgent, std::ios::binary);
+            out << savedCheckpoints[i];
+            out.flush();
+            if (!out) {
+                std::fprintf(stderr, "could not write %s\n",
+                             opt.saveAgent.c_str());
+                return 1;
+            }
+            std::printf("saved %s's learned policy to %s\n",
+                        opt.policies[i].c_str(), opt.saveAgent.c_str());
+            break;
+        }
     }
 
     TextTable tab;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
@@ -289,7 +290,11 @@ makeHssConfig(const std::string &shorthand, std::uint64_t workingSetPages,
         specs.push_back(devicePreset("L"));
         specs[3].capacityPages = slowCap;
     } else {
-        fatal("makeHssConfig: unknown configuration " + shorthand);
+        // A typo'd shorthand must fail loudly and helpfully: it is
+        // user input (CLI --config, scenario files), not a bug.
+        throw std::invalid_argument(
+            "makeHssConfig: unknown HSS configuration \"" + shorthand +
+            "\" (valid: H&M H&L H&M&L H&M&L_SSD H&M&L_SSD&L)");
     }
     return specs;
 }

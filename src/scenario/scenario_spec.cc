@@ -1,0 +1,399 @@
+#include "scenario/scenario_spec.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/json.hh"
+#include "scenario/policy_factory.hh"
+
+namespace sibyl::scenario
+{
+
+bool
+DeviceOverride::operator==(const DeviceOverride &o) const
+{
+    if (device != o.device || channels != o.channels ||
+        detailedFtl != o.detailedFtl ||
+        ftlPagesPerBlock != o.ftlPagesPerBlock ||
+        faultWindows.size() != o.faultWindows.size())
+        return false;
+    for (std::size_t i = 0; i < faultWindows.size(); i++) {
+        const auto &a = faultWindows[i];
+        const auto &b = o.faultWindows[i];
+        if (a.startUs != b.startUs || a.endUs != b.endUs ||
+            a.latencyMultiplier != b.latencyMultiplier)
+            return false;
+    }
+    return true;
+}
+
+bool
+ScenarioSpec::operator==(const ScenarioSpec &o) const
+{
+    return name == o.name && policies == o.policies &&
+           workloads == o.workloads && hssConfigs == o.hssConfigs &&
+           seeds == o.seeds && mixedWorkloads == o.mixedWorkloads &&
+           fastCapacityFrac == o.fastCapacityFrac &&
+           traceLen == o.traceLen && traceSeed == o.traceSeed &&
+           timeCompress == o.timeCompress && queueDepth == o.queueDepth &&
+           recordPerRequest == o.recordPerRequest &&
+           sibylParams == o.sibylParams &&
+           deviceOverrides == o.deviceOverrides &&
+           numThreads == o.numThreads;
+}
+
+sim::ExperimentMatrix
+ScenarioSpec::toMatrix() const
+{
+    // Values <= 1 would be silently ignored by the trace cache (its
+    // documented contract: compression never stretches); reject them
+    // here where the user can see why.
+    if (!(timeCompress >= 1.0))
+        throw std::invalid_argument(
+            "scenario \"" + name + "\": timeCompress must be >= 1 "
+            "(gaps are divided by it; it cannot stretch a trace)");
+    // The parallel runner derives every run's agent seed from the run
+    // key, so a base-config seed would be silently discarded — the
+    // two working spellings are the experiment-level seeds array and
+    // the per-policy descriptor Sibyl{seed=N} (applied after
+    // derivation).
+    if (sibylParams.count("seed"))
+        throw std::invalid_argument(
+            "scenario \"" + name + "\": sibylParams.seed has no "
+            "effect (run seeds are derived from the run key); use "
+            "the \"seeds\" array, or pin one policy's agent seed "
+            "with a Sibyl{seed=N} descriptor");
+
+    sim::ExperimentMatrix m;
+    m.policies = policies;
+    m.workloads = workloads;
+    m.hssConfigs = hssConfigs;
+    m.seeds = seeds;
+    m.mixedWorkloads = mixedWorkloads;
+    m.fastCapacityFrac = fastCapacityFrac;
+    m.traceLen = traceLen;
+    m.traceSeed = traceSeed;
+    m.timeCompress = timeCompress;
+    m.sim.queueDepth = queueDepth;
+    m.sim.recordPerRequest = recordPerRequest;
+    if (!sibylParams.empty()) {
+        PolicyDesc base;
+        base.name = "sibylParams";
+        base.raw = "scenario \"" + name + "\" sibylParams";
+        for (const auto &[k, v] : sibylParams)
+            base.params.emplace_back(k, v);
+        applySibylParams(m.sibylCfg, base);
+    }
+    return m;
+}
+
+std::vector<sim::RunSpec>
+ScenarioSpec::expand() const
+{
+    const auto &factory = PolicyFactory::instance();
+    for (const auto &p : policies) {
+        if (!factory.resolvable(p))
+            // Re-run through make() for the full diagnostic (it lists
+            // the registered names).
+            factory.make(p, 2);
+    }
+    for (const auto &ov : deviceOverrides) {
+        for (const auto &cfg : hssConfigs) {
+            const std::uint32_t n =
+                sim::numHssDevices(cfg, fastCapacityFrac);
+            if (ov.device >= n)
+                throw std::invalid_argument(
+                    "scenario \"" + name + "\": deviceOverrides names "
+                    "device " + std::to_string(ov.device) +
+                    " but config \"" + cfg + "\" has " +
+                    std::to_string(n) + " devices");
+        }
+    }
+
+    std::vector<sim::RunSpec> specs = toMatrix().expand();
+    if (!deviceOverrides.empty()) {
+        // The overrides influence simulation dynamics, so their
+        // canonical form rides in RunSpec::variantTag and becomes
+        // part of every run's key (a faulted run and its healthy
+        // control must never share an identity).
+        std::string tag;
+        for (const auto &ov : deviceOverrides) {
+            tag += "dev" + std::to_string(ov.device);
+            if (ov.channels != 0)
+                tag += ",ch=" + std::to_string(ov.channels);
+            if (ov.detailedFtl >= 0)
+                tag += ",ftl=" + std::to_string(ov.detailedFtl);
+            if (ov.ftlPagesPerBlock != 0)
+                tag += ",ppb=" + std::to_string(ov.ftlPagesPerBlock);
+            for (const auto &w : ov.faultWindows)
+                tag += ",fault=" + jsonNumber(w.startUs) + ":" +
+                       jsonNumber(w.endUs) + ":" +
+                       jsonNumber(w.latencyMultiplier);
+            tag += ';';
+        }
+        const std::vector<DeviceOverride> overrides = deviceOverrides;
+        auto tweak = [overrides](std::vector<device::DeviceSpec> &specs_) {
+            for (const auto &ov : overrides) {
+                auto &d = specs_.at(ov.device);
+                if (ov.channels != 0)
+                    d.channels = ov.channels;
+                if (ov.detailedFtl >= 0)
+                    d.detailedFtl = ov.detailedFtl != 0;
+                if (ov.ftlPagesPerBlock != 0)
+                    d.ftlPagesPerBlock = ov.ftlPagesPerBlock;
+                for (const auto &w : ov.faultWindows)
+                    d.faults.windows.push_back(w);
+            }
+        };
+        for (auto &s : specs) {
+            s.specTweak = tweak;
+            s.variantTag = tag;
+        }
+    }
+    return specs;
+}
+
+namespace
+{
+
+[[noreturn]] void
+specError(const std::string &what)
+{
+    throw std::invalid_argument("scenario: " + what);
+}
+
+std::vector<std::string>
+stringList(const JsonValue &v, const char *field)
+{
+    std::vector<std::string> out;
+    for (const auto &e : v.asArray()) {
+        if (!e.isString())
+            specError(std::string(field) + " wants an array of strings");
+        out.push_back(e.asString());
+    }
+    return out;
+}
+
+/** sibylParams values may be written as JSON strings, numbers, or
+ *  bools; normalize to the descriptor-parameter string form. */
+std::string
+paramString(const JsonValue &v, const std::string &key)
+{
+    if (v.isString())
+        return v.asString();
+    if (v.isBool())
+        return v.asBool() ? "1" : "0";
+    if (v.isNumber()) {
+        if (v.isIntegral())
+            return v.asDouble() < 0.0 ? std::to_string(v.asInt())
+                                      : std::to_string(v.asUint());
+        return jsonNumber(v.asDouble());
+    }
+    specError("sibylParams." + key + " wants a string, number, or bool");
+}
+
+DeviceOverride
+parseOverride(const JsonValue &v)
+{
+    DeviceOverride ov;
+    for (const auto &[key, val] : v.asObject()) {
+        if (key == "device") {
+            ov.device = static_cast<std::uint32_t>(val.asUint());
+        } else if (key == "channels") {
+            ov.channels = static_cast<std::uint32_t>(val.asUint());
+        } else if (key == "detailedFtl") {
+            ov.detailedFtl = val.asBool() ? 1 : 0;
+        } else if (key == "ftlPagesPerBlock") {
+            ov.ftlPagesPerBlock = static_cast<std::uint32_t>(val.asUint());
+        } else if (key == "faultWindows") {
+            for (const auto &w : val.asArray()) {
+                device::DegradedWindow win;
+                for (const auto &[wk, wv] : w.asObject()) {
+                    if (wk == "startUs")
+                        win.startUs = wv.asDouble();
+                    else if (wk == "endUs")
+                        win.endUs = wv.asDouble();
+                    else if (wk == "latencyMultiplier")
+                        win.latencyMultiplier = wv.asDouble();
+                    else
+                        specError("unknown faultWindows key \"" + wk +
+                                  "\" (valid: startUs endUs "
+                                  "latencyMultiplier)");
+                }
+                ov.faultWindows.push_back(win);
+            }
+        } else {
+            specError("unknown deviceOverrides key \"" + key +
+                      "\" (valid: device channels detailedFtl "
+                      "ftlPagesPerBlock faultWindows)");
+        }
+    }
+    return ov;
+}
+
+} // namespace
+
+ScenarioSpec
+parseScenarioJson(const std::string &text)
+{
+    const JsonValue doc = jsonParse(text);
+    if (!doc.isObject())
+        specError("document must be a JSON object");
+
+    ScenarioSpec s;
+    bool sawPolicies = false, sawWorkloads = false;
+    for (const auto &[key, v] : doc.asObject()) {
+        if (key == "name") {
+            s.name = v.asString();
+        } else if (key == "policies") {
+            s.policies = stringList(v, "policies");
+            sawPolicies = true;
+        } else if (key == "workloads") {
+            s.workloads = stringList(v, "workloads");
+            sawWorkloads = true;
+        } else if (key == "hssConfigs") {
+            s.hssConfigs = stringList(v, "hssConfigs");
+        } else if (key == "seeds") {
+            s.seeds.clear();
+            for (const auto &e : v.asArray())
+                s.seeds.push_back(e.asUint());
+        } else if (key == "mixedWorkloads") {
+            s.mixedWorkloads = v.asBool();
+        } else if (key == "fastCapacityFrac") {
+            s.fastCapacityFrac = v.asDouble();
+        } else if (key == "traceLen") {
+            s.traceLen = v.asUint();
+        } else if (key == "traceSeed") {
+            s.traceSeed = v.asUint();
+        } else if (key == "timeCompress") {
+            s.timeCompress = v.asDouble();
+        } else if (key == "queueDepth") {
+            s.queueDepth = static_cast<std::uint32_t>(v.asUint());
+        } else if (key == "recordPerRequest") {
+            s.recordPerRequest = v.asBool();
+        } else if (key == "sibylParams") {
+            for (const auto &[pk, pv] : v.asObject())
+                s.sibylParams[pk] = paramString(pv, pk);
+        } else if (key == "deviceOverrides") {
+            for (const auto &e : v.asArray())
+                s.deviceOverrides.push_back(parseOverride(e));
+        } else if (key == "numThreads") {
+            s.numThreads = static_cast<unsigned>(v.asUint());
+        } else {
+            specError("unknown key \"" + key +
+                      "\" (valid: name policies workloads hssConfigs "
+                      "seeds mixedWorkloads fastCapacityFrac traceLen "
+                      "traceSeed timeCompress queueDepth "
+                      "recordPerRequest sibylParams deviceOverrides "
+                      "numThreads)");
+        }
+    }
+    if (!sawPolicies || s.policies.empty())
+        specError("\"policies\" must name at least one policy");
+    if (!sawWorkloads || s.workloads.empty())
+        specError("\"workloads\" must name at least one workload");
+    if (s.hssConfigs.empty())
+        specError("\"hssConfigs\" must not be empty");
+    if (s.seeds.empty())
+        specError("\"seeds\" must not be empty");
+    return s;
+}
+
+std::string
+emitScenarioJson(const ScenarioSpec &s)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("name", JsonValue::of(s.name));
+
+    auto stringArray = [](const std::vector<std::string> &v) {
+        JsonValue a = JsonValue::array();
+        for (const auto &e : v)
+            a.push(JsonValue::of(e));
+        return a;
+    };
+    doc.set("policies", stringArray(s.policies));
+    doc.set("workloads", stringArray(s.workloads));
+    doc.set("hssConfigs", stringArray(s.hssConfigs));
+    JsonValue seeds = JsonValue::array();
+    for (auto sd : s.seeds)
+        seeds.push(JsonValue::of(sd));
+    doc.set("seeds", seeds);
+    doc.set("mixedWorkloads", JsonValue::of(s.mixedWorkloads));
+    doc.set("fastCapacityFrac", JsonValue::of(s.fastCapacityFrac));
+    doc.set("traceLen", JsonValue::of(std::uint64_t{s.traceLen}));
+    doc.set("traceSeed", JsonValue::of(s.traceSeed));
+    doc.set("timeCompress", JsonValue::of(s.timeCompress));
+    doc.set("queueDepth", JsonValue::of(std::uint64_t{s.queueDepth}));
+    doc.set("recordPerRequest", JsonValue::of(s.recordPerRequest));
+    if (!s.sibylParams.empty()) {
+        JsonValue params = JsonValue::object();
+        for (const auto &[k, v] : s.sibylParams)
+            params.set(k, JsonValue::of(v));
+        doc.set("sibylParams", params);
+    }
+    if (!s.deviceOverrides.empty()) {
+        JsonValue arr = JsonValue::array();
+        for (const auto &ov : s.deviceOverrides) {
+            JsonValue o = JsonValue::object();
+            o.set("device", JsonValue::of(std::uint64_t{ov.device}));
+            if (ov.channels != 0)
+                o.set("channels",
+                      JsonValue::of(std::uint64_t{ov.channels}));
+            if (ov.detailedFtl >= 0)
+                o.set("detailedFtl", JsonValue::of(ov.detailedFtl != 0));
+            if (ov.ftlPagesPerBlock != 0)
+                o.set("ftlPagesPerBlock",
+                      JsonValue::of(std::uint64_t{ov.ftlPagesPerBlock}));
+            if (!ov.faultWindows.empty()) {
+                JsonValue wins = JsonValue::array();
+                for (const auto &w : ov.faultWindows) {
+                    JsonValue wv = JsonValue::object();
+                    wv.set("startUs", JsonValue::of(w.startUs));
+                    wv.set("endUs", JsonValue::of(w.endUs));
+                    wv.set("latencyMultiplier",
+                           JsonValue::of(w.latencyMultiplier));
+                    wins.push(wv);
+                }
+                o.set("faultWindows", wins);
+            }
+            arr.push(o);
+        }
+        doc.set("deviceOverrides", arr);
+    }
+    doc.set("numThreads", JsonValue::of(std::uint64_t{s.numThreads}));
+    return doc.dump();
+}
+
+ScenarioSpec
+loadScenarioFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::invalid_argument("scenario: cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        return parseScenarioJson(buf.str());
+    } catch (const std::invalid_argument &e) {
+        throw std::invalid_argument(path + ": " + e.what());
+    }
+}
+
+std::vector<sim::RunRecord>
+runScenario(const ScenarioSpec &spec, sim::ParallelRunner &runner)
+{
+    return runner.runAll(spec.expand());
+}
+
+std::vector<sim::RunRecord>
+runScenario(const ScenarioSpec &spec)
+{
+    sim::ParallelConfig cfg;
+    cfg.numThreads = spec.numThreads;
+    sim::ParallelRunner runner(cfg);
+    return runScenario(spec, runner);
+}
+
+} // namespace sibyl::scenario

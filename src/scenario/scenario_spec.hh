@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Declarative experiment descriptions: a ScenarioSpec is the full
+ * cross-product of an evaluation — policy descriptors x workloads x
+ * HSS shorthands x seeds, plus trace shaping, simulation knobs, base
+ * Sibyl hyper-parameter overrides, and declarative device overrides
+ * (fault windows, channel counts, FTL selection). It parses from and
+ * emits to JSON, so *any experiment in the repository is a file*: the
+ * figure benches, the CLI's --scenario mode, and the golden-run tests
+ * all lower the same structure onto sim::ParallelRunner.
+ *
+ * Lowering rule: expand() produces exactly the RunSpecs that
+ * hand-written code building sim::ExperimentMatrix would produce —
+ * same nesting order (hssConfig, workload, policy, seed), same run
+ * keys, hence bit-identical results. The scenario layer adds zero
+ * simulation semantics of its own; it is a serialization of the
+ * orchestration layer underneath.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/fault_model.hh"
+#include "sim/parallel_runner.hh"
+
+namespace sibyl::scenario
+{
+
+/**
+ * Declarative tweak of one device slot of every run's HSS, applied
+ * after hss::makeHssConfig (like ExperimentConfig::specTweak, but
+ * serializable). Zero-valued fields keep the preset.
+ */
+struct DeviceOverride
+{
+    /** Device slot (0 = fastest). Must exist in every hssConfig the
+     *  scenario names; expand() validates. */
+    std::uint32_t device = 0;
+
+    /** Internal service channels; 0 keeps the preset. */
+    std::uint32_t channels = 0;
+
+    /** Mechanistic page-mapped FTL: -1 keeps the preset, 0/1 set. */
+    int detailedFtl = -1;
+
+    /** FTL pages per block; 0 keeps the preset. */
+    std::uint32_t ftlPagesPerBlock = 0;
+
+    /** Degraded-performance windows appended to the device. */
+    std::vector<device::DegradedWindow> faultWindows;
+
+    bool operator==(const DeviceOverride &o) const;
+};
+
+/** One declarative experiment (see file header). */
+struct ScenarioSpec
+{
+    /** Scenario identifier (reports, file names). */
+    std::string name = "scenario";
+
+    /** Policy descriptors (scenario::PolicyFactory grammar). */
+    std::vector<std::string> policies;
+
+    /** Workload profile names — or mix names when mixedWorkloads. */
+    std::vector<std::string> workloads;
+
+    std::vector<std::string> hssConfigs = {"H&M"};
+    std::vector<std::uint64_t> seeds = {42};
+
+    bool mixedWorkloads = false;
+    double fastCapacityFrac = 0.10;
+    std::size_t traceLen = 0;
+    std::uint64_t traceSeed = 0;
+    double timeCompress = 1.0;
+
+    /** Simulation-loop knobs (SimConfig subset that is plain data). */
+    std::uint32_t queueDepth = 1;
+    bool recordPerRequest = false;
+
+    /** Base Sibyl hyper-parameter overrides applied to every run's
+     *  SibylConfig *before* per-policy descriptor params (same key
+     *  grammar as Sibyl{...}; values are strings: {"gamma": "0.5"}). */
+    std::map<std::string, std::string> sibylParams;
+
+    /** Declarative device tweaks applied to every policy run (never to
+     *  the Fast-Only normalization baseline). */
+    std::vector<DeviceOverride> deviceOverrides;
+
+    /** Worker threads (0 = default pool size, 1 = serial oracle).
+     *  Results are thread-count invariant; this is throughput only. */
+    unsigned numThreads = 0;
+
+    bool operator==(const ScenarioSpec &o) const;
+
+    /**
+     * Lower to the dense matrix form (everything except
+     * deviceOverrides, which are not expressible there). Throws
+     * std::invalid_argument on bad sibylParams.
+     */
+    sim::ExperimentMatrix toMatrix() const;
+
+    /**
+     * Lower to runnable RunSpecs: toMatrix().expand() with the device
+     * overrides attached as each spec's specTweak. Validates that
+     * every policy descriptor resolves in the PolicyFactory and that
+     * every override's device slot exists in every named hssConfig;
+     * throws std::invalid_argument otherwise.
+     */
+    std::vector<sim::RunSpec> expand() const;
+};
+
+/** Parse a scenario JSON document. Unknown keys, ill-typed values, and
+ *  malformed JSON throw std::invalid_argument with a diagnostic. */
+ScenarioSpec parseScenarioJson(const std::string &text);
+
+/** Serialize; parse(emit(s)) == s, and emit is byte-deterministic. */
+std::string emitScenarioJson(const ScenarioSpec &spec);
+
+/** Parse the scenario file at @p path (error messages name the file). */
+ScenarioSpec loadScenarioFile(const std::string &path);
+
+/** runner.runAll(spec.expand()) — records in matrix order. */
+std::vector<sim::RunRecord> runScenario(const ScenarioSpec &spec,
+                                        sim::ParallelRunner &runner);
+
+/** Run with a fresh runner configured from spec.numThreads. */
+std::vector<sim::RunRecord> runScenario(const ScenarioSpec &spec);
+
+} // namespace sibyl::scenario

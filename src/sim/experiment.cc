@@ -3,15 +3,8 @@
 #include <stdexcept>
 
 #include "energy/energy_model.hh"
-
-#include "core/sibyl_policy.hh"
-#include "policies/archivist.hh"
-#include "policies/cde.hh"
-#include "policies/hps.hh"
-#include "policies/oracle.hh"
-#include "policies/rnn_hss.hh"
 #include "policies/static_policies.hh"
-#include "policies/tri_heuristic.hh"
+#include "scenario/policy_factory.hh"
 
 namespace sibyl::sim
 {
@@ -64,6 +57,9 @@ runPolicyExperiment(const ExperimentConfig &cfg, const trace::Trace &t,
     r.normalizedLatency = baseline.avgLatencyUs > 0.0
         ? r.metrics.avgLatencyUs / baseline.avgLatencyUs
         : 0.0;
+    r.normalizedSteadyLatency = baseline.steadyAvgLatencyUs > 0.0
+        ? r.metrics.steadyAvgLatencyUs / baseline.steadyAvgLatencyUs
+        : 0.0;
     r.normalizedIops =
         baseline.iops > 0.0 ? r.metrics.iops / baseline.iops : 0.0;
 
@@ -106,37 +102,8 @@ std::unique_ptr<policies::PlacementPolicy>
 makePolicy(const std::string &name, std::uint32_t numDevices,
            const core::SibylConfig &sibylCfg)
 {
-    using namespace policies;
-    if (name == "Slow-Only")
-        return std::make_unique<SlowOnlyPolicy>();
-    if (name == "Fast-Only")
-        return std::make_unique<FastOnlyPolicy>();
-    if (name == "CDE")
-        return std::make_unique<CdePolicy>();
-    if (name == "HPS")
-        return std::make_unique<HpsPolicy>();
-    if (name == "Archivist")
-        return std::make_unique<ArchivistPolicy>();
-    if (name == "RNN-HSS")
-        return std::make_unique<RnnHssPolicy>();
-    if (name == "Oracle")
-        return std::make_unique<OraclePolicy>();
-    if (name == "Heuristic-Tri-Hybrid")
-        return std::make_unique<TriHeuristicPolicy>();
-    if (name == "Heuristic-Multi-Tier") {
-        // One designer-chosen threshold per tier boundary, descending.
-        // These defaults were hand-tuned for the quad-hybrid
-        // configuration — the tuning burden is the point (§8.7).
-        std::vector<std::uint64_t> thresholds;
-        for (std::uint32_t i = 0; i + 1 < numDevices; i++)
-            thresholds.push_back(1ULL << (2 * (numDevices - 2 - i)));
-        return std::make_unique<MultiTierHeuristicPolicy>(
-            std::move(thresholds));
-    }
-    if (name == "Sibyl" || name.rfind("Sibyl", 0) == 0)
-        return std::make_unique<core::SibylPolicy>(sibylCfg, numDevices,
-                                                   name);
-    throw std::invalid_argument("makePolicy: unknown policy " + name);
+    return scenario::PolicyFactory::instance().make(name, numDevices,
+                                                    sibylCfg);
 }
 
 const std::vector<std::string> &

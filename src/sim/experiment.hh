@@ -57,6 +57,11 @@ struct PolicyResult
     /** avgLatency / FastOnly.avgLatency — the paper's y-axis. */
     double normalizedLatency = 0.0;
 
+    /** steadyAvgLatency / FastOnly.steadyAvgLatency — the post-warmup
+     *  view (second half of the trace), where an online learner has
+     *  converged. Used by the exploration ablation. */
+    double normalizedSteadyLatency = 0.0;
+
     /** iops / FastOnly.iops. */
     double normalizedIops = 0.0;
 
@@ -130,10 +135,17 @@ class Experiment
 };
 
 /**
- * Policy factory. Recognized names: "Slow-Only", "Fast-Only", "CDE",
- * "HPS", "Archivist", "RNN-HSS", "Oracle", "Heuristic-Tri-Hybrid",
- * "Heuristic-Multi-Tier" (N-tier banding with default thresholds),
- * "Sibyl". For Sibyl, @p sibylCfg supplies hyper-parameters.
+ * Policy factory — a thin wrapper over scenario::PolicyFactory, kept
+ * for source compatibility (the parallel runner and every bench call
+ * through here). @p name is a full policy *descriptor*: a registered
+ * name ("Slow-Only", "Fast-Only", "CDE", "HPS", "Archivist",
+ * "RNN-HSS", "Oracle", "Heuristic-Tri-Hybrid", "Heuristic-Multi-Tier",
+ * "Sibyl", "Sibyl-C51", "Sibyl-DQN", "Sibyl-QTable", plus any
+ * runtime-registered policy) optionally followed by {key=value,...}
+ * parameters — e.g. "Sibyl{gamma=0.5}". For the Sibyl family,
+ * @p sibylCfg supplies the base hyper-parameters that descriptor
+ * params override. Throws std::invalid_argument for unknown names
+ * (listing the registry) and bad parameters.
  */
 std::unique_ptr<policies::PlacementPolicy>
 makePolicy(const std::string &name, std::uint32_t numDevices,

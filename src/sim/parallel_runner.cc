@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/thread_pool.hh"
+#include "scenario/json.hh"
 
 namespace sibyl::sim
 {
@@ -54,6 +55,10 @@ canonicalRunString(const RunSpec &spec)
     s += buf;
     s += '\0';
     s += spec.sim.skipPrepare ? '1' : '0';
+    if (!spec.variantTag.empty()) {
+        s += '\0';
+        s += spec.variantTag;
+    }
     return s;
 }
 
@@ -138,6 +143,9 @@ ParallelRunner::baselineFor(const RunSpec &spec, const trace::Trace &t)
     RunSpec baseSpec = spec;
     baseSpec.policy = "Fast-Only-baseline";
     baseSpec.fastCapacityFrac = 1.6;
+    // The baseline ignores specTweak (it stays the healthy
+    // reference), so the tweak's tag must not split the cache either.
+    baseSpec.variantTag.clear();
     const std::string id = canonicalRunString(baseSpec);
 
     std::shared_future<std::shared_ptr<const RunMetrics>> future;
@@ -234,50 +242,12 @@ ParallelRunner::runMatrix(const ExperimentMatrix &m)
     return runAll(m.expand());
 }
 
-namespace
-{
-
-void
-jsonNum(std::ostream &os, double v)
-{
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    os << buf;
-}
-
-/** JSON string escaping (names can come from user-supplied trace
- *  paths, so quotes/backslashes/control bytes must not leak). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (unsigned char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          default:
-            if (c < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += static_cast<char>(c);
-            }
-        }
-    }
-    return out;
-}
-
-} // namespace
-
 void
 writeResultsJson(std::ostream &os, const std::vector<RunRecord> &records)
 {
+    // String escaping and double formatting are shared with the
+    // scenario serializer (scenario::jsonQuote / jsonNumber) so the
+    // two byte-determinism contracts cannot drift apart.
     os << "{\n  \"results\": [";
     for (std::size_t i = 0; i < records.size(); i++) {
         const RunRecord &r = records[i];
@@ -286,11 +256,14 @@ writeResultsJson(std::ostream &os, const std::vector<RunRecord> &records)
         char key[32];
         std::snprintf(key, sizeof(key), "0x%016llx",
                       static_cast<unsigned long long>(r.runKey));
-        os << "{\"policy\": \"" << jsonEscape(r.result.policy)
-           << "\", \"workload\": \"" << jsonEscape(r.result.workload)
-           << "\", \"config\": \"" << jsonEscape(r.spec.hssConfig)
-           << "\", \"seed\": " << r.spec.seed
+        os << "{\"policy\": " << scenario::jsonQuote(r.result.policy)
+           << ", \"workload\": " << scenario::jsonQuote(r.result.workload)
+           << ", \"config\": " << scenario::jsonQuote(r.spec.hssConfig)
+           << ", \"seed\": " << r.spec.seed
            << ", \"runKey\": \"" << key << "\"";
+        if (!r.spec.variantTag.empty())
+            os << ", \"variant\": "
+               << scenario::jsonQuote(r.spec.variantTag);
         os << ", \"requests\": " << m.requests;
         const std::pair<const char *, double> scalars[] = {
             {"avgLatencyUs", m.avgLatencyUs},
@@ -303,12 +276,12 @@ writeResultsJson(std::ostream &os, const std::vector<RunRecord> &records)
             {"evictionFraction", m.evictionFraction},
             {"fastPlacementPreference", m.fastPlacementPreference},
             {"normalizedLatency", r.result.normalizedLatency},
+            {"normalizedSteadyLatency", r.result.normalizedSteadyLatency},
             {"normalizedIops", r.result.normalizedIops},
             {"totalEnergyMj", r.result.totalEnergyMj},
         };
         for (const auto &[name, v] : scalars) {
-            os << ", \"" << name << "\": ";
-            jsonNum(os, v);
+            os << ", \"" << name << "\": " << scenario::jsonNumber(v);
         }
         os << ", \"promotions\": " << m.promotions
            << ", \"demotions\": " << m.demotions;

@@ -20,10 +20,12 @@
  *
  *  1. `runKey(spec)` = FNV-1a 64-bit hash of the canonical run string
  *     `policy NUL traceKey.canonical() NUL hssConfig NUL fastFrac(%.17g)
- *      NUL seed NUL queueDepth NUL skipPrepare`
- *     — i.e. exactly the fields that influence simulation dynamics.
- *     Matrix position, thread count, and result-only knobs
- *     (recordPerRequest) are deliberately excluded.
+ *      NUL seed NUL queueDepth NUL skipPrepare [NUL variantTag]`
+ *     — i.e. exactly the fields that influence simulation dynamics
+ *     (the trailing variantTag component is appended only when
+ *     non-empty, standing in for the unhashable specTweak closure it
+ *     describes). Matrix position, thread count, and result-only
+ *     knobs (recordPerRequest) are deliberately excluded.
  *  2. `deriveStream(runKey, salt)` = splitmix64(runKey ^
  *     splitmix64(salt)): independent well-mixed streams per salt.
  *  3. With `ParallelConfig::deriveRunSeeds` (the default), a run's
@@ -91,6 +93,20 @@ struct RunSpec
 
     /** Optional device-spec hook, as ExperimentConfig::specTweak. */
     std::function<void(std::vector<device::DeviceSpec> &)> specTweak;
+
+    /**
+     * Canonical description of what specTweak does (fault windows,
+     * channel overrides, FTL selection...). specTweak itself is an
+     * unhashable closure, but it influences simulation dynamics, so
+     * any caller installing one should set this tag: when non-empty
+     * it is folded into the run key and emitted as the "variant"
+     * field of writeResultsJson — distinguishing e.g. a faulted run
+     * from its healthy control in result sets. Scenario-layer
+     * deviceOverrides set it automatically. Empty tags leave the run
+     * key byte-identical to the pre-tag format (golden snapshots
+     * unaffected).
+     */
+    std::string variantTag;
 
     /** Replay this trace instead of synthesizing `workload` (used by
      *  the CLI's --trace). Bypasses the cache; `workload` and

@@ -11,6 +11,8 @@
 #include "hss/hybrid_system.hh"
 #include "hss/metadata.hh"
 
+#include <stdexcept>
+
 namespace sibyl::hss
 {
 namespace
@@ -279,6 +281,26 @@ TEST(HybridSystem, FreeFractionTracksOccupancy)
     EXPECT_DOUBLE_EQ(sys.freeFraction(0), 1.0);
     sys.serve(0.0, req(0, 5, OpType::Write), 0);
     EXPECT_DOUBLE_EQ(sys.freeFraction(0), 0.5);
+}
+
+TEST(MakeHssConfig, RejectsUnknownShorthandListingValidNames)
+{
+    // The shorthand is user input (CLI --config, scenario files): a
+    // typo must throw a catchable error that names every valid
+    // configuration, not exit the process.
+    try {
+        makeHssConfig("H&X", 10000);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("H&X"), std::string::npos) << msg;
+        for (const char *valid :
+             {"H&M", "H&L", "H&M&L", "H&M&L_SSD", "H&M&L_SSD&L"})
+            EXPECT_NE(msg.find(valid), std::string::npos)
+                << msg << " should list " << valid;
+    }
+    EXPECT_THROW(makeHssConfig("", 10000), std::invalid_argument);
+    EXPECT_THROW(makeHssConfig("h&m", 10000), std::invalid_argument);
 }
 
 } // namespace
