@@ -1,11 +1,13 @@
 #include "bench_util.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "common/table.hh"
 #include "sim/parallel_runner.hh"
 
@@ -44,6 +46,28 @@ metricName(Metric metric)
     return "";
 }
 
+double
+confidenceHalfWidth95(const std::vector<double> &samples)
+{
+    if (samples.size() < 2)
+        return 0.0;
+    RunningStat stat;
+    for (double s : samples)
+        stat.add(s);
+    // Two-sided 95% t critical values for df = 1..30; beyond that the
+    // normal 1.96 is within a percent.
+    static const double tTable[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    const std::size_t df = samples.size() - 1;
+    const double t = df <= 30 ? tTable[df - 1] : 1.96;
+    return t * stat.stddev() /
+           std::sqrt(static_cast<double>(samples.size()));
+}
+
 void
 banner(const std::string &title)
 {
@@ -61,6 +85,9 @@ runLineup(const LineupSpec &spec)
     matrix.policies = spec.policies;
     matrix.workloads = spec.workloads;
     matrix.hssConfigs = spec.configs;
+    matrix.seeds = spec.seeds.empty()
+        ? std::vector<std::uint64_t>{42}
+        : spec.seeds;
     matrix.mixedWorkloads = spec.mixed;
     matrix.fastCapacityFrac = spec.fastFrac;
     // Mixed workloads split the request budget across their components.
@@ -74,12 +101,15 @@ runLineup(const LineupSpec &spec)
     sim::ParallelRunner runner(pcfg);
     const auto records = runner.runMatrix(matrix);
 
-    // expand() nests config (outer), workload, policy (inner).
+    // expand() nests config (outer), workload, policy, seed (inner).
     const std::size_t nPolicies = spec.policies.size();
     const std::size_t nWorkloads = spec.workloads.size();
+    const std::size_t nSeeds = matrix.seeds.size();
+    const bool multiSeed = nSeeds > 1;
     for (std::size_t ci = 0; ci < spec.configs.size(); ci++) {
-        std::printf("\n[%s]  metric: %s\n", spec.configs[ci].c_str(),
-                    metricName(spec.metric));
+        std::printf("\n[%s]  metric: %s%s\n", spec.configs[ci].c_str(),
+                    metricName(spec.metric),
+                    multiSeed ? "  (mean±95% CI over seeds)" : "");
         TextTable tab;
         std::vector<std::string> header = {"workload"};
         header.insert(header.end(), spec.policies.begin(),
@@ -87,14 +117,28 @@ runLineup(const LineupSpec &spec)
         tab.header(header);
 
         std::vector<double> sums(nPolicies, 0.0);
+        std::vector<double> seedVals(nSeeds);
         for (std::size_t wi = 0; wi < nWorkloads; wi++) {
             std::vector<std::string> row = {spec.workloads[wi]};
             for (std::size_t pi = 0; pi < nPolicies; pi++) {
-                const auto &rec =
-                    records[(ci * nWorkloads + wi) * nPolicies + pi];
-                double v = metricValue(spec.metric, rec.result);
-                sums[pi] += v;
-                row.push_back(cell(v, 3));
+                for (std::size_t si = 0; si < nSeeds; si++) {
+                    const auto &rec =
+                        records[((ci * nWorkloads + wi) * nPolicies +
+                                 pi) * nSeeds + si];
+                    seedVals[si] = metricValue(spec.metric, rec.result);
+                }
+                double mean = 0.0;
+                for (double v : seedVals)
+                    mean += v;
+                mean /= static_cast<double>(nSeeds);
+                sums[pi] += mean;
+                if (multiSeed) {
+                    row.push_back(cell(mean, 3) + "±" +
+                                  cell(confidenceHalfWidth95(seedVals),
+                                       3));
+                } else {
+                    row.push_back(cell(mean, 3));
+                }
             }
             tab.addRow(row);
         }

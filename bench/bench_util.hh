@@ -50,6 +50,11 @@ struct LineupSpec
     bool mixed = false;                 ///< workloads are mix names
     core::SibylConfig sibylCfg;         ///< hyper-parameters for Sibyl
 
+    /** Experiment seeds. With more than one, every table cell becomes
+     *  the across-seed mean with a 95% confidence half-width
+     *  ("m±c"), and the AVG row aggregates the per-seed means. */
+    std::vector<std::uint64_t> seeds = {42};
+
     /** Worker threads for the grid (0 = SIBYL_THREADS env override,
      *  else hardware concurrency; 1 = the serial oracle path). */
     unsigned numThreads = 0;
@@ -61,6 +66,13 @@ struct LineupSpec
 
 /** Extract the configured metric from a result. */
 double metricValue(Metric metric, const sim::PolicyResult &r);
+
+/**
+ * Half-width of a two-sided 95% confidence interval for the mean of
+ * @p samples (Student's t for small n, 1.96 beyond the table). Zero
+ * for fewer than two samples.
+ */
+double confidenceHalfWidth95(const std::vector<double> &samples);
 
 /** Short human name of a metric (table caption). */
 const char *metricName(Metric metric);

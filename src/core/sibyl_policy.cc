@@ -95,17 +95,20 @@ SibylPolicy::selectPlacement(const hss::HybridSystem &sys,
                              std::size_t reqIndex)
 {
     (void)reqIndex;
-    ml::Vector state = encoder_.encode(sys, req);
+    // One observation buffer per policy, encoded in place; together
+    // with the agent's in-place ring insert this keeps the whole
+    // per-request decision path allocation-free at steady state.
+    encoder_.encodeInto(sys, req, obs_);
 
     // The previous transition completes now that O_{t+1} is known
     // (Algorithm 1, line 15).
     if (pendingValid_) {
-        agent_->observe({std::move(pendingState_), pendingAction_,
-                         pendingReward_, state});
+        agent_->observeTransition(pendingState_, pendingAction_,
+                                  pendingReward_, obs_);
     }
 
-    std::uint32_t action = agent_->selectAction(state);
-    pendingState_ = std::move(state);
+    std::uint32_t action = agent_->selectAction(obs_);
+    pendingState_.swap(obs_); // keep O_t without copying or freeing
     pendingAction_ = action;
     pendingReward_ = 0.0f;
     pendingValid_ = true;

@@ -73,6 +73,10 @@ class SibylPolicy : public policies::PlacementPolicy
     ml::Vector pendingState_;
     std::uint32_t pendingAction_ = 0;
     float pendingReward_ = 0.0f;
+
+    // Reused per-request observation buffer (swapped with
+    // pendingState_ each request, so neither ever reallocates).
+    ml::Vector obs_;
 };
 
 } // namespace sibyl::core

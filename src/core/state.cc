@@ -19,7 +19,17 @@ ml::Vector
 StateEncoder::encode(const hss::HybridSystem &sys,
                      const trace::Request &req) const
 {
-    ml::Vector obs(dim_, 0.0f);
+    ml::Vector obs;
+    encodeInto(sys, req, obs);
+    return obs;
+}
+
+void
+StateEncoder::encodeInto(const hss::HybridSystem &sys,
+                         const trace::Request &req, ml::Vector &out) const
+{
+    out.assign(dim_, 0.0f);
+    ml::Vector &obs = out;
     std::uint32_t i = 0;
 
     // size_t: request size in pages, log-binned into 8 bins.
@@ -69,7 +79,6 @@ StateEncoder::encode(const hss::HybridSystem &sys,
                   capacityBinner_.normalized(sys.freeFraction(d)))
             : 0.0f;
     }
-    return obs;
 }
 
 } // namespace sibyl::core

@@ -43,6 +43,16 @@ class StateEncoder
     ml::Vector encode(const hss::HybridSystem &sys,
                       const trace::Request &req) const;
 
+    /**
+     * encode() into a caller-owned buffer: @p out is resized to
+     * dimension() (a no-op after the first call on a reused buffer)
+     * and overwritten. The simulator request path reuses one
+     * observation buffer per run, so per-request encoding performs no
+     * heap allocation.
+     */
+    void encodeInto(const hss::HybridSystem &sys, const trace::Request &req,
+                    ml::Vector &out) const;
+
     /** Size in bits of the stored state representation (overhead bench):
      *  the paper's relaxed encoding is 40 bits per state. */
     static constexpr std::uint32_t kEncodedBits = 40;

@@ -134,7 +134,8 @@ HybridSystem::serve(SimTime now, const trace::Request &req, DeviceId action)
         // copies, make room, then perform one foreground write. The set
         // of pages to (re)place is snapshotted before eviction runs so a
         // concurrent eviction cannot inflate it past the reserved space.
-        std::vector<PageId> toPlace;
+        std::vector<PageId> &toPlace = pageScratch_;
+        toPlace.clear();
         bool anyFaster = false;
         bool anySlower = false;
         for (PageId p = req.page; p < req.endPage(); p++) {
@@ -175,7 +176,8 @@ HybridSystem::serve(SimTime now, const trace::Request &req, DeviceId action)
         // Read: first-touch pages materialize on the device the policy
         // chose (the placement decision governs where a request's data
         // lives), then the request is served wherever its pages reside.
-        std::vector<PageId> firstTouch;
+        std::vector<PageId> &firstTouch = pageScratch_;
+        firstTouch.clear();
         for (PageId p = req.page; p < req.endPage(); p++)
             if (meta_.placement(p) == kNoDevice)
                 firstTouch.push_back(p);
@@ -213,8 +215,10 @@ HybridSystem::serve(SimTime now, const trace::Request &req, DeviceId action)
         // never demote — data moves down the hierarchy only through
         // eviction, matching the promotion/eviction semantics of §2.1.
         // Snapshot the page set first so evictions triggered while
-        // making room cannot grow it.
-        std::vector<PageId> toMove;
+        // making room cannot grow it. (firstTouch is done with the
+        // scratch buffer by this point.)
+        std::vector<PageId> &toMove = pageScratch_;
+        toMove.clear();
         for (PageId p = req.page; p < req.endPage(); p++)
             if (meta_.placement(p) > action) // slower than requested
                 toMove.push_back(p);

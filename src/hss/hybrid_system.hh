@@ -157,6 +157,12 @@ class HybridSystem
     PageMetaTable meta_;
     HssCounters counters_;
     VictimPicker picker_;
+
+    /** Reused page-set scratch for serve()'s snapshot loops (write
+     *  placement set, read first-touch set, promotion set — used one
+     *  at a time), so the steady-state request path performs no heap
+     *  allocation. */
+    std::vector<PageId> pageScratch_;
 };
 
 /**

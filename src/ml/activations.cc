@@ -1,5 +1,7 @@
 #include "ml/activations.hh"
 
+#include "ml/kernel_dispatch.hh"
+
 #include <algorithm>
 #include <bit>
 #include <cassert>
@@ -152,8 +154,12 @@ activateGrad(Activation a, const Vector &in, Vector &out)
         out[i] = activateGrad(a, in[i]);
 }
 
+namespace
+{
+
+SIBYL_KERNEL_CLONES
 void
-activate(Activation a, const float *in, float *out, std::size_t n)
+activateSpanImpl(Activation a, const float *in, float *out, std::size_t n)
 {
     switch (a) {
       case Activation::Identity:
@@ -179,8 +185,20 @@ activate(Activation a, const float *in, float *out, std::size_t n)
     }
 }
 
+} // namespace
+
 void
-activateGradMul(Activation a, const float *pre, const float *gradOut,
+activate(Activation a, const float *in, float *out, std::size_t n)
+{
+    activateSpanImpl(a, in, out, n);
+}
+
+namespace
+{
+
+SIBYL_KERNEL_CLONES
+void
+activateGradMulImpl(Activation a, const float *pre, const float *gradOut,
                 float *delta, std::size_t n)
 {
     switch (a) {
@@ -213,8 +231,21 @@ activateGradMul(Activation a, const float *pre, const float *gradOut,
     }
 }
 
+} // namespace
+
 void
-activateWithAux(Activation a, const float *in, float *out, float *aux,
+activateGradMul(Activation a, const float *pre, const float *gradOut,
+                float *delta, std::size_t n)
+{
+    activateGradMulImpl(a, pre, gradOut, delta, n);
+}
+
+namespace
+{
+
+SIBYL_KERNEL_CLONES
+void
+activateWithAuxImpl(Activation a, const float *in, float *out, float *aux,
                 std::size_t n)
 {
     switch (a) {
@@ -246,8 +277,21 @@ activateWithAux(Activation a, const float *in, float *out, float *aux,
     }
 }
 
+} // namespace
+
 void
-activateGradMulAux(Activation a, const float *pre, const float *aux,
+activateWithAux(Activation a, const float *in, float *out, float *aux,
+                std::size_t n)
+{
+    activateWithAuxImpl(a, in, out, aux, n);
+}
+
+namespace
+{
+
+SIBYL_KERNEL_CLONES
+void
+activateGradMulAuxImpl(Activation a, const float *pre, const float *aux,
                    const float *gradOut, float *delta, std::size_t n)
 {
     switch (a) {
@@ -276,6 +320,15 @@ activateGradMulAux(Activation a, const float *pre, const float *aux,
     }
 }
 
+} // namespace
+
+void
+activateGradMulAux(Activation a, const float *pre, const float *aux,
+                   const float *gradOut, float *delta, std::size_t n)
+{
+    activateGradMulAuxImpl(a, pre, aux, gradOut, delta, n);
+}
+
 void
 activate(Activation a, const Matrix &in, Matrix &out)
 {
@@ -289,21 +342,48 @@ softmax(Vector &v)
     softmax(v.data(), v.size());
 }
 
+namespace
+{
+
+/** Exponentiation sweep of softmax: v[i] = exp(v[i] - mx). Hoisted
+ *  out of the sum so the loop carries no reduction and vectorizes —
+ *  the fused exp+accumulate form ran scalar, and softmax was the
+ *  single largest cost of a C51 training batch (one 51-wide call per
+ *  action group per row). */
+SIBYL_KERNEL_CLONES
+void
+softmaxExp(float *v, float mx, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i++)
+        v[i] = fastExpf(v[i] - mx);
+}
+
+/** Normalization sweep of softmax (elementwise, vectorizes). */
+SIBYL_KERNEL_CLONES
+void
+softmaxScale(float *v, float sum, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i++)
+        v[i] /= sum;
+}
+
+} // namespace
+
 void
 softmax(float *v, std::size_t n)
 {
     if (n == 0)
         return;
     float mx = *std::max_element(v, v + n);
+    softmaxExp(v, mx, n);
+    // Sequential sum, same order as the historical fused loop: the
+    // split changes instruction scheduling, never a result bit.
     float sum = 0.0f;
-    for (std::size_t i = 0; i < n; i++) {
-        v[i] = fastExpf(v[i] - mx);
+    for (std::size_t i = 0; i < n; i++)
         sum += v[i];
-    }
     if (sum <= 0.0f)
         sum = 1.0f;
-    for (std::size_t i = 0; i < n; i++)
-        v[i] /= sum;
+    softmaxScale(v, sum, n);
 }
 
 void

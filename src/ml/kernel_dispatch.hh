@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Runtime ISA dispatch macro for the ML kernels (internal).
+ *
+ * Portable builds (SIBYL_NATIVE=OFF — the CI configuration) are
+ * compiled for baseline x86-64, which caps every j-inner sweep at 4
+ * SSE lanes; an AVX2 clone of the same source doubles the lane count
+ * on the machines CI actually runs on, resolved once at load time.
+ *
+ * This is safe for bit-exactness because the cloned loops accumulate
+ * per output element in a fixed k-order — vector width changes how
+ * many j-elements advance together, never the order of adds within
+ * one element — and because target("avx2") does not enable FMA
+ * contraction (the clone has no instruction that could fuse; the
+ * whole repo additionally builds with -ffp-contract=off). Builds that
+ * already target AVX2+ (-march=native) skip the clones entirely.
+ *
+ * Every kernel translation unit must use this one definition: the
+ * predicate encodes the bit-exactness safety argument, and two copies
+ * drifting apart (e.g. one gaining an avx512 clone) would let matrix
+ * kernels and activation sweeps dispatch under different rules.
+ */
+
+#pragma once
+
+#if defined(__x86_64__) && !defined(__AVX2__) && defined(__GNUC__) && \
+    !defined(__clang__)
+#define SIBYL_KERNEL_CLONES __attribute__((target_clones("avx2", "default")))
+#else
+#define SIBYL_KERNEL_CLONES
+#endif

@@ -39,10 +39,35 @@ DenseLayer::forward(const Vector &in, Vector &out)
     // assign() reuses lastIn_'s capacity; plain `lastIn_ = in` would too,
     // but be explicit that this path must not allocate at steady state.
     lastIn_.assign(in.begin(), in.end());
-    weights_.matvec(in, preAct_);
+    // Zero-seeded sequential-order accumulate against the cached W^T,
+    // bias added last: bit-identical to the historical matvec form
+    // (same adds, same order per element), but SIMD across outputs.
+    ensureWeightsT();
+    preAct_.assign(outSize(), 0.0f);
+    weightsT_.mulAddRow(in.data(), preAct_.data());
     for (std::size_t i = 0; i < preAct_.size(); i++)
         preAct_[i] += bias_[i];
     activate(act_, preAct_, out);
+}
+
+void
+DenseLayer::inferRow(const float *in, float *out)
+{
+    // Same arithmetic, in the same per-element order, as
+    // forward(Vector) above — so routing selectAction through this
+    // cache-free path changes no decision bit relative to the
+    // historical per-sample forward the golden trajectories are
+    // pinned to. (The batched kernels sum in a k-grouped order and
+    // agree only to tolerance; batched rows remain composition-
+    // independent among themselves, which the training-target caches
+    // rely on.)
+    ensureWeightsT();
+    const std::size_t n = outSize();
+    rowPre_.assign(n, 0.0f);
+    weightsT_.mulAddRow(in, rowPre_.data());
+    for (std::size_t j = 0; j < n; j++)
+        rowPre_[j] += bias_[j];
+    activate(act_, rowPre_.data(), out, n);
 }
 
 void
@@ -89,6 +114,20 @@ DenseLayer::forwardInfer(const Matrix &in, Matrix &out)
 }
 
 void
+DenseLayer::ensureWeightsT()
+{
+    if (!weightsTStale_)
+        return;
+    weightsT_.resize(inSize(), outSize());
+    for (std::size_t r = 0; r < outSize(); r++) {
+        const float *wrow = weights_.row(r);
+        for (std::size_t c = 0; c < inSize(); c++)
+            weightsT_(c, r) = wrow[c];
+    }
+    weightsTStale_ = false;
+}
+
+void
 DenseLayer::forwardPreAct(const Matrix &in)
 {
     // preAct = bias (broadcast per row) + in * W^T. The reduction
@@ -98,15 +137,7 @@ DenseLayer::forwardPreAct(const Matrix &in)
     // against a cached W^T, rebuilt lazily after weight mutations
     // (optimizer steps, syncs). Seeding the output rows with the bias
     // replaces both the zero fill and a separate bias sweep.
-    if (weightsTStale_) {
-        weightsT_.resize(inSize(), outSize());
-        for (std::size_t r = 0; r < outSize(); r++) {
-            const float *wrow = weights_.row(r);
-            for (std::size_t c = 0; c < inSize(); c++)
-                weightsT_(c, r) = wrow[c];
-        }
-        weightsTStale_ = false;
-    }
+    ensureWeightsT();
     const std::size_t batch = in.rows();
     preActM_.resize(batch, outSize());
     for (std::size_t r = 0; r < batch; r++)

@@ -36,6 +36,23 @@ class DenseLayer
     void forward(const Vector &in, Vector &out);
 
     /**
+     * Single-row inference: out[0..outSize) = f(W in + b) with no
+     * backward caches and no effect on any pending per-sample or
+     * batched backward state (it uses its own pre-activation scratch).
+     * Bit-identical to forward(Vector) — the request path's decision
+     * kernel must not change any decision relative to the historical
+     * per-sample forward, because every golden RL trajectory is
+     * pinned to it. (The batched forwards sum in a k-grouped order
+     * and agree with this path to float tolerance; their rows are
+     * composition-independent among themselves, which the training
+     * caches rely on.)
+     *
+     * @param in  inSize() floats.
+     * @param out outSize() floats (may not alias @p in).
+     */
+    void inferRow(const float *in, float *out);
+
+    /**
      * Backpropagate @p gradOut (dL/d out) through the cached sample,
      * accumulating parameter gradients and producing @p gradIn (dL/d in).
      */
@@ -104,6 +121,9 @@ class DenseLayer
     /** Shared GEMM+bias stage of the batched forwards. */
     void forwardPreAct(const Matrix &in);
 
+    /** Rebuild the cached W^T if weights changed since the last use. */
+    void ensureWeightsT();
+
     Matrix weights_;
     Vector bias_;
     Matrix gradW_;
@@ -114,6 +134,9 @@ class DenseLayer
     Vector lastIn_;
     Vector preAct_;
     Vector delta_; // per-sample backward scratch (reused, no per-call alloc)
+    Vector rowPre_; // inferRow() pre-activation scratch (independent of
+                    // preAct_ so inferRow never clobbers pending
+                    // backward state)
 
     // Batched-path caches and scratch (reused across training batches).
     const Matrix *lastInBatch_ = nullptr; // see forward(Matrix) warning

@@ -29,15 +29,21 @@ softmaxCrossEntropy(const Vector &logits, const Vector &target,
                     Vector &gradLogits)
 {
     assert(logits.size() == target.size());
-    Vector probs = logits;
-    softmax(probs);
+    // Softmax in place of the gradient buffer — no per-call
+    // allocation (this runs once per sampled row in the C51 training
+    // loop, the loop that bounds request throughput between syncs).
+    // The loss accumulation itself keeps the historical per-element
+    // form, NOT the cheaper log-softmax identity: the scalar feeds
+    // PER priorities (setPriority), so changing its rounding would
+    // silently shift prioritized-replay trajectories.
+    gradLogits.assign(logits.begin(), logits.end());
+    softmax(gradLogits);
     float loss = 0.0f;
-    gradLogits.resize(logits.size());
     for (std::size_t i = 0; i < logits.size(); i++) {
-        float p = std::max(probs[i], 1e-12f);
+        const float p = std::max(gradLogits[i], 1e-12f);
         if (target[i] > 0.0f)
             loss -= target[i] * std::log(p);
-        gradLogits[i] = probs[i] - target[i];
+        gradLogits[i] -= target[i];
     }
     return loss;
 }

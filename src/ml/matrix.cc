@@ -1,5 +1,7 @@
 #include "ml/matrix.hh"
 
+#include "ml/kernel_dispatch.hh"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -18,7 +20,7 @@ namespace
  * dimension contiguously — N independent FMA chains per row.
  */
 template <std::size_t N>
-void
+inline void
 matmulAddNarrow(const float *__restrict adata, const float *__restrict bdata,
                 float *__restrict cdata, std::size_t m, std::size_t k)
 {
@@ -38,76 +40,217 @@ matmulAddNarrow(const float *__restrict adata, const float *__restrict bdata,
     }
 }
 
-} // namespace
-
-Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill)
-{
-}
-
+/**
+ * One output row of the wide matmulAdd kernel: crow[j] += sum_k
+ * arow[k] * B(k, j), with the reduction grouped exactly like the
+ * blocked kernel below groups it (8-step partial sums, then the
+ * 4-step parenthesization, then the 2-3/1 leftovers). Used for the
+ * blocked kernel's odd tail row, so *every* row of a batched product
+ * carries the same accumulation order bit for bit — which is what
+ * makes batched rows independent of batch composition (the property
+ * the agents' Bellman-target caches rely on). Historically the tail
+ * row summed in plain sequential order, making the last row of an
+ * odd batch the one row with a different summation.
+ */
+SIBYL_KERNEL_CLONES
 void
-Matrix::fill(float v)
+matmulAddRowWide(const float *__restrict arow, const float *__restrict bdata,
+                 float *__restrict crow, std::size_t kTot, std::size_t n)
 {
-    for (auto &x : data_)
-        x = v;
-}
-
-void
-Matrix::resize(std::size_t rows, std::size_t cols)
-{
-    rows_ = rows;
-    cols_ = cols;
-    data_.resize(rows * cols);
-}
-
-void
-Matrix::matmul(const Matrix &b, Matrix &out) const
-{
-    out.resize(rows_, b.cols_);
-    out.fill(0.0f);
-    matmulAdd(b, out);
-}
-
-void
-Matrix::matmulAdd(const Matrix &b, Matrix &out) const
-{
-    assert(cols_ == b.rows_);
-    assert(out.rows_ == rows_ && out.cols_ == b.cols_);
-    assert(&out != this && &out != &b);
-    const std::size_t n = b.cols_;
-    switch (n) {
-      case 1:
-        matmulAddNarrow<1>(data_.data(), b.data_.data(), out.data_.data(),
-                           rows_, cols_);
-        return;
-      case 2:
-        matmulAddNarrow<2>(data_.data(), b.data_.data(), out.data_.data(),
-                           rows_, cols_);
-        return;
-      case 3:
-        matmulAddNarrow<3>(data_.data(), b.data_.data(), out.data_.data(),
-                           rows_, cols_);
-        return;
-      case 4:
-        matmulAddNarrow<4>(data_.data(), b.data_.data(), out.data_.data(),
-                           rows_, cols_);
-        return;
-      default:
-        break;
+    std::size_t k = 0;
+    for (; k + 8 <= kTot; k += 8) {
+        const float *bk = bdata + k * n;
+#pragma GCC ivdep
+        for (std::size_t j = 0; j < n; j++) {
+            float s0 = 0.0f;
+            for (std::size_t u = 0; u < 8; u++)
+                s0 += arow[k + u] * bk[u * n + j];
+            crow[j] += s0;
+        }
     }
-    const std::size_t kTot = cols_;
-    // Register-blocked micro-kernel tuned for this codebase's small
-    // operands (fan-in 6..128, fan-out 2..102): 2 output rows x 4
-    // reduction steps per j-sweep, so each contiguous j-inner loop
-    // entry retires 8 FMA streams. Flat __restrict base pointers plus
-    // ivdep drop the runtime alias versioning GCC would otherwise
-    // re-check on every j-loop entry — that versioning, not the math,
-    // dominated the original one-row-at-a-time kernel.
-    const float *__restrict adata = data_.data();
-    const float *__restrict bdata = b.data_.data();
-    float *__restrict cdata = out.data_.data();
+    for (; k + 4 <= kTot; k += 4) {
+        const float p0 = arow[k], p1 = arow[k + 1];
+        const float p2 = arow[k + 2], p3 = arow[k + 3];
+        const float *b0 = bdata + k * n;
+        const float *b1 = b0 + n;
+        const float *b2 = b1 + n;
+        const float *b3 = b2 + n;
+#pragma GCC ivdep
+        for (std::size_t j = 0; j < n; j++)
+            crow[j] += (p0 * b0[j] + p1 * b1[j]) + (p2 * b2[j] + p3 * b3[j]);
+    }
+    if (k + 2 <= kTot) {
+        const float p0 = arow[k], p1 = arow[k + 1];
+        const bool three = k + 3 <= kTot;
+        const float p2 = three ? arow[k + 2] : 0.0f;
+        const float *b0 = bdata + k * n;
+        const float *b1 = b0 + n;
+        const float *b2 = three ? b1 + n : b1;
+#pragma GCC ivdep
+        for (std::size_t j = 0; j < n; j++)
+            crow[j] += (p0 * b0[j] + p1 * b1[j]) + p2 * b2[j];
+    } else if (k < kTot) {
+        const float p = arow[k];
+        const float *brow = bdata + k * n;
+#pragma GCC ivdep
+        for (std::size_t j = 0; j < n; j++)
+            crow[j] += p * brow[j];
+    }
+}
+
+// Direct wrappers for the narrow template. Deliberately NOT
+// ISA-cloned: the j-dimension is 1-4 scalars, too narrow for wider
+// vectors to help, and the AVX2 clone measured *slower* (GCC tries
+// to vectorize the streamed reduction with gathers).
+void
+matmulAddNarrow1(const float *a, const float *b, float *c, std::size_t m,
+                 std::size_t k)
+{
+    matmulAddNarrow<1>(a, b, c, m, k);
+}
+void
+matmulAddNarrow2(const float *a, const float *b, float *c, std::size_t m,
+                 std::size_t k)
+{
+    matmulAddNarrow<2>(a, b, c, m, k);
+}
+void
+matmulAddNarrow3(const float *a, const float *b, float *c, std::size_t m,
+                 std::size_t k)
+{
+    matmulAddNarrow<3>(a, b, c, m, k);
+}
+void
+matmulAddNarrow4(const float *a, const float *b, float *c, std::size_t m,
+                 std::size_t k)
+{
+    matmulAddNarrow<4>(a, b, c, m, k);
+}
+
+/**
+ * Sequential-order row kernel: out[j] += sum_k x[k] * B(k, j), with
+ * each output element accumulated in plain ascending-k order — the
+ * exact per-element order of Matrix::matvec() against B^T. SIMD runs
+ * ACROSS the independent output elements (j), never across k, so
+ * vector width cannot change a bit. This is the decision-path matvec:
+ * bit-compatible with the historical per-sample forward that the
+ * golden RL trajectories are pinned to, but j-vectorized instead of
+ * dot-product-serial.
+ */
+SIBYL_KERNEL_CLONES
+void
+seqMulAddRow(const float *__restrict x, const float *__restrict bdata,
+             float *__restrict out, std::size_t kTot, std::size_t n)
+{
+    for (std::size_t k = 0; k < kTot; k++) {
+        const float xv = x[k];
+        const float *brow = bdata + k * n;
+#pragma GCC ivdep
+        for (std::size_t j = 0; j < n; j++)
+            out[j] += xv * brow[j];
+    }
+}
+
+/** Blocked wide-kernel body of matmulAdd() (see member for the
+ *  blocking rationale). Free function so it can be ISA-cloned. */
+SIBYL_KERNEL_CLONES
+void
+matmulAddWide(const float *__restrict adata, const float *__restrict bdata,
+              float *__restrict cdata, std::size_t rows, std::size_t kTot,
+              std::size_t n)
+{
     std::size_t i = 0;
-    for (; i + 2 <= rows_; i += 2) {
+    // 4-row block: one B-stream feeds four output rows, halving the
+    // B-side load traffic of the 2-row block below. Each row keeps
+    // its own accumulators and the identical k-grouping, so blocking
+    // width is invisible in the results (rows are independent).
+    for (; i + 4 <= rows; i += 4) {
+        const float *a0r = adata + i * kTot;
+        const float *a1r = a0r + kTot;
+        const float *a2r = a1r + kTot;
+        const float *a3r = a2r + kTot;
+        float *c0 = cdata + i * n;
+        float *c1 = c0 + n;
+        float *c2 = c1 + n;
+        float *c3 = c2 + n;
+        std::size_t k = 0;
+        for (; k + 8 <= kTot; k += 8) {
+            const float *bk = bdata + k * n;
+#pragma GCC ivdep
+            for (std::size_t j = 0; j < n; j++) {
+                float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+                for (std::size_t u = 0; u < 8; u++) {
+                    const float bv = bk[u * n + j];
+                    s0 += a0r[k + u] * bv;
+                    s1 += a1r[k + u] * bv;
+                    s2 += a2r[k + u] * bv;
+                    s3 += a3r[k + u] * bv;
+                }
+                c0[j] += s0;
+                c1[j] += s1;
+                c2[j] += s2;
+                c3[j] += s3;
+            }
+        }
+        for (; k + 4 <= kTot; k += 4) {
+            const float *b0 = bdata + k * n;
+            const float *b1 = b0 + n;
+            const float *b2 = b1 + n;
+            const float *b3 = b2 + n;
+            const float p0 = a0r[k], p1 = a0r[k + 1];
+            const float p2 = a0r[k + 2], p3 = a0r[k + 3];
+            const float q0 = a1r[k], q1 = a1r[k + 1];
+            const float q2 = a1r[k + 2], q3 = a1r[k + 3];
+            const float r0 = a2r[k], r1 = a2r[k + 1];
+            const float r2 = a2r[k + 2], r3 = a2r[k + 3];
+            const float t0 = a3r[k], t1 = a3r[k + 1];
+            const float t2 = a3r[k + 2], t3 = a3r[k + 3];
+#pragma GCC ivdep
+            for (std::size_t j = 0; j < n; j++) {
+                c0[j] += (p0 * b0[j] + p1 * b1[j]) +
+                         (p2 * b2[j] + p3 * b3[j]);
+                c1[j] += (q0 * b0[j] + q1 * b1[j]) +
+                         (q2 * b2[j] + q3 * b3[j]);
+                c2[j] += (r0 * b0[j] + r1 * b1[j]) +
+                         (r2 * b2[j] + r3 * b3[j]);
+                c3[j] += (t0 * b0[j] + t1 * b1[j]) +
+                         (t2 * b2[j] + t3 * b3[j]);
+            }
+        }
+        if (k + 2 <= kTot) {
+            const bool three = k + 3 <= kTot;
+            const float *b0 = bdata + k * n;
+            const float *b1 = b0 + n;
+            const float *b2 = three ? b1 + n : b1;
+            const float p0 = a0r[k], p1 = a0r[k + 1];
+            const float q0 = a1r[k], q1 = a1r[k + 1];
+            const float r0 = a2r[k], r1 = a2r[k + 1];
+            const float t0 = a3r[k], t1 = a3r[k + 1];
+            const float p2 = three ? a0r[k + 2] : 0.0f;
+            const float q2 = three ? a1r[k + 2] : 0.0f;
+            const float r2 = three ? a2r[k + 2] : 0.0f;
+            const float t2 = three ? a3r[k + 2] : 0.0f;
+#pragma GCC ivdep
+            for (std::size_t j = 0; j < n; j++) {
+                c0[j] += (p0 * b0[j] + p1 * b1[j]) + p2 * b2[j];
+                c1[j] += (q0 * b0[j] + q1 * b1[j]) + q2 * b2[j];
+                c2[j] += (r0 * b0[j] + r1 * b1[j]) + r2 * b2[j];
+                c3[j] += (t0 * b0[j] + t1 * b1[j]) + t2 * b2[j];
+            }
+        } else if (k < kTot) {
+            const float p = a0r[k], q = a1r[k];
+            const float r = a2r[k], t = a3r[k];
+            const float *brow = bdata + k * n;
+#pragma GCC ivdep
+            for (std::size_t j = 0; j < n; j++) {
+                c0[j] += p * brow[j];
+                c1[j] += q * brow[j];
+                c2[j] += r * brow[j];
+                c3[j] += t * brow[j];
+            }
+        }
+    }
+    for (; i + 2 <= rows; i += 2) {
         const float *a0r = adata + i * kTot;
         const float *a1r = a0r + kTot;
         float *c0 = cdata + i * n;
@@ -169,17 +312,86 @@ Matrix::matmulAdd(const Matrix &b, Matrix &out) const
             }
         }
     }
-    for (; i < rows_; i++) {
-        const float *arow = adata + i * kTot;
-        float *crow = cdata + i * n;
-        for (std::size_t k = 0; k < kTot; k++) {
-            const float av = arow[k];
-            const float *brow = bdata + k * n;
-#pragma GCC ivdep
-            for (std::size_t j = 0; j < n; j++)
-                crow[j] += av * brow[j];
-        }
+    // Odd tail row: the shared row kernel, so its accumulation
+    // grouping matches the paired rows above (previously this tail
+    // used a plain sequential-k sweep, making the last row of an odd
+    // batch the one row with a different summation order).
+    if (i < rows)
+        matmulAddRowWide(adata + i * kTot, bdata, cdata + i * n, kTot, n);
+}
+
+} // namespace
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+void
+Matrix::fill(float v)
+{
+    for (auto &x : data_)
+        x = v;
+}
+
+void
+Matrix::resize(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+}
+
+void
+Matrix::matmul(const Matrix &b, Matrix &out) const
+{
+    out.resize(rows_, b.cols_);
+    out.fill(0.0f);
+    matmulAdd(b, out);
+}
+
+void
+Matrix::matmulAdd(const Matrix &b, Matrix &out) const
+{
+    assert(cols_ == b.rows_);
+    assert(out.rows_ == rows_ && out.cols_ == b.cols_);
+    assert(&out != this && &out != &b);
+    const std::size_t n = b.cols_;
+    switch (n) {
+      case 1:
+        matmulAddNarrow1(data_.data(), b.data_.data(), out.data_.data(),
+                         rows_, cols_);
+        return;
+      case 2:
+        matmulAddNarrow2(data_.data(), b.data_.data(), out.data_.data(),
+                         rows_, cols_);
+        return;
+      case 3:
+        matmulAddNarrow3(data_.data(), b.data_.data(), out.data_.data(),
+                         rows_, cols_);
+        return;
+      case 4:
+        matmulAddNarrow4(data_.data(), b.data_.data(), out.data_.data(),
+                         rows_, cols_);
+        return;
+      default:
+        break;
     }
+    // Register-blocked micro-kernel tuned for this codebase's small
+    // operands (fan-in 6..128, fan-out 2..102): 2 output rows x 4
+    // reduction steps per j-sweep, so each contiguous j-inner loop
+    // entry retires 8 FMA streams. Flat __restrict base pointers plus
+    // ivdep drop the runtime alias versioning GCC would otherwise
+    // re-check on every j-loop entry — that versioning, not the math,
+    // dominated the original one-row-at-a-time kernel.
+    matmulAddWide(data_.data(), b.data_.data(), out.data_.data(), rows_,
+                  cols_, n);
+}
+
+void
+Matrix::mulAddRow(const float *x, float *out) const
+{
+    seqMulAddRow(x, data_.data(), out, rows_, cols_);
 }
 
 void
@@ -212,34 +424,28 @@ Matrix::matmulTransposed(const Matrix &b, Matrix &out) const
     }
 }
 
-void
-Matrix::transposedMatmulAdd(const Matrix &b, Matrix &out, float scale) const
+namespace
 {
-    assert(rows_ == b.rows_);
-    assert(out.rows_ == cols_ && out.cols_ == b.cols_);
-    assert(&out != this && &out != &b);
-    const std::size_t n = b.cols_;
-    const std::size_t m = rows_;
-    // out[c, j] += scale * sum_r A[r, c] * B[r, j]. c-outer with the
-    // batch dimension r unrolled by 4 keeps the j-inner writes
-    // contiguous in one output row while retiring 4 FMA streams per
-    // iteration; same restrict/ivdep treatment as matmul(). (No
-    // zero-skip here: column-major access to A makes per-element
-    // skips branchy and they defeat the unroll; the per-sample
-    // addOuter() path keeps its row skip.)
-    const float *__restrict adata = data_.data();
-    const float *__restrict bdata = b.data_.data();
-    float *__restrict odata = out.data_.data();
+
+/** Body of transposedMatmulAdd() (see member doc); ISA-cloned free
+ *  function like the forward kernels. */
+SIBYL_KERNEL_CLONES
+void
+transposedMatmulAddImpl(const float *__restrict adata,
+                        const float *__restrict bdata,
+                        float *__restrict odata, std::size_t m,
+                        std::size_t cols, std::size_t n, float scale)
+{
     if (n <= 8) {
         // Narrow inputs (e.g. the 6-feature state layer): hold the
         // output row in register accumulators and stream the batch
         // dimension instead of issuing per-r-group j-sweeps of under
         // one vector each.
-        for (std::size_t c = 0; c < cols_; c++) {
+        for (std::size_t c = 0; c < cols; c++) {
             float *orow = odata + c * n;
             float acc[8] = {};
             for (std::size_t r = 0; r < m; r++) {
-                const float av = adata[r * cols_ + c] * scale;
+                const float av = adata[r * cols + c] * scale;
                 const float *brow = bdata + r * n;
                 for (std::size_t j = 0; j < n; j++)
                     acc[j] += av * brow[j];
@@ -249,14 +455,14 @@ Matrix::transposedMatmulAdd(const Matrix &b, Matrix &out, float scale) const
         }
         return;
     }
-    for (std::size_t c = 0; c < cols_; c++) {
+    for (std::size_t c = 0; c < cols; c++) {
         float *orow = odata + c * n;
         std::size_t r = 0;
         for (; r + 4 <= m; r += 4) {
-            const float a0 = adata[r * cols_ + c] * scale;
-            const float a1 = adata[(r + 1) * cols_ + c] * scale;
-            const float a2 = adata[(r + 2) * cols_ + c] * scale;
-            const float a3 = adata[(r + 3) * cols_ + c] * scale;
+            const float a0 = adata[r * cols + c] * scale;
+            const float a1 = adata[(r + 1) * cols + c] * scale;
+            const float a2 = adata[(r + 2) * cols + c] * scale;
+            const float a3 = adata[(r + 3) * cols + c] * scale;
             const float *b0 = bdata + r * n;
             const float *b1 = b0 + n;
             const float *b2 = b1 + n;
@@ -267,13 +473,32 @@ Matrix::transposedMatmulAdd(const Matrix &b, Matrix &out, float scale) const
                            (a2 * b2[j] + a3 * b3[j]);
         }
         for (; r < m; r++) {
-            const float av = adata[r * cols_ + c] * scale;
+            const float av = adata[r * cols + c] * scale;
             const float *brow = bdata + r * n;
 #pragma GCC ivdep
             for (std::size_t j = 0; j < n; j++)
                 orow[j] += av * brow[j];
         }
     }
+}
+
+} // namespace
+
+void
+Matrix::transposedMatmulAdd(const Matrix &b, Matrix &out, float scale) const
+{
+    assert(rows_ == b.rows_);
+    assert(out.rows_ == cols_ && out.cols_ == b.cols_);
+    assert(&out != this && &out != &b);
+    // out[c, j] += scale * sum_r A[r, c] * B[r, j]. c-outer with the
+    // batch dimension r unrolled by 4 keeps the j-inner writes
+    // contiguous in one output row while retiring 4 FMA streams per
+    // iteration; same restrict/ivdep treatment as matmul(). (No
+    // zero-skip here: column-major access to A makes per-element
+    // skips branchy and they defeat the unroll; the per-sample
+    // addOuter() path keeps its row skip.)
+    transposedMatmulAddImpl(data_.data(), b.data_.data(), out.data_.data(),
+                            rows_, cols_, b.cols_, scale);
 }
 
 void

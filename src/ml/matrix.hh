@@ -92,6 +92,19 @@ class Matrix
     void transposedMatmulAdd(const Matrix &b, Matrix &out,
                              float scale) const;
 
+    /**
+     * Single-row accumulate: out[0..cols) += x[0..rows) * A, where A
+     * is this matrix (reduction over rows), each output element
+     * summed in plain ascending-k order — bit-identical per element
+     * to matvec() on A^T, but vectorized across the independent
+     * outputs. This is the request path's inference matvec
+     * (DenseLayer::inferRow / forward(Vector)) against the cached
+     * W^T; the golden RL trajectories are pinned to this per-sample
+     * summation order, which is why it deliberately does NOT share
+     * the k-grouped order of the batched matmulAdd() kernels.
+     */
+    void mulAddRow(const float *x, float *out) const;
+
     /** y = A * x. Requires x.size() == cols. */
     void matvec(const Vector &x, Vector &y) const;
 

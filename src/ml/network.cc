@@ -22,6 +22,12 @@ Network::Network(std::size_t inputSize, const std::vector<LayerSpec> &layers,
     }
     acts_.resize(layers_.size());
     actsM_.resize(layers_.size());
+
+    std::size_t maxWidth = 0;
+    for (const auto &l : layers_)
+        maxWidth = std::max(maxWidth, l.outSize());
+    rowBufA_.resize(maxWidth);
+    rowBufB_.resize(maxWidth);
 }
 
 const Vector &
@@ -34,6 +40,27 @@ Network::forward(const Vector &in)
         cur = &acts_[i];
     }
     return acts_.back();
+}
+
+const float *
+Network::inferRow(const float *in)
+{
+    const float *cur = in;
+    float *next = rowBufA_.data();
+    float *other = rowBufB_.data();
+    for (auto &layer : layers_) {
+        layer.inferRow(cur, next);
+        cur = next;
+        std::swap(next, other);
+    }
+    return cur;
+}
+
+const float *
+Network::inferRow(const Vector &in)
+{
+    assert(in.size() == inputSize_);
+    return inferRow(in.data());
 }
 
 void

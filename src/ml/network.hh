@@ -48,6 +48,24 @@ class Network
      *  forward() call. */
     const Vector &forward(const Vector &in);
 
+    /**
+     * Single-row inference through a preallocated per-network
+     * workspace: no backward caches are written, no pending per-sample
+     * or batched backward state is disturbed, and the steady-state
+     * call performs zero heap allocations. Bit-identical to
+     * forward(Vector) (see DenseLayer::inferRow for why that — and
+     * not the batched k-grouped order — is the anchor); this is the
+     * request path's selectAction kernel.
+     *
+     * @param in  inputSize() floats.
+     * @return Pointer to outputSize() floats, valid until the next
+     *         inferRow() call on this network.
+     */
+    const float *inferRow(const float *in);
+
+    /** Convenience overload with a size assertion. */
+    const float *inferRow(const Vector &in);
+
     /** Backpropagate the loss gradient of the last forward() sample. */
     void backward(const Vector &gradOut);
 
@@ -111,6 +129,11 @@ class Network
     std::vector<Matrix> actsM_;
     Matrix gradScratchMA_;
     Matrix gradScratchMB_;
+
+    // inferRow() ping-pong rows, sized to the widest layer at
+    // construction so the decision path never allocates.
+    Vector rowBufA_;
+    Vector rowBufB_;
 };
 
 } // namespace sibyl::ml

@@ -72,6 +72,33 @@ struct AgentConfig
      */
     bool batchedTraining = true;
 
+    /**
+     * Cache per-replay-entry Bellman targets computed from the frozen
+     * inference network (batched training path only). Entries are
+     * invalidated on ring overwrite and on every weight sync, so the
+     * cached value always equals what a fresh evaluation would
+     * produce — bit for bit, because the batched row kernels make
+     * each row's result independent of batch composition. Resampling
+     * rates here are high (each training round draws batchSize x
+     * batchesPerTraining from a bufferCapacity ring), so most target
+     * evaluations between syncs are repeats. Disabled automatically
+     * for Double DQN, whose action selection tracks the training
+     * network.
+     */
+    bool cacheNextValues = true;
+
+    /**
+     * Fold duplicate state rows inside each training minibatch
+     * (batched path only): rows with byte-identical observations run
+     * the forward and backward passes once, with their output
+     * gradients summed first. Observations are coarsely binned
+     * (Table 1), so sampled batches carry ~30% duplicate rows on real
+     * traces. The folded gradient equals the unfolded one up to float
+     * summation order (gradients are linear in the output gradient
+     * for a fixed input row).
+     */
+    bool foldDuplicateStates = true;
+
     /** Deduplicate replay entries. */
     bool dedupBuffer = true;
 
@@ -106,6 +133,73 @@ makeExploration(const AgentConfig &cfg)
     if (ec.kind == ExplorationKind::ConstantEpsilon)
         ec.epsilon = cfg.epsilon;
     return ExplorationSchedule(ec);
+}
+
+/** Word-wise FNV-1a + splitmix64 finalizer over an observation's raw
+ *  bytes — the batch-assembly key for AgentConfig::foldDuplicateStates
+ *  (hash hits are verified by full comparison, so collisions cannot
+ *  merge distinct states). */
+inline std::uint64_t
+hashObservation(const ml::Vector &v)
+{
+    // Shared WordHasher (see replay_buffer.hh). Hash hits in the fold
+    // map are verified by full comparison anyway, so a collision can
+    // only fail to fold a duplicate, never mis-fold.
+    WordHasher hasher;
+    hasher.mixBytes(v.data(), v.size() * sizeof(float));
+    return hasher.finish();
+}
+
+/**
+ * Build the duplicate-state fold mapping for one sampled minibatch
+ * (AgentConfig::foldDuplicateStates): rows whose observations are
+ * byte-identical share a unique row. Flat linear-probe map sized 2x
+ * the batch; hash hits are verified by comparing the vectors, so a
+ * collision can only fail to fold, never mis-fold. Shared by the
+ * DQN and C51 batched trainers. Returns the unique-row count;
+ * rowToUnique[r] maps each sampled row to its unique row, and
+ * uniqueIdx lists the backing buffer index of each unique row.
+ */
+inline std::size_t
+buildStateFoldMap(const ReplayBuffer &buffer,
+                  const std::vector<std::size_t> &indices,
+                  std::vector<std::uint64_t> &foldKeys,
+                  std::vector<std::uint32_t> &foldVals,
+                  std::vector<std::uint32_t> &rowToUnique,
+                  std::vector<std::size_t> &uniqueIdx)
+{
+    const std::size_t batch = indices.size();
+    std::size_t cap = 16;
+    while (cap < batch * 2)
+        cap <<= 1;
+    foldKeys.assign(cap, 0);
+    foldVals.resize(cap);
+    rowToUnique.resize(batch);
+    uniqueIdx.clear();
+    for (std::size_t r = 0; r < batch; r++) {
+        const std::size_t idx = indices[r];
+        const ml::Vector &st = buffer[idx].state;
+        std::uint64_t h = hashObservation(st);
+        h += h == 0; // 0 is the empty-slot sentinel
+        std::size_t slot = h & (cap - 1);
+        std::uint32_t ui = 0xFFFFFFFFu;
+        while (foldKeys[slot] != 0) {
+            if (foldKeys[slot] == h &&
+                buffer[uniqueIdx[foldVals[slot]]].state == st) {
+                ui = foldVals[slot];
+                break;
+            }
+            slot = (slot + 1) & (cap - 1);
+        }
+        if (ui == 0xFFFFFFFFu) {
+            ui = static_cast<std::uint32_t>(uniqueIdx.size());
+            uniqueIdx.push_back(idx);
+            foldKeys[slot] = h;
+            foldVals[slot] = ui;
+        }
+        rowToUnique[r] = ui;
+    }
+    return uniqueIdx.size();
 }
 
 /** Training/behaviour statistics for tests and the overhead bench. */
@@ -143,6 +237,26 @@ class Agent
 
     /** Record a transition (and learn, at the agent's cadence). */
     virtual void observe(Experience e) = 0;
+
+    /**
+     * Allocation-free variant of observe() for the request path: the
+     * caller keeps ownership of the buffers and the agent copies the
+     * transition into its replay ring in place. Semantically identical
+     * to observe(Experience) — the default implementation packs an
+     * Experience; the neural agents override it with the in-place
+     * ring insert.
+     */
+    virtual void
+    observeTransition(const ml::Vector &state, std::uint32_t action,
+                      float reward, const ml::Vector &nextState)
+    {
+        Experience e;
+        e.state = state;
+        e.action = action;
+        e.reward = reward;
+        e.nextState = nextState;
+        observe(std::move(e));
+    }
 
     /** Force one training round (for tests); returns the mean loss. */
     virtual double trainRound() = 0;

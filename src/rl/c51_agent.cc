@@ -54,22 +54,39 @@ C51Agent::extractActionDist(const float *out, std::uint32_t action,
 std::vector<double>
 C51Agent::qValues(const ml::Vector &state)
 {
-    const ml::Vector &out = inferenceNet_->forward(state);
+    const float *out = inferenceNet_->inferRow(state);
     std::vector<double> q(cfg_.numActions);
-    ml::Vector dist;
     for (std::uint32_t a = 0; a < cfg_.numActions; a++) {
-        extractActionDist(out.data(), a, cfg_.atoms, dist);
-        q[a] = support_.expectation(dist);
+        extractActionDist(out, a, cfg_.atoms, rowDist_);
+        q[a] = support_.expectation(rowDist_);
     }
     return q;
 }
 
 std::uint32_t
+C51Agent::greedyFromRow(const float *out)
+{
+    // Per-row categorical expectation in reused scratch: softmax each
+    // action's atom group, take its expectation over the support, and
+    // keep the first maximum — the same winner std::max_element picks
+    // over a materialized Q vector, without materializing one.
+    std::uint32_t bestA = 0;
+    double bestQ = -1e300;
+    for (std::uint32_t a = 0; a < cfg_.numActions; a++) {
+        extractActionDist(out, a, cfg_.atoms, rowDist_);
+        const double q = support_.expectation(rowDist_);
+        if (q > bestQ) {
+            bestQ = q;
+            bestA = a;
+        }
+    }
+    return bestA;
+}
+
+std::uint32_t
 C51Agent::greedyAction(const ml::Vector &state)
 {
-    auto q = qValues(state);
-    return static_cast<std::uint32_t>(
-        std::max_element(q.begin(), q.end()) - q.begin());
+    return greedyFromRow(inferenceNet_->inferRow(state));
 }
 
 std::uint32_t
@@ -77,10 +94,16 @@ C51Agent::selectAction(const ml::Vector &state)
 {
     const std::uint64_t step = stats_.decisions++;
     if (explore_.isBoltzmann()) {
-        const auto q = qValues(state);
+        const float *out = inferenceNet_->inferRow(state);
+        qScratch_.resize(cfg_.numActions);
+        for (std::uint32_t a = 0; a < cfg_.numActions; a++) {
+            extractActionDist(out, a, cfg_.atoms, rowDist_);
+            qScratch_[a] = support_.expectation(rowDist_);
+        }
         const auto greedy = static_cast<std::uint32_t>(
-            std::max_element(q.begin(), q.end()) - q.begin());
-        const std::uint32_t a = explore_.sampleBoltzmann(q, rng_);
+            std::max_element(qScratch_.begin(), qScratch_.end()) -
+            qScratch_.begin());
+        const std::uint32_t a = explore_.sampleBoltzmann(qScratch_, rng_);
         if (a != greedy)
             stats_.randomActions++;
         return a;
@@ -95,7 +118,25 @@ C51Agent::selectAction(const ml::Vector &state)
 void
 C51Agent::observe(Experience e)
 {
-    buffer_.add(std::move(e));
+    if (buffer_.add(std::move(e)) && !targetValid_.empty())
+        targetValid_[buffer_.lastAddIndex()] = 0;
+    afterObserve();
+}
+
+void
+C51Agent::observeTransition(const ml::Vector &state, std::uint32_t action,
+                            float reward, const ml::Vector &nextState)
+{
+    if (buffer_.add(state, action, reward, nextState) &&
+        !targetValid_.empty()) {
+        targetValid_[buffer_.lastAddIndex()] = 0;
+    }
+    afterObserve();
+}
+
+void
+C51Agent::afterObserve()
+{
     observations_++;
 
     // Train once the buffer has filled, then at every cadence boundary
@@ -143,27 +184,108 @@ C51Agent::trainBatch()
                                 : trainBatchPerSample(indices);
 }
 
+void
+C51Agent::projectTargetFromRow(const float *nrow, float reward,
+                               ml::Vector &dists, ml::Vector &target)
+{
+    // Greedy next action by distribution expectation. Softmax every
+    // action group once into one scratch buffer; the winner's
+    // distribution is then reused for the projection instead of
+    // being recomputed.
+    dists.assign(nrow, nrow + cfg_.numActions * cfg_.atoms);
+    std::uint32_t bestA = 0;
+    double bestQ = -1e30;
+    for (std::uint32_t a = 0; a < cfg_.numActions; a++) {
+        float *d = dists.data() + a * cfg_.atoms;
+        ml::softmax(d, cfg_.atoms);
+        const double q = support_.expectation(d);
+        if (q > bestQ) {
+            bestQ = q;
+            bestA = a;
+        }
+    }
+    support_.project(dists.data() + bestA * cfg_.atoms, reward, cfg_.gamma,
+                     target);
+}
+
 double
 C51Agent::trainBatchBatched(const std::vector<std::size_t> &indices)
 {
     const std::size_t batch = indices.size();
-    stateBatch_.resize(batch, cfg_.stateDim);
-    nextBatch_.resize(batch, cfg_.stateDim);
-    for (std::size_t r = 0; r < batch; r++) {
-        const Experience &e = buffer_[indices[r]];
+    const bool useCache = cfg_.cacheNextValues;
+    const bool fold = cfg_.foldDuplicateStates;
+
+    // Duplicate-state folding, as in DqnAgent::trainBatchBatched
+    // (see buildStateFoldMap in agent.hh).
+    std::size_t uRows = batch;
+    if (fold) {
+        uRows = buildStateFoldMap(buffer_, indices, foldKeys_, foldVals_,
+                                  rowToUnique_, uniqueIdx_);
+    }
+
+    stateBatch_.resize(uRows, cfg_.stateDim);
+    for (std::size_t r = 0; r < uRows; r++) {
+        const Experience &e = buffer_[fold ? uniqueIdx_[r] : indices[r]];
         std::copy(e.state.begin(), e.state.end(), stateBatch_.row(r));
-        std::copy(e.nextState.begin(), e.nextState.end(),
-                  nextBatch_.row(r));
+    }
+    if (!useCache) {
+        nextBatch_.resize(batch, cfg_.stateDim);
+        for (std::size_t r = 0; r < batch; r++) {
+            const Experience &e = buffer_[indices[r]];
+            std::copy(e.nextState.begin(), e.nextState.end(),
+                      nextBatch_.row(r));
+        }
     }
 
     // Bellman targets from the *inference* network (frozen between
-    // syncs, playing the target-network role), one batched forward for
-    // all next states. The state forward through the training network
-    // comes last so its cached batch intermediates are the ones the
-    // batched backward consumes.
-    const ml::Matrix &nextOut = inferenceNet_->infer(nextBatch_);
+    // syncs, playing the target-network role). With the target cache
+    // (the default), only entries not yet projected under the current
+    // frozen weights run the batched forward + softmax + argmax +
+    // projection; everything resampled since the last sync reuses its
+    // slot in targetCache_ bit for bit (the batched row kernels make
+    // each row independent of batch composition, and reward/gamma are
+    // entry-fixed).
+    ml::Vector dists, target, logits, gradLogits;
+    const ml::Matrix *nextOut = nullptr;
+    if (useCache) {
+        // Sized from the buffer's actual capacity (which clamps a
+        // zero config to 1), so slot indices always fit.
+        targetCache_.resize(buffer_.capacity(), cfg_.atoms);
+        targetValid_.resize(buffer_.capacity(), 0);
+        uncachedRows_.clear();
+        for (std::size_t r = 0; r < batch; r++) {
+            const std::size_t idx = indices[r];
+            if (!targetValid_[idx]) {
+                targetValid_[idx] = 2; // queued this batch
+                uncachedRows_.push_back(idx);
+            }
+        }
+        if (!uncachedRows_.empty()) {
+            nextBatch_.resize(uncachedRows_.size(), cfg_.stateDim);
+            for (std::size_t r = 0; r < uncachedRows_.size(); r++) {
+                const Experience &e = buffer_[uncachedRows_[r]];
+                std::copy(e.nextState.begin(), e.nextState.end(),
+                          nextBatch_.row(r));
+            }
+            const ml::Matrix &fresh = inferenceNet_->infer(nextBatch_);
+            for (std::size_t r = 0; r < uncachedRows_.size(); r++) {
+                const std::size_t idx = uncachedRows_[r];
+                projectTargetFromRow(fresh.row(r), buffer_[idx].reward,
+                                     dists, target);
+                std::copy(target.begin(), target.end(),
+                          targetCache_.row(idx));
+                targetValid_[idx] = 1;
+            }
+        }
+    } else {
+        nextOut = &inferenceNet_->infer(nextBatch_);
+    }
+
+    // The state forward through the training network comes last so its
+    // cached batch intermediates are the ones the batched backward
+    // consumes.
     const ml::Matrix &out = trainingNet_->forward(stateBatch_);
-    gradOutM_.resize(batch, out.cols());
+    gradOutM_.resize(uRows, out.cols());
     gradOutM_.fill(0.0f);
 
     // PER importance weights come from the distribution the batch was
@@ -174,36 +296,23 @@ C51Agent::trainBatchBatched(const std::vector<std::size_t> &indices)
                                                cfg_.perBeta);
 
     double totalLoss = 0.0;
-    ml::Vector dists, target, logits, gradLogits;
     for (std::size_t r = 0; r < batch; r++) {
         const std::size_t idx = indices[r];
+        const std::size_t ui = fold ? rowToUnique_[r] : r;
         const Experience &e = buffer_[idx];
 
-        // Greedy next action by distribution expectation. Softmax every
-        // action group once into one scratch buffer; the winner's
-        // distribution is then reused for the projection instead of
-        // being recomputed.
-        const float *nrow = nextOut.row(r);
-        dists.assign(nrow, nrow + cfg_.numActions * cfg_.atoms);
-        std::uint32_t bestA = 0;
-        double bestQ = -1e30;
-        for (std::uint32_t a = 0; a < cfg_.numActions; a++) {
-            float *d = dists.data() + a * cfg_.atoms;
-            ml::softmax(d, cfg_.atoms);
-            const double q = support_.expectation(d);
-            if (q > bestQ) {
-                bestQ = q;
-                bestA = a;
-            }
+        if (useCache) {
+            const float *trow = targetCache_.row(idx);
+            target.assign(trow, trow + cfg_.atoms);
+        } else {
+            projectTargetFromRow(nextOut->row(r), e.reward, dists, target);
         }
-        support_.project(dists.data() + bestA * cfg_.atoms, e.reward,
-                         cfg_.gamma, target);
 
         // Cross-entropy between the projected target and the training
         // network's prediction for the taken action; gradient flows only
         // through that action's atom group.
-        logits.assign(out.row(r) + e.action * cfg_.atoms,
-                      out.row(r) + (e.action + 1) * cfg_.atoms);
+        logits.assign(out.row(ui) + e.action * cfg_.atoms,
+                      out.row(ui) + (e.action + 1) * cfg_.atoms);
         const double loss =
             ml::softmaxCrossEntropy(logits, target, gradLogits);
         totalLoss += loss;
@@ -214,9 +323,9 @@ C51Agent::trainBatchBatched(const std::vector<std::size_t> &indices)
             buffer_.setPriority(idx, static_cast<float>(loss));
         }
 
-        float *grow = gradOutM_.row(r);
+        float *grow = gradOutM_.row(ui);
         for (std::size_t k = 0; k < gradLogits.size(); k++)
-            grow[e.action * cfg_.atoms + k] = gradLogits[k] * weight;
+            grow[e.action * cfg_.atoms + k] += gradLogits[k] * weight;
     }
 
     trainingNet_->backward(gradOutM_);
@@ -291,6 +400,9 @@ C51Agent::syncWeights()
 {
     inferenceNet_->copyWeightsFrom(*trainingNet_);
     stats_.weightSyncs++;
+    // The frozen network the cached projected targets came from is
+    // gone.
+    std::fill(targetValid_.begin(), targetValid_.end(), 0);
 }
 
 std::size_t

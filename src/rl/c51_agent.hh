@@ -62,6 +62,11 @@ class C51Agent final : public Agent
      */
     void observe(Experience e) override;
 
+    /** Allocation-free observe (see Agent::observeTransition). */
+    void observeTransition(const ml::Vector &state, std::uint32_t action,
+                           float reward,
+                           const ml::Vector &nextState) override;
+
     /** Force one training round (for tests). */
     double trainRound() override;
 
@@ -101,6 +106,24 @@ class C51Agent final : public Agent
     static void extractActionDist(const float *out, std::uint32_t action,
                                   std::uint32_t atoms, ml::Vector &dist);
 
+    /** Training-cadence/weight-sync bookkeeping shared by both
+     *  observe paths. */
+    void afterObserve();
+
+    /** Greedy action from one inferRow() output: per-action softmax
+     *  into reused scratch, expectation over the support, first-max
+     *  argmax — allocation-free. */
+    std::uint32_t greedyFromRow(const float *out);
+
+    /** Greedy-next-action selection + Bellman projection for one
+     *  inference-network output row: softmax every action's atom
+     *  group into @p dists, pick the argmax by expectation, project
+     *  the winner under (reward, gamma) into @p target. One
+     *  definition shared by the cache-fill and legacy target paths,
+     *  so the cache-on/off bit-equality cannot drift. */
+    void projectTargetFromRow(const float *nrow, float reward,
+                              ml::Vector &dists, ml::Vector &target);
+
     /** One gradient step on a sampled batch; returns mean loss. */
     double trainBatch();
 
@@ -125,6 +148,28 @@ class C51Agent final : public Agent
     ml::Matrix stateBatch_;
     ml::Matrix nextBatch_;
     ml::Matrix gradOutM_;
+
+    // Reused decision-path scratch: one action's softmaxed atom group
+    // (greedyFromRow) and the full Q vector for Boltzmann draws.
+    ml::Vector rowDist_;
+    std::vector<double> qScratch_;
+
+    // Per-replay-entry cache of the *projected* Bellman target
+    // distribution (reward and gamma are entry-fixed, the inference
+    // net is frozen between syncs — see AgentConfig::cacheNextValues).
+    // Caching past the projection skips the per-row softmax/
+    // expectation/argmax/projection work for every resampled entry,
+    // not just the batched forward.
+    ml::Matrix targetCache_;
+    std::vector<std::uint8_t> targetValid_;
+    std::vector<std::size_t> uncachedRows_; // gather scratch
+
+    // Duplicate-state folding scratch (see
+    // AgentConfig::foldDuplicateStates).
+    std::vector<std::uint64_t> foldKeys_; // 0 = empty slot
+    std::vector<std::uint32_t> foldVals_;
+    std::vector<std::uint32_t> rowToUnique_;
+    std::vector<std::size_t> uniqueIdx_;
 };
 
 } // namespace sibyl::rl

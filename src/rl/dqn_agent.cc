@@ -42,16 +42,20 @@ DqnAgent::setLearningRate(double lr)
 std::vector<double>
 DqnAgent::qValues(const ml::Vector &state)
 {
-    const ml::Vector &out = inferenceNet_->forward(state);
-    return std::vector<double>(out.begin(), out.end());
+    const float *q = inferenceNet_->inferRow(state);
+    return std::vector<double>(q, q + cfg_.numActions);
 }
 
 std::uint32_t
 DqnAgent::greedyAction(const ml::Vector &state)
 {
-    auto q = qValues(state);
+    // Single-row inference kernel: no heap allocation, no backward
+    // caches. Bit-identical outputs to the legacy forward(Vector)
+    // path, so the argmax — and therefore every decision — is
+    // unchanged.
+    const float *q = inferenceNet_->inferRow(state);
     return static_cast<std::uint32_t>(
-        std::max_element(q.begin(), q.end()) - q.begin());
+        std::max_element(q, q + cfg_.numActions) - q);
 }
 
 std::uint32_t
@@ -59,10 +63,12 @@ DqnAgent::selectAction(const ml::Vector &state)
 {
     const std::uint64_t step = stats_.decisions++;
     if (explore_.isBoltzmann()) {
-        const auto q = qValues(state);
+        const float *q = inferenceNet_->inferRow(state);
+        qScratch_.assign(q, q + cfg_.numActions);
         const auto greedy = static_cast<std::uint32_t>(
-            std::max_element(q.begin(), q.end()) - q.begin());
-        const std::uint32_t a = explore_.sampleBoltzmann(q, rng_);
+            std::max_element(qScratch_.begin(), qScratch_.end()) -
+            qScratch_.begin());
+        const std::uint32_t a = explore_.sampleBoltzmann(qScratch_, rng_);
         if (a != greedy)
             stats_.randomActions++;
         return a;
@@ -77,7 +83,25 @@ DqnAgent::selectAction(const ml::Vector &state)
 void
 DqnAgent::observe(Experience e)
 {
-    buffer_.add(std::move(e));
+    if (buffer_.add(std::move(e)) && !nextValValid_.empty())
+        nextValValid_[buffer_.lastAddIndex()] = 0;
+    afterObserve();
+}
+
+void
+DqnAgent::observeTransition(const ml::Vector &state, std::uint32_t action,
+                            float reward, const ml::Vector &nextState)
+{
+    if (buffer_.add(state, action, reward, nextState) &&
+        !nextValValid_.empty()) {
+        nextValValid_[buffer_.lastAddIndex()] = 0;
+    }
+    afterObserve();
+}
+
+void
+DqnAgent::afterObserve()
+{
     observations_++;
     const std::uint64_t cadence =
         cfg_.trainEvery ? cfg_.trainEvery : cfg_.bufferCapacity;
@@ -124,13 +148,32 @@ double
 DqnAgent::trainBatchBatched(const std::vector<std::size_t> &indices)
 {
     const std::size_t batch = indices.size();
-    stateBatch_.resize(batch, cfg_.stateDim);
-    nextBatch_.resize(batch, cfg_.stateDim);
-    for (std::size_t r = 0; r < batch; r++) {
-        const Experience &e = buffer_[indices[r]];
+    const bool useCache = cfg_.cacheNextValues && !cfg_.doubleDqn;
+    const bool fold = cfg_.foldDuplicateStates;
+
+    // Duplicate-state folding: observations are coarsely binned, so a
+    // sampled batch repeats rows; byte-identical states share one
+    // forward/backward row with their output gradients summed (exact
+    // up to float summation order — gradients are linear in gradOut
+    // for a fixed input row). See buildStateFoldMap in agent.hh.
+    std::size_t uRows = batch;
+    if (fold) {
+        uRows = buildStateFoldMap(buffer_, indices, foldKeys_, foldVals_,
+                                  rowToUnique_, uniqueIdx_);
+    }
+
+    stateBatch_.resize(uRows, cfg_.stateDim);
+    for (std::size_t r = 0; r < uRows; r++) {
+        const Experience &e = buffer_[fold ? uniqueIdx_[r] : indices[r]];
         std::copy(e.state.begin(), e.state.end(), stateBatch_.row(r));
-        std::copy(e.nextState.begin(), e.nextState.end(),
-                  nextBatch_.row(r));
+    }
+    if (!useCache) {
+        nextBatch_.resize(batch, cfg_.stateDim);
+        for (std::size_t r = 0; r < batch; r++) {
+            const Experience &e = buffer_[indices[r]];
+            std::copy(e.nextState.begin(), e.nextState.end(),
+                      nextBatch_.row(r));
+        }
     }
 
     // TD targets for the whole batch: one batched forward per network
@@ -138,6 +181,8 @@ DqnAgent::trainBatchBatched(const std::vector<std::size_t> &indices)
     // select-with-training / evaluate-with-inference split.
     nextValue_.resize(batch);
     if (cfg_.doubleDqn) {
+        // Action selection tracks the live training network, so
+        // nothing here is cacheable across gradient steps.
         const ml::Matrix &sel = trainingNet_->infer(nextBatch_);
         const ml::Matrix &eval = inferenceNet_->infer(nextBatch_);
         for (std::size_t r = 0; r < batch; r++) {
@@ -146,6 +191,44 @@ DqnAgent::trainBatchBatched(const std::vector<std::size_t> &indices)
                 std::max_element(srow, srow + sel.cols()) - srow);
             nextValue_[r] = eval(r, bestA);
         }
+    } else if (useCache) {
+        // The inference network is frozen between syncs and training
+        // rounds resample the same ring heavily, so most rows' target
+        // values were already computed this sync period. Evaluate
+        // only the misses as one compact batch and scatter them into
+        // the slot-indexed cache; the batched row kernels make each
+        // row's result independent of batch composition, so a cache
+        // hit is bit-identical to a fresh evaluation.
+        // Sized from the buffer's actual capacity (which clamps a
+        // zero config to 1), so slot indices always fit.
+        nextValCache_.resize(buffer_.capacity(), 0.0f);
+        nextValValid_.resize(buffer_.capacity(), 0);
+        uncachedRows_.clear();
+        for (std::size_t r = 0; r < batch; r++) {
+            const std::size_t idx = indices[r];
+            if (!nextValValid_[idx]) {
+                nextValValid_[idx] = 2; // queued this batch
+                uncachedRows_.push_back(idx);
+            }
+        }
+        if (!uncachedRows_.empty()) {
+            nextBatch_.resize(uncachedRows_.size(), cfg_.stateDim);
+            for (std::size_t r = 0; r < uncachedRows_.size(); r++) {
+                const Experience &e = buffer_[uncachedRows_[r]];
+                std::copy(e.nextState.begin(), e.nextState.end(),
+                          nextBatch_.row(r));
+            }
+            const ml::Matrix &nextQ = inferenceNet_->infer(nextBatch_);
+            for (std::size_t r = 0; r < uncachedRows_.size(); r++) {
+                const float *qrow = nextQ.row(r);
+                const std::size_t idx = uncachedRows_[r];
+                nextValCache_[idx] =
+                    *std::max_element(qrow, qrow + nextQ.cols());
+                nextValValid_[idx] = 1;
+            }
+        }
+        for (std::size_t r = 0; r < batch; r++)
+            nextValue_[r] = nextValCache_[indices[r]];
     } else {
         const ml::Matrix &nextQ = inferenceNet_->infer(nextBatch_);
         for (std::size_t r = 0; r < batch; r++) {
@@ -157,7 +240,7 @@ DqnAgent::trainBatchBatched(const std::vector<std::size_t> &indices)
     // The state forward must come last so the training network's cached
     // batch intermediates belong to the samples we backpropagate.
     const ml::Matrix &out = trainingNet_->forward(stateBatch_);
-    gradOutM_.resize(batch, out.cols());
+    gradOutM_.resize(uRows, out.cols());
     gradOutM_.fill(0.0f);
 
     // PER importance weights come from the distribution the batch was
@@ -170,10 +253,11 @@ DqnAgent::trainBatchBatched(const std::vector<std::size_t> &indices)
     double totalLoss = 0.0;
     for (std::size_t r = 0; r < batch; r++) {
         const std::size_t idx = indices[r];
+        const std::size_t ui = fold ? rowToUnique_[r] : r;
         const Experience &e = buffer_[idx];
         const float target =
             e.reward + static_cast<float>(cfg_.gamma) * nextValue_[r];
-        const float diff = out(r, e.action) - target;
+        const float diff = out(ui, e.action) - target;
         totalLoss += 0.5 * static_cast<double>(diff) * diff;
 
         float weight = 1.0f;
@@ -181,7 +265,7 @@ DqnAgent::trainBatchBatched(const std::vector<std::size_t> &indices)
             weight = static_cast<float>(perWeights[r]);
             buffer_.setPriority(idx, std::abs(diff));
         }
-        gradOutM_(r, e.action) = diff * weight;
+        gradOutM_(ui, e.action) += diff * weight;
     }
 
     trainingNet_->backward(gradOutM_);
@@ -252,6 +336,8 @@ DqnAgent::syncWeights()
 {
     inferenceNet_->copyWeightsFrom(*trainingNet_);
     stats_.weightSyncs++;
+    // The frozen network the cached Bellman targets came from is gone.
+    std::fill(nextValValid_.begin(), nextValValid_.end(), 0);
 }
 
 std::size_t

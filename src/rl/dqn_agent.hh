@@ -34,6 +34,9 @@ class DqnAgent final : public Agent
     std::uint32_t greedyAction(const ml::Vector &state) override;
     std::vector<double> qValues(const ml::Vector &state) override;
     void observe(Experience e) override;
+    void observeTransition(const ml::Vector &state, std::uint32_t action,
+                           float reward,
+                           const ml::Vector &nextState) override;
     double trainRound() override;
     const AgentStats &stats() const override { return stats_; }
 
@@ -50,7 +53,8 @@ class DqnAgent final : public Agent
     /** The exploration schedule in effect. */
     const ExplorationSchedule &exploration() const { return explore_; }
 
-    /** Force a training-to-inference weight copy (for tests). */
+    /** Force a training-to-inference weight copy (for tests).
+     *  Invalidates the cached Bellman next-values. */
     void syncWeights();
 
     const AgentConfig &config() const { return cfg_; }
@@ -61,6 +65,10 @@ class DqnAgent final : public Agent
     const ml::Network &trainingNetwork() const { return *trainingNet_; }
 
   private:
+    /** Training-cadence/weight-sync bookkeeping shared by both
+     *  observe paths. */
+    void afterObserve();
+
     /** One gradient step on a sampled batch; returns the mean loss. */
     double trainBatch();
 
@@ -85,6 +93,25 @@ class DqnAgent final : public Agent
     ml::Matrix nextBatch_;
     ml::Matrix gradOutM_;
     ml::Vector nextValue_;
+
+    // Reused decision-path scratch (Boltzmann exploration needs the
+    // full Q vector; the default epsilon-greedy path never touches
+    // it).
+    std::vector<double> qScratch_;
+
+    // Per-replay-entry cache of max_a Q_frozen(s', a) (see
+    // AgentConfig::cacheNextValues). Slot-indexed alongside the ring;
+    // flags cleared on weight sync, single slots on overwrite.
+    std::vector<float> nextValCache_;
+    std::vector<std::uint8_t> nextValValid_;
+    std::vector<std::size_t> uncachedRows_; // gather scratch
+
+    // Duplicate-state folding scratch (see
+    // AgentConfig::foldDuplicateStates).
+    std::vector<std::uint64_t> foldKeys_; // 0 = empty slot
+    std::vector<std::uint32_t> foldVals_;
+    std::vector<std::uint32_t> rowToUnique_;
+    std::vector<std::size_t> uniqueIdx_;
 };
 
 } // namespace sibyl::rl

@@ -1,6 +1,7 @@
 #include "rl/replay_buffer.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 
@@ -34,26 +35,31 @@ ReplayBuffer::ensureTree(double alpha) const
 std::uint64_t
 ReplayBuffer::hashExperience(const Experience &e)
 {
-    // FNV-1a over the raw bytes of the transition.
-    std::uint64_t h = 1469598103934665603ULL;
-    auto mix = [&h](const void *data, std::size_t len) {
-        const auto *p = static_cast<const unsigned char *>(data);
-        for (std::size_t i = 0; i < len; i++) {
-            h ^= p[i];
-            h *= 1099511628211ULL;
-        }
-    };
-    mix(e.state.data(), e.state.size() * sizeof(float));
-    mix(&e.action, sizeof(e.action));
-    mix(&e.reward, sizeof(e.reward));
-    mix(e.nextState.data(), e.nextState.size() * sizeof(float));
-    return h;
+    return hashTransition(e.state, e.action, e.reward, e.nextState);
 }
 
-bool
-ReplayBuffer::add(Experience e)
+std::uint64_t
+ReplayBuffer::hashTransition(const ml::Vector &state, std::uint32_t action,
+                             float reward, const ml::Vector &nextState)
 {
-    std::uint64_t h = hashExperience(e);
+    // Word-at-a-time content hash (see WordHasher in the header for
+    // the avalanche rationale). The byte-serial FNV this replaces was
+    // a ~170-cycle multiply dependency chain on every request (the
+    // hash guards the dedup check in observe()); consuming 8 bytes
+    // per round cuts that several-fold with the same
+    // equality-preserving semantics.
+    WordHasher hasher;
+    hasher.mixBytes(state.data(), state.size() * sizeof(float));
+    hasher.mixWord((static_cast<std::uint64_t>(action) << 32) ^
+                   std::bit_cast<std::uint32_t>(reward));
+    hasher.mixBytes(nextState.data(), nextState.size() * sizeof(float));
+    return hasher.finish();
+}
+
+template <typename PlaceFn>
+bool
+ReplayBuffer::addImpl(std::uint64_t h, PlaceFn &&place)
+{
     if (dedup_) {
         auto it = hashCount_.find(h);
         if (it != hashCount_.end() && it->second > 0) {
@@ -63,28 +69,62 @@ ReplayBuffer::add(Experience e)
     }
 
     std::size_t idx;
+    bool recycled = false;
     if (entries_.size() < capacity_) {
         idx = entries_.size();
-        entries_.push_back(std::move(e));
+        entries_.emplace_back();
         hashes_.push_back(h);
         priorities_.push_back(maxPriority_);
     } else {
-        // Overwrite the oldest entry (ring).
+        // Overwrite the oldest entry (ring). The evicted hash's index
+        // node is rekeyed in place (extract/insert) rather than
+        // erase+insert, so the steady-state path frees and allocates
+        // nothing.
         idx = next_;
         std::uint64_t old = hashes_[next_];
         auto it = hashCount_.find(old);
-        if (it != hashCount_.end() && --it->second == 0)
-            hashCount_.erase(it);
-        entries_[next_] = std::move(e);
+        if (it != hashCount_.end() && --it->second == 0) {
+            auto node = hashCount_.extract(it);
+            node.key() = h;
+            node.mapped() = 0;
+            recycled = hashCount_.insert(std::move(node)).inserted;
+        }
         hashes_[next_] = h;
         priorities_[next_] = maxPriority_;
         next_ = (next_ + 1) % capacity_;
     }
+    place(entries_[idx]);
+    lastAdd_ = idx;
     if (treeAlpha_)
         tree_.set(idx, transformedPriority(maxPriority_, *treeAlpha_));
-    hashCount_[h]++;
+    if (!recycled)
+        hashCount_[h]++;
+    else
+        hashCount_.find(h)->second++;
     totalAdded_++;
     return true;
+}
+
+bool
+ReplayBuffer::add(Experience e)
+{
+    const std::uint64_t h = hashExperience(e);
+    return addImpl(h, [&](Experience &slot) { slot = std::move(e); });
+}
+
+bool
+ReplayBuffer::add(const ml::Vector &state, std::uint32_t action,
+                  float reward, const ml::Vector &nextState)
+{
+    const std::uint64_t h = hashTransition(state, action, reward, nextState);
+    return addImpl(h, [&](Experience &slot) {
+        // assign() reuses the slot vectors' capacity — this is the
+        // zero-allocation path once the ring has warmed up.
+        slot.state.assign(state.begin(), state.end());
+        slot.action = action;
+        slot.reward = reward;
+        slot.nextState.assign(nextState.begin(), nextState.end());
+    });
 }
 
 std::vector<const Experience *>
@@ -214,6 +254,7 @@ ReplayBuffer::clear()
     treeAlpha_.reset();
     hashCount_.clear();
     next_ = 0;
+    lastAdd_ = 0;
     totalAdded_ = 0;
     duplicates_ = 0;
 }

@@ -22,6 +22,57 @@
 namespace sibyl::rl
 {
 
+/**
+ * Streaming Murmur64A-style word hasher shared by the replay-dedup
+ * and batch-fold content hashes. Each 8-byte word is avalanched
+ * (mul, xorshift, mul) before combining: a plain word-wise FNV is
+ * NOT safe on this input class — its multiply spreads a flipped bit
+ * b only to bits [b, b+8], so observations differing solely in float
+ * exponent bits (the top of each word — exactly how binned features
+ * differ) collide at observable rates. One definition, so collision
+ * behavior can never drift between the two consumers.
+ */
+struct WordHasher
+{
+    static constexpr std::uint64_t kMul = 0xc6a4a7935bd1e995ULL;
+    std::uint64_t h = 1469598103934665603ULL;
+
+    void
+    mixWord(std::uint64_t w)
+    {
+        w *= kMul;
+        w ^= w >> 47;
+        w *= kMul;
+        h ^= w;
+        h *= kMul;
+    }
+
+    void
+    mixBytes(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        std::size_t i = 0;
+        for (; i + 8 <= len; i += 8) {
+            std::uint64_t w;
+            __builtin_memcpy(&w, p + i, 8);
+            mixWord(w);
+        }
+        if (i < len) {
+            std::uint64_t w = 0;
+            __builtin_memcpy(&w, p + i, len - i);
+            mixWord(w);
+        }
+    }
+
+    std::uint64_t
+    finish() const
+    {
+        std::uint64_t r = h ^ (h >> 47);
+        r *= kMul;
+        return r ^ (r >> 47);
+    }
+};
+
 /** One transition observed by the agent. */
 struct Experience
 {
@@ -48,6 +99,18 @@ class ReplayBuffer
     /** Insert @p e; evicts the oldest entry if full. Returns false if the
      *  entry was dropped as a duplicate. */
     bool add(Experience e);
+
+    /**
+     * Allocation-free insert for the request path: the transition is
+     * copied straight into the ring slot (whose vectors keep their
+     * capacity), and the dedup index recycles its evicted hash node
+     * instead of erase+insert. After the ring has filled and the slot
+     * vectors have their steady sizes, this performs zero heap
+     * allocations. Identical observable semantics to add(Experience)
+     * — same hash, same dedup decision, same priorities.
+     */
+    bool add(const ml::Vector &state, std::uint32_t action, float reward,
+             const ml::Vector &nextState);
 
     /** Uniformly sample @p n experiences (with replacement). */
     std::vector<const Experience *> sample(std::size_t n, Pcg32 &rng) const;
@@ -117,6 +180,11 @@ class ReplayBuffer
     std::size_t capacity() const { return capacity_; }
     bool full() const { return entries_.size() == capacity_; }
 
+    /** Ring slot filled by the most recent accepted add() (undefined
+     *  before the first accept). Agents use it to invalidate
+     *  per-entry caches keyed by slot index. */
+    std::size_t lastAddIndex() const { return lastAdd_; }
+
     /** Total add() calls accepted since construction/clear. */
     std::uint64_t totalAdded() const { return totalAdded_; }
     /** add() calls rejected as duplicates. */
@@ -132,6 +200,19 @@ class ReplayBuffer
   private:
     static std::uint64_t hashExperience(const Experience &e);
 
+    /** Content hash of a transition from its unpacked fields
+     *  (Murmur64A-style word rounds — see the definition for why a
+     *  word-wise FNV is NOT safe here); hashExperience() delegates. */
+    static std::uint64_t hashTransition(const ml::Vector &state,
+                                        std::uint32_t action, float reward,
+                                        const ml::Vector &nextState);
+
+    /** Shared insert core: dedup check, ring placement via @p place,
+     *  hash-index maintenance (recycling the evicted node), priority
+     *  and tree upkeep. */
+    template <typename PlaceFn>
+    bool addImpl(std::uint64_t h, PlaceFn &&place);
+
     /** p^alpha + epsilon, the mass the samplers weight entries by. */
     static double transformedPriority(float p, double alpha);
 
@@ -142,6 +223,7 @@ class ReplayBuffer
     bool dedup_;
     std::vector<Experience> entries_; // ring once full
     std::size_t next_ = 0;            // ring cursor
+    std::size_t lastAdd_ = 0;         // slot of last accepted add
     std::vector<std::uint64_t> hashes_;
     std::vector<float> priorities_;
     float maxPriority_ = 1.0f;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <set>
 
 #include "common/thread_pool.hh"
 #include "scenario/json.hh"
@@ -294,7 +295,12 @@ writeResultsJson(std::ostream &os, const std::vector<RunRecord> &records)
             os << (d ? ", " : "") << r.result.devicePagesWritten[d];
         os << "]}";
     }
-    os << "\n  ]\n}\n";
+    // Distinct experiment seeds in the record set, so downstream
+    // tooling knows how many repetitions back a mean/CI aggregation.
+    std::set<std::uint64_t> seeds;
+    for (const RunRecord &r : records)
+        seeds.insert(r.spec.seed);
+    os << "\n  ],\n  \"seedCount\": " << seeds.size() << "\n}\n";
 }
 
 bool

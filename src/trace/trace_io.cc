@@ -42,12 +42,35 @@ parseNum(std::string_view sv, T &out)
     return res.ec == std::errc();
 }
 
+/**
+ * Bytes left in a seekable stream (0 for pipes), so the readers can
+ * reserve() the request vector once instead of growing it through
+ * O(log n) reallocation+copy cycles on multi-million-row traces.
+ */
+std::size_t
+streamBytesRemaining(std::istream &in)
+{
+    const auto cur = in.tellg();
+    if (cur == std::istream::pos_type(-1))
+        return 0;
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    in.seekg(cur);
+    if (end == std::istream::pos_type(-1) || end <= cur)
+        return 0;
+    return static_cast<std::size_t>(end - cur);
+}
+
 } // namespace
 
 Trace
 readMsrcCsv(std::istream &in, const std::string &name)
 {
     Trace t(name);
+    // MSRC rows run ~60 bytes; a mild over-reserve beats reallocation
+    // churn on the multi-hundred-MB original traces.
+    if (const std::size_t bytes = streamBytesRemaining(in))
+        t.reserve(bytes / 48 + 1);
     std::string line;
     bool haveBase = false;
     std::uint64_t baseTicks = 0;
@@ -118,6 +141,9 @@ Trace
 readNativeCsv(std::istream &in, const std::string &name)
 {
     Trace t(name);
+    // Native rows run ~30 bytes (%.17g timestamps push some to ~45).
+    if (const std::size_t bytes = streamBytesRemaining(in))
+        t.reserve(bytes / 24 + 1);
     std::string line;
     bool first = true;
     while (std::getline(in, line)) {

@@ -283,6 +283,122 @@ TEST(HybridSystem, FreeFractionTracksOccupancy)
     EXPECT_DOUBLE_EQ(sys.freeFraction(0), 0.5);
 }
 
+// ------------------- Flat vs legacy metadata table -------------------
+
+/**
+ * Randomized differential test: the flat open-addressed table and the
+ * legacy map+list oracle must agree on every observable — placement,
+ * counters, intervals, per-device populations, and crucially the LRU
+ * victim of both devices — after every operation of a mixed
+ * map/access/migrate stream.
+ */
+TEST(FlatPageMetaTable, DifferentialAgainstLegacyOracle)
+{
+    // Tiny initial capacity so the stream crosses several rehashes
+    // mid-run (growth must preserve chain order exactly).
+    FlatPageMetaTable::Config cfg;
+    cfg.initialCapacity = 16;
+    FlatPageMetaTable flat(3, cfg);
+    LegacyPageMetaTable legacy(3);
+    Pcg32 rng(0xD1FF);
+
+    for (int i = 0; i < 20000; i++) {
+        const PageId page = rng.nextBounded(700);
+        const auto op = rng.nextBounded(10);
+        if (op < 6) {
+            flat.recordAccess(page);
+            legacy.recordAccess(page);
+        } else if (op < 8) {
+            if (legacy.placement(page) == kNoDevice) {
+                const DeviceId dev = rng.nextBounded(3);
+                flat.map(page, dev);
+                legacy.map(page, dev);
+            }
+        } else {
+            // Evict-style move: migrate the LRU victim of a random
+            // device (the serve path's eviction pattern).
+            const DeviceId dev = rng.nextBounded(3);
+            const PageId victim = legacy.lruVictim(dev);
+            ASSERT_EQ(flat.lruVictim(dev), victim);
+            if (victim != kInvalidPage) {
+                const DeviceId dst = (dev + 1) % 3;
+                flat.remap(victim, dst);
+                legacy.remap(victim, dst);
+            }
+        }
+
+        ASSERT_EQ(flat.tick(), legacy.tick());
+        ASSERT_EQ(flat.mappedPages(), legacy.mappedPages());
+        ASSERT_EQ(flat.placement(page), legacy.placement(page));
+        ASSERT_EQ(flat.accessCount(page), legacy.accessCount(page));
+        ASSERT_EQ(flat.accessInterval(page), legacy.accessInterval(page));
+        for (DeviceId d = 0; d < 3; d++) {
+            ASSERT_EQ(flat.pagesOn(d), legacy.pagesOn(d));
+            ASSERT_EQ(flat.lruVictim(d), legacy.lruVictim(d));
+        }
+    }
+    // Full residency-order equality (cold-first) at the end.
+    for (DeviceId d = 0; d < 3; d++)
+        EXPECT_EQ(flat.residency(d), legacy.residency(d));
+}
+
+TEST(FlatPageMetaTable, GrowthPreservesStateAcrossRehash)
+{
+    FlatPageMetaTable::Config cfg;
+    cfg.initialCapacity = 16;
+    cfg.maxLoadFactor = 0.5;
+    FlatPageMetaTable meta(2, cfg);
+    const std::uint64_t startCap = meta.slotCapacity();
+
+    // Map enough pages to force several doublings.
+    for (PageId p = 0; p < 500; p++) {
+        meta.map(p, static_cast<DeviceId>(p % 2));
+        meta.recordAccess(p);
+    }
+    EXPECT_GT(meta.slotCapacity(), startCap);
+    EXPECT_LE(meta.loadFactor(), 0.5);
+
+    // Everything survived the rehashes: counters, placement, and the
+    // exact LRU order (page 0 is coldest on device 0).
+    EXPECT_EQ(meta.mappedPages(), 500u);
+    for (PageId p = 0; p < 500; p++) {
+        EXPECT_EQ(meta.placement(p), p % 2);
+        EXPECT_EQ(meta.accessCount(p), 1u);
+    }
+    EXPECT_EQ(meta.lruVictim(0), 0u);
+    EXPECT_EQ(meta.lruVictim(1), 1u);
+
+    // reserve() is the explicit capacity knob.
+    FlatPageMetaTable big(2);
+    big.reserve(1 << 16);
+    const std::uint64_t reserved = big.slotCapacity();
+    for (PageId p = 0; p < (1 << 16); p++)
+        big.recordAccess(p);
+    EXPECT_EQ(big.slotCapacity(), reserved) << "reserve() must prevent "
+                                               "mid-run rehashing";
+}
+
+TEST(FlatPageMetaTable, TickMonotonicityAndIntervalSemantics)
+{
+    FlatPageMetaTable meta(2);
+    std::uint64_t lastTick = meta.tick();
+    Pcg32 rng(0x71C);
+    for (int i = 0; i < 1000; i++) {
+        const PageId p = rng.nextBounded(50);
+        meta.recordAccess(p);
+        // The tick advances by exactly one per page access, never by
+        // map/remap/queries.
+        ASSERT_EQ(meta.tick(), lastTick + 1);
+        lastTick = meta.tick();
+        ASSERT_EQ(meta.accessInterval(p), 0u);
+        if (meta.placement(p) == kNoDevice && (i & 3) == 0)
+            meta.map(p, 0);
+        ASSERT_EQ(meta.tick(), lastTick);
+    }
+    // Unseen pages read "forever ago" == current tick.
+    EXPECT_EQ(meta.accessInterval(99999), meta.tick());
+}
+
 TEST(MakeHssConfig, RejectsUnknownShorthandListingValidNames)
 {
     // The shorthand is user input (CLI --config, scenario files): a

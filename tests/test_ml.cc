@@ -199,16 +199,18 @@ TEST(Network, GradientCheck)
 
     const float h = 1e-3f;
     for (auto &layer : net.layers()) {
-        Matrix &w = layer.weights();
         Matrix &gw = layer.gradWeights();
-        // Spot-check a handful of weights per layer.
-        for (std::size_t i = 0; i < w.size(); i += 3) {
-            float orig = w.data()[i];
-            w.data()[i] = orig + h;
+        // Spot-check a handful of weights per layer. Every mutation
+        // goes through the weights() accessor so the layer's cached
+        // W^T is invalidated before the next forward — the documented
+        // mutation contract (the forward paths all read the cache).
+        for (std::size_t i = 0; i < layer.weights().size(); i += 3) {
+            float orig = layer.weights().data()[i];
+            layer.weights().data()[i] = orig + h;
             float up = lossAt();
-            w.data()[i] = orig - h;
+            layer.weights().data()[i] = orig - h;
             float down = lossAt();
-            w.data()[i] = orig;
+            layer.weights().data()[i] = orig;
             float numeric = (up - down) / (2 * h);
             EXPECT_NEAR(gw.data()[i], numeric, 5e-3);
         }

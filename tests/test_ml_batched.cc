@@ -361,5 +361,299 @@ TEST(BatchedAgent, C51PrioritizedMatchesPerSample)
     expectTwinTrainingMatches<C51Agent>(cfg, 1e-4);
 }
 
+// ---------------------------------------------------------------------
+// Single-row inference contracts, for every activation, at odd widths
+// and batch sizes that exercise every k-tail and row-tail:
+//  (1) inferRow is BIT-identical (EXPECT_EQ on floats, no tolerance)
+//      to the legacy per-sample forward — so routing selectAction
+//      through it changes no decision, and the golden trajectories
+//      pinned to the per-sample order stay put;
+//  (2) every row of a batched infer is BIT-identical to the same row
+//      inferred in any other batch (composition independence) — the
+//      property the agents' Bellman-target caches rely on;
+//  (3) inferRow agrees with the batched rows to float tolerance (the
+//      batched kernels sum in a k-grouped order).
+// ---------------------------------------------------------------------
+
+class InferRowTest : public ::testing::TestWithParam<ml::Activation>
+{
+};
+
+TEST_P(InferRowTest, RowContracts)
+{
+    const ml::Activation act = GetParam();
+    Pcg32 rng(0x10F3);
+    // Input widths cover the wide kernel's k8/k4/2-3/1 leftovers and
+    // the narrow head path; layer widths cover n<=4 and wide j-tails.
+    const std::size_t inputSizes[] = {3, 6, 9, 21, 23, 30, 33};
+    for (std::size_t inSize : inputSizes) {
+        ml::Network net(
+            inSize,
+            {{13, act}, {30, act}, {2, ml::Activation::Identity}}, rng);
+        for (std::size_t batch : {1, 2, 3, 5, 8, 17}) {
+            ml::Matrix in(batch, inSize);
+            for (std::size_t i = 0; i < in.size(); i++)
+                in.data()[i] =
+                    static_cast<float>(rng.nextDouble(-2.0, 2.0));
+
+            const ml::Matrix out = net.infer(in); // copy: rows compared
+            for (std::size_t r = 0; r < batch; r++) {
+                ml::Vector x(in.row(r), in.row(r) + inSize);
+
+                // (2) composition independence: the same row through
+                // a single-row batch.
+                ml::Matrix single(1, inSize);
+                std::copy(x.begin(), x.end(), single.row(0));
+                const ml::Matrix &alone = net.infer(single);
+                for (std::size_t j = 0; j < net.outputSize(); j++) {
+                    ASSERT_EQ(alone(0, j), out(r, j))
+                        << "batched row depends on batch composition: "
+                        << "row " << r << " col " << j << " in="
+                        << inSize << " batch=" << batch;
+                }
+
+                // (1) inferRow == forward(Vector), bit for bit; and
+                // (3) both within tolerance of the batched row.
+                const float *rowOut = net.inferRow(x);
+                for (std::size_t j = 0; j < net.outputSize(); j++) {
+                    const float a = rowOut[j], b = out(r, j);
+                    const float tol = 1e-5f *
+                        std::max({1.0f, std::abs(a), std::abs(b)});
+                    ASSERT_NEAR(a, b, tol) << "row vs batched col " << j;
+                }
+                // inferRow clobbers its workspace on the next call;
+                // compare against forward via copies.
+                ml::Vector rowCopy(rowOut, rowOut + net.outputSize());
+                const ml::Vector &fwd = net.forward(x);
+                for (std::size_t j = 0; j < net.outputSize(); j++) {
+                    ASSERT_EQ(rowCopy[j], fwd[j])
+                        << "inferRow vs forward(Vector) col " << j;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, InferRowTest,
+                         ::testing::Values(ml::Activation::Identity,
+                                           ml::Activation::ReLU,
+                                           ml::Activation::Sigmoid,
+                                           ml::Activation::Tanh,
+                                           ml::Activation::Swish));
+
+TEST(InferRow, DoesNotDisturbPendingBackwardState)
+{
+    Pcg32 rng(0x5EED);
+    ml::Network a(6, {{20, ml::Activation::Swish},
+                      {2, ml::Activation::Identity}}, rng);
+    Pcg32 rng2(0x5EED);
+    ml::Network b(6, {{20, ml::Activation::Swish},
+                      {2, ml::Activation::Identity}}, rng2);
+
+    ml::Matrix in(4, 6);
+    for (std::size_t i = 0; i < in.size(); i++)
+        in.data()[i] = static_cast<float>(i) * 0.07f - 0.8f;
+    ml::Matrix gradOut(4, 2, 0.3f);
+
+    // a: forward, then an interleaved inferRow, then backward.
+    a.forward(in);
+    ml::Vector probe(6, 0.5f);
+    a.inferRow(probe);
+    a.backward(gradOut);
+
+    // b: plain forward+backward. Gradients must match bit for bit.
+    b.forward(in);
+    b.backward(gradOut);
+    for (std::size_t li = 0; li < a.layers().size(); li++) {
+        const ml::Matrix &ga = a.layers()[li].gradWeights();
+        const ml::Matrix &gb = b.layers()[li].gradWeights();
+        for (std::size_t i = 0; i < ga.size(); i++)
+            ASSERT_EQ(ga.data()[i], gb.data()[i]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Twin-agent decision equivalence: selectAction routes through
+// inferRow, and its decisions must be identical to the reference
+// computed from the legacy forward(Vector) output of the same frozen
+// inference network — proved on trained (non-trivial) weights.
+// ---------------------------------------------------------------------
+
+TEST(RowDecisions, DqnSelectActionUnchanged)
+{
+    AgentConfig cfg;
+    cfg.bufferCapacity = 200;
+    cfg.batchSize = 32;
+    cfg.batchesPerTraining = 2;
+    cfg.trainEvery = 50;
+    cfg.targetSyncEvery = 100;
+    cfg.epsilon = 0.0; // deterministic: decisions are pure argmax
+    DqnAgent agent(cfg);
+    fillBuffer(agent, cfg, 400); // trains + syncs along the way
+
+    Pcg32 rng(0xAB1E);
+    for (int i = 0; i < 300; i++) {
+        ml::Vector s(cfg.stateDim);
+        for (auto &v : s)
+            v = static_cast<float>(rng.nextDouble(0.0, 1.0));
+        const ml::Vector &q = agent.inferenceNetwork().forward(s);
+        const auto ref = static_cast<std::uint32_t>(
+            std::max_element(q.begin(), q.end()) - q.begin());
+        ASSERT_EQ(agent.selectAction(s), ref);
+        ASSERT_EQ(agent.greedyAction(s), ref);
+    }
+}
+
+TEST(RowDecisions, C51SelectActionUnchanged)
+{
+    AgentConfig cfg;
+    cfg.bufferCapacity = 100;
+    cfg.batchSize = 16;
+    cfg.batchesPerTraining = 2;
+    cfg.trainEvery = 50;
+    cfg.targetSyncEvery = 100;
+    cfg.epsilon = 0.0;
+    C51Agent agent(cfg);
+    fillBuffer(agent, cfg, 200);
+
+    Pcg32 rng(0xAB1F);
+    for (int i = 0; i < 200; i++) {
+        ml::Vector s(cfg.stateDim);
+        for (auto &v : s)
+            v = static_cast<float>(rng.nextDouble(0.0, 1.0));
+        // Reference: the legacy path — full forward, per-action
+        // softmax + expectation, first-max argmax.
+        const ml::Vector &out = agent.inferenceNetwork().forward(s);
+        std::vector<double> q(cfg.numActions);
+        for (std::uint32_t a = 0; a < cfg.numActions; a++) {
+            ml::Vector dist(out.begin() + a * cfg.atoms,
+                            out.begin() + (a + 1) * cfg.atoms);
+            ml::softmax(dist);
+            q[a] = agent.support().expectation(dist);
+        }
+        const auto ref = static_cast<std::uint32_t>(
+            std::max_element(q.begin(), q.end()) - q.begin());
+        ASSERT_EQ(agent.selectAction(s), ref);
+        ASSERT_EQ(agent.greedyAction(s), ref);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Training-path A/B: the Bellman-target cache must be a pure
+// memoization (bit-identical parameters with it on or off), and
+// duplicate-state folding must stay within summation-order tolerance.
+// ---------------------------------------------------------------------
+
+template <typename AgentT>
+void
+expectCacheIsPureMemoization()
+{
+    AgentConfig on;
+    on.bufferCapacity = 150;
+    on.batchSize = 32;
+    on.batchesPerTraining = 2;
+    on.trainEvery = 40;
+    on.targetSyncEvery = 90; // several syncs + invalidations
+    AgentConfig off = on;
+    on.cacheNextValues = true;
+    off.cacheNextValues = false;
+
+    AgentT a(on);
+    AgentT b(off);
+    // Identical observation streams drive identical training rounds
+    // (same seeds -> same sampling); duplicated adds also exercise
+    // the ring-overwrite invalidation path.
+    Pcg32 data(0xCAFE);
+    for (int i = 0; i < 600; i++) {
+        Experience e;
+        e.state.resize(on.stateDim);
+        e.nextState.resize(on.stateDim);
+        for (auto &v : e.state)
+            v = static_cast<float>(data.nextDouble(0.0, 1.0));
+        for (auto &v : e.nextState)
+            v = static_cast<float>(data.nextDouble(0.0, 1.0));
+        e.action = data.nextBounded(on.numActions);
+        e.reward = static_cast<float>(data.nextDouble(0.0, 2.0));
+        Experience e2 = e;
+        a.observe(std::move(e));
+        b.observe(std::move(e2));
+    }
+    EXPECT_GT(a.stats().trainingRounds, 0u);
+    EXPECT_GT(a.stats().weightSyncs, 0u);
+
+    const auto pa = a.trainingNetwork().saveParams();
+    const auto pb = b.trainingNetwork().saveParams();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); i++)
+        ASSERT_EQ(pa[i], pb[i]) << "param " << i
+                                << ": target cache changed training";
+}
+
+TEST(TargetCache, DqnBitIdenticalOnOff)
+{
+    expectCacheIsPureMemoization<DqnAgent>();
+}
+
+TEST(TargetCache, C51BitIdenticalOnOff)
+{
+    expectCacheIsPureMemoization<C51Agent>();
+}
+
+template <typename AgentT>
+void
+expectFoldWithinTolerance()
+{
+    AgentConfig on;
+    on.bufferCapacity = 100;
+    on.batchSize = 64; // heavy duplication via the quantizer below
+    on.batchesPerTraining = 2;
+    on.trainEvery = 10 * on.bufferCapacity;
+    on.targetSyncEvery = 10 * on.bufferCapacity;
+    AgentConfig off = on;
+    on.foldDuplicateStates = true;
+    off.foldDuplicateStates = false;
+
+    AgentT a(on);
+    AgentT b(off);
+    Pcg32 data(0xF01D);
+    for (std::size_t i = 0; i < on.bufferCapacity; i++) {
+        Experience e;
+        e.state.resize(on.stateDim);
+        e.nextState.resize(on.stateDim);
+        // Coarse quantization: plenty of byte-identical states.
+        for (auto &v : e.state)
+            v = static_cast<float>(data.nextBounded(4)) * 0.25f;
+        for (auto &v : e.nextState)
+            v = static_cast<float>(data.nextBounded(4)) * 0.25f;
+        e.action = data.nextBounded(on.numActions);
+        e.reward = static_cast<float>(data.nextDouble(0.0, 2.0));
+        Experience e2 = e;
+        a.observe(std::move(e));
+        b.observe(std::move(e2));
+    }
+    a.trainRound();
+    b.trainRound();
+
+    const auto pa = a.trainingNetwork().saveParams();
+    const auto pb = b.trainingNetwork().saveParams();
+    ASSERT_EQ(pa.size(), pb.size());
+    double maxDiff = 0.0;
+    for (std::size_t i = 0; i < pa.size(); i++)
+        maxDiff = std::max(maxDiff,
+                           static_cast<double>(std::abs(pa[i] - pb[i])));
+    EXPECT_LT(maxDiff, 1e-5) << "folded gradients drifted beyond "
+                                "summation-order tolerance";
+}
+
+TEST(DuplicateFold, DqnWithinTolerance)
+{
+    expectFoldWithinTolerance<DqnAgent>();
+}
+
+TEST(DuplicateFold, C51WithinTolerance)
+{
+    expectFoldWithinTolerance<C51Agent>();
+}
+
 } // namespace
 } // namespace sibyl::rl
