@@ -152,7 +152,9 @@ runLineup(const LineupSpec &spec)
     std::printf("\n");
 
     if (!spec.jsonPath.empty()) {
-        if (sim::writeResultsJsonFile(spec.jsonPath, records))
+        sim::ResultsAnnotations notes;
+        notes.campaign = spec.benchName;
+        if (sim::writeResultsJsonFile(spec.jsonPath, records, notes))
             std::printf("wrote %s\n", spec.jsonPath.c_str());
         else
             std::printf("WARNING: could not write %s\n",

@@ -62,6 +62,13 @@ struct LineupSpec
     /** When non-empty, also emit the full machine-readable result set
      *  (sim::writeResultsJsonFile) to this path. */
     std::string jsonPath;
+
+    /** Result-set identity for the JSON dump: emitted as the
+     *  top-level "campaign" field (the merged-results path the
+     *  campaign layer and sibyl_regress share), so one bench's
+     *  BENCH_*.json can be gated across PRs exactly like a campaign.
+     *  Empty keeps the legacy unannotated output byte-identical. */
+    std::string benchName;
 };
 
 /** Extract the configured metric from a result. */

@@ -26,7 +26,11 @@ main()
     // compress inter-arrival gaps so the H&M devices are the
     // bottleneck, as they are on the real testbed.
     spec.timeCompress = 100.0;
+    // Mirror fig9: across-seed mean±95% CI cells, smoke-shrinkable.
+    spec.seeds = {42, 43, 44};
+    spec.traceLen = bench::requestOverride();
     spec.jsonPath = "BENCH_fig10.json";
+    spec.benchName = "fig10_throughput";
     bench::runLineup(spec);
     return 0;
 }

@@ -26,7 +26,12 @@ main()
     for (const auto &p : trace::msrcProfiles())
         spec.workloads.push_back(p.name);
     spec.configs = {"H&M", "H&L"};
+    // Three seeds turn every cell into mean±95% CI (the paper's error
+    // bars); SIBYL_BENCH_REQUESTS shrinks the 3x cost to a CI smoke.
+    spec.seeds = {42, 43, 44};
+    spec.traceLen = bench::requestOverride();
     spec.jsonPath = "BENCH_fig9.json";
+    spec.benchName = "fig9_latency";
     bench::runLineup(spec);
 
     std::printf("Paper reference (shape, not absolute): Sibyl beats the "

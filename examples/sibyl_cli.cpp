@@ -21,6 +21,8 @@
  *   sibyl_cli --policy Sibyl --policy CDE --policy Oracle --threads 4 \
  *             --json results.json
  *   sibyl_cli --scenario scenarios/smoke.json --json results.json
+ *   sibyl_cli --campaign scenarios/campaign_smoke.json \
+ *             --json merged.json
  *   sibyl_cli --list-policies
  */
 
@@ -38,6 +40,7 @@
 #include "common/table.hh"
 #include "core/sibyl_policy.hh"
 #include "rl/checkpoint.hh"
+#include "scenario/campaign.hh"
 #include "scenario/policy_factory.hh"
 #include "scenario/scenario_spec.hh"
 #include "sim/parallel_runner.hh"
@@ -70,6 +73,7 @@ struct Options
     bool threadsSet = false;        ///< --threads given explicitly
     std::string jsonPath;           ///< machine-readable result dump
     std::string scenarioPath;       ///< run a scenario file instead
+    std::string campaignPath;       ///< run a campaign manifest instead
     bool listPolicies = false;      ///< print the policy registry
 };
 
@@ -113,6 +117,12 @@ usage(const char *prog)
         "                      configs x seeds); other experiment flags\n"
         "                      are ignored, --threads/--json/--csv still\n"
         "                      apply\n"
+        "  --campaign PATH     run a campaign manifest (JSON naming\n"
+        "                      several scenario files with per-entry\n"
+        "                      tag/requests/seeds overrides) as ONE\n"
+        "                      merged batch; --json writes the merged\n"
+        "                      results keyed by (campaign, scenario,\n"
+        "                      run) for sibyl_regress\n"
         "  --list-policies     print every registered policy descriptor\n"
         "                      and exit\n",
         prog);
@@ -199,6 +209,10 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!(v = need(i)))
                 return false;
             opt.scenarioPath = v;
+        } else if (a == "--campaign") {
+            if (!(v = need(i)))
+                return false;
+            opt.campaignPath = v;
         } else if (a == "--list-policies") {
             opt.listPolicies = true;
         } else if (a == "--json") {
@@ -293,6 +307,58 @@ runScenarioFile(const Options &opt)
     }
 }
 
+/** --campaign: run a campaign manifest as one merged batch. */
+int
+runCampaignFile(const Options &opt)
+{
+    try {
+        scenario::CampaignSpec spec =
+            scenario::loadCampaignFile(opt.campaignPath);
+        if (opt.threadsSet)
+            spec.numThreads = opt.threads;
+
+        const auto result = scenario::runCampaign(spec);
+        std::printf("campaign %s: %zu scenarios, %zu runs\n",
+                    spec.name.c_str(), result.plan.scenarios.size(),
+                    result.records.size());
+
+        TextTable tab;
+        tab.header({"scenario", "config", "workload", "policy", "seed",
+                    "avg latency (us)", "vs Fast-Only", "IOPS"});
+        for (const auto &cs : result.plan.scenarios) {
+            for (std::size_t i = 0; i < cs.runCount; i++) {
+                const auto &rec = result.records[cs.firstRun + i];
+                const auto &r = rec.result;
+                tab.addRow({cs.tag, rec.spec.hssConfig,
+                            rec.spec.workload, rec.spec.policy,
+                            cell(std::uint64_t{rec.spec.seed}),
+                            cell(r.metrics.avgLatencyUs, 1),
+                            cell(r.normalizedLatency, 3),
+                            cell(r.metrics.iops, 0)});
+            }
+        }
+        if (opt.csv)
+            tab.printCsv(std::cout);
+        else
+            tab.print(std::cout);
+
+        if (!opt.jsonPath.empty()) {
+            if (scenario::writeCampaignResultsJsonFile(opt.jsonPath,
+                                                       spec, result))
+                std::printf("wrote %s\n", opt.jsonPath.c_str());
+            else {
+                std::fprintf(stderr, "could not write %s\n",
+                             opt.jsonPath.c_str());
+                return 1;
+            }
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
+
 } // namespace
 
 int
@@ -304,6 +370,13 @@ main(int argc, char **argv)
 
     if (opt.listPolicies)
         return listPolicies();
+    if (!opt.scenarioPath.empty() && !opt.campaignPath.empty()) {
+        std::fprintf(stderr,
+                     "--scenario and --campaign are exclusive\n");
+        return 2;
+    }
+    if (!opt.campaignPath.empty())
+        return runCampaignFile(opt);
     if (!opt.scenarioPath.empty())
         return runScenarioFile(opt);
 

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * sibyl_regress — the cross-PR regression gate.
+ *
+ * Diffs two merged-results JSON documents (writeResultsJson output:
+ * a campaign's merged file, a single scenario's --json dump, or any
+ * BENCH_*.json produced through the same path), prints a markdown
+ * delta table, and exits nonzero when anything regressed — so CI can
+ * gate every PR against the previous PR's checked-in baseline.
+ *
+ * Identity fields (what ran: run keys, request counts, the scenario
+ * set) are compared bit-exactly. Performance metrics accept a band of
+ * `abs + rel * |baseline|` (the golden-run shape): --tol sets the
+ * default relative part, --abs the default absolute floor, and
+ * NAME=VALUE forms override one metric. Floors matter for metrics
+ * whose baseline is 0 — promotions on a short smoke run would
+ * otherwise fail on any jitter no matter the relative band.
+ *
+ * RL-trajectory-sensitive runs deserve wider bands than deterministic
+ * heuristics (the golden-run split: 0.1% vs 5%): --tol-policy
+ * PREFIX=PCT sets the default relative band for runs whose policy
+ * descriptor starts with PREFIX, without loosening every other row.
+ *
+ * Examples:
+ *   sibyl_regress baseline.json current.json
+ *   sibyl_regress baseline.json current.json --tol 0.05
+ *   sibyl_regress baseline.json current.json \
+ *       --tol 0.001 --tol-policy Sibyl=0.05 --tol placements=0.1 \
+ *       --abs promotions=5 --abs evictionFraction=0.01
+ *
+ * Exit codes: 0 pass, 1 regression, 2 usage or malformed input.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "scenario/campaign.hh"
+
+using namespace sibyl;
+
+namespace
+{
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s BASELINE.json CURRENT.json [options]\n"
+        "  --tol PCT        default relative band for performance\n"
+        "                   metrics, as a fraction (0.05 = 5%%;\n"
+        "                   default 0 = bit-exact)\n"
+        "  --tol NAME=PCT   per-metric override, repeatable\n"
+        "                   (e.g. --tol avgLatencyUs=0.05)\n"
+        "  --abs VAL        default absolute floor added to the band\n"
+        "                   (allowance = abs + rel*|baseline|)\n"
+        "  --abs NAME=VAL   per-metric absolute floor, repeatable\n"
+        "                   (e.g. --abs promotions=5)\n"
+        "  --tol-policy PREFIX=PCT\n"
+        "                   default relative band for runs whose\n"
+        "                   policy starts with PREFIX (first match\n"
+        "                   wins; a per-metric --tol still beats it),\n"
+        "                   e.g. --tol-policy Sibyl=0.05\n"
+        "  --quiet          suppress the delta table, keep the verdict\n"
+        "exit: 0 pass, 1 regression, 2 usage/malformed input\n",
+        prog);
+}
+
+/** Parse a --tol/--abs value ("0.05" or "metric=0.05") into the
+ *  default slot or the per-metric map. A non-finite value (nan, inf,
+ *  an overflowing literal like 1e999) would silently disable the gate
+ *  for that metric — reject it like any other malformed input. */
+bool
+parseBand(const std::string &arg, double &dflt,
+          std::map<std::string, double> &perMetric)
+{
+    const auto eq = arg.find('=');
+    const std::string valueText =
+        eq == std::string::npos ? arg : arg.substr(eq + 1);
+    char *end = nullptr;
+    const double value = std::strtod(valueText.c_str(), &end);
+    if (end == valueText.c_str() || *end != '\0' ||
+        !std::isfinite(value) || value < 0.0)
+        return false;
+    if (eq == std::string::npos)
+        dflt = value;
+    else if (eq == 0)
+        return false;
+    else
+        perMetric[arg.substr(0, eq)] = value;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baselinePath, currentPath;
+    scenario::GateTolerance tol;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (a == "--tol") {
+            if (i + 1 >= argc ||
+                !parseBand(argv[++i], tol.relTol, tol.perMetric)) {
+                std::fprintf(stderr,
+                             "--tol wants PCT or NAME=PCT (a finite "
+                             "non-negative fraction)\n");
+                return 2;
+            }
+        } else if (a == "--abs") {
+            if (i + 1 >= argc ||
+                !parseBand(argv[++i], tol.absTol, tol.perMetricAbs)) {
+                std::fprintf(stderr,
+                             "--abs wants VAL or NAME=VAL (a finite "
+                             "non-negative value)\n");
+                return 2;
+            }
+        } else if (a == "--tol-policy") {
+            std::map<std::string, double> one;
+            if (i + 1 >= argc || !parseBand(argv[++i], tol.relTol, one)
+                || one.size() != 1) {
+                std::fprintf(stderr,
+                             "--tol-policy wants PREFIX=PCT (a finite "
+                             "non-negative fraction)\n");
+                return 2;
+            }
+            tol.perPolicyRel.emplace_back(one.begin()->first,
+                                          one.begin()->second);
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        } else if (baselinePath.empty()) {
+            baselinePath = a;
+        } else if (currentPath.empty()) {
+            currentPath = a;
+        } else {
+            std::fprintf(stderr, "unexpected argument %s\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (baselinePath.empty() || currentPath.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    scenario::GateReport report;
+    try {
+        report = scenario::compareResultsText(
+            scenario::readTextFile(baselinePath),
+            scenario::readTextFile(currentPath), tol, baselinePath,
+            currentPath);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+
+    if (quiet) {
+        std::printf("%zu runs / %zu metrics compared: %zu regressions, "
+                    "%zu missing runs -> %s\n",
+                    report.comparedRuns, report.comparedMetrics,
+                    report.regressionCount(), report.missingRuns.size(),
+                    report.pass() ? "PASS" : "FAIL");
+    } else {
+        report.printMarkdown(std::cout);
+    }
+    return report.pass() ? 0 : 1;
+}

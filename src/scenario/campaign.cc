@@ -1,0 +1,626 @@
+#include "scenario/campaign.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+namespace sibyl::scenario
+{
+
+bool
+CampaignEntry::operator==(const CampaignEntry &o) const
+{
+    return file == o.file && tag == o.tag && requests == o.requests &&
+           seeds == o.seeds;
+}
+
+bool
+CampaignSpec::operator==(const CampaignSpec &o) const
+{
+    // baseDir is load-time context (where the manifest sat on disk),
+    // not manifest content — parse(emit(c)) == c must hold for a spec
+    // that was loaded from any directory.
+    return name == o.name && entries == o.entries &&
+           numThreads == o.numThreads;
+}
+
+namespace
+{
+
+[[noreturn]] void
+manifestError(const std::string &what)
+{
+    throw std::invalid_argument("campaign: " + what);
+}
+
+CampaignEntry
+parseEntry(const JsonValue &v)
+{
+    if (!v.isObject())
+        manifestError("each \"scenarios\" entry must be an object");
+    CampaignEntry e;
+    for (const auto &[key, val] : v.asObject()) {
+        if (key == "file") {
+            e.file = val.asString();
+        } else if (key == "tag") {
+            e.tag = val.asString();
+        } else if (key == "requests") {
+            e.requests = val.asUint();
+            if (e.requests == 0)
+                manifestError("an entry's \"requests\" override must "
+                              "be positive (omit it to keep the "
+                              "scenario's own traceLen)");
+        } else if (key == "seeds") {
+            for (const auto &s : val.asArray())
+                e.seeds.push_back(s.asUint());
+            if (e.seeds.empty())
+                manifestError("an entry's \"seeds\" override must not "
+                              "be empty (omit it to keep the "
+                              "scenario's own seeds)");
+        } else {
+            manifestError("unknown entry key \"" + key +
+                          "\" (valid: file tag requests seeds)");
+        }
+    }
+    if (e.file.empty())
+        manifestError("every entry needs a non-empty \"file\"");
+    return e;
+}
+
+} // namespace
+
+CampaignSpec
+parseCampaignJson(const std::string &text)
+{
+    const JsonValue doc = jsonParse(text);
+    if (!doc.isObject())
+        manifestError("manifest must be a JSON object");
+
+    CampaignSpec c;
+    bool sawEntries = false;
+    for (const auto &[key, v] : doc.asObject()) {
+        if (key == "name") {
+            c.name = v.asString();
+        } else if (key == "scenarios") {
+            for (const auto &e : v.asArray())
+                c.entries.push_back(parseEntry(e));
+            sawEntries = true;
+        } else if (key == "numThreads") {
+            c.numThreads = static_cast<unsigned>(v.asUint());
+        } else {
+            manifestError("unknown key \"" + key +
+                          "\" (valid: name scenarios numThreads)");
+        }
+    }
+    if (!sawEntries || c.entries.empty())
+        manifestError("\"scenarios\" must name at least one file");
+    return c;
+}
+
+std::string
+emitCampaignJson(const CampaignSpec &c)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("name", JsonValue::of(c.name));
+    JsonValue entries = JsonValue::array();
+    for (const auto &e : c.entries) {
+        JsonValue o = JsonValue::object();
+        o.set("file", JsonValue::of(e.file));
+        if (!e.tag.empty())
+            o.set("tag", JsonValue::of(e.tag));
+        if (e.requests != 0)
+            o.set("requests", JsonValue::of(std::uint64_t{e.requests}));
+        if (!e.seeds.empty()) {
+            JsonValue seeds = JsonValue::array();
+            for (auto s : e.seeds)
+                seeds.push(JsonValue::of(s));
+            o.set("seeds", seeds);
+        }
+        entries.push(o);
+    }
+    doc.set("scenarios", entries);
+    doc.set("numThreads", JsonValue::of(std::uint64_t{c.numThreads}));
+    return doc.dump();
+}
+
+CampaignSpec
+loadCampaignFile(const std::string &path)
+{
+    CampaignSpec c;
+    try {
+        c = parseCampaignJson(readTextFile(path));
+    } catch (const std::invalid_argument &e) {
+        throw std::invalid_argument(path + ": " + e.what());
+    }
+    const auto slash = path.find_last_of('/');
+    if (slash != std::string::npos)
+        c.baseDir = path.substr(0, slash);
+    return c;
+}
+
+sim::ResultsAnnotations
+CampaignPlan::annotations(const std::string &campaign) const
+{
+    sim::ResultsAnnotations notes;
+    notes.campaign = campaign;
+    for (const auto &s : scenarios)
+        notes.groups.push_back({s.scenario.name, s.tag, s.runCount});
+    return notes;
+}
+
+CampaignPlan
+lowerCampaign(const CampaignSpec &spec)
+{
+    CampaignPlan plan;
+    std::set<std::pair<std::string, std::string>> seen;
+    for (const auto &entry : spec.entries) {
+        if (entry.file.empty())
+            throw std::invalid_argument(
+                "campaign \"" + spec.name +
+                "\": entry with an empty \"file\"");
+        const std::string path =
+            (entry.file.front() == '/' || spec.baseDir.empty())
+                ? entry.file
+                : spec.baseDir + "/" + entry.file;
+        ScenarioSpec scenario = loadScenarioFile(path);
+        if (entry.requests != 0)
+            scenario.traceLen = entry.requests;
+        if (!entry.seeds.empty())
+            scenario.seeds = entry.seeds;
+
+        CampaignScenario cs;
+        cs.tag = entry.tag.empty() ? scenario.name : entry.tag;
+        if (!seen.insert({scenario.name, cs.tag}).second)
+            throw std::invalid_argument(
+                "campaign \"" + spec.name + "\": duplicate (scenario, "
+                "tag) pair (\"" + scenario.name + "\", \"" + cs.tag +
+                "\") — give repeated entries distinct tags so merged "
+                "results stay uniquely keyed");
+        cs.scenario = std::move(scenario);
+        cs.firstRun = plan.specs.size();
+
+        std::vector<sim::RunSpec> specs;
+        try {
+            specs = cs.scenario.expand();
+        } catch (const std::invalid_argument &e) {
+            throw std::invalid_argument(path + ": " +
+                                        std::string(e.what()));
+        }
+        cs.runCount = specs.size();
+        for (auto &s : specs)
+            plan.specs.push_back(std::move(s));
+        plan.scenarios.push_back(std::move(cs));
+    }
+    return plan;
+}
+
+CampaignResult
+runCampaign(const CampaignSpec &spec, sim::ParallelRunner &runner)
+{
+    CampaignResult result;
+    result.plan = lowerCampaign(spec);
+    result.records = runner.runAll(result.plan.specs);
+    return result;
+}
+
+CampaignResult
+runCampaign(const CampaignSpec &spec)
+{
+    sim::ParallelConfig cfg;
+    cfg.numThreads = spec.numThreads;
+    sim::ParallelRunner runner(cfg);
+    return runCampaign(spec, runner);
+}
+
+void
+writeCampaignResultsJson(std::ostream &os, const CampaignSpec &spec,
+                         const CampaignResult &result)
+{
+    sim::writeResultsJson(os, result.records,
+                          result.plan.annotations(spec.name));
+}
+
+bool
+writeCampaignResultsJsonFile(const std::string &path,
+                             const CampaignSpec &spec,
+                             const CampaignResult &result)
+{
+    return sim::writeResultsJsonFile(
+        path, result.records, result.plan.annotations(spec.name));
+}
+
+// ---------------------------------------------------------------------
+// Regression gate
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Fields that form the run identity (the match key), skipped during
+ *  metric iteration. */
+bool
+isIdentityField(const std::string &key)
+{
+    return key == "policy" || key == "workload" || key == "config" ||
+           key == "seed" || key == "scenario" || key == "tag" ||
+           key == "variant";
+}
+
+/** Metrics that define *what ran* rather than how it performed —
+ *  always compared bit-exactly, bands do not apply. */
+bool
+isExactField(const std::string &key)
+{
+    return key == "requests" || key == "runKey";
+}
+
+/** The one malformed-document diagnostic shape. */
+[[noreturn]] void
+docError(const std::string &docName, const std::string &what)
+{
+    throw std::invalid_argument(docName +
+                                ": not a results document (" + what +
+                                ")");
+}
+
+const std::vector<JsonValue> &
+resultsArray(const JsonValue &doc, const std::string &docName)
+{
+    if (!doc.isObject())
+        docError(docName, "top level is not an object");
+    const JsonValue *results = doc.find("results");
+    if (!results || !results->isArray())
+        docError(docName, "missing \"results\" array");
+    return results->asArray();
+}
+
+/** Integral-exact string form of an identity scalar. */
+std::string
+identityString(const JsonValue &v)
+{
+    if (v.isString())
+        return v.asString();
+    if (v.isIntegral())
+        return std::to_string(v.asUint());
+    return jsonNumber(v.asDouble());
+}
+
+/** Human-readable run id, also the match key. */
+std::string
+runId(const JsonValue &rec, const std::string &docName)
+{
+    static const char *const kRequired[] = {"policy", "workload",
+                                            "config", "seed"};
+    std::string id;
+    if (const JsonValue *s = rec.find("scenario"))
+        id += s->asString() + "/";
+    if (const JsonValue *t = rec.find("tag"))
+        id += t->asString() + "/";
+    for (const char *key : kRequired) {
+        const JsonValue *v = rec.find(key);
+        if (!v)
+            docError(docName, std::string("a result lacks \"") + key +
+                                  "\"");
+        if (key != kRequired[0])
+            id += "/";
+        id += std::string(key) == "seed" ? "seed=" + identityString(*v)
+                                         : identityString(*v);
+    }
+    if (const JsonValue *v = rec.find("variant"))
+        id += "/variant=" + v->asString();
+    return id;
+}
+
+/** Index the records of one document by unique run id. Exact
+ *  duplicates get a stable "#n" occurrence suffix so two documents
+ *  produced from the same manifest always pair up. */
+std::vector<std::pair<std::string, const JsonValue *>>
+indexRuns(const JsonValue &doc, const std::string &docName)
+{
+    std::vector<std::pair<std::string, const JsonValue *>> out;
+    std::map<std::string, int> occurrences;
+    for (const JsonValue &rec : resultsArray(doc, docName)) {
+        if (!rec.isObject())
+            docError(docName, "a result is not an object");
+        std::string id;
+        try {
+            id = runId(rec, docName);
+        } catch (const std::invalid_argument &e) {
+            // Accessor type errors (a numeric "scenario", a negative
+            // "seed") carry no document context of their own; wrap
+            // them so the diagnostic names the offending file. The
+            // docError() paths inside runId() already do.
+            const std::string what = e.what();
+            if (what.rfind(docName, 0) == 0)
+                throw;
+            docError(docName, what);
+        }
+        const int n = occurrences[id]++;
+        if (n > 0)
+            id += "#" + std::to_string(n);
+        out.emplace_back(std::move(id), &rec);
+    }
+    return out;
+}
+
+/** Band for @p metric on a run of @p policy ("placements[3]" looks up
+ *  "placements"). Relative precedence: the per-metric override (the
+ *  most specific statement), else the first matching policy-prefix
+ *  band, else the default. */
+std::pair<double, double> // (relative band, absolute floor)
+bandFor(const GateTolerance &tol, const std::string &metric,
+        const std::string &policy)
+{
+    std::string base = metric;
+    const auto bracket = base.find('[');
+    if (bracket != std::string::npos)
+        base.resize(bracket);
+    double rel = tol.relTol;
+    for (const auto &[prefix, band] : tol.perPolicyRel) {
+        if (policy.rfind(prefix, 0) == 0) {
+            rel = band;
+            break;
+        }
+    }
+    const auto relIt = tol.perMetric.find(base);
+    if (relIt != tol.perMetric.end())
+        rel = relIt->second;
+    const auto absIt = tol.perMetricAbs.find(base);
+    return {rel,
+            absIt != tol.perMetricAbs.end() ? absIt->second
+                                            : tol.absTol};
+}
+
+/** Exact compare preserving full integer precision. */
+bool
+numbersEqual(const JsonValue &a, const JsonValue &b)
+{
+    if (a.isIntegral() && b.isIntegral()) {
+        const bool negA = a.asDouble() < 0.0;
+        if (negA != (b.asDouble() < 0.0))
+            return false;
+        return negA ? a.asInt() == b.asInt() : a.asUint() == b.asUint();
+    }
+    return a.asDouble() == b.asDouble();
+}
+
+struct GateContext
+{
+    const GateTolerance &tol;
+    GateReport &report;
+};
+
+void
+compareNumeric(GateContext &ctx, const std::string &id,
+               const std::string &policy, const std::string &metric,
+               const JsonValue &base, const JsonValue &cur, bool exact)
+{
+    ctx.report.comparedMetrics++;
+    if (numbersEqual(base, cur))
+        return;
+    GateDelta d;
+    d.run = id;
+    d.metric = metric;
+    d.baseline = base.asDouble();
+    d.current = cur.asDouble();
+    if (!exact) {
+        const auto [rel, abs] = bandFor(ctx.tol, metric, policy);
+        d.tol = rel;
+        d.absTol = abs;
+    }
+    d.regression = std::abs(d.current - d.baseline) >
+                   d.tol * std::abs(d.baseline) + d.absTol;
+    ctx.report.deltas.push_back(std::move(d));
+}
+
+void
+compareRun(GateContext &ctx, const std::string &id,
+           const JsonValue &base, const JsonValue &cur,
+           const std::string &currentName)
+{
+    ctx.report.comparedRuns++;
+    // Identity fields were validated by runId(); policy selects the
+    // per-policy band family.
+    const std::string &policy = base.find("policy")->asString();
+    for (const auto &[key, bv] : base.asObject()) {
+        if (isIdentityField(key))
+            continue;
+        const JsonValue *cv = cur.find(key);
+        if (!cv) {
+            // A watched metric vanished: that is lost coverage on the
+            // metric axis, a regression like a missing run.
+            GateDelta d;
+            d.run = id;
+            d.metric = key + " (absent from " + currentName + ")";
+            d.baseline = bv.isNumber() ? bv.asDouble() : 0.0;
+            d.current = std::numeric_limits<double>::quiet_NaN();
+            d.regression = true;
+            ctx.report.deltas.push_back(std::move(d));
+            continue;
+        }
+        if (bv.isArray()) {
+            const auto &ba = bv.asArray();
+            if (!cv->isArray() || cv->asArray().size() != ba.size()) {
+                GateDelta d;
+                d.run = id;
+                d.metric = key + " (shape changed)";
+                d.regression = true;
+                ctx.report.deltas.push_back(std::move(d));
+                continue;
+            }
+            for (std::size_t i = 0; i < ba.size(); i++)
+                compareNumeric(ctx, id, policy,
+                               key + "[" + std::to_string(i) + "]",
+                               ba[i], cv->asArray()[i],
+                               isExactField(key));
+        } else if (bv.isNumber() && cv->isNumber()) {
+            compareNumeric(ctx, id, policy, key, bv, *cv,
+                           isExactField(key));
+        } else {
+            // Strings (runKey) and bools compare bit-exactly.
+            ctx.report.comparedMetrics++;
+            const bool equal =
+                bv.isString() && cv->isString()
+                    ? bv.asString() == cv->asString()
+                    : bv.isBool() && cv->isBool() &&
+                          bv.asBool() == cv->asBool();
+            if (!equal) {
+                const auto scalarText = [](const JsonValue &v) {
+                    if (v.isString())
+                        return jsonQuote(v.asString());
+                    if (v.isBool())
+                        return std::string(v.asBool() ? "true"
+                                                      : "false");
+                    return std::string("(") +
+                           (v.isNull() ? "null" : "non-scalar") + ")";
+                };
+                GateDelta d;
+                d.run = id;
+                d.metric = key;
+                d.baselineText = scalarText(bv);
+                d.currentText = scalarText(*cv);
+                d.regression = true;
+                ctx.report.deltas.push_back(std::move(d));
+            }
+        }
+    }
+}
+
+} // namespace
+
+bool
+GateReport::pass() const
+{
+    return missingRuns.empty() && regressionCount() == 0;
+}
+
+std::size_t
+GateReport::regressionCount() const
+{
+    std::size_t n = 0;
+    for (const auto &d : deltas)
+        n += d.regression ? 1 : 0;
+    return n;
+}
+
+void
+GateReport::printMarkdown(std::ostream &os) const
+{
+    if (!deltas.empty() || !missingRuns.empty()) {
+        os << "| run | metric | baseline | current | delta | band | "
+              "status |\n";
+        os << "|---|---|---|---|---|---|---|\n";
+        // Stream the fields — run ids carry full policy descriptors
+        // and can make a row arbitrarily long; a fixed buffer would
+        // truncate the status cell off the report.
+        char num[48];
+        for (const auto &d : deltas) {
+            const double pct =
+                d.baseline != 0.0
+                    ? 100.0 * (d.current - d.baseline) / d.baseline
+                    : std::numeric_limits<double>::infinity();
+            os << "| " << d.run << " | " << d.metric << " | ";
+            if (!d.baselineText.empty() || !d.currentText.empty()) {
+                // Non-numeric mismatch: show the values themselves.
+                os << d.baselineText << " | " << d.currentText
+                   << " | --";
+            } else {
+                std::snprintf(num, sizeof(num), "%.6g", d.baseline);
+                os << num << " | ";
+                std::snprintf(num, sizeof(num), "%.6g", d.current);
+                os << num << " | ";
+                if (std::isfinite(pct)) {
+                    std::snprintf(num, sizeof(num), "%+.3g%%", pct);
+                    os << num;
+                } else {
+                    // Vanished metric (NaN) or a zero baseline (inf):
+                    // a percentage is meaningless either way.
+                    os << "--";
+                }
+            }
+            std::snprintf(num, sizeof(num), "%g%%", 100.0 * d.tol);
+            os << " | " << num;
+            if (d.absTol != 0.0) {
+                std::snprintf(num, sizeof(num), "+%g", d.absTol);
+                os << num;
+            }
+            os << " | " << (d.regression ? "**REGRESSION**" : "ok")
+               << " |\n";
+        }
+        for (const auto &run : missingRuns)
+            os << "| " << run
+               << " | (run missing from current) |  |  |  |  | "
+                  "**REGRESSION** |\n";
+    }
+    os << "\n" << comparedRuns << " runs / " << comparedMetrics
+       << " metrics compared: " << regressionCount()
+       << " regressions, " << (deltas.size() - regressionCount())
+       << " in-band drifts, " << missingRuns.size() << " missing runs, "
+       << addedRuns.size() << " added runs -> "
+       << (pass() ? "PASS" : "FAIL") << "\n";
+}
+
+GateReport
+compareResults(const JsonValue &baseline, const JsonValue &current,
+               const GateTolerance &tol,
+               const std::string &baselineName,
+               const std::string &currentName)
+{
+    GateReport report;
+    GateContext ctx{tol, report};
+
+    const auto baseRuns = indexRuns(baseline, baselineName);
+    const auto curRuns = indexRuns(current, currentName);
+    std::map<std::string, const JsonValue *> curById;
+    for (const auto &[id, rec] : curRuns)
+        curById.emplace(id, rec);
+
+    std::set<std::string> matched;
+    for (const auto &[id, rec] : baseRuns) {
+        const auto it = curById.find(id);
+        if (it == curById.end()) {
+            report.missingRuns.push_back(id);
+            continue;
+        }
+        matched.insert(id);
+        try {
+            compareRun(ctx, id, *rec, *it->second, currentName);
+        } catch (const std::invalid_argument &e) {
+            // A non-numeric element inside a metric array, say; the
+            // mismatch could sit in either document, so name both.
+            throw std::invalid_argument(baselineName + " vs " +
+                                        currentName + ", run " + id +
+                                        ": " + e.what());
+        }
+    }
+    for (const auto &[id, rec] : curRuns)
+        if (!matched.count(id))
+            report.addedRuns.push_back(id);
+    return report;
+}
+
+GateReport
+compareResultsText(const std::string &baselineText,
+                   const std::string &currentText,
+                   const GateTolerance &tol,
+                   const std::string &baselineName,
+                   const std::string &currentName)
+{
+    JsonValue base, cur;
+    try {
+        base = jsonParse(baselineText);
+    } catch (const std::invalid_argument &e) {
+        throw std::invalid_argument(baselineName + ": " + e.what());
+    }
+    try {
+        cur = jsonParse(currentText);
+    } catch (const std::invalid_argument &e) {
+        throw std::invalid_argument(currentName + ": " + e.what());
+    }
+    return compareResults(base, cur, tol, baselineName, currentName);
+}
+
+} // namespace sibyl::scenario

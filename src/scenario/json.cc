@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace sibyl::scenario
@@ -598,6 +600,17 @@ jsonParse(const std::string &text)
 {
     Parser p(text);
     return p.parseDocument();
+}
+
+std::string
+readTextFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::invalid_argument("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
 }
 
 } // namespace sibyl::scenario

@@ -119,4 +119,9 @@ std::string jsonNumber(double v);
  */
 JsonValue jsonParse(const std::string &text);
 
+/** Slurp @p path; throws std::invalid_argument ("cannot open ...")
+ *  when unreadable — the one file-reading idiom shared by scenario
+ *  files, campaign manifests, and the regression-gate inputs. */
+std::string readTextFile(const std::string &path);
+
 } // namespace sibyl::scenario

@@ -1,8 +1,6 @@
 #include "scenario/scenario_spec.hh"
 
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "scenario/json.hh"
@@ -369,13 +367,8 @@ emitScenarioJson(const ScenarioSpec &s)
 ScenarioSpec
 loadScenarioFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        throw std::invalid_argument("scenario: cannot open " + path);
-    std::ostringstream buf;
-    buf << in.rdbuf();
     try {
-        return parseScenarioJson(buf.str());
+        return parseScenarioJson(readTextFile(path));
     } catch (const std::invalid_argument &e) {
         throw std::invalid_argument(path + ": " + e.what());
     }

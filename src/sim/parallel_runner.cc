@@ -4,6 +4,7 @@
 #include <fstream>
 #include <ostream>
 #include <set>
+#include <stdexcept>
 
 #include "common/thread_pool.hh"
 #include "scenario/json.hh"
@@ -246,10 +247,34 @@ ParallelRunner::runMatrix(const ExperimentMatrix &m)
 void
 writeResultsJson(std::ostream &os, const std::vector<RunRecord> &records)
 {
+    writeResultsJson(os, records, ResultsAnnotations());
+}
+
+void
+writeResultsJson(std::ostream &os, const std::vector<RunRecord> &records,
+                 const ResultsAnnotations &notes)
+{
+    if (!notes.groups.empty()) {
+        std::size_t total = 0;
+        for (const auto &g : notes.groups)
+            total += g.count;
+        if (total != records.size())
+            throw std::invalid_argument(
+                "writeResultsJson: annotation groups cover " +
+                std::to_string(total) + " records, set has " +
+                std::to_string(records.size()));
+    }
+
     // String escaping and double formatting are shared with the
     // scenario serializer (scenario::jsonQuote / jsonNumber) so the
     // two byte-determinism contracts cannot drift apart.
-    os << "{\n  \"results\": [";
+    os << "{\n";
+    if (!notes.campaign.empty())
+        os << "  \"campaign\": " << scenario::jsonQuote(notes.campaign)
+           << ",\n";
+    os << "  \"results\": [";
+    std::size_t group = 0, groupLeft =
+        notes.groups.empty() ? 0 : notes.groups[0].count;
     for (std::size_t i = 0; i < records.size(); i++) {
         const RunRecord &r = records[i];
         const RunMetrics &m = r.result.metrics;
@@ -257,7 +282,17 @@ writeResultsJson(std::ostream &os, const std::vector<RunRecord> &records)
         char key[32];
         std::snprintf(key, sizeof(key), "0x%016llx",
                       static_cast<unsigned long long>(r.runKey));
-        os << "{\"policy\": " << scenario::jsonQuote(r.result.policy)
+        os << "{";
+        if (!notes.groups.empty()) {
+            while (groupLeft == 0 && group + 1 < notes.groups.size())
+                groupLeft = notes.groups[++group].count;
+            groupLeft--;
+            os << "\"scenario\": "
+               << scenario::jsonQuote(notes.groups[group].scenario)
+               << ", \"tag\": "
+               << scenario::jsonQuote(notes.groups[group].tag) << ", ";
+        }
+        os << "\"policy\": " << scenario::jsonQuote(r.result.policy)
            << ", \"workload\": " << scenario::jsonQuote(r.result.workload)
            << ", \"config\": " << scenario::jsonQuote(r.spec.hssConfig)
            << ", \"seed\": " << r.spec.seed
@@ -307,10 +342,18 @@ bool
 writeResultsJsonFile(const std::string &path,
                      const std::vector<RunRecord> &records)
 {
+    return writeResultsJsonFile(path, records, ResultsAnnotations());
+}
+
+bool
+writeResultsJsonFile(const std::string &path,
+                     const std::vector<RunRecord> &records,
+                     const ResultsAnnotations &notes)
+{
     std::ofstream out(path);
     if (!out)
         return false;
-    writeResultsJson(out, records);
+    writeResultsJson(out, records, notes);
     return static_cast<bool>(out);
 }
 

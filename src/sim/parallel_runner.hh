@@ -212,6 +212,32 @@ class ParallelRunner
 };
 
 /**
+ * Optional annotations for writeResultsJson: a campaign identity and a
+ * partition of the record array into named scenario groups. With both
+ * empty the output is byte-identical to the unannotated form, so every
+ * existing BENCH_*.json consumer keeps working.
+ */
+struct ResultsAnnotations
+{
+    /** Emitted as a top-level "campaign" field when non-empty. */
+    std::string campaign;
+
+    /** One contiguous slice of the record array (a lowered scenario). */
+    struct Group
+    {
+        std::string scenario; ///< scenario name ("scenario" field)
+        std::string tag;      ///< manifest tag ("tag" field)
+        std::size_t count = 0;
+    };
+
+    /** When non-empty, group counts must sum to the record count;
+     *  writeResultsJson throws std::invalid_argument otherwise. Each
+     *  record in group g gains "scenario" and "tag" fields, keying the
+     *  merged set by (campaign, scenario, run). */
+    std::vector<Group> groups;
+};
+
+/**
  * Structured result sink: emit records as machine-readable JSON
  * (`{"results": [...]}`, one object per run with the spec identity and
  * the Fast-Only-normalized metrics). Doubles are printed with %.17g so
@@ -220,8 +246,19 @@ class ParallelRunner
 void writeResultsJson(std::ostream &os,
                       const std::vector<RunRecord> &records);
 
+/** Annotated form: campaign field + per-record scenario/tag keys (see
+ *  ResultsAnnotations). The regression gate diffs two such files. */
+void writeResultsJson(std::ostream &os,
+                      const std::vector<RunRecord> &records,
+                      const ResultsAnnotations &notes);
+
 /** writeResultsJson() to @p path; returns false on I/O failure. */
 bool writeResultsJsonFile(const std::string &path,
                           const std::vector<RunRecord> &records);
+
+/** Annotated writeResultsJson() to @p path. */
+bool writeResultsJsonFile(const std::string &path,
+                          const std::vector<RunRecord> &records,
+                          const ResultsAnnotations &notes);
 
 } // namespace sibyl::sim

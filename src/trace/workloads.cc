@@ -59,7 +59,7 @@ const std::vector<std::string> kMixNames = {
     "mix1", "mix2", "mix3", "mix4", "mix5", "mix6",
 };
 
-/** Table 5 composition. */
+/** Table 5 composition, or an ad-hoc "a+b[+c...]" component list. */
 std::vector<std::string>
 mixComponents(const std::string &mixName)
 {
@@ -69,6 +69,25 @@ mixComponents(const std::string &mixName)
     if (mixName == "mix4") return {"src1_0", "fileserver"};
     if (mixName == "mix5") return {"prxy_0", "oltp_rw", "fileserver"};
     if (mixName == "mix6") return {"src1_0", "ycsb_c", "fileserver"};
+    if (mixName.find('+') != std::string::npos) {
+        std::vector<std::string> components;
+        std::size_t start = 0;
+        while (start <= mixName.size()) {
+            const std::size_t plus = mixName.find('+', start);
+            const std::string comp = mixName.substr(
+                start, plus == std::string::npos ? std::string::npos
+                                                 : plus - start);
+            if (comp.empty() || !findProfile(comp))
+                throw std::invalid_argument(
+                    "unknown mix component \"" + comp + "\" in \"" +
+                    mixName + "\"");
+            components.push_back(comp);
+            if (plus == std::string::npos)
+                break;
+            start = plus + 1;
+        }
+        return components;
+    }
     throw std::invalid_argument("unknown mix: " + mixName);
 }
 

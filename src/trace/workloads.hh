@@ -68,8 +68,11 @@ Trace makeWorkload(const std::string &name, std::size_t numRequests = 0,
 std::size_t defaultTraceLength();
 
 /**
- * The six mixed workloads of Table 5 (mix1..mix6): two or three traces
- * merged with randomized relative start offsets.
+ * The six mixed workloads of Table 5 (mix1..mix6), or an ad-hoc mix
+ * written as "a+b[+c...]" over any known profiles (e.g.
+ * "prxy_1+mds_0"): two or more traces merged with randomized relative
+ * start offsets. numRequestsPerTrace is per component, so a two-way
+ * mix at 2000 yields a 4000-request trace.
  */
 Trace makeMixedWorkload(const std::string &mixName,
                         std::size_t numRequestsPerTrace = 0,

@@ -11,7 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <limits>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -246,6 +249,179 @@ TEST(Json, RejectsMalformedInput)
     EXPECT_THROW(jsonParse("\"s\"").asDouble(), std::invalid_argument);
     EXPECT_THROW(jsonParse("1.5").asInt(), std::invalid_argument);
     EXPECT_THROW(jsonParse("-3").asUint(), std::invalid_argument);
+}
+
+// ------------------- randomized JSON properties -----------------------
+
+/** Deterministic random JSON value tree (fixed-seed engine: these are
+ *  property tests, not flaky fuzzing). */
+JsonValue
+randomTree(std::mt19937_64 &rng, int depth)
+{
+    // Leaves only at the bottom; containers shrink with depth.
+    const int kinds = depth > 0 ? 7 : 5;
+    switch (rng() % kinds) {
+      case 0:
+        return JsonValue::makeNull();
+      case 1:
+        return JsonValue::of((rng() & 1) != 0);
+      case 2: // integral, anywhere in the full uint64 range
+        return JsonValue::of(static_cast<std::uint64_t>(rng()));
+      case 3: // integral, signed
+        return JsonValue::of(static_cast<std::int64_t>(rng()));
+      case 4: { // string over a hostile alphabet
+        static const char alphabet[] =
+            "ab\"\\\n\t\r\x01\x1f {}[]:,\xc3\xa9";
+        std::string s;
+        const std::size_t len = rng() % 12;
+        for (std::size_t i = 0; i < len; i++)
+            s += alphabet[rng() % (sizeof(alphabet) - 1)];
+        return JsonValue::of(std::move(s));
+      }
+      case 5: {
+        JsonValue a = JsonValue::array();
+        const std::size_t len = rng() % 4;
+        for (std::size_t i = 0; i < len; i++)
+            a.push(randomTree(rng, depth - 1));
+        return a;
+      }
+      default: {
+        JsonValue o = JsonValue::object();
+        const std::size_t len = rng() % 4;
+        for (std::size_t i = 0; i < len; i++)
+            o.set("k" + std::to_string(i) +
+                      std::string(rng() % 2, '"'),
+                  randomTree(rng, depth - 1));
+        return o;
+      }
+    }
+}
+
+TEST(JsonProperty, RandomTreesDumpParseRedumpByteIdentical)
+{
+    // dump -> parse -> dump is a fixed point for arbitrary trees: the
+    // byte-determinism contract every golden JSON comparison (merged
+    // campaign results at 1 vs N threads, scenario emit) rests on.
+    std::mt19937_64 rng(0xC0FFEE);
+    for (int iter = 0; iter < 500; iter++) {
+        const JsonValue tree = randomTree(rng, 3);
+        const std::string once = tree.dump();
+        JsonValue back;
+        ASSERT_NO_THROW(back = jsonParse(once)) << once;
+        EXPECT_EQ(back.dump(), once) << "iteration " << iter;
+    }
+}
+
+TEST(JsonProperty, RandomIntegersSurviveExactly)
+{
+    // Integral literals round-trip with full 64-bit precision — seeds
+    // live in the top half of uint64, where double would shear them.
+    std::mt19937_64 rng(0x5EED);
+    for (int iter = 0; iter < 2000; iter++) {
+        const std::uint64_t u = rng();
+        const JsonValue vu = jsonParse(JsonValue::of(u).dump());
+        ASSERT_TRUE(vu.isIntegral());
+        EXPECT_EQ(vu.asUint(), u);
+
+        const std::int64_t i = static_cast<std::int64_t>(rng());
+        const JsonValue vi = jsonParse(JsonValue::of(i).dump());
+        ASSERT_TRUE(vi.isIntegral());
+        EXPECT_EQ(vi.asInt(), i);
+    }
+}
+
+TEST(JsonProperty, RandomDoublesSurviveThe17gContract)
+{
+    // %.17g is the shortest printf precision that round-trips every
+    // finite double; random bit patterns probe the whole space
+    // (denormals included), plus the classic decimal landmines.
+    std::mt19937_64 rng(0xF107);
+    int tested = 0;
+    while (tested < 2000) {
+        const std::uint64_t bits = rng();
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        if (!std::isfinite(d) || d == 0.0)
+            continue; // JSON has no inf/nan literal; ±0 is integral
+        tested++;
+        const JsonValue v = jsonParse(JsonValue::of(d).dump());
+        ASSERT_TRUE(v.isNumber());
+        EXPECT_EQ(v.asDouble(), d) << JsonValue::of(d).dump();
+    }
+    for (const double d :
+         {0.1, 1.0 / 3.0, 1e-308, 5e-324,
+          std::numeric_limits<double>::max(),
+          std::nextafter(1.0, 2.0), 2.2250738585072011e-308}) {
+        const std::string text = JsonValue::of(d).dump();
+        EXPECT_EQ(jsonParse(text).asDouble(), d) << text;
+        EXPECT_EQ(jsonParse(text).dump(), text) << text;
+    }
+}
+
+TEST(PolicyFactoryProperty, RandomGarbageNeverResolvesQuietly)
+{
+    // Unknown names throw (with the registry listed), malformed
+    // descriptors throw — never crash, never silently build something.
+    std::mt19937_64 rng(0xBAD);
+    static const char alphabet[] =
+        "AZaz09-_{}=,|x."; // descriptor-ish characters
+    const auto &f = PolicyFactory::instance();
+    for (int iter = 0; iter < 500; iter++) {
+        std::string name = "No-Such-";
+        const std::size_t len = rng() % 10;
+        for (std::size_t i = 0; i < len; i++)
+            name += alphabet[rng() % (sizeof(alphabet) - 1)];
+        if (f.resolvable(name))
+            continue; // astronomically unlikely, but stay honest
+        try {
+            f.make(name, 2);
+            FAIL() << "accepted " << name;
+        } catch (const std::invalid_argument &) {
+        }
+    }
+    // Random parameter blobs on a real policy: reject, don't crash.
+    for (int iter = 0; iter < 500; iter++) {
+        std::string params;
+        const std::size_t len = rng() % 12;
+        for (std::size_t i = 0; i < len; i++)
+            params += alphabet[rng() % (sizeof(alphabet) - 1)];
+        const std::string desc = "Sibyl{" + params + "}";
+        try {
+            auto p = f.make(desc, 2);
+            // The rare well-formed draw (e.g. "Sibyl{}") must still
+            // produce a real Sibyl.
+            ASSERT_NE(p, nullptr) << desc;
+            EXPECT_NE(dynamic_cast<core::SibylPolicy *>(p.get()),
+                      nullptr)
+                << desc;
+        } catch (const std::invalid_argument &) {
+        }
+    }
+}
+
+TEST(PolicyFactoryProperty, DuplicateRegistrationReplacesWithoutDuplicates)
+{
+    // Re-registering a name is documented to replace the entry (tests
+    // and examples shadow built-ins); the listing must never grow a
+    // duplicate row from it.
+    auto &f = PolicyFactory::instance();
+    const auto countOf = [&](const std::string &name) {
+        std::size_t n = 0;
+        for (const auto &info : f.policies())
+            n += info.name == name ? 1 : 0;
+        return n;
+    };
+    for (int round = 0; round < 3; round++)
+        f.registerPolicy(
+            "Test-Dup", "round " + std::to_string(round),
+            [](const PolicyDesc &, std::uint32_t,
+               const core::SibylConfig &) {
+                return std::make_unique<policies::SlowOnlyPolicy>();
+            });
+    EXPECT_EQ(countOf("Test-Dup"), 1u);
+    for (const auto &info : f.policies())
+        if (info.name == "Test-Dup")
+            EXPECT_EQ(info.description, "round 2");
 }
 
 // --------------------------- ScenarioSpec -----------------------------
