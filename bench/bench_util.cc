@@ -5,10 +5,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "scenario/json.hh"
 #include "sim/parallel_runner.hh"
 
 namespace sibyl::bench
@@ -227,9 +229,9 @@ BenchJson::add(const std::string &key, double value)
 bool
 BenchJson::writeTo(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
+    // In-memory serialize, then write-tmp + atomic-rename: a bench
+    // killed mid-emit never leaves a truncated baseline file.
+    std::ostringstream out;
     out << "{\n  \"bench\": \"" << benchName_ << "\",\n  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); i++) {
         out << (i ? ",\n    " : "\n    ");
@@ -238,7 +240,7 @@ BenchJson::writeTo(const std::string &path) const
         out << '"' << metrics_[i].first << "\": " << buf;
     }
     out << "\n  }\n}\n";
-    return static_cast<bool>(out);
+    return scenario::writeTextFileAtomic(path, out.str());
 }
 
 } // namespace sibyl::bench

@@ -74,6 +74,8 @@ struct Options
     std::string jsonPath;           ///< machine-readable result dump
     std::string scenarioPath;       ///< run a scenario file instead
     std::string campaignPath;       ///< run a campaign manifest instead
+    std::string checkpointDir;      ///< campaign journal directory
+    bool resume = false;            ///< skip journaled campaign runs
     bool listPolicies = false;      ///< print the policy registry
 };
 
@@ -123,6 +125,13 @@ usage(const char *prog)
         "                      merged batch; --json writes the merged\n"
         "                      results keyed by (campaign, scenario,\n"
         "                      run) for sibyl_regress\n"
+        "  --checkpoint-dir D  journal each finished campaign run into\n"
+        "                      D (crash-safe: write-tmp + atomic\n"
+        "                      rename); with --resume, journaled runs\n"
+        "                      are skipped and the merged output is\n"
+        "                      byte-identical to an uninterrupted run\n"
+        "  --resume            skip campaign runs already journaled in\n"
+        "                      --checkpoint-dir\n"
         "  --list-policies     print every registered policy descriptor\n"
         "                      and exit\n",
         prog);
@@ -213,6 +222,12 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!(v = need(i)))
                 return false;
             opt.campaignPath = v;
+        } else if (a == "--checkpoint-dir") {
+            if (!(v = need(i)))
+                return false;
+            opt.checkpointDir = v;
+        } else if (a == "--resume") {
+            opt.resume = true;
         } else if (a == "--list-policies") {
             opt.listPolicies = true;
         } else if (a == "--json") {
@@ -251,6 +266,26 @@ listPolicies()
     std::printf("\nAny name accepts {key=value,...} parameters, e.g. "
                 "Sibyl{gamma=0.5,hidden=40x60}.\n");
     return 0;
+}
+
+/** Print every failed record to stderr; returns the failure count. */
+std::size_t
+reportFailures(const std::vector<sim::RunRecord> &records)
+{
+    std::size_t failures = 0;
+    for (const auto &rec : records) {
+        if (!rec.failed())
+            continue;
+        failures++;
+        std::fprintf(stderr,
+                     "FAILED %s/%s/%s seed=%llu (attempt %u): %s\n",
+                     rec.spec.policy.c_str(),
+                     rec.spec.workload.c_str(),
+                     rec.spec.hssConfig.c_str(),
+                     static_cast<unsigned long long>(rec.spec.seed),
+                     rec.attempts, rec.error.c_str());
+    }
+    return failures;
 }
 
 /** --scenario: run a declarative scenario file. */
@@ -300,7 +335,7 @@ runScenarioFile(const Options &opt)
                 return 1;
             }
         }
-        return 0;
+        return reportFailures(records) == 0 ? 0 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
@@ -317,24 +352,42 @@ runCampaignFile(const Options &opt)
         if (opt.threadsSet)
             spec.numThreads = opt.threads;
 
-        const auto result = scenario::runCampaign(spec);
-        std::printf("campaign %s: %zu scenarios, %zu runs\n",
+        sim::ParallelConfig pcfg;
+        pcfg.numThreads = spec.numThreads;
+        sim::ParallelRunner runner(pcfg);
+        scenario::CampaignCheckpoint ckpt;
+        ckpt.dir = opt.checkpointDir;
+        ckpt.resume = opt.resume;
+
+        const auto result = scenario::runCampaign(spec, runner, ckpt);
+        std::printf("campaign %s: %zu scenarios, %zu runs",
                     spec.name.c_str(), result.plan.scenarios.size(),
                     result.records.size());
+        if (!ckpt.dir.empty())
+            std::printf(" (%zu resumed from %s)",
+                        result.resumedCount(), ckpt.dir.c_str());
+        std::printf("\n");
 
         TextTable tab;
         tab.header({"scenario", "config", "workload", "policy", "seed",
-                    "avg latency (us)", "vs Fast-Only", "IOPS"});
+                    "avg latency (us)", "vs Fast-Only", "IOPS",
+                    "status"});
         for (const auto &cs : result.plan.scenarios) {
             for (std::size_t i = 0; i < cs.runCount; i++) {
-                const auto &rec = result.records[cs.firstRun + i];
+                const std::size_t idx = cs.firstRun + i;
+                const auto &rec = result.records[idx];
                 const auto &r = rec.result;
+                const bool resumed = idx < result.resumed.size() &&
+                                     result.resumed[idx];
                 tab.addRow({cs.tag, rec.spec.hssConfig,
                             rec.spec.workload, rec.spec.policy,
                             cell(std::uint64_t{rec.spec.seed}),
                             cell(r.metrics.avgLatencyUs, 1),
                             cell(r.normalizedLatency, 3),
-                            cell(r.metrics.iops, 0)});
+                            cell(r.metrics.iops, 0),
+                            rec.failed()
+                                ? "FAILED"
+                                : (resumed ? "resumed" : "ok")});
             }
         }
         if (opt.csv)
@@ -352,7 +405,9 @@ runCampaignFile(const Options &opt)
                 return 1;
             }
         }
-        return 0;
+        // Failed runs are structured records in the JSON (the gate
+        // sees them), but the batch itself did not succeed.
+        return reportFailures(result.records) == 0 ? 0 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
@@ -373,6 +428,15 @@ main(int argc, char **argv)
     if (!opt.scenarioPath.empty() && !opt.campaignPath.empty()) {
         std::fprintf(stderr,
                      "--scenario and --campaign are exclusive\n");
+        return 2;
+    }
+    if (opt.resume && opt.checkpointDir.empty()) {
+        std::fprintf(stderr, "--resume needs --checkpoint-dir\n");
+        return 2;
+    }
+    if (!opt.checkpointDir.empty() && opt.campaignPath.empty()) {
+        std::fprintf(stderr,
+                     "--checkpoint-dir applies to --campaign runs\n");
         return 2;
     }
     if (!opt.campaignPath.empty())
@@ -522,10 +586,8 @@ main(int argc, char **argv)
         for (std::size_t i = savedCheckpoints.size(); i-- > 0;) {
             if (savedCheckpoints[i].empty())
                 continue;
-            std::ofstream out(opt.saveAgent, std::ios::binary);
-            out << savedCheckpoints[i];
-            out.flush();
-            if (!out) {
+            if (!scenario::writeTextFileAtomic(opt.saveAgent,
+                                               savedCheckpoints[i])) {
                 std::fprintf(stderr, "could not write %s\n",
                              opt.saveAgent.c_str());
                 return 1;
@@ -560,5 +622,5 @@ main(int argc, char **argv)
             std::fprintf(stderr, "could not write %s\n",
                          opt.jsonPath.c_str());
     }
-    return 0;
+    return reportFailures(records) == 0 ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "common/types.hh"
 #include "energy/energy_model.hh"
 #include "rl/exploration.hh"
+#include "rl/guardrail.hh"
 
 namespace sibyl::core
 {
@@ -170,6 +171,12 @@ struct SibylConfig
 
     /** Double-DQN targets for the DQN agent family. */
     bool doubleDqn = false;
+
+    /** Agent-health guardrail (rl/guardrail.hh): monitors loss /
+     *  weights / actions and serves a heuristic fallback after a trip.
+     *  Disabled by default; when enabled it changes nothing about a
+     *  run that never trips. */
+    rl::GuardrailConfig guardrail;
 
     std::uint64_t seed = 0x51BB1;
 };

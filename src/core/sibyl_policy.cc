@@ -1,6 +1,13 @@
 #include "core/sibyl_policy.hh"
 
+#include <cmath>
+#include <limits>
+#include <sstream>
+
 #include "common/logging.hh"
+#include "policies/cde.hh"
+#include "policies/hps.hh"
+#include "rl/checkpoint.hh"
 #include "rl/dqn_agent.hh"
 #include "rl/q_table.hh"
 
@@ -9,6 +16,17 @@ namespace sibyl::core
 
 namespace
 {
+
+std::unique_ptr<policies::PlacementPolicy>
+makeFallbackPolicy(const std::string &name)
+{
+    if (name == "CDE")
+        return std::make_unique<policies::CdePolicy>();
+    if (name == "HPS")
+        return std::make_unique<policies::HpsPolicy>();
+    throw std::invalid_argument(
+        "guardrail fallback \"" + name + "\": expected CDE or HPS");
+}
 
 rl::AgentConfig
 makeAgentConfig(const SibylConfig &cfg, std::uint32_t stateDim,
@@ -77,6 +95,10 @@ SibylPolicy::SibylPolicy(const SibylConfig &cfg, std::uint32_t numDevices,
       reward_(cfg.reward)
 {
     agent_ = makeAgent(cfg_, encoder_.dimension(), numDevices_);
+    if (cfg_.guardrail.enabled) {
+        guardrail_ = std::make_unique<rl::Guardrail>(cfg_.guardrail);
+        fallback_ = makeFallbackPolicy(cfg_.guardrail.fallback);
+    }
 }
 
 rl::C51Agent &
@@ -94,6 +116,14 @@ SibylPolicy::selectPlacement(const hss::HybridSystem &sys,
                              const trace::Request &req,
                              std::size_t reqIndex)
 {
+    // During a guardrail fallback window the heuristic serves the
+    // request and training stays frozen (no transitions reach the
+    // agent). fallbackTick() re-admits the learner for the *next*
+    // request once the cool-down elapses.
+    if (guardrail_ && guardrail_->inFallback()) {
+        guardrail_->fallbackTick();
+        return fallback_->selectPlacement(sys, req, reqIndex);
+    }
     (void)reqIndex;
     // One observation buffer per policy, encoded in place; together
     // with the agent's in-place ring insert this keeps the whole
@@ -103,6 +133,16 @@ SibylPolicy::selectPlacement(const hss::HybridSystem &sys,
     // The previous transition completes now that O_{t+1} is known
     // (Algorithm 1, line 15).
     if (pendingValid_) {
+        completedTransitions_++;
+        // Fault injection for the supervision tests: from transition N
+        // onward the reward stream is NaN, modeling a broken reward
+        // function. Poisoning a single entry would leave the trip at
+        // the mercy of replay sampling; a poisoned stream makes the
+        // next training round non-finite with certainty.
+        if (guardrail_ &&
+            cfg_.guardrail.injectNanRewardAt != 0 &&
+            completedTransitions_ >= cfg_.guardrail.injectNanRewardAt)
+            pendingReward_ = std::numeric_limits<float>::quiet_NaN();
         agent_->observeTransition(pendingState_, pendingAction_,
                                   pendingReward_, obs_);
     }
@@ -112,7 +152,33 @@ SibylPolicy::selectPlacement(const hss::HybridSystem &sys,
     pendingAction_ = action;
     pendingReward_ = 0.0f;
     pendingValid_ = true;
+
+    if (guardrail_) {
+        const std::string reason =
+            guardrail_->afterDecision(*agent_, action);
+        if (!reason.empty())
+            tripGuardrail(reason);
+    }
     return static_cast<DeviceId>(action);
+}
+
+void
+SibylPolicy::tripGuardrail(const std::string &reason)
+{
+    // Freeze-and-restore: the poisoned agent (weights, optimizer
+    // state, and replay buffer alike) is discarded for a fresh build
+    // seeded from the run's own stream, then the last-good weights
+    // are restored when a snapshot exists. The in-flight transition
+    // is dropped — it was produced by the tripped agent.
+    const std::string &snapshot = guardrail_->trip(reason);
+    agent_ = makeAgent(cfg_, encoder_.dimension(), numDevices_);
+    if (!snapshot.empty()) {
+        std::istringstream in(snapshot, std::ios::binary);
+        if (rl::loadCheckpoint(*agent_, in).empty())
+            guardrail_->markRestored();
+    }
+    pendingValid_ = false;
+    fallback_->reset();
 }
 
 void
@@ -135,7 +201,12 @@ void
 SibylPolicy::reset()
 {
     pendingValid_ = false;
+    completedTransitions_ = 0;
     agent_ = makeAgent(cfg_, encoder_.dimension(), numDevices_);
+    if (cfg_.guardrail.enabled) {
+        guardrail_ = std::make_unique<rl::Guardrail>(cfg_.guardrail);
+        fallback_ = makeFallbackPolicy(cfg_.guardrail.fallback);
+    }
 }
 
 } // namespace sibyl::core

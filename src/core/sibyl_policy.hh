@@ -21,6 +21,7 @@
 #include "policies/policy.hh"
 #include "rl/agent.hh"
 #include "rl/c51_agent.hh"
+#include "rl/guardrail.hh"
 
 namespace sibyl::core
 {
@@ -58,7 +59,11 @@ class SibylPolicy : public policies::PlacementPolicy
     const StateEncoder &encoder() const { return encoder_; }
     const SibylConfig &config() const { return cfg_; }
 
+    /** The agent-health guardrail, or nullptr when not enabled. */
+    const rl::Guardrail *guardrail() const { return guardrail_.get(); }
+
   private:
+    void tripGuardrail(const std::string &reason);
     SibylConfig cfg_;
     std::uint32_t numDevices_;
     std::string displayName_;
@@ -77,6 +82,14 @@ class SibylPolicy : public policies::PlacementPolicy
     // Reused per-request observation buffer (swapped with
     // pendingState_ each request, so neither ever reallocates).
     ml::Vector obs_;
+
+    // Run supervision (null unless cfg.guardrail.enabled): the
+    // guardrail state machine, the heuristic that serves fallback
+    // windows, and the completed-transition counter driving the
+    // deterministic NaN-reward fault injection.
+    std::unique_ptr<rl::Guardrail> guardrail_;
+    std::unique_ptr<policies::PlacementPolicy> fallback_;
+    std::uint64_t completedTransitions_ = 0;
 };
 
 } // namespace sibyl::core

@@ -1,5 +1,9 @@
 #include "device/fault_model.hh"
 
+#include <cmath>
+#include <cstdio>
+#include <string>
+
 #include "common/logging.hh"
 
 namespace sibyl::device
@@ -11,19 +15,74 @@ FaultConfig::enabled() const
     return readErrorProb > 0.0 || writeErrorProb > 0.0 || !windows.empty();
 }
 
+namespace
+{
+
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+validateWindow(const DegradedWindow &w)
+{
+    // Explicit finiteness checks first: NaN compares false against
+    // everything, so "startUs < endUs" alone would wave NaN through.
+    if (!std::isfinite(w.startUs) || !std::isfinite(w.endUs))
+        return "window bounds must be finite (got [" + num(w.startUs) +
+               ", " + num(w.endUs) + "))";
+    if (w.endUs <= w.startUs)
+        return "window must end after it starts (got [" +
+               num(w.startUs) + ", " + num(w.endUs) + "))";
+    // The runtime FaultModel aborts on multiplier <= 0; reject the
+    // same set here so a bad scenario is a diagnostic, not an abort.
+    if (!std::isfinite(w.latencyMultiplier) || w.latencyMultiplier <= 0.0)
+        return "latencyMultiplier must be finite and > 0 (got " +
+               num(w.latencyMultiplier) + ")";
+    return "";
+}
+
+std::string
+validateFaultConfig(const FaultConfig &cfg)
+{
+    const auto prob = [](const char *name, double p) -> std::string {
+        if (std::isnan(p) || p < 0.0 || p > 1.0)
+            return std::string(name) + " must be in [0, 1] (got " +
+                   num(p) + ")";
+        return "";
+    };
+    std::string err = prob("readErrorProb", cfg.readErrorProb);
+    if (err.empty())
+        err = prob("writeErrorProb", cfg.writeErrorProb);
+    if (!err.empty())
+        return err;
+    if (!std::isfinite(cfg.retryMultiplier) || cfg.retryMultiplier < 0.0)
+        return "retryMultiplier must be finite and >= 0 (got " +
+               num(cfg.retryMultiplier) + ")";
+    if (!std::isfinite(cfg.recoveryUs) || cfg.recoveryUs < 0.0)
+        return "recoveryUs must be finite and >= 0 (got " +
+               num(cfg.recoveryUs) + ")";
+    for (std::size_t i = 0; i < cfg.windows.size(); i++) {
+        err = validateWindow(cfg.windows[i]);
+        if (!err.empty())
+            return "windows[" + std::to_string(i) + "]: " + err;
+    }
+    return "";
+}
+
 FaultModel::FaultModel(FaultConfig cfg) : cfg_(std::move(cfg))
 {
-    if (cfg_.readErrorProb < 0.0 || cfg_.readErrorProb > 1.0 ||
-        cfg_.writeErrorProb < 0.0 || cfg_.writeErrorProb > 1.0)
-        fatal("FaultModel: error probabilities must be in [0,1]");
-    if (cfg_.retryMultiplier < 0.0)
-        fatal("FaultModel: retryMultiplier must be >= 0");
-    for (const auto &w : cfg_.windows) {
-        if (w.endUs < w.startUs)
-            fatal("FaultModel: degradation window ends before it starts");
-        if (w.latencyMultiplier <= 0.0)
-            fatal("FaultModel: window latencyMultiplier must be > 0");
-    }
+    // One source of truth with the scenario-lowering validation: the
+    // old ad-hoc range checks here waved NaN probabilities through
+    // (NaN compares false against every bound).
+    const std::string err = validateFaultConfig(cfg_);
+    if (!err.empty())
+        fatal("FaultModel: " + err);
 }
 
 double

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
@@ -72,6 +73,19 @@ struct FaultConfig
     /** True when any mechanism can fire. */
     bool enabled() const;
 };
+
+/** Validate one degradation window: finite bounds, end > start, and a
+ *  positive finite multiplier. Returns "" when well-formed, else a
+ *  diagnostic naming the offending value (no "DegradedWindow" prefix —
+ *  callers add their own context, e.g. "faultWindows[2]: ..."). */
+std::string validateWindow(const DegradedWindow &w);
+
+/** Validate a whole FaultConfig the same way: probabilities in [0, 1],
+ *  non-negative finite multiplier/recovery, well-formed windows.
+ *  Scenario lowering rejects configs this flags instead of silently
+ *  simulating nonsense (NaN probabilities never fire, negative
+ *  multipliers produce time travel). */
+std::string validateFaultConfig(const FaultConfig &cfg);
 
 /** Aggregate fault-handling counters. */
 struct FaultCounters

@@ -41,7 +41,11 @@ softmaxCrossEntropy(const Vector &logits, const Vector &target,
     float loss = 0.0f;
     for (std::size_t i = 0; i < logits.size(); i++) {
         const float p = std::max(gradLogits[i], 1e-12f);
-        if (target[i] > 0.0f)
+        // "!= 0" and not "> 0": identical for valid (non-negative)
+        // targets, but a NaN target weight must reach the loss — a
+        // poisoned reward that silently zeroes its own loss term
+        // would corrupt the weights while reporting perfect health.
+        if (target[i] != 0.0f)
             loss -= target[i] * std::log(p);
         gradLogits[i] -= target[i];
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace sibyl::rl
@@ -45,6 +46,14 @@ void
 CategoricalSupport::project(const float *nextProbs, double reward,
                             double gamma, ml::Vector &target) const
 {
+    // A non-finite reward must surface as a non-finite training loss,
+    // not launder itself into a valid distribution: clamp(NaN) stays
+    // NaN and the floor-then-cast below would be UB on it.
+    if (!std::isfinite(reward)) {
+        target.assign(atoms_,
+                      std::numeric_limits<float>::quiet_NaN());
+        return;
+    }
     target.assign(atoms_, 0.0f);
     for (std::uint32_t i = 0; i < atoms_; i++) {
         double p = nextProbs[i];

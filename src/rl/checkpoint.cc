@@ -1,5 +1,6 @@
 #include "rl/checkpoint.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -37,6 +38,20 @@ readPod(std::istream &in, T &v)
 {
     in.read(reinterpret_cast<char *>(&v), sizeof(T));
     return static_cast<bool>(in);
+}
+
+/** FNV-1a over the serialized payload: cheap, dependency-free, and
+ *  enough to catch the truncation/bit-flip corruption class (this is
+ *  an integrity check against accidental damage, not an authenticator). */
+std::uint64_t
+payloadChecksum(const std::string &payload)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : payload) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
 }
 
 void
@@ -84,26 +99,34 @@ configOf(const Agent &agent)
 void
 saveCheckpoint(const Agent &agent, std::ostream &out)
 {
+    // Serialize the family payload to a buffer first so the header can
+    // carry its exact length and checksum (the v2 corruption guard).
+    std::ostringstream body(std::ios::binary);
+    if (const auto *c = dynamic_cast<const C51Agent *>(&agent)) {
+        writeFloats(body, c->trainingNetwork().saveParams());
+    } else if (const auto *d = dynamic_cast<const DqnAgent *>(&agent)) {
+        writeFloats(body, d->trainingNetwork().saveParams());
+    } else {
+        const auto &q = dynamic_cast<const QTableAgent &>(agent);
+        writePod(body, static_cast<std::uint64_t>(q.table().size()));
+        for (const auto &[key, row] : q.table()) {
+            writePod(body, key);
+            for (double v : row)
+                writePod(body, v);
+        }
+    }
+    const std::string payload = body.str();
+
     out.write(kMagic, sizeof(kMagic));
     writePod(out, kCheckpointVersion);
     const AgentConfig &cfg = configOf(agent);
     writePod(out, static_cast<std::uint32_t>(familyOf(agent)));
     writePod(out, cfg.stateDim);
     writePod(out, cfg.numActions);
-
-    if (const auto *c = dynamic_cast<const C51Agent *>(&agent)) {
-        writeFloats(out, c->trainingNetwork().saveParams());
-    } else if (const auto *d = dynamic_cast<const DqnAgent *>(&agent)) {
-        writeFloats(out, d->trainingNetwork().saveParams());
-    } else {
-        const auto &q = dynamic_cast<const QTableAgent &>(agent);
-        writePod(out, static_cast<std::uint64_t>(q.table().size()));
-        for (const auto &[key, row] : q.table()) {
-            writePod(out, key);
-            for (double v : row)
-                writePod(out, v);
-        }
-    }
+    writePod(out, static_cast<std::uint64_t>(payload.size()));
+    writePod(out, payloadChecksum(payload));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
 }
 
 std::string
@@ -135,9 +158,38 @@ loadCheckpoint(Agent &agent, std::istream &in)
         return err.str();
     }
 
+    std::uint64_t payloadSize = 0;
+    std::uint64_t checksum = 0;
+    if (!readPod(in, payloadSize) || !readPod(in, checksum))
+        return "truncated checkpoint header";
+    if (payloadSize > (1ull << 32))
+        return "implausible payload size (corrupt header)";
+    // Chunked read: a corrupted size field must not trigger a giant
+    // upfront allocation — memory use is bounded by the bytes that
+    // actually exist, and a short stream is a clean truncation error.
+    std::string payload;
+    char chunk[65536];
+    for (std::uint64_t left = payloadSize; left > 0;) {
+        const std::streamsize want = static_cast<std::streamsize>(
+            std::min<std::uint64_t>(left, sizeof(chunk)));
+        in.read(chunk, want);
+        const std::streamsize got = in.gcount();
+        payload.append(chunk, static_cast<std::size_t>(got));
+        left -= static_cast<std::uint64_t>(got);
+        if (got < want)
+            return "truncated checkpoint payload";
+    }
+    if (payloadChecksum(payload) != checksum)
+        return "checkpoint payload checksum mismatch (corrupted)";
+
+    // Past this point the payload is byte-exact as written; every
+    // family still parses into temporaries before touching the agent,
+    // so any residual mismatch (e.g. a different hidden-layer topology
+    // with the same state/action dims) leaves the agent untouched.
+    std::istringstream body(payload, std::ios::binary);
     if (auto *c = dynamic_cast<C51Agent *>(&agent)) {
         std::vector<float> params;
-        if (!readFloats(in, params))
+        if (!readFloats(body, params))
             return "truncated network parameters";
         if (params.size() != c->trainingNetwork().saveParams().size())
             return "parameter count mismatch (different topology?)";
@@ -145,7 +197,7 @@ loadCheckpoint(Agent &agent, std::istream &in)
         c->syncWeights();
     } else if (auto *d = dynamic_cast<DqnAgent *>(&agent)) {
         std::vector<float> params;
-        if (!readFloats(in, params))
+        if (!readFloats(body, params))
             return "truncated network parameters";
         if (params.size() != d->trainingNetwork().saveParams().size())
             return "parameter count mismatch (different topology?)";
@@ -154,17 +206,17 @@ loadCheckpoint(Agent &agent, std::istream &in)
     } else {
         auto &q = dynamic_cast<QTableAgent &>(agent);
         std::uint64_t entries = 0;
-        if (!readPod(in, entries) || entries > (1ull << 32))
+        if (!readPod(body, entries) || entries > (1ull << 32))
             return "truncated table header";
         std::unordered_map<std::uint64_t, std::vector<double>> table;
         table.reserve(entries);
         for (std::uint64_t i = 0; i < entries; i++) {
             std::uint64_t key = 0;
-            if (!readPod(in, key))
+            if (!readPod(body, key))
                 return "truncated table entry";
             std::vector<double> row(numActions);
             for (auto &v : row)
-                if (!readPod(in, v))
+                if (!readPod(body, v))
                     return "truncated table row";
             table.emplace(key, std::move(row));
         }

@@ -11,9 +11,18 @@
  * on load, so a checkpoint can never be silently applied to a
  * mismatched agent.
  *
- * Format (little-endian):
+ * Format v2 (little-endian):
  *   magic "SBYLCKPT" | version u32 | family tag u32 |
- *   stateDim u32 | numActions u32 | payload (family-specific).
+ *   stateDim u32 | numActions u32 |
+ *   payloadSize u64 | payloadChecksum u64 (FNV-1a over payload bytes) |
+ *   payload (family-specific).
+ *
+ * The explicit payload length plus checksum means a truncated or
+ * bit-flipped checkpoint is always *detected* — loadCheckpoint returns
+ * an error string and leaves the agent bit-identical to its pre-load
+ * state, never a half-applied restore. The run-supervision guardrail
+ * (rl/guardrail.hh) reuses this serialization for its in-memory
+ * last-good snapshots.
  */
 
 #pragma once
@@ -26,8 +35,9 @@
 namespace sibyl::rl
 {
 
-/** Checkpoint format version written by this build. */
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/** Checkpoint format version written by this build. v2 added the
+ *  payload length + FNV-1a checksum trailer to the header. */
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /**
  * Serialize @p agent's learned state to @p out.
@@ -43,8 +53,8 @@ void saveCheckpoint(const Agent &agent, std::ostream &out);
  * Restore learned state saved by saveCheckpoint() into @p agent.
  *
  * @return Empty string on success, otherwise a description of the
- *         mismatch (wrong magic/version/family/dimensions), in which
- *         case @p agent is unchanged.
+ *         mismatch (wrong magic/version/family/dimensions, truncated
+ *         or corrupted payload), in which case @p agent is unchanged.
  */
 std::string loadCheckpoint(Agent &agent, std::istream &in);
 

@@ -1,11 +1,18 @@
 #include "scenario/campaign.hh"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <ostream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+#include <type_traits>
+
+#include <sys/stat.h>
+#include <sys/types.h>
 
 namespace sibyl::scenario
 {
@@ -197,6 +204,15 @@ lowerCampaign(const CampaignSpec &spec)
     return plan;
 }
 
+std::size_t
+CampaignResult::resumedCount() const
+{
+    std::size_t n = 0;
+    for (const bool r : resumed)
+        n += r ? 1 : 0;
+    return n;
+}
+
 CampaignResult
 runCampaign(const CampaignSpec &spec, sim::ParallelRunner &runner)
 {
@@ -215,10 +231,215 @@ runCampaign(const CampaignSpec &spec)
     return runCampaign(spec, runner);
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint / resume
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** mkdir -p: create @p dir and any missing parents. Throws
+ *  std::invalid_argument on failure (the journal is useless if it
+ *  cannot be written, so this is a setup error, not a warning). */
+void
+makeDirs(const std::string &dir)
+{
+    std::string path;
+    std::size_t pos = 0;
+    while (pos <= dir.size()) {
+        const std::size_t slash = dir.find('/', pos);
+        path = slash == std::string::npos ? dir : dir.substr(0, slash);
+        pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+        if (path.empty())
+            continue; // leading '/' of an absolute path
+        if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
+            throw std::invalid_argument(
+                "campaign checkpoint: cannot create directory \"" +
+                path + "\": " + std::strerror(errno));
+    }
+}
+
+/** Journal entry path for plan index @p i with run key @p key. Both
+ *  are in the name: a manifest edit that reorders or changes a run
+ *  strands the stale entry under a name resume never looks up. */
+std::string
+journalPath(const std::string &dir, std::size_t i, std::uint64_t key)
+{
+    char name[48];
+    std::snprintf(name, sizeof(name), "run-%05zu-%016llx.json", i,
+                  static_cast<unsigned long long>(key));
+    return dir + "/" + name;
+}
+
+/** Fill best-effort display fields of @p rec from a parsed journal
+ *  entry — the CLI table and failure surfacing read these; the
+ *  authoritative merge bytes are the stored text itself. */
+void
+hydrateRecord(sim::RunRecord &rec, const JsonValue &doc)
+{
+    const auto str = [&](const char *key, std::string &out) {
+        if (const JsonValue *v = doc.find(key); v && v->isString())
+            out = v->asString();
+    };
+    const auto num = [&](const char *key, auto &out) {
+        if (const JsonValue *v = doc.find(key); v && v->isNumber())
+            out = static_cast<std::decay_t<decltype(out)>>(
+                v->asDouble());
+    };
+    str("status", rec.status);
+    str("error", rec.error);
+    num("attempts", rec.attempts);
+    str("policy", rec.result.policy);
+    str("workload", rec.result.workload);
+    auto &m = rec.result.metrics;
+    num("requests", m.requests);
+    num("avgLatencyUs", m.avgLatencyUs);
+    num("steadyAvgLatencyUs", m.steadyAvgLatencyUs);
+    num("p50LatencyUs", m.p50LatencyUs);
+    num("p99LatencyUs", m.p99LatencyUs);
+    num("maxLatencyUs", m.maxLatencyUs);
+    num("iops", m.iops);
+    num("makespanUs", m.makespanUs);
+    num("evictionFraction", m.evictionFraction);
+    num("fastPlacementPreference", m.fastPlacementPreference);
+    num("promotions", m.promotions);
+    num("demotions", m.demotions);
+    num("normalizedLatency", rec.result.normalizedLatency);
+    num("normalizedSteadyLatency", rec.result.normalizedSteadyLatency);
+    num("normalizedIops", rec.result.normalizedIops);
+    num("totalEnergyMj", rec.result.totalEnergyMj);
+}
+
+/** Parse and validate one journal entry: a JSON object whose runKey
+ *  matches the plan's. Returns false (entry ignored, run re-run) on
+ *  any mismatch — resume must never trust a stale or foreign file. */
+bool
+loadJournalEntry(const std::string &text, std::uint64_t expectKey,
+                 sim::RunRecord &rec)
+{
+    JsonValue doc;
+    try {
+        doc = jsonParse(text);
+    } catch (const std::invalid_argument &) {
+        return false;
+    }
+    if (!doc.isObject())
+        return false;
+    char expect[24];
+    std::snprintf(expect, sizeof(expect), "0x%016llx",
+                  static_cast<unsigned long long>(expectKey));
+    const JsonValue *key = doc.find("runKey");
+    if (!key || !key->isString() || key->asString() != expect)
+        return false;
+    hydrateRecord(rec, doc);
+    return true;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignSpec &spec, sim::ParallelRunner &runner,
+            const CampaignCheckpoint &ckpt)
+{
+    if (ckpt.dir.empty())
+        return runCampaign(spec, runner);
+
+    CampaignResult result;
+    result.plan = lowerCampaign(spec);
+    const std::size_t n = result.plan.specs.size();
+    makeDirs(ckpt.dir);
+
+    // The group (scenario, tag) each plan index serializes under —
+    // journal bytes must match the merged emit exactly, group fields
+    // included.
+    const sim::ResultsAnnotations notes =
+        result.plan.annotations(spec.name);
+    std::vector<const sim::ResultsAnnotations::Group *> groupOf(n);
+    {
+        std::size_t i = 0;
+        for (const auto &g : notes.groups)
+            for (std::size_t k = 0; k < g.count; k++)
+                groupOf[i++] = &g;
+    }
+
+    result.records.resize(n);
+    result.recordJson.resize(n);
+    result.resumed.assign(n, false);
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < n; i++) {
+        sim::RunRecord &rec = result.records[i];
+        rec.spec = result.plan.specs[i];
+        rec.runKey = sim::ParallelRunner::runKey(rec.spec);
+        if (ckpt.resume) {
+            std::string text;
+            try {
+                text = readTextFile(
+                    journalPath(ckpt.dir, i, rec.runKey));
+            } catch (const std::invalid_argument &) {
+                // No entry — the run is simply still pending.
+            }
+            if (!text.empty() &&
+                loadJournalEntry(text, rec.runKey, rec)) {
+                result.recordJson[i] = std::move(text);
+                result.resumed[i] = true;
+                continue;
+            }
+        }
+        pending.push_back(i);
+    }
+
+    std::vector<sim::RunSpec> pendingSpecs;
+    pendingSpecs.reserve(pending.size());
+    for (const std::size_t i : pending)
+        pendingSpecs.push_back(result.plan.specs[i]);
+
+    // Journal every run as it settles, from the worker that owned it.
+    // Distinct runs touch distinct pre-sized vector slots, so no lock
+    // is needed; the atomic rename keeps each entry crash-consistent.
+    const auto journal = [&](std::size_t j,
+                             const sim::RunRecord &rec) {
+        const std::size_t i = pending[j];
+        std::ostringstream os;
+        sim::writeRecordJson(os, rec, groupOf[i]);
+        result.recordJson[i] = os.str();
+        writeTextFileAtomic(journalPath(ckpt.dir, i, rec.runKey),
+                            result.recordJson[i]);
+    };
+    std::vector<sim::RunRecord> fresh =
+        runner.runAll(pendingSpecs, journal);
+    for (std::size_t j = 0; j < pending.size(); j++)
+        result.records[pending[j]] = std::move(fresh[j]);
+    return result;
+}
+
 void
 writeCampaignResultsJson(std::ostream &os, const CampaignSpec &spec,
                          const CampaignResult &result)
 {
+    // Checkpointed results carry the exact per-run bytes (journaled
+    // or freshly serialized — same serializer either way); splicing
+    // them into the writeResultsJson envelope reproduces the
+    // uninterrupted document byte-for-byte.
+    bool spliceable = !result.recordJson.empty() &&
+                      result.recordJson.size() ==
+                          result.records.size();
+    for (std::size_t i = 0; spliceable && i < result.recordJson.size();
+         i++)
+        spliceable = !result.recordJson[i].empty();
+    if (spliceable) {
+        os << "{\n";
+        if (!spec.name.empty())
+            os << "  \"campaign\": " << jsonQuote(spec.name) << ",\n";
+        os << "  \"results\": [";
+        for (std::size_t i = 0; i < result.recordJson.size(); i++)
+            os << (i ? ",\n    " : "\n    ") << result.recordJson[i];
+        std::set<std::uint64_t> seeds;
+        for (const auto &rec : result.records)
+            seeds.insert(rec.spec.seed);
+        os << "\n  ],\n  \"seedCount\": " << seeds.size() << "\n}\n";
+        return;
+    }
     sim::writeResultsJson(os, result.records,
                           result.plan.annotations(spec.name));
 }
@@ -228,8 +449,9 @@ writeCampaignResultsJsonFile(const std::string &path,
                              const CampaignSpec &spec,
                              const CampaignResult &result)
 {
-    return sim::writeResultsJsonFile(
-        path, result.records, result.plan.annotations(spec.name));
+    std::ostringstream out;
+    writeCampaignResultsJson(out, spec, result);
+    return writeTextFileAtomic(path, out.str());
 }
 
 // ---------------------------------------------------------------------
@@ -255,6 +477,16 @@ bool
 isExactField(const std::string &key)
 {
     return key == "requests" || key == "runKey";
+}
+
+/** Run-supervision bookkeeping (status/error/attempts) is compared as
+ *  a pass/fail transition up front, not metric-by-metric: an error
+ *  string or a retry count changing on a still-failing (or
+ *  still-passing) run is informational, not a regression. */
+bool
+isSupervisionField(const std::string &key)
+{
+    return key == "status" || key == "error" || key == "attempts";
 }
 
 /** The one malformed-document diagnostic shape. */
@@ -422,11 +654,43 @@ compareRun(GateContext &ctx, const std::string &id,
            const std::string &currentName)
 {
     ctx.report.comparedRuns++;
+    // Failure isolation first: a run's pass/fail status dominates its
+    // metrics. ok -> failed is lost coverage (a regression even though
+    // a failed record has no metrics to go out of band); failed -> ok
+    // is a recovery (reported as in-band drift so it shows in the
+    // table); failed -> failed compares as equal — a failed baseline
+    // must not mask the comparison forever by "missing" metrics.
+    const auto statusOf = [](const JsonValue &rec) {
+        const JsonValue *s = rec.find("status");
+        return s && s->isString() ? s->asString() : std::string("ok");
+    };
+    const std::string baseStatus = statusOf(base);
+    const std::string curStatus = statusOf(cur);
+    if (baseStatus != "ok" || curStatus != "ok") {
+        ctx.report.comparedMetrics++;
+        if (baseStatus != curStatus) {
+            GateDelta d;
+            d.run = id;
+            d.metric = "status";
+            d.baselineText = jsonQuote(baseStatus);
+            d.currentText = jsonQuote(curStatus);
+            if (curStatus != "ok") {
+                if (const JsonValue *e = cur.find("error");
+                    e && e->isString())
+                    d.currentText += " (" + e->asString() + ")";
+            }
+            d.regression = curStatus != "ok";
+            ctx.report.deltas.push_back(std::move(d));
+        }
+        // Whichever side failed carries no metrics; comparing the
+        // rest would only report that absence as noise.
+        return;
+    }
     // Identity fields were validated by runId(); policy selects the
     // per-policy band family.
     const std::string &policy = base.find("policy")->asString();
     for (const auto &[key, bv] : base.asObject()) {
-        if (isIdentityField(key))
+        if (isIdentityField(key) || isSupervisionField(key))
             continue;
         const JsonValue *cv = cur.find(key);
         if (!cv) {

@@ -122,6 +122,47 @@ struct CampaignResult
 {
     CampaignPlan plan;
     std::vector<sim::RunRecord> records;
+
+    /**
+     * Exact `sim::writeRecordJson` bytes per run, in plan order.
+     * Populated by the checkpointed runCampaign overload: fresh runs
+     * store the bytes they journal, resumed runs splice the bytes read
+     * back from the journal, and writeCampaignResultsJson assembles
+     * the merged document from these — which is what makes a resumed
+     * merge byte-identical to an uninterrupted one *by construction*,
+     * not by re-simulation. Empty on the non-checkpointed path (the
+     * merge then serializes `records` directly).
+     */
+    std::vector<std::string> recordJson;
+
+    /** Runs spliced from the journal instead of re-run (parallel to
+     *  `records`; empty when nothing was resumed). Resumed records
+     *  carry best-effort display fields parsed back from the journal;
+     *  the authoritative bytes are in `recordJson`. */
+    std::vector<bool> resumed;
+
+    std::size_t resumedCount() const;
+};
+
+/**
+ * Crash-safe campaign checkpointing. With a non-empty `dir`, every
+ * finished run is journaled as one file — written via write-tmp +
+ * atomic-rename, so a SIGKILL at any instant leaves either no entry or
+ * a complete one, never a torn file. Journal entries are keyed by
+ * (plan index, run key): editing the manifest or a scenario file
+ * changes the key and silently invalidates stale entries. With
+ * `resume`, journaled runs are skipped and their stored bytes spliced
+ * into the merged results.
+ */
+struct CampaignCheckpoint
+{
+    /** Journal directory, created (with parents) when missing.
+     *  Empty = checkpointing off. */
+    std::string dir;
+
+    /** Skip runs already journaled in `dir`; unreadable, unparsable,
+     *  or key-mismatched entries are ignored and re-run. */
+    bool resume = false;
 };
 
 /** lowerCampaign + one runner.runAll over the whole batch. */
@@ -130,6 +171,18 @@ CampaignResult runCampaign(const CampaignSpec &spec,
 
 /** Run with a fresh runner configured from spec.numThreads. */
 CampaignResult runCampaign(const CampaignSpec &spec);
+
+/**
+ * Checkpointed run (see CampaignCheckpoint): journals each run as it
+ * settles and, on resume, runs only the specs without a valid journal
+ * entry. The merged writeCampaignResultsJson output is byte-identical
+ * whether the campaign ran uninterrupted, was killed and resumed, or
+ * was resumed with every run already journaled. Throws
+ * std::invalid_argument when the journal directory cannot be created.
+ */
+CampaignResult runCampaign(const CampaignSpec &spec,
+                           sim::ParallelRunner &runner,
+                           const CampaignCheckpoint &ckpt);
 
 /** Merged results JSON keyed by (campaign, scenario, run). */
 void writeCampaignResultsJson(std::ostream &os, const CampaignSpec &spec,

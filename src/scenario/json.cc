@@ -613,4 +613,27 @@ readTextFile(const std::string &path)
     return buf.str();
 }
 
+bool
+writeTextFileAtomic(const std::string &path, const std::string &text)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(text.data(),
+                  static_cast<std::streamsize>(text.size()));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
 } // namespace sibyl::scenario

@@ -124,4 +124,16 @@ JsonValue jsonParse(const std::string &text);
  *  files, campaign manifests, and the regression-gate inputs. */
 std::string readTextFile(const std::string &path);
 
+/**
+ * Crash-safe file write: @p text goes to "@p path.tmp" first and is
+ * atomically renamed into place, so an interrupted process never
+ * leaves a truncated or half-written file at @p path — readers see
+ * either the old content or the complete new content. The one
+ * file-writing idiom shared by results/baseline JSON emission and the
+ * campaign checkpoint journal. Returns false on I/O failure (the
+ * temporary is cleaned up).
+ */
+bool writeTextFileAtomic(const std::string &path,
+                         const std::string &text);
+
 } // namespace sibyl::scenario

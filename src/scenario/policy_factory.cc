@@ -301,6 +301,34 @@ applySibylParams(core::SibylConfig &cfg, const PolicyDesc &desc)
             cfg.exploration.vdbeSigma = toDouble(desc, key, value);
         } else if (key == "vdbeDelta") {
             cfg.exploration.vdbeDelta = toDouble(desc, key, value);
+        } else if (key == "guardrail") {
+            cfg.guardrail.enabled = toBool(desc, key, value);
+        } else if (key == "guardrailSnapshotEvery") {
+            cfg.guardrail.snapshotEvery = toU32(desc, key, value);
+        } else if (key == "guardrailLossWindow") {
+            cfg.guardrail.lossWindow = toU32(desc, key, value);
+            if (cfg.guardrail.lossWindow == 0)
+                paramError(desc, "guardrailLossWindow must be >= 1");
+        } else if (key == "guardrailLossBlowup") {
+            cfg.guardrail.lossBlowupFactor = toDouble(desc, key, value);
+            if (cfg.guardrail.lossBlowupFactor <= 1.0)
+                paramError(desc, "guardrailLossBlowup must be > 1");
+        } else if (key == "guardrailLossFloor") {
+            cfg.guardrail.lossFloor = toDouble(desc, key, value);
+            if (cfg.guardrail.lossFloor < 0.0)
+                paramError(desc, "guardrailLossFloor must be >= 0");
+        } else if (key == "guardrailStuckWindow") {
+            cfg.guardrail.stuckActionWindow = toU32(desc, key, value);
+        } else if (key == "guardrailCooldown") {
+            cfg.guardrail.cooldownDecisions = toU32(desc, key, value);
+        } else if (key == "guardrailMaxTrips") {
+            cfg.guardrail.maxTrips = toU32(desc, key, value);
+        } else if (key == "guardrailFallback") {
+            if (value != "CDE" && value != "HPS")
+                paramError(desc, "guardrailFallback wants CDE|HPS");
+            cfg.guardrail.fallback = value;
+        } else if (key == "guardrailInjectNanAt") {
+            cfg.guardrail.injectNanRewardAt = toU64(desc, key, value);
         } else {
             paramError(
                 desc,
@@ -313,7 +341,11 @@ applySibylParams(core::SibylConfig &cfg, const PolicyDesc &desc)
                     "evictionOnlyPenalty enduranceWeight "
                     "enduranceCriticalDevice energyWeight power explore "
                     "epsilonStart decaySteps halfLifeSteps temperature "
-                    "vdbeSigma vdbeDelta)");
+                    "vdbeSigma vdbeDelta guardrail guardrailSnapshotEvery "
+                    "guardrailLossWindow guardrailLossBlowup "
+                    "guardrailLossFloor guardrailStuckWindow "
+                    "guardrailCooldown guardrailMaxTrips "
+                    "guardrailFallback guardrailInjectNanAt)");
         }
     }
 }

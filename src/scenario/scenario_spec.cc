@@ -220,6 +220,14 @@ parseOverride(const JsonValue &v)
                                   "\" (valid: startUs endUs "
                                   "latencyMultiplier)");
                 }
+                // Reject malformed windows at lowering time — a NaN
+                // probability or inverted window would otherwise
+                // simulate silently as "no fault".
+                const std::string err = device::validateWindow(win);
+                if (!err.empty())
+                    specError("faultWindows[" +
+                              std::to_string(ov.faultWindows.size()) +
+                              "]: " + err);
                 ov.faultWindows.push_back(win);
             }
         } else {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/sibyl_policy.hh"
 #include "energy/energy_model.hh"
 #include "policies/static_policies.hh"
 #include "scenario/policy_factory.hh"
@@ -71,6 +72,14 @@ runPolicyExperiment(const ExperimentConfig &cfg, const trace::Trace &t,
         r.totalEnergyMj +=
             energy::computeEnergy(dev, power, r.metrics.makespanUs)
                 .totalMj();
+    }
+
+    // Surface guardrail trip accounting for supervised RL runs.
+    if (const auto *sp = dynamic_cast<core::SibylPolicy *>(&policy)) {
+        if (sp->guardrail()) {
+            r.guardrailEnabled = true;
+            r.guardrail = sp->guardrail()->stats();
+        }
     }
     return r;
 }

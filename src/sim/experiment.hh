@@ -72,6 +72,13 @@ struct PolicyResult
     /** Total energy across all devices over the run, in millijoules,
      *  using the Table 3 power presets (energy ablation). */
     double totalEnergyMj = 0.0;
+
+    /** Agent-health guardrail outcome (rl/guardrail.hh). Populated —
+     *  and emitted into results JSON — only when the run's policy had
+     *  the guardrail enabled, so guardrail-free result sets stay
+     *  byte-identical. */
+    bool guardrailEnabled = false;
+    rl::GuardrailStats guardrail;
 };
 
 /** Device count of an HSS shorthand (shared by the serial harness and

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <ostream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/thread_pool.hh"
@@ -35,11 +36,46 @@ splitmix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
+/**
+ * Policy identity with run-supervision knobs stripped. The guardrail
+ * is observation-only until it trips, so arming it (or its test-only
+ * injection hooks) must not move the run onto different derived RNG
+ * streams: "Sibyl" and "Sibyl{guardrail=1}" share one trajectory,
+ * which is what makes "zero behavior change when not tripped" a
+ * testable bit-identity claim rather than a hope — and lets a
+ * NaN-injection arm share its pre-trip trajectory with the healthy
+ * arm it is compared against.
+ */
+std::string
+policyIdentity(const std::string &policy)
+{
+    const auto open = policy.find('{');
+    if (open == std::string::npos || policy.back() != '}')
+        return policy;
+    const std::string body =
+        policy.substr(open + 1, policy.size() - open - 2);
+    std::string kept;
+    for (std::size_t pos = 0; pos < body.size();) {
+        std::size_t comma = body.find(',', pos);
+        if (comma == std::string::npos)
+            comma = body.size();
+        const std::string param = body.substr(pos, comma - pos);
+        if (param.rfind("guardrail", 0) != 0) {
+            if (!kept.empty())
+                kept += ',';
+            kept += param;
+        }
+        pos = comma + 1;
+    }
+    const std::string name = policy.substr(0, open);
+    return kept.empty() ? name : name + '{' + kept + '}';
+}
+
 /** Canonical run string hashed into the run key (see header). */
 std::string
 canonicalRunString(const RunSpec &spec)
 {
-    std::string s = spec.policy;
+    std::string s = policyIdentity(spec.policy);
     s += '\0';
     s += spec.traceKey().canonical();
     s += '\0';
@@ -193,46 +229,96 @@ ParallelRunner::baselineCount() const
     return baselines_.size();
 }
 
+void
+ParallelRunner::runOne(const RunSpec &spec, RunRecord &rec,
+                       const char *&phase)
+{
+    phase = "trace";
+    auto trace = traceFor(spec);
+    phase = "baseline";
+    auto baseline = baselineFor(spec, *trace);
+
+    phase = "policy";
+    ExperimentConfig ecfg;
+    ecfg.hssConfig = spec.hssConfig;
+    ecfg.fastCapacityFrac = spec.fastCapacityFrac;
+    ecfg.seed = cfg_.deriveRunSeeds
+        ? deriveStream(rec.runKey, kDeviceJitterSalt)
+        : spec.seed;
+    ecfg.sim = spec.sim;
+    ecfg.specTweak = spec.specTweak;
+
+    core::SibylConfig sibylCfg = spec.sibylCfg;
+    if (cfg_.deriveRunSeeds)
+        sibylCfg.seed = deriveStream(rec.runKey, kAgentSalt);
+
+    auto policy = makePolicy(
+        spec.policy,
+        numHssDevices(spec.hssConfig, spec.fastCapacityFrac),
+        sibylCfg);
+    if (spec.policySetup)
+        spec.policySetup(*policy);
+
+    phase = "simulate";
+    rec.result = runPolicyExperiment(ecfg, *trace, *policy, *baseline);
+    phase = "finish";
+    if (spec.policyFinish)
+        spec.policyFinish(*policy);
+}
+
 std::vector<RunRecord>
 ParallelRunner::runAll(const std::vector<RunSpec> &specs)
 {
+    return runAll(specs, RunDoneFn());
+}
+
+std::vector<RunRecord>
+ParallelRunner::runAll(const std::vector<RunSpec> &specs,
+                       const RunDoneFn &onRunDone)
+{
     std::vector<RunRecord> records(specs.size());
+    const unsigned maxAttempts = cfg_.maxAttempts > 0
+        ? cfg_.maxAttempts
+        : 1u;
     ThreadPool::parallelFor(
         specs.size(),
         [&](std::size_t i) {
-            const RunSpec &spec = specs[i];
-            const std::uint64_t key = runKey(spec);
-
-            auto trace = traceFor(spec);
-            auto baseline = baselineFor(spec, *trace);
-
-            ExperimentConfig ecfg;
-            ecfg.hssConfig = spec.hssConfig;
-            ecfg.fastCapacityFrac = spec.fastCapacityFrac;
-            ecfg.seed = cfg_.deriveRunSeeds
-                ? deriveStream(key, kDeviceJitterSalt)
-                : spec.seed;
-            ecfg.sim = spec.sim;
-            ecfg.specTweak = spec.specTweak;
-
-            core::SibylConfig sibylCfg = spec.sibylCfg;
-            if (cfg_.deriveRunSeeds)
-                sibylCfg.seed = deriveStream(key, kAgentSalt);
-
-            auto policy = makePolicy(
-                spec.policy,
-                numHssDevices(spec.hssConfig, spec.fastCapacityFrac),
-                sibylCfg);
-            if (spec.policySetup)
-                spec.policySetup(*policy);
-
             RunRecord &rec = records[i];
-            rec.spec = spec;
-            rec.runKey = key;
-            rec.result =
-                runPolicyExperiment(ecfg, *trace, *policy, *baseline);
-            if (spec.policyFinish)
-                spec.policyFinish(*policy);
+            rec.spec = specs[i];
+            rec.runKey = runKey(specs[i]);
+            // Bounded retry: each attempt is a fresh run off the same
+            // run-key-derived streams, so a transient failure replays
+            // the identical trajectory and a success on attempt k is
+            // bit-exact to a success on attempt 1.
+            for (unsigned attempt = 1;; attempt++) {
+                rec.attempts = attempt;
+                const char *phase = "setup";
+                try {
+                    runOne(specs[i], rec, phase);
+                    rec.status = "ok";
+                    rec.error.clear();
+                    break;
+                } catch (...) {
+                    rec.status = "failed";
+                    try {
+                        throw;
+                    } catch (const std::exception &e) {
+                        rec.error =
+                            std::string(phase) + ": " + e.what();
+                    } catch (...) {
+                        rec.error = std::string(phase) +
+                                    ": unknown exception";
+                    }
+                    if (attempt < maxAttempts)
+                        continue;
+                    if (!cfg_.isolateFailures)
+                        throw;
+                    rec.result = PolicyResult();
+                    break;
+                }
+            }
+            if (onRunDone)
+                onRunDone(i, rec);
         },
         cfg_.numThreads);
     return records;
@@ -251,6 +337,86 @@ writeResultsJson(std::ostream &os, const std::vector<RunRecord> &records)
 }
 
 void
+writeRecordJson(std::ostream &os, const RunRecord &r,
+                const ResultsAnnotations::Group *group)
+{
+    // String escaping and double formatting are shared with the
+    // scenario serializer (scenario::jsonQuote / jsonNumber) so the
+    // two byte-determinism contracts cannot drift apart.
+    const RunMetrics &m = r.result.metrics;
+    char key[32];
+    std::snprintf(key, sizeof(key), "0x%016llx",
+                  static_cast<unsigned long long>(r.runKey));
+    os << "{";
+    if (group) {
+        os << "\"scenario\": " << scenario::jsonQuote(group->scenario)
+           << ", \"tag\": " << scenario::jsonQuote(group->tag) << ", ";
+    }
+    // Failed runs never produced a PolicyResult, so their identity
+    // falls back to the spec's policy descriptor / workload name.
+    os << "\"policy\": "
+       << scenario::jsonQuote(r.failed() ? r.spec.policy
+                                         : r.result.policy)
+       << ", \"workload\": "
+       << scenario::jsonQuote(r.failed() ? r.spec.workload
+                                         : r.result.workload)
+       << ", \"config\": " << scenario::jsonQuote(r.spec.hssConfig)
+       << ", \"seed\": " << r.spec.seed
+       << ", \"runKey\": \"" << key << "\"";
+    if (!r.spec.variantTag.empty())
+        os << ", \"variant\": "
+           << scenario::jsonQuote(r.spec.variantTag);
+    if (r.failed()) {
+        os << ", \"status\": " << scenario::jsonQuote(r.status)
+           << ", \"error\": " << scenario::jsonQuote(r.error)
+           << ", \"attempts\": " << r.attempts << "}";
+        return;
+    }
+    if (r.attempts > 1)
+        os << ", \"attempts\": " << r.attempts;
+    os << ", \"requests\": " << m.requests;
+    const std::pair<const char *, double> scalars[] = {
+        {"avgLatencyUs", m.avgLatencyUs},
+        {"steadyAvgLatencyUs", m.steadyAvgLatencyUs},
+        {"p50LatencyUs", m.p50LatencyUs},
+        {"p99LatencyUs", m.p99LatencyUs},
+        {"maxLatencyUs", m.maxLatencyUs},
+        {"iops", m.iops},
+        {"makespanUs", m.makespanUs},
+        {"evictionFraction", m.evictionFraction},
+        {"fastPlacementPreference", m.fastPlacementPreference},
+        {"normalizedLatency", r.result.normalizedLatency},
+        {"normalizedSteadyLatency", r.result.normalizedSteadyLatency},
+        {"normalizedIops", r.result.normalizedIops},
+        {"totalEnergyMj", r.result.totalEnergyMj},
+    };
+    for (const auto &[name, v] : scalars) {
+        os << ", \"" << name << "\": " << scenario::jsonNumber(v);
+    }
+    os << ", \"promotions\": " << m.promotions
+       << ", \"demotions\": " << m.demotions;
+    os << ", \"placements\": [";
+    for (std::size_t d = 0; d < m.placements.size(); d++)
+        os << (d ? ", " : "") << m.placements[d];
+    os << "], \"devicePagesWritten\": [";
+    for (std::size_t d = 0; d < r.result.devicePagesWritten.size(); d++)
+        os << (d ? ", " : "") << r.result.devicePagesWritten[d];
+    os << "]";
+    if (r.result.guardrailEnabled) {
+        const rl::GuardrailStats &g = r.result.guardrail;
+        os << ", \"guardrailTrips\": " << g.trips
+           << ", \"guardrailFallbackDecisions\": "
+           << g.fallbackDecisions
+           << ", \"guardrailSnapshots\": " << g.snapshots
+           << ", \"guardrailRestores\": " << g.restores;
+        if (!g.lastTripReason.empty())
+            os << ", \"guardrailLastTrip\": "
+               << scenario::jsonQuote(g.lastTripReason);
+    }
+    os << "}";
+}
+
+void
 writeResultsJson(std::ostream &os, const std::vector<RunRecord> &records,
                  const ResultsAnnotations &notes)
 {
@@ -265,9 +431,6 @@ writeResultsJson(std::ostream &os, const std::vector<RunRecord> &records,
                 std::to_string(records.size()));
     }
 
-    // String escaping and double formatting are shared with the
-    // scenario serializer (scenario::jsonQuote / jsonNumber) so the
-    // two byte-determinism contracts cannot drift apart.
     os << "{\n";
     if (!notes.campaign.empty())
         os << "  \"campaign\": " << scenario::jsonQuote(notes.campaign)
@@ -276,59 +439,15 @@ writeResultsJson(std::ostream &os, const std::vector<RunRecord> &records,
     std::size_t group = 0, groupLeft =
         notes.groups.empty() ? 0 : notes.groups[0].count;
     for (std::size_t i = 0; i < records.size(); i++) {
-        const RunRecord &r = records[i];
-        const RunMetrics &m = r.result.metrics;
         os << (i ? ",\n    " : "\n    ");
-        char key[32];
-        std::snprintf(key, sizeof(key), "0x%016llx",
-                      static_cast<unsigned long long>(r.runKey));
-        os << "{";
+        const ResultsAnnotations::Group *g = nullptr;
         if (!notes.groups.empty()) {
             while (groupLeft == 0 && group + 1 < notes.groups.size())
                 groupLeft = notes.groups[++group].count;
             groupLeft--;
-            os << "\"scenario\": "
-               << scenario::jsonQuote(notes.groups[group].scenario)
-               << ", \"tag\": "
-               << scenario::jsonQuote(notes.groups[group].tag) << ", ";
+            g = &notes.groups[group];
         }
-        os << "\"policy\": " << scenario::jsonQuote(r.result.policy)
-           << ", \"workload\": " << scenario::jsonQuote(r.result.workload)
-           << ", \"config\": " << scenario::jsonQuote(r.spec.hssConfig)
-           << ", \"seed\": " << r.spec.seed
-           << ", \"runKey\": \"" << key << "\"";
-        if (!r.spec.variantTag.empty())
-            os << ", \"variant\": "
-               << scenario::jsonQuote(r.spec.variantTag);
-        os << ", \"requests\": " << m.requests;
-        const std::pair<const char *, double> scalars[] = {
-            {"avgLatencyUs", m.avgLatencyUs},
-            {"steadyAvgLatencyUs", m.steadyAvgLatencyUs},
-            {"p50LatencyUs", m.p50LatencyUs},
-            {"p99LatencyUs", m.p99LatencyUs},
-            {"maxLatencyUs", m.maxLatencyUs},
-            {"iops", m.iops},
-            {"makespanUs", m.makespanUs},
-            {"evictionFraction", m.evictionFraction},
-            {"fastPlacementPreference", m.fastPlacementPreference},
-            {"normalizedLatency", r.result.normalizedLatency},
-            {"normalizedSteadyLatency", r.result.normalizedSteadyLatency},
-            {"normalizedIops", r.result.normalizedIops},
-            {"totalEnergyMj", r.result.totalEnergyMj},
-        };
-        for (const auto &[name, v] : scalars) {
-            os << ", \"" << name << "\": " << scenario::jsonNumber(v);
-        }
-        os << ", \"promotions\": " << m.promotions
-           << ", \"demotions\": " << m.demotions;
-        os << ", \"placements\": [";
-        for (std::size_t d = 0; d < m.placements.size(); d++)
-            os << (d ? ", " : "") << m.placements[d];
-        os << "], \"devicePagesWritten\": [";
-        for (std::size_t d = 0; d < r.result.devicePagesWritten.size();
-             d++)
-            os << (d ? ", " : "") << r.result.devicePagesWritten[d];
-        os << "]}";
+        writeRecordJson(os, records[i], g);
     }
     // Distinct experiment seeds in the record set, so downstream
     // tooling knows how many repetitions back a mean/CI aggregation.
@@ -350,11 +469,11 @@ writeResultsJsonFile(const std::string &path,
                      const std::vector<RunRecord> &records,
                      const ResultsAnnotations &notes)
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
+    // Serialize fully in memory, then write-tmp + atomic-rename: an
+    // interrupted process never leaves a truncated results file.
+    std::ostringstream out;
     writeResultsJson(out, records, notes);
-    return static_cast<bool>(out);
+    return scenario::writeTextFileAtomic(path, out.str());
 }
 
 } // namespace sibyl::sim

@@ -25,7 +25,11 @@
  *     (the trailing variantTag component is appended only when
  *     non-empty, standing in for the unhashable specTweak closure it
  *     describes). Matrix position, thread count, and result-only
- *     knobs (recordPerRequest) are deliberately excluded.
+ *     knobs (recordPerRequest) are deliberately excluded — as are the
+ *     `guardrail*` params of a policy descriptor: run supervision is
+ *     observation-only until it trips, so "Sibyl" and
+ *     "Sibyl{guardrail=1}" share one run key and therefore one
+ *     trajectory (the zero-behavior-change claim is a bit-identity).
  *  2. `deriveStream(runKey, salt)` = splitmix64(runKey ^
  *     splitmix64(salt)): independent well-mixed streams per salt.
  *  3. With `ParallelConfig::deriveRunSeeds` (the default), a run's
@@ -123,12 +127,27 @@ struct RunSpec
     trace::TraceKey traceKey() const;
 };
 
-/** One finished run. */
+/** One finished (or failed) run. */
 struct RunRecord
 {
     RunSpec spec;
     std::uint64_t runKey = 0;
     PolicyResult result;
+
+    /** "ok", or "failed" when every attempt threw — `result` is then
+     *  default-constructed and `error` carries the diagnostic. */
+    std::string status = "ok";
+
+    /** "phase: what" diagnostic of the last failed attempt (phase is
+     *  one of trace/baseline/policy/simulate/finish). */
+    std::string error;
+
+    /** Attempts consumed (1 = first try succeeded; > 1 records a
+     *  transient failure that a retry recovered, or the bound at
+     *  which a persistent failure was given up on). */
+    std::uint32_t attempts = 1;
+
+    bool failed() const { return status != "ok"; }
 };
 
 /** Orchestration knobs. */
@@ -140,6 +159,25 @@ struct ParallelConfig
 
     /** Derive per-run RNG streams from the run key (see file header). */
     bool deriveRunSeeds = true;
+
+    /**
+     * Per-run failure isolation: when true (the default) an exception
+     * in one run no longer aborts the batch — the run is recorded as
+     * a structured failure (RunRecord::status/error) and every other
+     * run completes bit-exact to a batch without it. When false, the
+     * first failure propagates out of runAll() after its retry budget
+     * is exhausted (the legacy fail-fast behavior).
+     */
+    bool isolateFailures = true;
+
+    /**
+     * Bounded retry budget per run (total attempts, >= 1). A retry is
+     * a *fresh* attempt: per-run RNG streams are pure functions of
+     * the run key, so a transient failure (e.g. an I/O hiccup in a
+     * policy hook) replays the identical trajectory, while a
+     * deterministic failure fails identically and is then recorded.
+     */
+    unsigned maxAttempts = 2;
 };
 
 /**
@@ -176,11 +214,22 @@ class ParallelRunner
   public:
     explicit ParallelRunner(ParallelConfig cfg = ParallelConfig());
 
+    /** Called after each run settles (success or recorded failure),
+     *  from the worker thread that owned the run, with the spec index
+     *  and the finished record. Used by the campaign checkpoint
+     *  journal; must be safe to call concurrently for distinct runs. */
+    using RunDoneFn =
+        std::function<void(std::size_t, const RunRecord &)>;
+
     /**
      * Run every spec and return records in spec order (index i of the
      * result corresponds to specs[i] regardless of scheduling).
      */
     std::vector<RunRecord> runAll(const std::vector<RunSpec> &specs);
+
+    /** runAll() with a per-run completion hook. */
+    std::vector<RunRecord> runAll(const std::vector<RunSpec> &specs,
+                                  const RunDoneFn &onRunDone);
 
     /** Convenience: runAll(matrix.expand()). */
     std::vector<RunRecord> runMatrix(const ExperimentMatrix &m);
@@ -202,6 +251,8 @@ class ParallelRunner
     std::shared_ptr<const trace::Trace> traceFor(const RunSpec &spec);
     std::shared_ptr<const RunMetrics>
     baselineFor(const RunSpec &spec, const trace::Trace &t);
+    void runOne(const RunSpec &spec, RunRecord &rec,
+                const char *&phase);
 
     ParallelConfig cfg_;
     trace::TraceCache traces_;
@@ -238,6 +289,19 @@ struct ResultsAnnotations
 };
 
 /**
+ * Serialize one record as the exact JSON object writeResultsJson emits
+ * for it (no surrounding array or indentation). @p group, when
+ * non-null, contributes the leading "scenario"/"tag" fields. Failed
+ * records emit the identity fields plus "status"/"error"/"attempts"
+ * and no metrics; runs that needed a retry gain an "attempts" field;
+ * guardrail-supervised runs gain "guardrail*" trip accounting. The
+ * campaign checkpoint journal stores precisely these bytes, which is
+ * what makes a resumed merge byte-identical by construction.
+ */
+void writeRecordJson(std::ostream &os, const RunRecord &r,
+                     const ResultsAnnotations::Group *group);
+
+/**
  * Structured result sink: emit records as machine-readable JSON
  * (`{"results": [...]}`, one object per run with the spec identity and
  * the Fast-Only-normalized metrics). Doubles are printed with %.17g so
@@ -252,7 +316,9 @@ void writeResultsJson(std::ostream &os,
                       const std::vector<RunRecord> &records,
                       const ResultsAnnotations &notes);
 
-/** writeResultsJson() to @p path; returns false on I/O failure. */
+/** writeResultsJson() to @p path via write-tmp + atomic-rename
+ *  (scenario::writeTextFileAtomic), so an interrupted process never
+ *  leaves a truncated results file; returns false on I/O failure. */
 bool writeResultsJsonFile(const std::string &path,
                           const std::vector<RunRecord> &records);
 

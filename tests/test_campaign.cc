@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -297,6 +299,149 @@ TEST(CampaignRun, AnnotationGroupsMustTileTheRecordSet)
         std::invalid_argument);
 }
 
+// ---------------------- checkpoint / resume ---------------------------
+
+std::string
+journalName(std::size_t i, std::uint64_t key)
+{
+    char name[48];
+    std::snprintf(name, sizeof(name), "run-%05zu-%016llx.json", i,
+                  static_cast<unsigned long long>(key));
+    return name;
+}
+
+/** Fresh journal directory (unique per call so reruns of the test
+ *  binary never resume a previous run's entries). */
+std::string
+freshCheckpointDir(const std::string &hint)
+{
+    static std::uint64_t n = 0;
+    return ::testing::TempDir() + "campaign_ckpt_" + hint + "_" +
+           std::to_string(
+               std::chrono::system_clock::now().time_since_epoch()
+                   .count()) +
+           "_" + std::to_string(n++);
+}
+
+TEST(CampaignCheckpoint, KilledAndResumedMergeIsByteIdentical)
+{
+    CampaignSpec c = threeScenarioCampaign();
+    c.numThreads = 2;
+
+    // The uninterrupted reference (no checkpointing involved at all).
+    const CampaignResult ref = runCampaign(c);
+    std::ostringstream refJson;
+    writeCampaignResultsJson(refJson, c, ref);
+
+    sim::ParallelConfig pcfg;
+    pcfg.numThreads = 2;
+    CampaignCheckpoint ckpt;
+    ckpt.dir = freshCheckpointDir("resume");
+
+    // Checkpointed full run: journals every run, merges identically.
+    {
+        sim::ParallelRunner runner(pcfg);
+        const CampaignResult full = runCampaign(c, runner, ckpt);
+        EXPECT_EQ(full.resumedCount(), 0u);
+        std::ostringstream js;
+        writeCampaignResultsJson(js, c, full);
+        EXPECT_EQ(js.str(), refJson.str());
+    }
+
+    // "Crash": drop half the journal (as if the process was SIGKILLed
+    // before those runs finished), then resume.
+    const CampaignPlan plan = lowerCampaign(c);
+    ASSERT_EQ(plan.specs.size(), 6u);
+    for (std::size_t i = 1; i < plan.specs.size(); i += 2) {
+        const std::string path =
+            ckpt.dir + "/" +
+            journalName(i, sim::ParallelRunner::runKey(plan.specs[i]));
+        ASSERT_EQ(std::remove(path.c_str()), 0) << path;
+    }
+    ckpt.resume = true;
+    sim::ParallelRunner resumeRunner(pcfg);
+    const CampaignResult resumed = runCampaign(c, resumeRunner, ckpt);
+    EXPECT_EQ(resumed.resumedCount(), 3u);
+    std::ostringstream resumedJson;
+    writeCampaignResultsJson(resumedJson, c, resumed);
+    EXPECT_EQ(resumedJson.str(), refJson.str());
+
+    // Resumed records carry hydrated display fields, not blanks.
+    ASSERT_EQ(resumed.records.size(), ref.records.size());
+    for (std::size_t i = 0; i < resumed.records.size(); i++) {
+        if (!resumed.resumed[i])
+            continue;
+        SCOPED_TRACE("resumed run " + std::to_string(i));
+        EXPECT_EQ(resumed.records[i].result.metrics.avgLatencyUs,
+                  ref.records[i].result.metrics.avgLatencyUs);
+        EXPECT_EQ(resumed.records[i].result.policy,
+                  ref.records[i].result.policy);
+    }
+
+    // Resume with the journal complete: nothing re-runs, same bytes.
+    sim::ParallelRunner again(pcfg);
+    const CampaignResult all = runCampaign(c, again, ckpt);
+    EXPECT_EQ(all.resumedCount(), 6u);
+    std::ostringstream allJson;
+    writeCampaignResultsJson(allJson, c, all);
+    EXPECT_EQ(allJson.str(), refJson.str());
+}
+
+TEST(CampaignCheckpoint, ResumeIgnoresCorruptOrForeignEntries)
+{
+    CampaignSpec c = threeScenarioCampaign();
+    c.numThreads = 2;
+    sim::ParallelConfig pcfg;
+    pcfg.numThreads = 2;
+    CampaignCheckpoint ckpt;
+    ckpt.dir = freshCheckpointDir("corrupt");
+
+    sim::ParallelRunner runner(pcfg);
+    const CampaignResult full = runCampaign(c, runner, ckpt);
+    std::ostringstream refJson;
+    writeCampaignResultsJson(refJson, c, full);
+
+    // Corrupt entry 0 (unparseable) and replace entry 2 with a valid
+    // JSON object whose runKey does not match the plan (a stale entry
+    // from an edited manifest). Resume must re-run both.
+    const CampaignPlan plan = lowerCampaign(c);
+    const auto pathOf = [&](std::size_t i) {
+        return ckpt.dir + "/" +
+               journalName(i,
+                           sim::ParallelRunner::runKey(plan.specs[i]));
+    };
+    {
+        std::ofstream out(pathOf(0), std::ios::trunc);
+        out << "{truncated garbag";
+    }
+    {
+        std::ofstream out(pathOf(2), std::ios::trunc);
+        out << "{\"policy\": \"CDE\", \"workload\": \"w\", \"config\": "
+               "\"H&M\", \"seed\": 42, \"runKey\": "
+               "\"0x0000000000000000\", \"requests\": 1}";
+    }
+    ckpt.resume = true;
+    sim::ParallelRunner resumeRunner(pcfg);
+    const CampaignResult resumed = runCampaign(c, resumeRunner, ckpt);
+    EXPECT_EQ(resumed.resumedCount(), 4u);
+    EXPECT_FALSE(resumed.resumed[0]);
+    EXPECT_FALSE(resumed.resumed[2]);
+    std::ostringstream js;
+    writeCampaignResultsJson(js, c, resumed);
+    EXPECT_EQ(js.str(), refJson.str());
+}
+
+TEST(CampaignCheckpoint, UnwritableJournalDirIsDiagnosed)
+{
+    CampaignSpec c = threeScenarioCampaign();
+    sim::ParallelConfig pcfg;
+    pcfg.numThreads = 1;
+    sim::ParallelRunner runner(pcfg);
+    CampaignCheckpoint ckpt;
+    ckpt.dir = "/proc/no/such/journal/dir";
+    EXPECT_THROW(runCampaign(c, runner, ckpt), std::invalid_argument);
+}
+
 // -------------------------- regression gate ---------------------------
 
 /** One-run results document with the given scalar metric values. */
@@ -312,6 +457,62 @@ resultsDoc(double avgLatencyUs, const std::string &runKey = "0xabc",
        << ", \"avgLatencyUs\": " << avgLatencyUs
        << ", \"placements\": [" << placements << "]}\n  ]\n}\n";
     return os.str();
+}
+
+/** One-run results document for a run that failed supervision. */
+std::string
+failedDoc(const std::string &error = "policy: boom", int attempts = 2)
+{
+    std::ostringstream os;
+    os << "{\n  \"results\": [\n    {\"policy\": \"CDE\", "
+          "\"workload\": \"w\", \"config\": \"H&M\", \"seed\": 42, "
+          "\"runKey\": \"0xabc\", \"status\": \"failed\", "
+          "\"error\": \""
+       << error << "\", \"attempts\": " << attempts << "}\n  ]\n}\n";
+    return os.str();
+}
+
+TEST(RegressionGate, StatusTransitionsGateCoverageNotErrorText)
+{
+    const std::string ok = resultsDoc(10.0);
+
+    // A run that passed at baseline and fails now is a regression,
+    // and the gate surfaces the failure's error text.
+    const GateReport broke =
+        compareResultsText(ok, failedDoc(), GateTolerance());
+    EXPECT_FALSE(broke.pass());
+    ASSERT_EQ(broke.deltas.size(), 1u);
+    EXPECT_EQ(broke.deltas[0].metric, "status");
+    EXPECT_TRUE(broke.deltas[0].regression);
+    EXPECT_NE(broke.deltas[0].currentText.find("boom"),
+              std::string::npos);
+
+    // The reverse transition (a baseline failure now passing) is an
+    // informational delta, not a regression.
+    const GateReport fixedUp =
+        compareResultsText(failedDoc(), ok, GateTolerance());
+    EXPECT_TRUE(fixedUp.pass());
+    ASSERT_EQ(fixedUp.deltas.size(), 1u);
+    EXPECT_EQ(fixedUp.deltas[0].metric, "status");
+    EXPECT_FALSE(fixedUp.deltas[0].regression);
+
+    // Two failed runs compare equal even when the error text or the
+    // attempt count drifted: the gate tracks coverage, not messages.
+    const GateReport still = compareResultsText(
+        failedDoc(), failedDoc("simulate: other cause", 1),
+        GateTolerance());
+    EXPECT_TRUE(still.pass());
+    EXPECT_TRUE(still.deltas.empty());
+
+    // An ok run that needed a retry ("attempts": 2) is metric-equal to
+    // one that passed first try: supervision bookkeeping is not gated.
+    std::string retried = resultsDoc(10.0);
+    const std::string needle = "\"requests\"";
+    retried.insert(retried.find(needle), "\"attempts\": 2, ");
+    EXPECT_TRUE(
+        compareResultsText(ok, retried, GateTolerance()).pass());
+    EXPECT_TRUE(
+        compareResultsText(retried, ok, GateTolerance()).pass());
 }
 
 TEST(RegressionGate, ExactByDefaultAndBandsWhenAsked)

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "rl/c51_agent.hh"
@@ -210,6 +211,129 @@ TEST(Checkpoint, MissingFileReportsError)
     const auto err =
         loadCheckpointFile(a, "/nonexistent/dir/ckpt.bin");
     EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+}
+
+// -------------------- corruption fuzz (never crash) -------------------
+//
+// The guardrail restores agents from these bytes mid-run and the CLI
+// loads them from user-supplied files, so the contract is absolute:
+// any corruption yields a non-empty error string, no crash, and the
+// target agent bit-identical to its pre-load state. Bit-identity is
+// checked the strong way — re-serializing the victim agent must
+// produce the same bytes as before the poisoned load.
+
+/** Serialized state of @p agent, the bit-identity witness. */
+template <typename AgentT>
+std::string
+agentBytes(const AgentT &agent)
+{
+    std::ostringstream buf(std::ios::binary);
+    saveCheckpoint(agent, buf);
+    return buf.str();
+}
+
+template <typename AgentT>
+void
+fuzzTruncations(std::uint64_t seed)
+{
+    AgentT trained(smallConfig(1));
+    trainABit(trained);
+    const std::string bytes = agentBytes(trained);
+
+    AgentT victim(smallConfig(2));
+    trainABit(victim, 120);
+    const std::string before = agentBytes(victim);
+
+    Pcg32 rng(seed);
+    for (int t = 0; t < 48; t++) {
+        const auto cut = static_cast<std::size_t>(rng.nextBounded(
+            static_cast<std::uint32_t>(bytes.size())));
+        std::istringstream in(bytes.substr(0, cut), std::ios::binary);
+        EXPECT_NE(loadCheckpoint(victim, in), "") << "cut=" << cut;
+        EXPECT_EQ(agentBytes(victim), before) << "cut=" << cut;
+    }
+}
+
+template <typename AgentT>
+void
+fuzzBitFlips(std::uint64_t seed)
+{
+    AgentT trained(smallConfig(1));
+    trainABit(trained);
+    const std::string bytes = agentBytes(trained);
+
+    AgentT victim(smallConfig(2));
+    trainABit(victim, 120);
+    const std::string before = agentBytes(victim);
+
+    Pcg32 rng(seed);
+    for (int t = 0; t < 96; t++) {
+        std::string bad = bytes;
+        const auto pos = static_cast<std::size_t>(rng.nextBounded(
+            static_cast<std::uint32_t>(bad.size())));
+        bad[pos] = static_cast<char>(
+            static_cast<unsigned char>(bad[pos]) ^
+            (1u << rng.nextBounded(8)));
+        std::istringstream in(bad, std::ios::binary);
+        // Every byte of the format is load-bearing (magic, header
+        // fields, checksum, payload), so every single-bit flip must
+        // surface as an error...
+        EXPECT_NE(loadCheckpoint(victim, in), "")
+            << "flipped byte " << pos;
+        // ...and must never leak half-parsed state into the agent.
+        EXPECT_EQ(agentBytes(victim), before) << "flipped byte " << pos;
+    }
+}
+
+TEST(CheckpointFuzz, C51TruncationsAlwaysErrorAgentUntouched)
+{
+    fuzzTruncations<C51Agent>(0xC51F00D);
+}
+
+TEST(CheckpointFuzz, QTableTruncationsAlwaysErrorAgentUntouched)
+{
+    fuzzTruncations<QTableAgent>(0x7AB1E);
+}
+
+TEST(CheckpointFuzz, C51BitFlipsAlwaysErrorAgentUntouched)
+{
+    fuzzBitFlips<C51Agent>(0xB17F11B);
+}
+
+TEST(CheckpointFuzz, DqnBitFlipsAlwaysErrorAgentUntouched)
+{
+    fuzzBitFlips<DqnAgent>(0xD06);
+}
+
+TEST(CheckpointFuzz, QTableBitFlipsAlwaysErrorAgentUntouched)
+{
+    fuzzBitFlips<QTableAgent>(0x5EED);
+}
+
+TEST(CheckpointFuzz, LyingPayloadSizeDoesNotAllocateTheClaim)
+{
+    // A corrupted header claiming a near-2^32 payload must fail as a
+    // truncation without trying to materialize the claimed size (the
+    // loader reads in bounded chunks). The flip also perturbs the
+    // stored checksum ordering, but truncation fires first.
+    C51Agent trained(smallConfig(1));
+    trainABit(trained);
+    std::string bytes = agentBytes(trained);
+    // Header layout: magic(8) version(4) family(4) stateDim(4)
+    // numActions(4) payloadSize(8) checksum(8) payload.
+    const std::size_t sizeOff = 8 + 4 + 4 + 4 + 4;
+    std::uint64_t lying = (1ull << 32) - 1;
+    std::memcpy(&bytes[sizeOff], &lying, sizeof(lying));
+
+    C51Agent victim(smallConfig(2));
+    trainABit(victim, 120);
+    const std::string before = agentBytes(victim);
+    std::istringstream in(bytes, std::ios::binary);
+    const auto err = loadCheckpoint(victim, in);
+    EXPECT_NE(err.find("truncated checkpoint payload"),
+              std::string::npos)
+        << err;
+    EXPECT_EQ(agentBytes(victim), before);
 }
 
 } // namespace

@@ -13,8 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "common/rng.hh"
@@ -240,8 +243,11 @@ TEST(ParallelRunner, ExternalTraceRunsDeterministically)
     EXPECT_EQ(serial[0].result.metrics.requests, 1500u);
 }
 
-TEST(ParallelRunner, UnknownPolicyPropagatesFromWorkers)
+TEST(ParallelRunner, UnknownPolicyBecomesStructuredFailureRecord)
 {
+    // Failure isolation (the default): a run that cannot even build
+    // its policy is recorded as a failure, not thrown — the rest of
+    // the batch completes.
     ExperimentMatrix m;
     m.policies = {"CDE", "NoSuchPolicy"};
     m.workloads = {"usr_0"};
@@ -249,7 +255,105 @@ TEST(ParallelRunner, UnknownPolicyPropagatesFromWorkers)
     ParallelConfig cfg;
     cfg.numThreads = 4;
     ParallelRunner runner(cfg);
+    const auto records = runner.runMatrix(m);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_FALSE(records[0].failed());
+    EXPECT_GT(records[0].result.metrics.requests, 0u);
+    ASSERT_TRUE(records[1].failed());
+    EXPECT_EQ(records[1].status, "failed");
+    // The diagnostic names the phase and carries the original what().
+    EXPECT_EQ(records[1].error.rfind("policy: ", 0), 0u);
+    EXPECT_NE(records[1].error.find("NoSuchPolicy"), std::string::npos);
+    // A deterministic failure burns the whole retry budget.
+    EXPECT_EQ(records[1].attempts, cfg.maxAttempts);
+    // Failed records serialize as identity + status/error/attempts.
+    std::ostringstream os;
+    writeResultsJson(os, records);
+    EXPECT_NE(os.str().find("\"status\": \"failed\""),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"error\": "), std::string::npos);
+}
+
+TEST(ParallelRunner, LegacyFailFastStillAvailable)
+{
+    ExperimentMatrix m;
+    m.policies = {"CDE", "NoSuchPolicy"};
+    m.workloads = {"usr_0"};
+    m.traceLen = 500;
+    ParallelConfig cfg;
+    cfg.numThreads = 4;
+    cfg.isolateFailures = false;
+    ParallelRunner runner(cfg);
     EXPECT_THROW(runner.runMatrix(m), std::invalid_argument);
+}
+
+TEST(ParallelRunner, FailedRunLeavesOtherRunsBitExact)
+{
+    RunSpec proto;
+    proto.workload = "usr_0";
+    proto.hssConfig = "H&M";
+    proto.traceLen = 500;
+    RunSpec a = proto;
+    a.policy = "CDE";
+    RunSpec b = proto;
+    b.policy = "HPS";
+    RunSpec bad = proto;
+    bad.policy = "Archivist";
+    bad.policySetup = [](policies::PlacementPolicy &) {
+        throw std::runtime_error("injected persistent fault");
+    };
+
+    ParallelConfig cfg;
+    cfg.numThreads = 4;
+    ParallelRunner clean(cfg);
+    const auto without = clean.runAll({a, b});
+    ParallelRunner mixed(cfg);
+    const auto with = mixed.runAll({a, bad, b});
+
+    ASSERT_EQ(with.size(), 3u);
+    ASSERT_TRUE(with[1].failed());
+    EXPECT_EQ(with[1].error, "policy: injected persistent fault");
+    // The healthy runs are bit-exact to a batch without the failure.
+    expectIdentical({with[0], with[2]}, without);
+}
+
+TEST(ParallelRunner, TransientFailureRetriedBitExact)
+{
+    RunSpec s;
+    s.policy = "Sibyl";
+    s.workload = "usr_0";
+    s.hssConfig = "H&M";
+    s.traceLen = 500;
+
+    RunSpec flaky = s;
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    flaky.policySetup = [calls](policies::PlacementPolicy &) {
+        if (calls->fetch_add(1) == 0)
+            throw std::runtime_error("transient glitch");
+    };
+
+    ParallelConfig cfg;
+    cfg.numThreads = 2;
+    ParallelRunner control(cfg);
+    const auto expected = control.runAll({s});
+    ParallelRunner runner(cfg);
+    const auto records = runner.runAll({flaky});
+
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_FALSE(records[0].failed());
+    // The retry consumed one extra attempt and is recorded as such...
+    EXPECT_EQ(records[0].attempts, 2u);
+    std::ostringstream os;
+    writeResultsJson(os, records);
+    EXPECT_NE(os.str().find("\"attempts\": 2"), std::string::npos);
+    // ...and the fresh attempt replayed the identical trajectory:
+    // run-key-derived streams make attempt 2 bit-exact to attempt 1.
+    EXPECT_EQ(records[0].result.metrics.avgLatencyUs,
+              expected[0].result.metrics.avgLatencyUs);
+    EXPECT_EQ(records[0].result.metrics.placements,
+              expected[0].result.metrics.placements);
+    EXPECT_EQ(records[0].result.normalizedLatency,
+              expected[0].result.normalizedLatency);
 }
 
 #if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)

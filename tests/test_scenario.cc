@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/sibyl_policy.hh"
+#include "device/fault_model.hh"
 #include "policies/static_policies.hh"
 #include "scenario/json.hh"
 #include "scenario/policy_factory.hh"
@@ -483,6 +484,82 @@ TEST(ScenarioSpec, ParseDiagnosesBadInput)
                      "{\"policies\": [\"CDE\"], \"workloads\": "
                      "[\"prxy_1\"], \"traceLen\": \"many\"}"),
                  std::invalid_argument);
+}
+
+TEST(ScenarioSpec, RejectsMalformedFaultWindowsAtLowering)
+{
+    const auto doc = [](const std::string &window) {
+        return "{\"policies\": [\"CDE\"], \"workloads\": "
+               "[\"prxy_1\"], \"deviceOverrides\": [{\"device\": 0, "
+               "\"faultWindows\": [" +
+               window + "]}]}";
+    };
+    // A well-formed window parses.
+    EXPECT_NO_THROW(parseScenarioJson(doc(
+        "{\"startUs\": 100, \"endUs\": 200, "
+        "\"latencyMultiplier\": 2}")));
+    // Inverted and zero-length windows are named by index.
+    try {
+        parseScenarioJson(doc("{\"startUs\": 200, \"endUs\": 100}"));
+        FAIL() << "inverted window accepted";
+    } catch (const std::invalid_argument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("faultWindows[0]"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("end after it starts"), std::string::npos)
+            << what;
+    }
+    EXPECT_THROW(
+        parseScenarioJson(doc("{\"startUs\": 100, \"endUs\": 100}")),
+        std::invalid_argument);
+    // Non-positive multipliers would otherwise abort the process deep
+    // inside FaultModel mid-run; lowering rejects them up front.
+    EXPECT_THROW(parseScenarioJson(
+                     doc("{\"startUs\": 0, \"endUs\": 1, "
+                         "\"latencyMultiplier\": 0}")),
+                 std::invalid_argument);
+    EXPECT_THROW(parseScenarioJson(
+                     doc("{\"startUs\": 0, \"endUs\": 1, "
+                         "\"latencyMultiplier\": -3}")),
+                 std::invalid_argument);
+}
+
+TEST(ScenarioSpec, FaultValidationDiagnosesNonFiniteValues)
+{
+    // JSON cannot spell NaN, so the non-finite class is exercised on
+    // the validators directly (they also back the FaultModel ctor).
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    device::DegradedWindow w{0.0, 10.0, 2.0};
+    EXPECT_EQ(device::validateWindow(w), "");
+    w.startUs = nan;
+    EXPECT_NE(device::validateWindow(w).find("finite"),
+              std::string::npos);
+    w = {0.0, inf, 2.0};
+    EXPECT_NE(device::validateWindow(w).find("finite"),
+              std::string::npos);
+    w = {0.0, 10.0, nan};
+    EXPECT_NE(device::validateWindow(w).find("latencyMultiplier"),
+              std::string::npos);
+
+    device::FaultConfig fc;
+    EXPECT_EQ(device::validateFaultConfig(fc), "");
+    fc.readErrorProb = nan;
+    EXPECT_NE(device::validateFaultConfig(fc).find("readErrorProb"),
+              std::string::npos);
+    fc = {};
+    fc.writeErrorProb = 1.5;
+    EXPECT_NE(device::validateFaultConfig(fc).find("[0, 1]"),
+              std::string::npos);
+    fc = {};
+    fc.retryMultiplier = -1.0;
+    EXPECT_NE(device::validateFaultConfig(fc).find("retryMultiplier"),
+              std::string::npos);
+    fc = {};
+    fc.windows.push_back({5.0, 1.0, 2.0});
+    EXPECT_NE(device::validateFaultConfig(fc).find("windows[0]"),
+              std::string::npos);
 }
 
 TEST(ScenarioSpec, SibylParamsAcceptJsonScalars)
