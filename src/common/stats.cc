@@ -95,6 +95,20 @@ void
 Histogram::add(double x)
 {
     total_++;
+    // NaN fails every range test below, and casting it to an index is
+    // undefined behavior — bucket it as overflow explicitly.
+    if (std::isnan(x)) {
+        overflow_++;
+        return;
+    }
+    if (finite_ == 0) {
+        minSeen_ = x;
+        maxSeen_ = x;
+    } else {
+        minSeen_ = std::min(minSeen_, x);
+        maxSeen_ = std::max(maxSeen_, x);
+    }
+    finite_++;
     if (x < lo_) {
         underflow_++;
         return;
@@ -113,7 +127,44 @@ void
 Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
-    underflow_ = overflow_ = total_ = 0;
+    underflow_ = overflow_ = total_ = finite_ = 0;
+    minSeen_ = maxSeen_ = 0.0;
+}
+
+double
+Histogram::minSeen() const
+{
+    return finite_ ? minSeen_ : 0.0;
+}
+
+double
+Histogram::maxSeen() const
+{
+    return finite_ ? maxSeen_ : 0.0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (lo_ != other.lo_ || hi_ != other.hi_ ||
+        counts_.size() != other.counts_.size())
+        throw std::invalid_argument(
+            "Histogram::merge: incompatible geometry");
+    for (std::size_t i = 0; i < counts_.size(); i++)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+    if (other.finite_) {
+        if (finite_ == 0) {
+            minSeen_ = other.minSeen_;
+            maxSeen_ = other.maxSeen_;
+        } else {
+            minSeen_ = std::min(minSeen_, other.minSeen_);
+            maxSeen_ = std::max(maxSeen_, other.maxSeen_);
+        }
+        finite_ += other.finite_;
+    }
 }
 
 double
@@ -132,21 +183,28 @@ double
 Histogram::quantile(double p) const
 {
     if (total_ == 0)
-        return 0.0;
+        return lo_;
     p = std::clamp(p, 0.0, 1.0);
+    const auto clampSeen = [this](double q) {
+        // Interpolation picks a point inside the containing bin; the
+        // distribution never extends past the observed extremes, so
+        // neither may the reported quantile. (With only NaN samples
+        // there is no observed range; fall back to the raw value.)
+        return finite_ ? std::clamp(q, minSeen_, maxSeen_) : q;
+    };
     double target = p * static_cast<double>(total_);
     double cum = static_cast<double>(underflow_);
     if (target <= cum)
-        return lo_;
+        return clampSeen(lo_);
     for (std::size_t i = 0; i < counts_.size(); i++) {
         double next = cum + static_cast<double>(counts_[i]);
         if (target <= next && counts_[i] > 0) {
             double frac = (target - cum) / static_cast<double>(counts_[i]);
-            return binLow(i) + frac * width_;
+            return clampSeen(binLow(i) + frac * width_);
         }
         cum = next;
     }
-    return hi_;
+    return clampSeen(hi_);
 }
 
 void

@@ -55,6 +55,10 @@ class Histogram
   public:
     Histogram(double lo, double hi, std::size_t bins);
 
+    /** Count one sample. NaN counts as overflow (it is not less than
+     *  any bound, so the tail is the only bucket that cannot
+     *  understate it); the exact min/max of finite samples are
+     *  tracked so quantile() can clamp to the observed range. */
     void add(double x);
     void reset();
 
@@ -66,11 +70,26 @@ class Histogram
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
 
+    /** Smallest/largest finite sample added (0 when none yet). */
+    double minSeen() const;
+    double maxSeen() const;
+
     /**
      * Approximate p-quantile (e.g., 0.5 for median, 0.99 for tail) by
-     * linear interpolation within the containing bin.
+     * linear interpolation within the containing bin, clamped to the
+     * [minSeen, maxSeen] range of finite samples — interpolation
+     * alone can overshoot the largest (or undershoot the smallest)
+     * observed value inside a bin, so without the clamp an all-equal
+     * sample set reports quantiles that nothing ever measured.
+     * No samples -> lo.
      */
     double quantile(double p) const;
+
+    /** Fold @p other into this histogram. Both must have identical
+     *  [lo, hi)/bin geometry; throws std::invalid_argument otherwise.
+     *  Used to aggregate per-tenant latency distributions into fleet
+     *  totals. */
+    void merge(const Histogram &other);
 
   private:
     double lo_;
@@ -80,6 +99,9 @@ class Histogram
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
     std::uint64_t total_ = 0;
+    std::uint64_t finite_ = 0;
+    double minSeen_ = 0.0;
+    double maxSeen_ = 0.0;
 };
 
 /**

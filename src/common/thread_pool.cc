@@ -8,6 +8,20 @@
 namespace sibyl
 {
 
+namespace
+{
+
+/** Set for the lifetime of ThreadPool::workerLoop on each worker. */
+thread_local bool tlsInPoolWorker = false;
+
+} // namespace
+
+bool
+ThreadPool::inWorker()
+{
+    return tlsInPoolWorker;
+}
+
 ThreadPool::ThreadPool(unsigned numThreads)
 {
     if (numThreads == 0)
@@ -49,6 +63,7 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
+    tlsInPoolWorker = true;
     for (;;) {
         std::function<void()> job;
         {
@@ -90,6 +105,13 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (numThreads == 0)
         numThreads = defaultThreads();
+    // Nested call from inside a pool worker: the outer pool already
+    // owns the cores, so spawning another pool here would only
+    // oversubscribe (and a blocking-wait design would deadlock). Run
+    // inline on this worker instead — same index order as the serial
+    // oracle, so results cannot change.
+    if (inWorker())
+        numThreads = 1;
     // Never spawn more workers than there are indices (also guards
     // against absurd widths from unvalidated user input).
     if (n < numThreads)

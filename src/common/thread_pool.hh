@@ -62,10 +62,21 @@ class ThreadPool
      * temporary pool of @p numThreads workers pulls indices from an
      * atomic counter. The first exception thrown by any iteration is
      * rethrown on the caller after all workers stopped.
+     *
+     * Re-entrant calls — parallelFor from inside a pool worker, e.g. a
+     * fleet run sharding its tenants inside a ParallelRunner batch —
+     * run inline on the calling worker regardless of @p numThreads:
+     * the outer pool already owns the machine's cores, so a nested
+     * pool could only oversubscribe. Inline-on-worker is the same
+     * serial oracle order, so results are unaffected.
      */
     static void parallelFor(std::size_t n,
                             const std::function<void(std::size_t)> &body,
                             unsigned numThreads);
+
+    /** True on a thread currently executing jobs for any ThreadPool
+     *  (the parallelFor re-entrancy signal). */
+    static bool inWorker();
 
   private:
     void workerLoop();

@@ -297,6 +297,7 @@ hydrateRecord(sim::RunRecord &rec, const JsonValue &doc)
     num("steadyAvgLatencyUs", m.steadyAvgLatencyUs);
     num("p50LatencyUs", m.p50LatencyUs);
     num("p99LatencyUs", m.p99LatencyUs);
+    num("p999LatencyUs", m.p999LatencyUs);
     num("maxLatencyUs", m.maxLatencyUs);
     num("iops", m.iops);
     num("makespanUs", m.makespanUs);
@@ -476,7 +477,8 @@ isIdentityField(const std::string &key)
 bool
 isExactField(const std::string &key)
 {
-    return key == "requests" || key == "runKey";
+    return key == "requests" || key == "runKey" ||
+           key == "tenantRequests";
 }
 
 /** Run-supervision bookkeeping (status/error/attempts) is compared as

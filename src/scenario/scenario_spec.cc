@@ -31,7 +31,8 @@ bool
 ScenarioSpec::operator==(const ScenarioSpec &o) const
 {
     return name == o.name && policies == o.policies &&
-           workloads == o.workloads && hssConfigs == o.hssConfigs &&
+           workloads == o.workloads && fleetTenants == o.fleetTenants &&
+           hssConfigs == o.hssConfigs &&
            seeds == o.seeds && mixedWorkloads == o.mixedWorkloads &&
            fastCapacityFrac == o.fastCapacityFrac &&
            traceLen == o.traceLen && traceSeed == o.traceSeed &&
@@ -97,6 +98,14 @@ ScenarioSpec::expand() const
             // the registered names).
             factory.make(p, 2);
     }
+    for (const auto &t : fleetTenants) {
+        if (!factory.resolvable(t.policy))
+            factory.make(t.policy, 2);
+        if (!(t.timeCompress >= 1.0))
+            throw std::invalid_argument(
+                "scenario \"" + name + "\": fleet tenant \"" +
+                t.workload + "\": timeCompress must be >= 1");
+    }
     for (const auto &ov : deviceOverrides) {
         for (const auto &cfg : hssConfigs) {
             const std::uint32_t n =
@@ -110,7 +119,42 @@ ScenarioSpec::expand() const
         }
     }
 
-    std::vector<sim::RunSpec> specs = toMatrix().expand();
+    std::vector<sim::RunSpec> specs;
+    if (!fleetTenants.empty()) {
+        // Fleet lowering: one run per (hssConfig, seed) cell hosting
+        // every tenant, nested in the same (hssConfig outer, seed
+        // inner) order the matrix form uses. toMatrix() still supplies
+        // the shared sim knobs / SibylConfig and its validations.
+        const sim::ExperimentMatrix m = toMatrix();
+        auto fleet = std::make_shared<sim::FleetSpec>();
+        fleet->tenants = fleetTenants;
+        std::string fleetWorkload = "fleet:";
+        for (std::size_t i = 0; i < fleetTenants.size(); i++) {
+            if (i)
+                fleetWorkload += '+';
+            fleetWorkload += fleetTenants[i].workload;
+        }
+        specs.reserve(hssConfigs.size() * seeds.size());
+        for (const auto &cfgName : hssConfigs) {
+            for (std::uint64_t sd : seeds) {
+                sim::RunSpec s;
+                s.policy = "Fleet";
+                s.workload = fleetWorkload;
+                s.hssConfig = cfgName;
+                s.fastCapacityFrac = fastCapacityFrac;
+                s.traceLen = traceLen;
+                s.traceSeed = traceSeed;
+                s.timeCompress = timeCompress;
+                s.seed = sd;
+                s.sim = m.sim;
+                s.sibylCfg = m.sibylCfg;
+                s.fleet = fleet;
+                specs.push_back(std::move(s));
+            }
+        }
+    } else {
+        specs = toMatrix().expand();
+    }
     if (!deviceOverrides.empty()) {
         // The overrides influence simulation dynamics, so their
         // canonical form rides in RunSpec::variantTag and becomes
@@ -192,6 +236,37 @@ paramString(const JsonValue &v, const std::string &key)
     specError("sibylParams." + key + " wants a string, number, or bool");
 }
 
+sim::FleetTenant
+parseFleetTenant(const JsonValue &v, std::size_t index)
+{
+    sim::FleetTenant t;
+    bool sawWorkload = false;
+    for (const auto &[key, val] : v.asObject()) {
+        if (key == "policy") {
+            t.policy = val.asString();
+        } else if (key == "workload") {
+            t.workload = val.asString();
+            sawWorkload = true;
+        } else if (key == "mixedWorkload") {
+            t.mixedWorkload = val.asBool();
+        } else if (key == "traceLen") {
+            t.traceLen = val.asUint();
+        } else if (key == "traceSeed") {
+            t.traceSeed = val.asUint();
+        } else if (key == "timeCompress") {
+            t.timeCompress = val.asDouble();
+        } else {
+            specError("unknown fleet key \"" + key +
+                      "\" (valid: policy workload mixedWorkload "
+                      "traceLen traceSeed timeCompress)");
+        }
+    }
+    if (!sawWorkload)
+        specError("fleet[" + std::to_string(index) +
+                  "] needs a \"workload\"");
+    return t;
+}
+
 DeviceOverride
 parseOverride(const JsonValue &v)
 {
@@ -259,6 +334,12 @@ parseScenarioJson(const std::string &text)
         } else if (key == "workloads") {
             s.workloads = stringList(v, "workloads");
             sawWorkloads = true;
+        } else if (key == "fleet") {
+            for (const auto &e : v.asArray())
+                s.fleetTenants.push_back(
+                    parseFleetTenant(e, s.fleetTenants.size()));
+            if (s.fleetTenants.empty())
+                specError("\"fleet\" must name at least one tenant");
         } else if (key == "hssConfigs") {
             s.hssConfigs = stringList(v, "hssConfigs");
         } else if (key == "seeds") {
@@ -289,17 +370,26 @@ parseScenarioJson(const std::string &text)
             s.numThreads = static_cast<unsigned>(v.asUint());
         } else {
             specError("unknown key \"" + key +
-                      "\" (valid: name policies workloads hssConfigs "
-                      "seeds mixedWorkloads fastCapacityFrac traceLen "
-                      "traceSeed timeCompress queueDepth "
+                      "\" (valid: name policies workloads fleet "
+                      "hssConfigs seeds mixedWorkloads fastCapacityFrac "
+                      "traceLen traceSeed timeCompress queueDepth "
                       "recordPerRequest sibylParams deviceOverrides "
                       "numThreads)");
         }
     }
-    if (!sawPolicies || s.policies.empty())
-        specError("\"policies\" must name at least one policy");
-    if (!sawWorkloads || s.workloads.empty())
-        specError("\"workloads\" must name at least one workload");
+    if (!s.fleetTenants.empty()) {
+        // A fleet scenario IS its tenant list; a policies/workloads
+        // cross-product alongside it would be ambiguous about which
+        // runs it asks for.
+        if (sawPolicies || sawWorkloads)
+            specError("\"fleet\" excludes \"policies\"/\"workloads\" "
+                      "(tenants carry their own)");
+    } else {
+        if (!sawPolicies || s.policies.empty())
+            specError("\"policies\" must name at least one policy");
+        if (!sawWorkloads || s.workloads.empty())
+            specError("\"workloads\" must name at least one workload");
+    }
     if (s.hssConfigs.empty())
         specError("\"hssConfigs\" must not be empty");
     if (s.seeds.empty())
@@ -319,8 +409,23 @@ emitScenarioJson(const ScenarioSpec &s)
             a.push(JsonValue::of(e));
         return a;
     };
-    doc.set("policies", stringArray(s.policies));
-    doc.set("workloads", stringArray(s.workloads));
+    if (s.fleetTenants.empty()) {
+        doc.set("policies", stringArray(s.policies));
+        doc.set("workloads", stringArray(s.workloads));
+    } else {
+        JsonValue fleet = JsonValue::array();
+        for (const auto &t : s.fleetTenants) {
+            JsonValue tv = JsonValue::object();
+            tv.set("policy", JsonValue::of(t.policy));
+            tv.set("workload", JsonValue::of(t.workload));
+            tv.set("mixedWorkload", JsonValue::of(t.mixedWorkload));
+            tv.set("traceLen", JsonValue::of(std::uint64_t{t.traceLen}));
+            tv.set("traceSeed", JsonValue::of(t.traceSeed));
+            tv.set("timeCompress", JsonValue::of(t.timeCompress));
+            fleet.push(tv);
+        }
+        doc.set("fleet", fleet);
+    }
     doc.set("hssConfigs", stringArray(s.hssConfigs));
     JsonValue seeds = JsonValue::array();
     for (auto sd : s.seeds)

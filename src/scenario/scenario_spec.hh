@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "device/fault_model.hh"
+#include "sim/fleet.hh"
 #include "sim/parallel_runner.hh"
 
 namespace sibyl::scenario
@@ -62,11 +63,21 @@ struct ScenarioSpec
     /** Scenario identifier (reports, file names). */
     std::string name = "scenario";
 
-    /** Policy descriptors (scenario::PolicyFactory grammar). */
+    /** Policy descriptors (scenario::PolicyFactory grammar). Mutually
+     *  exclusive with `fleetTenants`. */
     std::vector<std::string> policies;
 
-    /** Workload profile names — or mix names when mixedWorkloads. */
+    /** Workload profile names — or mix names when mixedWorkloads.
+     *  Mutually exclusive with `fleetTenants`. */
     std::vector<std::string> workloads;
+
+    /** Multi-tenant fleet scenario (JSON key "fleet"): instead of a
+     *  policies x workloads cross-product, every (hssConfig, seed)
+     *  cell hosts ALL of these tenants in one interleaved fleet run
+     *  (sim/fleet.hh). traceLen acts as the default tenant trace
+     *  length; queueDepth/sibylParams/deviceOverrides apply to every
+     *  tenant. */
+    std::vector<sim::FleetTenant> fleetTenants;
 
     std::vector<std::string> hssConfigs = {"H&M"};
     std::vector<std::uint64_t> seeds = {42};

@@ -47,6 +47,15 @@ struct ExperimentConfig
     std::function<void(std::vector<device::DeviceSpec> &)> specTweak;
 };
 
+/** Per-tenant slice of a fleet run's results (sim/fleet.hh). */
+struct TenantSummary
+{
+    std::string policy;          ///< tenant policy descriptor
+    std::string workload;        ///< tenant workload name
+    std::uint64_t tenantKey = 0; ///< the tenant's pseudo-run key
+    RunMetrics metrics;          ///< full single-tenant metrics
+};
+
 /** One (policy, workload) outcome with Fast-Only normalization. */
 struct PolicyResult
 {
@@ -79,6 +88,13 @@ struct PolicyResult
      *  byte-identical. */
     bool guardrailEnabled = false;
     rl::GuardrailStats guardrail;
+
+    /** Fleet runs only (sim/fleet.hh): per-tenant metric slices, in
+     *  tenant order, and the Jain fairness index over per-tenant IOPS.
+     *  Empty/unused for single-tenant runs, which therefore serialize
+     *  byte-identically to the pre-fleet format. */
+    std::vector<TenantSummary> tenants;
+    double fairnessJain = 0.0;
 };
 
 /** Device count of an HSS shorthand (shared by the serial harness and

@@ -1,0 +1,261 @@
+#include "sim/fleet.hh"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "common/thread_pool.hh"
+#include "energy/energy_model.hh"
+#include "hss/hybrid_system.hh"
+#include "sim/parallel_runner.hh"
+#include "trace/trace_cache.hh"
+#include "trace/trace_mux.hh"
+
+namespace sibyl::sim
+{
+
+namespace
+{
+
+/**
+ * The tenant's private pseudo-run: its own (policy, trace) identity on
+ * the fleet-shared (hssConfig, fastFrac, seed, sim) substrate, tagged
+ * with the tenant index. ParallelRunner::runKey() of this spec is the
+ * tenant key the RNG streams derive from — see the header's tenant
+ * RNG-derivation rule.
+ */
+RunSpec
+tenantSpec(const RunSpec &fleet, const FleetTenant &t, std::size_t index)
+{
+    RunSpec s;
+    s.policy = t.policy;
+    s.workload = t.workload;
+    s.mixedWorkload = t.mixedWorkload;
+    s.hssConfig = fleet.hssConfig;
+    s.fastCapacityFrac = fleet.fastCapacityFrac;
+    s.traceLen = t.traceLen ? t.traceLen : fleet.traceLen;
+    s.traceSeed = t.traceSeed;
+    s.timeCompress = t.timeCompress;
+    s.seed = fleet.seed;
+    s.sim = fleet.sim;
+    s.sibylCfg = fleet.sibylCfg;
+    s.variantTag = "fleet-tenant:" + std::to_string(index);
+    if (!fleet.variantTag.empty())
+        s.variantTag += ';' + fleet.variantTag;
+    return s;
+}
+
+} // namespace
+
+std::string
+FleetSpec::canonical() const
+{
+    std::string s;
+    for (const FleetTenant &t : tenants) {
+        if (!s.empty())
+            s += ';';
+        trace::TraceKey k;
+        k.workload = t.workload;
+        k.numRequests = t.traceLen;
+        k.seed = t.traceSeed;
+        k.mixed = t.mixedWorkload;
+        k.timeCompress = t.timeCompress;
+        s += policyIdentity(t.policy);
+        s += '|';
+        s += k.canonical();
+    }
+    return s;
+}
+
+double
+jainFairnessIndex(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 1.0;
+    double sum = 0.0, sumSq = 0.0;
+    for (double x : xs) {
+        sum += x;
+        sumSq += x * x;
+    }
+    if (sumSq <= 0.0)
+        return 1.0; // degenerate (all-zero) fleet is trivially fair
+    return (sum * sum) / (static_cast<double>(xs.size()) * sumSq);
+}
+
+PolicyResult
+runFleetExperiment(const RunSpec &spec, trace::TraceCache &traces,
+                   bool deriveRunSeeds, unsigned numThreads)
+{
+    if (!spec.fleet || spec.fleet->tenants.empty())
+        throw std::invalid_argument("runFleetExperiment: no tenants");
+    const auto &tenants = spec.fleet->tenants;
+    const std::size_t n = tenants.size();
+
+    struct TenantState
+    {
+        std::uint64_t key = 0;
+        std::shared_ptr<const trace::Trace> trace;
+        std::unique_ptr<hss::HybridSystem> sys;
+        std::unique_ptr<policies::PlacementPolicy> policy;
+        std::unique_ptr<RequestStepper> stepper;
+    };
+    std::vector<TenantState> state(n);
+
+    // Deterministic construction, in tenant order: every seed is a
+    // pure function of the tenant key, never of scheduling.
+    for (std::size_t i = 0; i < n; i++) {
+        const RunSpec ts = tenantSpec(spec, tenants[i], i);
+        TenantState &st = state[i];
+        st.key = ParallelRunner::runKey(ts);
+        st.trace = traces.get(ts.traceKey());
+
+        auto specs = hss::makeHssConfig(spec.hssConfig,
+                                        st.trace->uniquePages(),
+                                        spec.fastCapacityFrac);
+        if (spec.specTweak)
+            spec.specTweak(specs);
+        const std::uint64_t devSeed = deriveRunSeeds
+            ? ParallelRunner::deriveStream(st.key, kDeviceJitterSalt)
+            : spec.seed;
+        st.sys = std::make_unique<hss::HybridSystem>(std::move(specs),
+                                                     devSeed);
+
+        core::SibylConfig scfg = spec.sibylCfg;
+        if (deriveRunSeeds)
+            scfg.seed = ParallelRunner::deriveStream(st.key, kAgentSalt);
+        st.policy = makePolicy(
+            tenants[i].policy,
+            numHssDevices(spec.hssConfig, spec.fastCapacityFrac), scfg);
+        if (!spec.sim.skipPrepare)
+            st.policy->prepare(*st.trace, *st.sys);
+
+        st.stepper = std::make_unique<RequestStepper>(
+            *st.sys, *st.policy, spec.sim, st.trace->size());
+    }
+
+    // Merged arrival schedule across the fleet.
+    std::vector<const trace::Trace *> views;
+    views.reserve(n);
+    for (const TenantState &st : state)
+        views.push_back(st.trace.get());
+    const trace::TraceMultiplexer mux(views);
+
+    if (numThreads == 1) {
+        // Serial oracle: one thread walks the multiplexed schedule,
+        // serving the fleet in global arrival order.
+        for (std::size_t i = 0; i < mux.size(); i++)
+            state[mux[i].tenant].stepper->step(mux.request(i));
+    } else {
+        // Sharded path: one task per tenant, each walking its own
+        // requests in the same per-tenant order the multiplexed
+        // schedule preserves. Tenants share no mutable state, so this
+        // is bit-identical to the oracle. (parallelFor detects
+        // re-entrancy — a fleet run inside a ParallelRunner worker —
+        // and runs inline rather than oversubscribing.)
+        ThreadPool::parallelFor(
+            n,
+            [&](std::size_t t) {
+                const trace::Trace &tr = *state[t].trace;
+                RequestStepper &stepper = *state[t].stepper;
+                for (std::size_t i = 0; i < tr.size(); i++)
+                    stepper.step(tr[i]);
+            },
+            numThreads);
+    }
+
+    // Aggregate.
+    PolicyResult r;
+    r.policy = spec.policy;
+    r.workload = spec.workload;
+
+    RunningStat lat, steady;
+    Histogram hist(0.0, 1e6, 4096); // same geometry as RequestStepper
+    double firstArrival = 0.0, lastFinish = 0.0;
+    bool anyRequests = false;
+    std::uint64_t evictionEvents = 0, evictedPages = 0;
+    std::vector<double> tenantIops;
+    tenantIops.reserve(n);
+
+    for (std::size_t i = 0; i < n; i++) {
+        const TenantState &st = state[i];
+        TenantSummary sum;
+        sum.policy = tenants[i].policy;
+        sum.workload = tenants[i].workload;
+        sum.tenantKey = st.key;
+        sum.metrics = st.stepper->finish();
+
+        lat.merge(st.stepper->latencyStat());
+        steady.merge(st.stepper->steadyLatencyStat());
+        hist.merge(st.stepper->latencyHistogram());
+        if (st.stepper->requests()) {
+            if (!anyRequests) {
+                firstArrival = st.stepper->firstArrivalUs();
+                lastFinish = st.stepper->lastFinishUs();
+                anyRequests = true;
+            } else {
+                firstArrival =
+                    std::min(firstArrival, st.stepper->firstArrivalUs());
+                lastFinish =
+                    std::max(lastFinish, st.stepper->lastFinishUs());
+            }
+        }
+        tenantIops.push_back(sum.metrics.iops);
+
+        const auto &c = st.sys->counters();
+        evictionEvents += c.evictionEvents;
+        evictedPages += c.evictedPages;
+        r.metrics.promotions += c.promotions;
+        r.metrics.demotions += c.demotions;
+        if (r.metrics.placements.size() < c.placements.size())
+            r.metrics.placements.resize(c.placements.size(), 0);
+        for (std::size_t d = 0; d < c.placements.size(); d++)
+            r.metrics.placements[d] += c.placements[d];
+
+        for (DeviceId d = 0; d < st.sys->numDevices(); d++) {
+            const auto &dev = st.sys->device(d);
+            if (r.devicePagesWritten.size() <= d)
+                r.devicePagesWritten.resize(d + 1, 0);
+            r.devicePagesWritten[d] += dev.counters().pagesWritten;
+            const auto power = energy::powerPreset(dev.spec().name);
+            r.totalEnergyMj +=
+                energy::computeEnergy(dev, power, sum.metrics.makespanUs)
+                    .totalMj();
+        }
+
+        r.tenants.push_back(std::move(sum));
+    }
+
+    RunMetrics &m = r.metrics;
+    m.requests = lat.count();
+    m.avgLatencyUs = lat.mean();
+    m.steadyAvgLatencyUs = steady.mean();
+    m.maxLatencyUs = lat.max();
+    m.p999LatencyUs = std::min(hist.quantile(0.999), m.maxLatencyUs);
+    m.p99LatencyUs = std::min(hist.quantile(0.99), m.p999LatencyUs);
+    m.p50LatencyUs = std::min(hist.quantile(0.50), m.p99LatencyUs);
+    // Fleet-wide makespan: earliest tenant arrival to latest tenant
+    // completion — tenant streams overlap in simulated time, so this
+    // is the wall the fleet's aggregate throughput is measured over.
+    m.makespanUs = anyRequests ? lastFinish - firstArrival : 0.0;
+    m.iops = m.makespanUs > 0.0
+        ? static_cast<double>(m.requests) / (m.makespanUs / 1e6)
+        : 0.0;
+    if (m.requests) {
+        m.evictionFraction = static_cast<double>(evictionEvents) /
+                             static_cast<double>(m.requests);
+        m.evictedPagesPerRequest = static_cast<double>(evictedPages) /
+                                   static_cast<double>(m.requests);
+    }
+    std::uint64_t totalPlacements = 0;
+    for (auto p : m.placements)
+        totalPlacements += p;
+    m.fastPlacementPreference = totalPlacements
+        ? static_cast<double>(m.placements[0]) /
+          static_cast<double>(totalPlacements)
+        : 0.0;
+
+    r.fairnessJain = jainFairnessIndex(tenantIops);
+    return r;
+}
+
+} // namespace sibyl::sim

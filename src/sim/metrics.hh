@@ -28,9 +28,10 @@ struct RunMetrics
      *  post-warmup view, where an online learner has converged. */
     double steadyAvgLatencyUs = 0.0;
 
-    /** Latency tail statistics. */
+    /** Latency tail statistics (p50 <= p99 <= p999 <= max). */
     double p50LatencyUs = 0.0;
     double p99LatencyUs = 0.0;
+    double p999LatencyUs = 0.0;
     double maxLatencyUs = 0.0;
 
     /** Completed I/O operations per second over the run's makespan. */

@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.hh"
 #include "scenario/json.hh"
+#include "sim/fleet.hh"
 
 namespace sibyl::sim
 {
@@ -35,6 +36,45 @@ splitmix64(std::uint64_t x)
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     return x ^ (x >> 31);
 }
+
+/** Canonical run string hashed into the run key (see header). */
+std::string
+canonicalRunString(const RunSpec &spec)
+{
+    std::string s = policyIdentity(spec.policy);
+    s += '\0';
+    s += spec.traceKey().canonical();
+    s += '\0';
+    s += spec.hssConfig;
+    s += '\0';
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.17g", spec.fastCapacityFrac);
+    s += buf;
+    s += '\0';
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(spec.seed));
+    s += buf;
+    s += '\0';
+    std::snprintf(buf, sizeof(buf), "%u", spec.sim.queueDepth);
+    s += buf;
+    s += '\0';
+    s += spec.sim.skipPrepare ? '1' : '0';
+    if (!spec.variantTag.empty()) {
+        s += '\0';
+        s += spec.variantTag;
+    }
+    // Fleet composition (per-tenant policy identity + trace identity).
+    // Appended only when a fleet is attached, so every pre-fleet run
+    // key — and every golden snapshot hashed from one — is unchanged.
+    if (spec.fleet) {
+        s += '\0';
+        s += "fleet:";
+        s += spec.fleet->canonical();
+    }
+    return s;
+}
+
+} // namespace
 
 /**
  * Policy identity with run-supervision knobs stripped. The guardrail
@@ -70,37 +110,6 @@ policyIdentity(const std::string &policy)
     const std::string name = policy.substr(0, open);
     return kept.empty() ? name : name + '{' + kept + '}';
 }
-
-/** Canonical run string hashed into the run key (see header). */
-std::string
-canonicalRunString(const RunSpec &spec)
-{
-    std::string s = policyIdentity(spec.policy);
-    s += '\0';
-    s += spec.traceKey().canonical();
-    s += '\0';
-    s += spec.hssConfig;
-    s += '\0';
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "%.17g", spec.fastCapacityFrac);
-    s += buf;
-    s += '\0';
-    std::snprintf(buf, sizeof(buf), "%llu",
-                  static_cast<unsigned long long>(spec.seed));
-    s += buf;
-    s += '\0';
-    std::snprintf(buf, sizeof(buf), "%u", spec.sim.queueDepth);
-    s += buf;
-    s += '\0';
-    s += spec.sim.skipPrepare ? '1' : '0';
-    if (!spec.variantTag.empty()) {
-        s += '\0';
-        s += spec.variantTag;
-    }
-    return s;
-}
-
-} // namespace
 
 trace::TraceKey
 RunSpec::traceKey() const
@@ -233,6 +242,18 @@ void
 ParallelRunner::runOne(const RunSpec &spec, RunRecord &rec,
                        const char *&phase)
 {
+    if (spec.fleet) {
+        // Fleet runs own their tenant construction (traces, systems,
+        // policies, per-tenant seeds) end to end; there is no single
+        // policy or Fast-Only baseline at this level.
+        phase = "simulate";
+        rec.result = runFleetExperiment(spec, traces_,
+                                        cfg_.deriveRunSeeds,
+                                        cfg_.numThreads);
+        phase = "finish";
+        return;
+    }
+
     phase = "trace";
     auto trace = traceFor(spec);
     phase = "baseline";
@@ -380,6 +401,7 @@ writeRecordJson(std::ostream &os, const RunRecord &r,
         {"steadyAvgLatencyUs", m.steadyAvgLatencyUs},
         {"p50LatencyUs", m.p50LatencyUs},
         {"p99LatencyUs", m.p99LatencyUs},
+        {"p999LatencyUs", m.p999LatencyUs},
         {"maxLatencyUs", m.maxLatencyUs},
         {"iops", m.iops},
         {"makespanUs", m.makespanUs},
@@ -402,6 +424,38 @@ writeRecordJson(std::ostream &os, const RunRecord &r,
     for (std::size_t d = 0; d < r.result.devicePagesWritten.size(); d++)
         os << (d ? ", " : "") << r.result.devicePagesWritten[d];
     os << "]";
+    if (!r.result.tenants.empty()) {
+        // Fleet runs: per-tenant tails as parallel arrays indexed by
+        // tenant. The regression gate bands "name[i]" entries under
+        // the base name, so one tolerance covers every tenant.
+        os << ", \"fairnessJain\": "
+           << scenario::jsonNumber(r.result.fairnessJain);
+        os << ", \"tenantRequests\": [";
+        for (std::size_t t = 0; t < r.result.tenants.size(); t++)
+            os << (t ? ", " : "")
+               << r.result.tenants[t].metrics.requests;
+        os << "]";
+        const auto tenantScalar =
+            [&](const char *name, auto &&get) {
+                os << ", \"" << name << "\": [";
+                for (std::size_t t = 0; t < r.result.tenants.size();
+                     t++)
+                    os << (t ? ", " : "")
+                       << scenario::jsonNumber(
+                              get(r.result.tenants[t].metrics));
+                os << "]";
+            };
+        tenantScalar("tenantAvgLatencyUs",
+                     [](const RunMetrics &tm) { return tm.avgLatencyUs; });
+        tenantScalar("tenantP50LatencyUs",
+                     [](const RunMetrics &tm) { return tm.p50LatencyUs; });
+        tenantScalar("tenantP99LatencyUs",
+                     [](const RunMetrics &tm) { return tm.p99LatencyUs; });
+        tenantScalar("tenantP999LatencyUs",
+                     [](const RunMetrics &tm) { return tm.p999LatencyUs; });
+        tenantScalar("tenantIops",
+                     [](const RunMetrics &tm) { return tm.iops; });
+    }
     if (r.result.guardrailEnabled) {
         const rl::GuardrailStats &g = r.result.guardrail;
         os << ", \"guardrailTrips\": " << g.trips

@@ -68,6 +68,13 @@ namespace sibyl::sim
 inline constexpr std::uint64_t kDeviceJitterSalt = 0xD591CE5EEDULL;
 inline constexpr std::uint64_t kAgentSalt = 0xA9E27A11ULL;
 
+struct FleetSpec; // sim/fleet.hh
+
+/** Policy descriptor with the run-supervision (guardrail*) params
+ *  stripped — the identity string hashed into run keys (see the
+ *  derivation-rule comment above). */
+std::string policyIdentity(const std::string &policy);
+
 /** One cell of an experiment matrix: everything that defines a run. */
 struct RunSpec
 {
@@ -116,6 +123,15 @@ struct RunSpec
      *  the CLI's --trace). Bypasses the cache; `workload` and
      *  `traceLen` should still describe it for the run key. */
     std::shared_ptr<const trace::Trace> externalTrace;
+
+    /** Multi-tenant fleet description (sim/fleet.hh). When set, the
+     *  run interleaves the fleet's tenants instead of replaying one
+     *  (policy, workload) pair: `policy`/`workload` become display
+     *  identities ("Fleet" / "fleet:..."), the fleet composition is
+     *  folded into the run key, and policySetup/policyFinish hooks are
+     *  not invoked. traceLen acts as the default tenant trace length
+     *  for tenants that do not pin their own. */
+    std::shared_ptr<const FleetSpec> fleet;
 
     /** Optional hooks around the policy's lifetime, e.g. checkpoint
      *  warm-start/save. Called from the worker thread that owns the

@@ -6,81 +6,82 @@
 namespace sibyl::sim
 {
 
-RunMetrics
-runSimulation(const trace::Trace &t, hss::HybridSystem &sys,
-              policies::PlacementPolicy &policy, const SimConfig &cfg)
+RequestStepper::RequestStepper(hss::HybridSystem &sys,
+                               policies::PlacementPolicy &policy,
+                               const SimConfig &cfg,
+                               std::size_t expectedRequests)
+    : sys_(sys), policy_(policy), cfg_(cfg), expected_(expectedRequests),
+      qd_(std::max<std::uint32_t>(1, cfg.queueDepth)),
+      finishRing_(qd_, 0.0),
+      latencyHist_(0.0, 1e6, 4096) // 0 .. 1 s, ~244 us bins
 {
-    RunMetrics m;
-    if (t.empty())
+    if (cfg_.recordPerRequest) {
+        record_.perRequestArrivalUs.reserve(expected_);
+        record_.perRequestLatencyUs.reserve(expected_);
+        record_.perRequestFinishUs.reserve(expected_);
+        record_.perRequestAction.reserve(expected_);
+    }
+}
+
+void
+RequestStepper::step(const trace::Request &req)
+{
+    const std::uint64_t i = count_++;
+
+    // Bounded outstanding window: wait for request i-qd.
+    SimTime gate = finishRing_[i % qd_];
+    SimTime arrival = std::max(req.timestamp, gate);
+    if (i == 0)
+        firstArrival_ = arrival;
+
+    DeviceId action = policy_.selectPlacement(sys_, req, i);
+    hss::ServeResult result = sys_.serve(arrival, req, action);
+    policy_.observeOutcome(sys_, req, action, result);
+
+    if (cfg_.recordPerRequest) {
+        record_.perRequestArrivalUs.push_back(arrival);
+        record_.perRequestLatencyUs.push_back(result.latencyUs);
+        record_.perRequestFinishUs.push_back(result.finishUs);
+        record_.perRequestAction.push_back(static_cast<std::uint8_t>(action));
+    }
+
+    finishRing_[i % qd_] = result.finishUs;
+    lastFinish_ = std::max(lastFinish_, result.finishUs);
+    latency_.add(result.latencyUs);
+    if (i >= expected_ / 2)
+        steadyLatency_.add(result.latencyUs);
+    latencyHist_.add(result.latencyUs);
+}
+
+RunMetrics
+RequestStepper::finish() const
+{
+    RunMetrics m = record_;
+    if (count_ == 0)
         return m;
 
-    if (!cfg.skipPrepare)
-        policy.prepare(t, sys);
-
-    const std::uint32_t qd = std::max<std::uint32_t>(1, cfg.queueDepth);
-    std::vector<SimTime> finishRing(qd, 0.0);
-
-    if (cfg.recordPerRequest) {
-        m.perRequestArrivalUs.reserve(t.size());
-        m.perRequestLatencyUs.reserve(t.size());
-        m.perRequestFinishUs.reserve(t.size());
-        m.perRequestAction.reserve(t.size());
-    }
-
-    RunningStat latency;
-    RunningStat steadyLatency; // second half only (post-convergence)
-    Histogram latencyHist(0.0, 1e6, 4096); // 0 .. 1 s, ~244 us bins
-    SimTime firstArrival = 0.0;
-    SimTime lastFinish = 0.0;
-
-    for (std::size_t i = 0; i < t.size(); i++) {
-        const trace::Request &req = t[i];
-
-        // Bounded outstanding window: wait for request i-qd.
-        SimTime gate = finishRing[i % qd];
-        SimTime arrival = std::max(req.timestamp, gate);
-        if (i == 0)
-            firstArrival = arrival;
-
-        DeviceId action = policy.selectPlacement(sys, req, i);
-        hss::ServeResult result = sys.serve(arrival, req, action);
-        policy.observeOutcome(sys, req, action, result);
-
-        if (cfg.recordPerRequest) {
-            m.perRequestArrivalUs.push_back(arrival);
-            m.perRequestLatencyUs.push_back(result.latencyUs);
-            m.perRequestFinishUs.push_back(result.finishUs);
-            m.perRequestAction.push_back(static_cast<std::uint8_t>(action));
-        }
-
-        finishRing[i % qd] = result.finishUs;
-        lastFinish = std::max(lastFinish, result.finishUs);
-        latency.add(result.latencyUs);
-        if (i >= t.size() / 2)
-            steadyLatency.add(result.latencyUs);
-        latencyHist.add(result.latencyUs);
-    }
-
-    const auto &c = sys.counters();
-    m.requests = t.size();
-    m.avgLatencyUs = latency.mean();
+    const auto &c = sys_.counters();
+    m.requests = count_;
+    m.avgLatencyUs = latency_.mean();
     // Histogram quantiles interpolate inside a bin and can overshoot
-    // the largest observed sample; clamp so p50 <= p99 <= max always
-    // holds in reported metrics.
-    m.maxLatencyUs = latency.max();
-    m.p50LatencyUs = std::min(latencyHist.quantile(0.50),
-                              m.maxLatencyUs);
-    m.p99LatencyUs = std::min(latencyHist.quantile(0.99),
-                              m.maxLatencyUs);
-    m.steadyAvgLatencyUs = steadyLatency.mean();
-    m.makespanUs = lastFinish - firstArrival;
+    // the largest observed sample; clamp so p50 <= p99 <= p999 <= max
+    // always holds in reported metrics.
+    m.maxLatencyUs = latency_.max();
+    m.p999LatencyUs = std::min(latencyHist_.quantile(0.999),
+                               m.maxLatencyUs);
+    m.p99LatencyUs = std::min(latencyHist_.quantile(0.99),
+                              m.p999LatencyUs);
+    m.p50LatencyUs = std::min(latencyHist_.quantile(0.50),
+                              m.p99LatencyUs);
+    m.steadyAvgLatencyUs = steadyLatency_.mean();
+    m.makespanUs = lastFinish_ - firstArrival_;
     m.iops = m.makespanUs > 0.0
-        ? static_cast<double>(t.size()) / (m.makespanUs / 1e6)
+        ? static_cast<double>(count_) / (m.makespanUs / 1e6)
         : 0.0;
     m.evictionFraction = static_cast<double>(c.evictionEvents) /
-                         static_cast<double>(t.size());
+                         static_cast<double>(count_);
     m.evictedPagesPerRequest = static_cast<double>(c.evictedPages) /
-                               static_cast<double>(t.size());
+                               static_cast<double>(count_);
     std::uint64_t totalPlacements = 0;
     for (auto p : c.placements)
         totalPlacements += p;
@@ -92,6 +93,22 @@ runSimulation(const trace::Trace &t, hss::HybridSystem &sys,
     m.promotions = c.promotions;
     m.demotions = c.demotions;
     return m;
+}
+
+RunMetrics
+runSimulation(const trace::Trace &t, hss::HybridSystem &sys,
+              policies::PlacementPolicy &policy, const SimConfig &cfg)
+{
+    if (t.empty())
+        return RunMetrics();
+
+    if (!cfg.skipPrepare)
+        policy.prepare(t, sys);
+
+    RequestStepper stepper(sys, policy, cfg, t.size());
+    for (std::size_t i = 0; i < t.size(); i++)
+        stepper.step(t[i]);
+    return stepper.finish();
 }
 
 } // namespace sibyl::sim

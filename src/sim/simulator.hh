@@ -39,12 +39,71 @@ struct SimConfig
 };
 
 /**
- * Run @p policy over @p t on @p sys and collect metrics.
+ * Incremental request-replay engine: the body of runSimulation() with
+ * the loop inverted so a caller can drive it one request at a time.
  *
- * Per request (Algorithm 1 shape):
+ * The fleet runner interleaves many tenants inside one run; each tenant
+ * owns a stepper and receives exactly its own requests, in trace order,
+ * regardless of how tenants are scheduled around it. Because every
+ * per-request computation lives here, stepping a tenant through the
+ * multiplexed schedule is bit-identical to running runSimulation() on
+ * that tenant's trace alone.
+ *
+ * Per step (Algorithm 1 shape):
  *   1. policy observes the pre-action state and picks a device,
  *   2. the system serves the request and reports latency/evictions,
  *   3. the policy receives the outcome as feedback.
+ *
+ * The caller is responsible for policy.prepare() (it needs the whole
+ * trace, which the stepper never sees). @p expectedRequests sizes the
+ * steady-state window — samples from index expectedRequests/2 onward
+ * feed steadyAvgLatencyUs, matching runSimulation()'s second-half rule.
+ */
+class RequestStepper
+{
+  public:
+    RequestStepper(hss::HybridSystem &sys, policies::PlacementPolicy &policy,
+                   const SimConfig &cfg, std::size_t expectedRequests);
+
+    /** Replay one request (must be called in trace order). */
+    void step(const trace::Request &req);
+
+    /** Requests stepped so far. */
+    std::uint64_t requests() const { return count_; }
+
+    /** Simulated-time bounds over the stepped requests, for aggregate
+     *  makespans that span several steppers. Zero until step() ran. */
+    double firstArrivalUs() const { return firstArrival_; }
+    double lastFinishUs() const { return lastFinish_; }
+
+    /** Collect metrics over everything stepped so far. */
+    RunMetrics finish() const;
+
+    /** Raw accumulators, for folding several steppers into aggregate
+     *  (fleet-level) latency statistics. */
+    const RunningStat &latencyStat() const { return latency_; }
+    const RunningStat &steadyLatencyStat() const { return steadyLatency_; }
+    const Histogram &latencyHistogram() const { return latencyHist_; }
+
+  private:
+    hss::HybridSystem &sys_;
+    policies::PlacementPolicy &policy_;
+    SimConfig cfg_;
+    std::size_t expected_;
+    std::uint32_t qd_;
+    std::vector<SimTime> finishRing_;
+    RunningStat latency_;
+    RunningStat steadyLatency_; // second half only (post-convergence)
+    Histogram latencyHist_;
+    SimTime firstArrival_ = 0.0;
+    SimTime lastFinish_ = 0.0;
+    std::uint64_t count_ = 0;
+    RunMetrics record_; // per-request vectors when cfg.recordPerRequest
+};
+
+/**
+ * Run @p policy over @p t on @p sys and collect metrics: prepare() the
+ * policy, then drive a RequestStepper over every request in order.
  */
 RunMetrics runSimulation(const trace::Trace &t, hss::HybridSystem &sys,
                          policies::PlacementPolicy &policy,

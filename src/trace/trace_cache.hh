@@ -44,8 +44,11 @@ struct TraceKey
      *  (values <= 1 leave timestamps untouched). */
     double timeCompress = 1.0;
 
-    /** Canonical "workload|len|seed|mixed|compress" form — the map key
-     *  and the trace component of the parallel runner's run key. */
+    /** Canonical "workload|len|seed|mixed|compress" form — the trace
+     *  component of the parallel runner's run key. Frozen byte format;
+     *  the cache's internal map id extends it with the resolved mix
+     *  composition and default length so distinct generated traces can
+     *  never share an entry. */
     std::string canonical() const;
 };
 

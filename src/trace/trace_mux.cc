@@ -1,0 +1,43 @@
+#include "trace/trace_mux.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sibyl::trace
+{
+
+TraceMultiplexer::TraceMultiplexer(std::vector<const Trace *> tenants)
+    : tenants_(std::move(tenants))
+{
+    std::size_t total = 0;
+    for (const Trace *t : tenants_) {
+        if (!t)
+            throw std::invalid_argument("TraceMultiplexer: null trace");
+        total += t->size();
+    }
+    schedule_.reserve(total);
+
+    // K-way head-pop merge. Only ever advancing each tenant's cursor
+    // guarantees per-tenant order is preserved verbatim; the (time,
+    // tenant) comparison makes the global interleaving deterministic.
+    std::vector<std::size_t> cursor(tenants_.size(), 0);
+    for (std::size_t filled = 0; filled < total; filled++) {
+        std::size_t best = tenants_.size();
+        SimTime bestTime = 0.0;
+        for (std::size_t t = 0; t < tenants_.size(); t++) {
+            if (cursor[t] >= tenants_[t]->size())
+                continue;
+            SimTime ts = (*tenants_[t])[cursor[t]].timestamp;
+            if (best == tenants_.size() || ts < bestTime) {
+                best = t;
+                bestTime = ts;
+            }
+            // Ties keep the lowest tenant id (strict < above).
+        }
+        schedule_.push_back({static_cast<std::uint32_t>(best),
+                             static_cast<std::uint32_t>(cursor[best])});
+        cursor[best]++;
+    }
+}
+
+} // namespace sibyl::trace

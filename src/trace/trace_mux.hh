@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic k-way interleaver for multi-tenant fleet runs.
+ *
+ * A fleet run hosts N tenants, each replaying its own trace against its
+ * own device stack. The multiplexer merges those per-tenant streams
+ * into one global arrival schedule — the order in which a serial fleet
+ * run steps tenants — so that "which tenant is served next" is a pure
+ * function of the input traces, never of thread scheduling.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace sibyl::trace
+{
+
+/**
+ * Merged arrival schedule over several tenant traces.
+ *
+ * Ordering rule: entries are merged by ascending arrival timestamp,
+ * ties broken by tenant id, then by per-tenant request index. The merge
+ * never reorders requests within a tenant (it is a k-way head-pop
+ * merge, not a global sort), so each tenant observes exactly its own
+ * trace order even if a trace's timestamps are not monotone.
+ *
+ * The multiplexer stores indices, not copies: it borrows the tenant
+ * traces for its own lifetime.
+ */
+class TraceMultiplexer
+{
+  public:
+    /** One slot of the merged schedule. */
+    struct Entry
+    {
+        std::uint32_t tenant; ///< index into the tenant trace list
+        std::uint32_t index;  ///< request index within that tenant
+    };
+
+    /** Build the merged schedule over @p tenants (non-null, borrowed). */
+    explicit TraceMultiplexer(std::vector<const Trace *> tenants);
+
+    /** Total requests across all tenants. */
+    std::size_t size() const { return schedule_.size(); }
+    bool empty() const { return schedule_.empty(); }
+
+    /** Number of tenant streams (including empty ones). */
+    std::size_t tenantCount() const { return tenants_.size(); }
+
+    /** i-th slot of the merged schedule. */
+    const Entry &operator[](std::size_t i) const { return schedule_[i]; }
+
+    /** Resolve slot i to the underlying request. */
+    const Request &request(std::size_t i) const
+    {
+        const Entry &e = schedule_[i];
+        return (*tenants_[e.tenant])[e.index];
+    }
+
+    auto begin() const { return schedule_.begin(); }
+    auto end() const { return schedule_.end(); }
+
+  private:
+    std::vector<const Trace *> tenants_;
+    std::vector<Entry> schedule_;
+};
+
+} // namespace sibyl::trace

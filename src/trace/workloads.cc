@@ -59,7 +59,8 @@ const std::vector<std::string> kMixNames = {
     "mix1", "mix2", "mix3", "mix4", "mix5", "mix6",
 };
 
-/** Table 5 composition, or an ad-hoc "a+b[+c...]" component list. */
+/** Table 5 composition, or an ad-hoc "a[*K]+b[+c...]" component list
+ *  with repeat counts expanded ("a*2+b" -> {a, a, b}). */
 std::vector<std::string>
 mixComponents(const std::string &mixName)
 {
@@ -69,19 +70,34 @@ mixComponents(const std::string &mixName)
     if (mixName == "mix4") return {"src1_0", "fileserver"};
     if (mixName == "mix5") return {"prxy_0", "oltp_rw", "fileserver"};
     if (mixName == "mix6") return {"src1_0", "ycsb_c", "fileserver"};
-    if (mixName.find('+') != std::string::npos) {
+    if (mixName.find('+') != std::string::npos ||
+        mixName.find('*') != std::string::npos) {
         std::vector<std::string> components;
         std::size_t start = 0;
         while (start <= mixName.size()) {
             const std::size_t plus = mixName.find('+', start);
-            const std::string comp = mixName.substr(
+            std::string comp = mixName.substr(
                 start, plus == std::string::npos ? std::string::npos
                                                  : plus - start);
+            std::size_t repeat = 1;
+            const std::size_t star = comp.find('*');
+            if (star != std::string::npos) {
+                const std::string count = comp.substr(star + 1);
+                comp.resize(star);
+                char *end = nullptr;
+                const unsigned long v =
+                    std::strtoul(count.c_str(), &end, 10);
+                if (count.empty() || *end != '\0' || v < 1 || v > 64)
+                    throw std::invalid_argument(
+                        "bad repeat count \"" + count + "\" in \"" +
+                        mixName + "\" (want 1..64)");
+                repeat = v;
+            }
             if (comp.empty() || !findProfile(comp))
                 throw std::invalid_argument(
                     "unknown mix component \"" + comp + "\" in \"" +
                     mixName + "\"");
-            components.push_back(comp);
+            components.insert(components.end(), repeat, comp);
             if (plus == std::string::npos)
                 break;
             start = plus + 1;
@@ -169,13 +185,31 @@ mixedWorkloadNames()
     return kMixNames;
 }
 
+std::string
+resolveMixComposition(const std::string &mixName)
+{
+    std::string joined;
+    for (const auto &comp : mixComponents(mixName)) {
+        if (!joined.empty())
+            joined += '+';
+        joined += comp;
+    }
+    return joined;
+}
+
 Trace
 makeMixedWorkload(const std::string &mixName, std::size_t numRequestsPerTrace,
                   std::uint64_t seed)
 {
     auto components = mixComponents(mixName);
+    // The *K sugar is pure aliasing: "a*2+b" must generate
+    // byte-identically to "a+a+b", so the default seed hashes the
+    // star-expanded name. Names without '*' (incl. the named mixes)
+    // hash unchanged, keeping their historical streams.
     if (!seed)
-        seed = hashName(mixName);
+        seed = hashName(mixName.find('*') == std::string::npos
+                            ? mixName
+                            : resolveMixComposition(mixName));
     Pcg32 rng(seed, 0x77);
 
     std::size_t perTrace = numRequestsPerTrace

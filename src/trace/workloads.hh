@@ -71,12 +71,22 @@ std::size_t defaultTraceLength();
  * The six mixed workloads of Table 5 (mix1..mix6), or an ad-hoc mix
  * written as "a+b[+c...]" over any known profiles (e.g.
  * "prxy_1+mds_0"): two or more traces merged with randomized relative
- * start offsets. numRequestsPerTrace is per component, so a two-way
- * mix at 2000 yields a 4000-request trace.
+ * start offsets. A component may carry a repeat count, "a*2+b" ==
+ * "a+a+b", to express proportions. numRequestsPerTrace is per
+ * component, so a two-way mix at 2000 yields a 4000-request trace.
  */
 Trace makeMixedWorkload(const std::string &mixName,
                         std::size_t numRequestsPerTrace = 0,
                         std::uint64_t seed = 0);
+
+/**
+ * Expand a mix name to its full '+'-joined component list with "a*K"
+ * repeats resolved: "mix1" -> "prxy_0+ntrx_rw", "prxy_1*2+mds_0" ->
+ * "prxy_1+prxy_1+mds_0". This is the composition actually generated —
+ * cache identities must be derived from it, not from the mix name.
+ * Throws std::invalid_argument for unknown mixes/components.
+ */
+std::string resolveMixComposition(const std::string &mixName);
 
 /** Names mix1..mix6. */
 const std::vector<std::string> &mixedWorkloadNames();

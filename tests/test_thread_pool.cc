@@ -115,6 +115,42 @@ TEST(ThreadPool, ParallelForPropagatesException)
     EXPECT_GE(ran.load(), 1);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInlineOnWorker)
+{
+    // parallelFor from inside a pool worker (a fleet run sharding its
+    // tenants inside a ParallelRunner batch) must neither deadlock nor
+    // spawn a second pool. The re-entrant call runs inline on the
+    // calling worker in index order, and every (outer, inner) pair is
+    // covered exactly once.
+    constexpr std::size_t kOuter = 8, kInner = 16;
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+    std::atomic<int> inlineViolations{0};
+    ThreadPool::parallelFor(
+        kOuter,
+        [&](std::size_t o) {
+            EXPECT_TRUE(ThreadPool::inWorker());
+            const auto outerThread = std::this_thread::get_id();
+            std::size_t expect = 0;
+            ThreadPool::parallelFor(
+                kInner,
+                [&](std::size_t i) {
+                    // Inline on the same worker, in index order.
+                    if (std::this_thread::get_id() != outerThread ||
+                        i != expect)
+                        inlineViolations.fetch_add(1);
+                    expect++;
+                    hits[o * kInner + i].fetch_add(1);
+                },
+                8); // asks for 8 threads; re-entrancy overrides
+        },
+        4);
+    EXPECT_EQ(inlineViolations.load(), 0);
+    for (std::size_t i = 0; i < hits.size(); i++)
+        ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+    // Outside any worker the signal is off and nesting is moot.
+    EXPECT_FALSE(ThreadPool::inWorker());
+}
+
 TEST(ThreadPool, DefaultThreadsHonorsEnv)
 {
     EXPECT_GE(ThreadPool::defaultThreads(), 1u);
