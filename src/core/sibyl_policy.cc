@@ -47,6 +47,7 @@ makeAgentConfig(const SibylConfig &cfg, std::uint32_t stateDim,
     ac.bufferCapacity = cfg.bufferCapacity;
     ac.targetSyncEvery = cfg.targetSyncEvery;
     ac.trainEvery = cfg.trainEvery;
+    ac.asyncTraining = cfg.asyncTraining;
     ac.hidden = cfg.hidden;
     ac.prioritizedReplay = cfg.prioritizedReplay;
     ac.doubleDqn = cfg.doubleDqn;
@@ -94,6 +95,11 @@ SibylPolicy::SibylPolicy(const SibylConfig &cfg, std::uint32_t numDevices,
       encoder_(cfg.features, numDevices),
       reward_(cfg.reward)
 {
+    if (cfg_.asyncTraining && cfg_.guardrail.enabled)
+        throw std::invalid_argument(
+            "SibylPolicy: asyncTraining is incompatible with the "
+            "guardrail (its loss monitor reads training stats that "
+            "async rounds publish only at their commit points)");
     agent_ = makeAgent(cfg_, encoder_.dimension(), numDevices_);
     if (cfg_.guardrail.enabled) {
         guardrail_ = std::make_unique<rl::Guardrail>(cfg_.guardrail);
@@ -111,10 +117,11 @@ SibylPolicy::c51()
     return *a;
 }
 
-DeviceId
-SibylPolicy::selectPlacement(const hss::HybridSystem &sys,
-                             const trace::Request &req,
-                             std::size_t reqIndex)
+ml::Network *
+SibylPolicy::selectPlacementBegin(const hss::HybridSystem &sys,
+                                  const trace::Request &req,
+                                  std::size_t reqIndex, DeviceId &action,
+                                  const float **obsRow)
 {
     // During a guardrail fallback window the heuristic serves the
     // request and training stays frozen (no transitions reach the
@@ -122,7 +129,8 @@ SibylPolicy::selectPlacement(const hss::HybridSystem &sys,
     // request once the cool-down elapses.
     if (guardrail_ && guardrail_->inFallback()) {
         guardrail_->fallbackTick();
-        return fallback_->selectPlacement(sys, req, reqIndex);
+        action = fallback_->selectPlacement(sys, req, reqIndex);
+        return nullptr;
     }
     (void)reqIndex;
     // One observation buffer per policy, encoded in place; together
@@ -147,7 +155,27 @@ SibylPolicy::selectPlacement(const hss::HybridSystem &sys,
                                   pendingReward_, obs_);
     }
 
-    std::uint32_t action = agent_->selectAction(obs_);
+    std::uint32_t a = 0;
+    if (agent_->selectActionBegin(obs_, a)) {
+        action = finishDecision(a);
+        return nullptr;
+    }
+    // Greedy decision: hand the caller the encoded observation (obs_
+    // stays untouched until the row is evaluated — finishDecision only
+    // swaps it away in FromRow) and the network to evaluate it on.
+    *obsRow = obs_.data();
+    return agent_->batchNetwork();
+}
+
+DeviceId
+SibylPolicy::selectPlacementFromRow(const float *row)
+{
+    return finishDecision(agent_->selectActionFromRow(row));
+}
+
+DeviceId
+SibylPolicy::finishDecision(std::uint32_t action)
+{
     pendingState_.swap(obs_); // keep O_t without copying or freeing
     pendingAction_ = action;
     pendingReward_ = 0.0f;
@@ -160,6 +188,34 @@ SibylPolicy::selectPlacement(const hss::HybridSystem &sys,
             tripGuardrail(reason);
     }
     return static_cast<DeviceId>(action);
+}
+
+DeviceId
+SibylPolicy::selectPlacement(const hss::HybridSystem &sys,
+                             const trace::Request &req,
+                             std::size_t reqIndex)
+{
+    DeviceId action{};
+    const float *row = nullptr;
+    ml::Network *net =
+        selectPlacementBegin(sys, req, reqIndex, action, &row);
+    if (!net)
+        return action;
+    return selectPlacementFromRow(net->inferRow(row));
+}
+
+void
+SibylPolicy::setTrainingExecutor(
+    std::function<void(std::function<void()>)> exec)
+{
+    trainExec_ = std::move(exec);
+    agent_->setTrainingExecutor(trainExec_);
+}
+
+void
+SibylPolicy::finishTraining()
+{
+    agent_->finishTraining();
 }
 
 void
@@ -203,6 +259,8 @@ SibylPolicy::reset()
     pendingValid_ = false;
     completedTransitions_ = 0;
     agent_ = makeAgent(cfg_, encoder_.dimension(), numDevices_);
+    if (trainExec_)
+        agent_->setTrainingExecutor(trainExec_);
     if (cfg_.guardrail.enabled) {
         guardrail_ = std::make_unique<rl::Guardrail>(cfg_.guardrail);
         fallback_ = makeFallbackPolicy(cfg_.guardrail.fallback);

@@ -61,13 +61,21 @@ DenseLayer::inferRow(const float *in, float *out)
     // agree only to tolerance; batched rows remain composition-
     // independent among themselves, which the training-target caches
     // rely on.)
+    const std::size_t n = outSize();
+    rowPre_.resize(n);
+    inferRowPreAct(in, rowPre_.data());
+    activate(act_, rowPre_.data(), out, n);
+}
+
+void
+DenseLayer::inferRowPreAct(const float *in, float *out)
+{
     ensureWeightsT();
     const std::size_t n = outSize();
-    rowPre_.assign(n, 0.0f);
-    weightsT_.mulAddRow(in, rowPre_.data());
+    std::fill(out, out + n, 0.0f);
+    weightsT_.mulAddRow(in, out);
     for (std::size_t j = 0; j < n; j++)
-        rowPre_[j] += bias_[j];
-    activate(act_, rowPre_.data(), out, n);
+        out[j] += bias_[j];
 }
 
 void

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
@@ -117,6 +118,15 @@ class Network
     std::vector<DenseLayer> &layers() { return layers_; }
     const std::vector<DenseLayer> &layers() const { return layers_; }
 
+    /**
+     * Stable architecture key: input width plus each layer's width and
+     * activation (e.g. "6|20s|30s|102i"). Networks with equal keys have
+     * identical topology, which is the grouping predicate the fleet's
+     * cross-tenant decision batches use (inferRowBatch requires every
+     * network in a group to share layer shapes and activations).
+     */
+    std::string topologyKey() const;
+
   private:
     std::size_t inputSize_;
     std::vector<DenseLayer> layers_;
@@ -135,5 +145,31 @@ class Network
     Vector rowBufA_;
     Vector rowBufB_;
 };
+
+/**
+ * Multi-network row-batched inference: evaluate one input row per
+ * network, all sharing a topology (equal Network::topologyKey()), and
+ * return the matrix holding one output row per slot, rows in input
+ * order. This is the fleet's cross-tenant decision kernel: every
+ * tenant owns private weights, so a single batched GEMM cannot serve
+ * the group — instead each layer runs the per-row zero-seeded
+ * accumulate (DenseLayer::inferRowPreAct) against its own network's
+ * cached W^T into a shared group matrix, then one elementwise
+ * activation sweep covers the whole group. Because the activation is
+ * elementwise, every output row is bit-identical to
+ * nets[r]->inferRow(ins[r]) — batching cannot perturb any tenant's
+ * trajectory, whatever the group composition.
+ *
+ * @param nets     n networks with identical topology (asserted).
+ * @param ins      n pointers to inputSize() floats each.
+ * @param n        group size (> 0).
+ * @param scratchA Caller-owned ping-pong scratch, reused across calls
+ * @param scratchB so steady-state windows never allocate.
+ * @return Reference to whichever scratch matrix holds the outputs
+ *         (n x outputSize()), valid until either scratch is reused.
+ */
+const Matrix &inferRowBatch(Network *const *nets, const float *const *ins,
+                            std::size_t n, Matrix &scratchA,
+                            Matrix &scratchB);
 
 } // namespace sibyl::ml

@@ -11,10 +11,16 @@
 
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "hss/hybrid_system.hh"
 #include "trace/trace.hh"
+
+namespace sibyl::ml
+{
+class Network;
+}
 
 namespace sibyl::policies
 {
@@ -38,6 +44,50 @@ class PlacementPolicy
     virtual DeviceId selectPlacement(const hss::HybridSystem &sys,
                                      const trace::Request &req,
                                      std::size_t reqIndex) = 0;
+
+    /**
+     * Batched decision, phase 1 (the fleet's cross-tenant decision
+     * windows). Performs everything selectPlacement() would up to —
+     * but not including — the greedy network evaluation, in the same
+     * order. Returns nullptr when the decision completed inline
+     * (@p action is set); otherwise returns the network whose output
+     * row for *@p obsRow (which must stay untouched until the row is
+     * evaluated) finishes the decision via selectPlacementFromRow().
+     * selectPlacement() == Begin + inferRow + FromRow by construction.
+     * The default resolves inline, which keeps heuristics and wrapper
+     * policies correct — they simply don't batch.
+     */
+    virtual ml::Network *
+    selectPlacementBegin(const hss::HybridSystem &sys,
+                         const trace::Request &req, std::size_t reqIndex,
+                         DeviceId &action, const float **obsRow)
+    {
+        (void)obsRow;
+        action = selectPlacement(sys, req, reqIndex);
+        return nullptr;
+    }
+
+    /** Batched decision, phase 2: finish the pending Begin with the
+     *  network's output row. Only called after Begin returned a net. */
+    virtual DeviceId
+    selectPlacementFromRow(const float *row)
+    {
+        (void)row;
+        return static_cast<DeviceId>(0); // unreachable for inline Begins
+    }
+
+    /** Inject the executor asynchronous training rounds run on (see
+     *  rl::Agent::setTrainingExecutor). Default: no training, no-op. */
+    virtual void
+    setTrainingExecutor(std::function<void(std::function<void()>)> exec)
+    {
+        (void)exec;
+    }
+
+    /** Commit any in-flight asynchronous training work (join + stats
+     *  fold) — call before reading final results or checkpointing.
+     *  Default: no training, no-op. */
+    virtual void finishTraining() {}
 
     /**
      * System-level feedback after the request completed. Default: ignore

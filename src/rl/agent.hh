@@ -15,12 +15,18 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "ml/matrix.hh"
 #include "rl/exploration.hh"
 #include "rl/replay_buffer.hh"
+
+namespace sibyl::ml
+{
+class Network;
+}
 
 namespace sibyl::rl
 {
@@ -56,6 +62,31 @@ struct AgentConfig
      *  cadence). Smaller values train more often — useful on the
      *  scaled-down traces this repository replays. */
     std::uint32_t trainEvery = 0;
+
+    /**
+     * Decouple training from serving (neural agents): at each training
+     * tick the agent *stages* a round — pre-sampling the minibatch
+     * indices with the decision-path RNG (the same draws the
+     * synchronous path makes), snapshotting the sampled transitions,
+     * and freezing a private copy of the inference network as the
+     * Bellman-target net — then executes it on the shadow training
+     * network via the injected executor (setTrainingExecutor) while
+     * serving continues. The round *commits* (join + stats fold) at
+     * the next deterministic handoff point: the following training
+     * tick, any weight-sync tick (always before the training network
+     * is published to the inference network), finishTraining(), or
+     * destruction. Decisions read only the inference network, which
+     * changes only at sync ticks after every staged round has
+     * committed — so results are bit-identical to synchronous
+     * training at any thread count, with no executor at all (rounds
+     * then run inline at their commit points), and to PR 7 serving.
+     * Incompatible with prioritizedReplay (priority updates between
+     * batches would change the pre-sampled draws) and VDBE exploration
+     * (its epsilon consumes training-loss feedback at the tick);
+     * agents reject those combinations at construction. Ignored by the
+     * tabular agent, which learns per-observation.
+     */
+    bool asyncTraining = false;
 
     /** Hidden topology (paper: 20 and 30 swish neurons). */
     std::vector<std::size_t> hidden = {20, 30};
@@ -156,19 +187,21 @@ hashObservation(const ml::Vector &v)
  * byte-identical share a unique row. Flat linear-probe map sized 2x
  * the batch; hash hits are verified by comparing the vectors, so a
  * collision can only fail to fold, never mis-fold. Shared by the
- * DQN and C51 batched trainers. Returns the unique-row count;
- * rowToUnique[r] maps each sampled row to its unique row, and
- * uniqueIdx lists the backing buffer index of each unique row.
+ * DQN and C51 batched trainers. @p stateOf maps a sampled row number
+ * to its observation (the live replay ring for synchronous rounds,
+ * the staged snapshot for asynchronous ones — identical bytes, so
+ * identical folds). Returns the unique-row count; rowToUnique[r] maps
+ * each sampled row to its unique row, and uniqueIdx lists the sampled
+ * row number each unique row came from.
  */
+template <typename StateOf>
 inline std::size_t
-buildStateFoldMap(const ReplayBuffer &buffer,
-                  const std::vector<std::size_t> &indices,
-                  std::vector<std::uint64_t> &foldKeys,
-                  std::vector<std::uint32_t> &foldVals,
-                  std::vector<std::uint32_t> &rowToUnique,
-                  std::vector<std::size_t> &uniqueIdx)
+buildStateFoldMapRows(StateOf &&stateOf, std::size_t batch,
+                      std::vector<std::uint64_t> &foldKeys,
+                      std::vector<std::uint32_t> &foldVals,
+                      std::vector<std::uint32_t> &rowToUnique,
+                      std::vector<std::size_t> &uniqueIdx)
 {
-    const std::size_t batch = indices.size();
     std::size_t cap = 16;
     while (cap < batch * 2)
         cap <<= 1;
@@ -177,15 +210,13 @@ buildStateFoldMap(const ReplayBuffer &buffer,
     rowToUnique.resize(batch);
     uniqueIdx.clear();
     for (std::size_t r = 0; r < batch; r++) {
-        const std::size_t idx = indices[r];
-        const ml::Vector &st = buffer[idx].state;
+        const ml::Vector &st = stateOf(r);
         std::uint64_t h = hashObservation(st);
         h += h == 0; // 0 is the empty-slot sentinel
         std::size_t slot = h & (cap - 1);
         std::uint32_t ui = 0xFFFFFFFFu;
         while (foldKeys[slot] != 0) {
-            if (foldKeys[slot] == h &&
-                buffer[uniqueIdx[foldVals[slot]]].state == st) {
+            if (foldKeys[slot] == h && stateOf(uniqueIdx[foldVals[slot]]) == st) {
                 ui = foldVals[slot];
                 break;
             }
@@ -193,13 +224,34 @@ buildStateFoldMap(const ReplayBuffer &buffer,
         }
         if (ui == 0xFFFFFFFFu) {
             ui = static_cast<std::uint32_t>(uniqueIdx.size());
-            uniqueIdx.push_back(idx);
+            uniqueIdx.push_back(r);
             foldKeys[slot] = h;
             foldVals[slot] = ui;
         }
         rowToUnique[r] = ui;
     }
     return uniqueIdx.size();
+}
+
+/** Replay-ring front end of buildStateFoldMapRows(): folds over the
+ *  live buffer entries named by @p indices, and remaps uniqueIdx to
+ *  backing buffer indices (the historical contract of this helper). */
+inline std::size_t
+buildStateFoldMap(const ReplayBuffer &buffer,
+                  const std::vector<std::size_t> &indices,
+                  std::vector<std::uint64_t> &foldKeys,
+                  std::vector<std::uint32_t> &foldVals,
+                  std::vector<std::uint32_t> &rowToUnique,
+                  std::vector<std::size_t> &uniqueIdx)
+{
+    const std::size_t uRows = buildStateFoldMapRows(
+        [&](std::size_t r) -> const ml::Vector & {
+            return buffer[indices[r]].state;
+        },
+        indices.size(), foldKeys, foldVals, rowToUnique, uniqueIdx);
+    for (auto &ui : uniqueIdx)
+        ui = indices[ui];
+    return uRows;
 }
 
 /** Training/behaviour statistics for tests and the overhead bench. */
@@ -228,6 +280,41 @@ class Agent
 
     /** Epsilon-greedy action for @p state. */
     virtual std::uint32_t selectAction(const ml::Vector &state) = 0;
+
+    /**
+     * Phase 1 of a batched decision. Performs every RNG draw and
+     * bookkeeping step selectAction() would (in the same order), and
+     * returns true when the action was fully decided without a greedy
+     * network evaluation (exploration fired, or the agent family has
+     * no batchable network). Returns false when the caller must
+     * evaluate batchNetwork() on @p state — alone via inferRow, or
+     * gathered with other agents' rows via ml::inferRowBatch — and
+     * finish with selectActionFromRow(). selectAction() ==
+     * selectActionBegin() + inferRow + selectActionFromRow() by
+     * construction, so batching can never perturb a decision. The
+     * default covers non-batchable agents by resolving inline.
+     */
+    virtual bool
+    selectActionBegin(const ml::Vector &state, std::uint32_t &action)
+    {
+        action = selectAction(state);
+        return true;
+    }
+
+    /** Phase 2: decode the greedy action from this agent's
+     *  batchNetwork() output row for the state passed to
+     *  selectActionBegin(). Only called after Begin returned false. */
+    virtual std::uint32_t
+    selectActionFromRow(const float *row)
+    {
+        (void)row;
+        return 0; // unreachable for agents whose Begin always completes
+    }
+
+    /** The network whose output row selectActionFromRow() consumes
+     *  (the frozen inference net), or nullptr for agent families with
+     *  no batchable network (tabular). */
+    virtual ml::Network *batchNetwork() { return nullptr; }
 
     /** Greedy action (no exploration) — used by evaluation probes. */
     virtual std::uint32_t greedyAction(const ml::Vector &state) = 0;
@@ -260,6 +347,22 @@ class Agent
 
     /** Force one training round (for tests); returns the mean loss. */
     virtual double trainRound() = 0;
+
+    /** Executor for AgentConfig::asyncTraining rounds: invoked with a
+     *  self-contained job to run on some other thread (e.g. a
+     *  ThreadPool::submit wrapper). */
+    using TrainingExecutor = std::function<void(std::function<void()>)>;
+
+    /** Inject the executor asynchronous training rounds run on. With
+     *  none injected, staged rounds execute inline at their commit
+     *  points — the single-threaded oracle. No-op for synchronous
+     *  agents (the default). */
+    virtual void setTrainingExecutor(TrainingExecutor exec) { (void)exec; }
+
+    /** Commit any staged asynchronous training round (join + stats
+     *  fold). Call before reading final stats, checkpointing, or
+     *  comparing weights; no-op for synchronous agents. */
+    virtual void finishTraining() {}
 
     /** Behaviour counters. */
     virtual const AgentStats &stats() const = 0;

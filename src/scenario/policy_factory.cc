@@ -204,6 +204,8 @@ applySibylParams(core::SibylConfig &cfg, const PolicyDesc &desc)
             cfg.targetSyncEvery = toU32(desc, key, value);
         } else if (key == "trainEvery") {
             cfg.trainEvery = toU32(desc, key, value);
+        } else if (key == "asyncTraining") {
+            cfg.asyncTraining = toBool(desc, key, value);
         } else if (key == "atoms") {
             cfg.atoms = toU32(desc, key, value);
         } else if (key == "vmin") {
@@ -335,7 +337,8 @@ applySibylParams(core::SibylConfig &cfg, const PolicyDesc &desc)
                 "unknown Sibyl parameter \"" + key +
                     "\" (valid: gamma lr epsilon batchSize "
                     "batchesPerTraining bufferCapacity targetSyncEvery "
-                    "trainEvery atoms vmin vmax seed hidden agent per "
+                    "trainEvery asyncTraining atoms vmin vmax seed "
+                    "hidden agent per "
                     "doubleDqn features sizeBins intervalBins countBins "
                     "capacityBins reward latencyScaleUs penaltyCoeff "
                     "evictionOnlyPenalty enduranceWeight "

@@ -70,9 +70,10 @@ inline constexpr std::uint64_t kAgentSalt = 0xA9E27A11ULL;
 
 struct FleetSpec; // sim/fleet.hh
 
-/** Policy descriptor with the run-supervision (guardrail*) params
- *  stripped — the identity string hashed into run keys (see the
- *  derivation-rule comment above). */
+/** Policy descriptor with the run-supervision (guardrail*) and
+ *  execution-strategy (asyncTraining) params stripped — the identity
+ *  string hashed into run keys (see the derivation-rule comment
+ *  above). */
 std::string policyIdentity(const std::string &policy);
 
 /** One cell of an experiment matrix: everything that defines a run. */

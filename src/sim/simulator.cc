@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "ml/network.hh"
+
 namespace sibyl::sim
 {
 
@@ -26,15 +28,36 @@ RequestStepper::RequestStepper(hss::HybridSystem &sys,
 void
 RequestStepper::step(const trace::Request &req)
 {
+    SimTime arrival{};
+    DeviceId action{};
+    const float *row = nullptr;
+    ml::Network *net = stepBegin(req, arrival, action, &row);
+    if (net)
+        action = policy_.selectPlacementFromRow(net->inferRow(row));
+    stepFinish(req, arrival, action);
+}
+
+ml::Network *
+RequestStepper::stepBegin(const trace::Request &req, SimTime &arrival,
+                          DeviceId &action, const float **obsRow)
+{
     const std::uint64_t i = count_++;
 
     // Bounded outstanding window: wait for request i-qd.
     SimTime gate = finishRing_[i % qd_];
-    SimTime arrival = std::max(req.timestamp, gate);
+    arrival = std::max(req.timestamp, gate);
     if (i == 0)
         firstArrival_ = arrival;
 
-    DeviceId action = policy_.selectPlacement(sys_, req, i);
+    return policy_.selectPlacementBegin(sys_, req, i, action, obsRow);
+}
+
+void
+RequestStepper::stepFinish(const trace::Request &req, SimTime arrival,
+                           DeviceId action)
+{
+    const std::uint64_t i = count_ - 1; // stepBegin already counted it
+
     hss::ServeResult result = sys_.serve(arrival, req, action);
     policy_.observeOutcome(sys_, req, action, result);
 

@@ -68,6 +68,29 @@ class RequestStepper
     /** Replay one request (must be called in trace order). */
     void step(const trace::Request &req);
 
+    /**
+     * Phase-split replay for the fleet's batched decision windows:
+     * step() == stepBegin + (net ? FromRow(net->inferRow(row)) : action)
+     * + stepFinish, by construction.
+     *
+     * stepBegin computes the arrival gate and runs the policy's
+     * decision prologue (selectPlacementBegin). When it returns a
+     * network, the caller evaluates *@p obsRow on it (possibly batched
+     * with other tenants' rows), decodes the action via
+     * policy().selectPlacementFromRow(), and hands the result to
+     * stepFinish together with the arrival it was given. When it
+     * returns nullptr the decision completed inline and @p action is
+     * already set. Exactly one stepFinish must follow each stepBegin
+     * before the next stepBegin on this stepper.
+     */
+    ml::Network *stepBegin(const trace::Request &req, SimTime &arrival,
+                           DeviceId &action, const float **obsRow);
+    void stepFinish(const trace::Request &req, SimTime arrival,
+                    DeviceId action);
+
+    /** The policy this stepper drives (for selectPlacementFromRow). */
+    policies::PlacementPolicy &policy() { return policy_; }
+
     /** Requests stepped so far. */
     std::uint64_t requests() const { return count_; }
 

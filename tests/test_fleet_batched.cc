@@ -1,0 +1,595 @@
+/**
+ * @file
+ * Batched cross-tenant decision path and async-training cadence tests.
+ *
+ * Twin suites proving the PR's two central bit-identity claims: (1) the
+ * fleet's batched decision windows (ml::inferRowBatch over per-tenant
+ * observation rows) reproduce the per-tenant inferRow serving path bit
+ * for bit across tenant counts, window sizes, and thread counts; (2)
+ * the double-buffered asynchronous training cadence commits the same
+ * weights, stats, and trajectories as synchronous training, with or
+ * without a real executor. Plus the multiplexer heap-vs-reference merge
+ * contract at large tenant counts, the row-batched inference kernel
+ * unit test, construction-time rejection of incompatible feature
+ * combinations, and the fleetServing scenario surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "core/sibyl_policy.hh"
+#include "ml/network.hh"
+#include "rl/c51_agent.hh"
+#include "rl/checkpoint.hh"
+#include "rl/dqn_agent.hh"
+#include "scenario/scenario_spec.hh"
+#include "sim/fleet.hh"
+#include "sim/parallel_runner.hh"
+#include "trace/trace.hh"
+#include "trace/trace_cache.hh"
+#include "trace/trace_mux.hh"
+
+namespace sibyl
+{
+namespace
+{
+
+// ---------------------- inferRowBatch kernel -------------------------
+
+TEST(InferRowBatch, BitExactVsInferRow)
+{
+    // The batched decision kernel's contract: each output row equals
+    // nets[r]->inferRow(ins[r]) bit for bit, whatever the group
+    // composition, because every arithmetic step is per-row (zero-seed
+    // accumulate + bias) or elementwise (the activation sweep).
+    Pcg32 rng(0xBA7C4ED);
+    const std::size_t inDim = 6, outDim = 5, groups = 7;
+    const std::vector<ml::LayerSpec> topo = {
+        {20, ml::Activation::Swish},
+        {30, ml::Activation::Swish},
+        {outDim, ml::Activation::Identity}};
+
+    std::vector<std::unique_ptr<ml::Network>> nets;
+    std::vector<ml::Vector> inputs;
+    for (std::size_t i = 0; i < groups; i++) {
+        nets.push_back(std::make_unique<ml::Network>(inDim, topo, rng));
+        ml::Vector in(inDim);
+        for (auto &v : in)
+            v = static_cast<float>(rng.nextDouble() * 2.0 - 1.0);
+        inputs.push_back(std::move(in));
+    }
+    ASSERT_EQ(nets[0]->topologyKey(), nets[1]->topologyKey());
+
+    // Reference rows first (inferRow reuses internal scratch, so copy).
+    std::vector<ml::Vector> want;
+    for (std::size_t i = 0; i < groups; i++) {
+        const float *row = nets[i]->inferRow(inputs[i].data());
+        want.emplace_back(row, row + outDim);
+    }
+
+    std::vector<ml::Network *> netPtrs;
+    std::vector<const float *> inPtrs;
+    for (std::size_t i = 0; i < groups; i++) {
+        netPtrs.push_back(nets[i].get());
+        inPtrs.push_back(inputs[i].data());
+    }
+    ml::Matrix scratchA, scratchB;
+    const ml::Matrix &out = ml::inferRowBatch(
+        netPtrs.data(), inPtrs.data(), groups, scratchA, scratchB);
+    ASSERT_EQ(out.rows(), groups);
+    ASSERT_EQ(out.cols(), outDim);
+    for (std::size_t i = 0; i < groups; i++)
+        for (std::size_t j = 0; j < outDim; j++)
+            ASSERT_EQ(out(i, j), want[i][j])
+                << "slot " << i << " col " << j;
+
+    // Singleton groups and repeated evaluation through the same
+    // scratch stay exact (the window loop reuses one scratch pair).
+    for (std::size_t i = 0; i < groups; i++) {
+        const ml::Matrix &one = ml::inferRowBatch(
+            &netPtrs[i], &inPtrs[i], 1, scratchA, scratchB);
+        for (std::size_t j = 0; j < outDim; j++)
+            ASSERT_EQ(one(0, j), want[i][j]);
+    }
+}
+
+// ------------------ multiplexer heap merge contract ------------------
+
+/** The pre-heap reference merge: linear head scan, lowest timestamp,
+ *  ties to the lowest tenant id. */
+std::vector<trace::TraceMultiplexer::Entry>
+referenceLinearMerge(const std::vector<const trace::Trace *> &tenants)
+{
+    std::size_t total = 0;
+    for (const trace::Trace *t : tenants)
+        total += t->size();
+    std::vector<trace::TraceMultiplexer::Entry> out;
+    std::vector<std::size_t> cursor(tenants.size(), 0);
+    for (std::size_t filled = 0; filled < total; filled++) {
+        std::size_t best = tenants.size();
+        SimTime bestTime = 0.0;
+        for (std::size_t t = 0; t < tenants.size(); t++) {
+            if (cursor[t] >= tenants[t]->size())
+                continue;
+            SimTime ts = (*tenants[t])[cursor[t]].timestamp;
+            if (best == tenants.size() || ts < bestTime) {
+                best = t;
+                bestTime = ts;
+            }
+        }
+        out.push_back({static_cast<std::uint32_t>(best),
+                       static_cast<std::uint32_t>(cursor[best])});
+        cursor[best]++;
+    }
+    return out;
+}
+
+TEST(TraceMultiplexerHeap, MatchesReferenceMergeAtScale)
+{
+    // ~40 tenants with deliberately colliding timestamps (coarse grid)
+    // and non-monotone streams: the indexed min-heap must reproduce
+    // the linear reference scan slot for slot, including every
+    // tie-to-lower-tenant-id resolution.
+    Pcg32 rng(0x4EA9);
+    std::vector<trace::Trace> traces(41);
+    for (std::size_t t = 0; t < traces.size(); t++) {
+        const std::size_t len = rng.nextBounded(30); // some empty
+        for (std::size_t i = 0; i < len; i++) {
+            trace::Request r;
+            // Grid timestamps force cross-tenant ties; occasional
+            // backward jumps exercise the non-monotone rule.
+            r.timestamp = static_cast<double>(rng.nextBounded(12)) * 5.0;
+            r.page = static_cast<PageId>(t * 1000 + i);
+            traces[t].add(r);
+        }
+    }
+    std::vector<const trace::Trace *> views;
+    for (const auto &t : traces)
+        views.push_back(&t);
+
+    const auto want = referenceLinearMerge(views);
+    const trace::TraceMultiplexer mux(views);
+    ASSERT_EQ(mux.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); i++) {
+        ASSERT_EQ(mux[i].tenant, want[i].tenant) << "slot " << i;
+        ASSERT_EQ(mux[i].index, want[i].index) << "slot " << i;
+    }
+}
+
+// ------------------- batched fleet twin suites -----------------------
+
+std::vector<sim::FleetTenant>
+mixedLineup(std::size_t count)
+{
+    // RL tenants with two distinct topologies plus heuristics, so
+    // batched windows exercise multi-group inference and inline
+    // (netless) slots side by side.
+    const std::vector<sim::FleetTenant> pool = {
+        {"Sibyl{trainEvery=100}", "prxy_1"},
+        {"CDE", "mds_0"},
+        {"Sibyl-DQN", "rsrch_0"},
+        {"HPS", "src1_0"},
+        {"Sibyl{hidden=16x16}", "mds_0"},
+        {"Sibyl{trainEvery=100}", "prxy_1"},
+        {"Sibyl-DQN", "prxy_1"},
+    };
+    std::vector<sim::FleetTenant> out;
+    for (std::size_t i = 0; i < count; i++)
+        out.push_back(pool[i % pool.size()]);
+    return out;
+}
+
+sim::RunSpec
+servingSpec(std::vector<sim::FleetTenant> tenants, sim::FleetServing sv,
+            std::size_t perTenantLen = 300)
+{
+    auto fleet = std::make_shared<sim::FleetSpec>();
+    fleet->tenants = std::move(tenants);
+    fleet->serving = sv;
+    sim::RunSpec s;
+    s.policy = "Fleet";
+    s.workload = "fleet";
+    s.hssConfig = "H&M";
+    s.traceLen = perTenantLen;
+    s.fleet = fleet;
+    return s;
+}
+
+void
+expectResultsIdentical(const sim::PolicyResult &a,
+                       const sim::PolicyResult &b)
+{
+    EXPECT_EQ(a.metrics.requests, b.metrics.requests);
+    EXPECT_EQ(a.metrics.avgLatencyUs, b.metrics.avgLatencyUs);
+    EXPECT_EQ(a.metrics.p50LatencyUs, b.metrics.p50LatencyUs);
+    EXPECT_EQ(a.metrics.p99LatencyUs, b.metrics.p99LatencyUs);
+    EXPECT_EQ(a.metrics.p999LatencyUs, b.metrics.p999LatencyUs);
+    EXPECT_EQ(a.metrics.maxLatencyUs, b.metrics.maxLatencyUs);
+    EXPECT_EQ(a.metrics.iops, b.metrics.iops);
+    EXPECT_EQ(a.metrics.makespanUs, b.metrics.makespanUs);
+    EXPECT_EQ(a.fairnessJain, b.fairnessJain);
+    EXPECT_EQ(a.totalEnergyMj, b.totalEnergyMj);
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); i++) {
+        SCOPED_TRACE("tenant " + std::to_string(i));
+        EXPECT_EQ(a.tenants[i].tenantKey, b.tenants[i].tenantKey);
+        EXPECT_EQ(a.tenants[i].metrics.requests,
+                  b.tenants[i].metrics.requests);
+        EXPECT_EQ(a.tenants[i].metrics.avgLatencyUs,
+                  b.tenants[i].metrics.avgLatencyUs);
+        EXPECT_EQ(a.tenants[i].metrics.p99LatencyUs,
+                  b.tenants[i].metrics.p99LatencyUs);
+        EXPECT_EQ(a.tenants[i].metrics.iops, b.tenants[i].metrics.iops);
+        EXPECT_EQ(a.tenants[i].metrics.promotions,
+                  b.tenants[i].metrics.promotions);
+        EXPECT_EQ(a.tenants[i].metrics.demotions,
+                  b.tenants[i].metrics.demotions);
+    }
+}
+
+TEST(FleetBatched, BitIdenticalToSerialOracleAcrossWindows)
+{
+    // The tentpole claim: batched decision windows reproduce the
+    // unbatched serial oracle bit for bit, for every window size and
+    // at 1 and 8 threads.
+    trace::TraceCache traces;
+    const auto tenants = mixedLineup(5);
+    const sim::PolicyResult oracle = sim::runFleetExperiment(
+        servingSpec(tenants, {}), traces, true, 1);
+
+    for (std::size_t window : {std::size_t{0}, std::size_t{1},
+                               std::size_t{2}, std::size_t{16}}) {
+        for (unsigned threads : {1u, 8u}) {
+            SCOPED_TRACE("window=" + std::to_string(window) +
+                         " threads=" + std::to_string(threads));
+            sim::FleetServing sv;
+            sv.batched = true;
+            sv.decisionWindow = window;
+            const sim::PolicyResult got = sim::runFleetExperiment(
+                servingSpec(tenants, sv), traces, true, threads);
+            expectResultsIdentical(oracle, got);
+        }
+    }
+}
+
+TEST(FleetBatched, BitIdenticalAcrossTenantCounts)
+{
+    trace::TraceCache traces;
+    for (std::size_t count : {std::size_t{1}, std::size_t{7}}) {
+        SCOPED_TRACE("tenants=" + std::to_string(count));
+        const auto tenants = mixedLineup(count);
+        const sim::PolicyResult oracle = sim::runFleetExperiment(
+            servingSpec(tenants, {}, 200), traces, true, 1);
+        sim::FleetServing sv;
+        sv.batched = true;
+        const sim::PolicyResult got = sim::runFleetExperiment(
+            servingSpec(tenants, sv, 200), traces, true, 8);
+        expectResultsIdentical(oracle, got);
+    }
+}
+
+TEST(FleetBatched, AsyncTrainingBitIdenticalToSync)
+{
+    // Double-buffered async training on the real training pool (8
+    // threads) against the synchronous serial oracle — weights commit
+    // at the same tick counts, so trajectories are bit-identical.
+    trace::TraceCache traces;
+    const auto tenants = mixedLineup(5);
+    const sim::PolicyResult oracle = sim::runFleetExperiment(
+        servingSpec(tenants, {}), traces, true, 1);
+
+    sim::FleetServing sv;
+    sv.batched = true;
+    sv.asyncTraining = true;
+    for (unsigned threads : {1u, 8u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const sim::PolicyResult got = sim::runFleetExperiment(
+            servingSpec(tenants, sv), traces, true, threads);
+        expectResultsIdentical(oracle, got);
+    }
+}
+
+TEST(FleetBatched, ResultsJsonBitExactThroughRunner)
+{
+    // End-to-end: the batched+async spec serializes byte-identically
+    // to the unbatched spec through writeResultsJson at 1 vs 8
+    // threads (serving knobs are stripped from the run key, so the
+    // four records carry the same identity and the same metrics).
+    sim::FleetServing batchedAsync;
+    batchedAsync.batched = true;
+    batchedAsync.asyncTraining = true;
+    const std::vector<sim::FleetServing> servings = {{}, batchedAsync};
+    std::vector<std::string> outputs;
+    for (const auto &sv : servings) {
+        for (unsigned threads : {1u, 8u}) {
+            sim::ParallelConfig cfg;
+            cfg.numThreads = threads;
+            sim::ParallelRunner runner(cfg);
+            std::ostringstream os;
+            sim::writeResultsJson(
+                os, runner.runAll({servingSpec(mixedLineup(5), sv)}));
+            outputs.push_back(os.str());
+        }
+    }
+    for (std::size_t i = 1; i < outputs.size(); i++)
+        EXPECT_EQ(outputs[0], outputs[i]) << "variant " << i;
+}
+
+TEST(FleetBatched, GoldenFleetSnapshotUnchanged)
+{
+    // The test_fleet.cc golden constants, reproduced with batching and
+    // async training enabled: the serving strategy must not move the
+    // snapshot (same lineup, same tolerance, same constants).
+    struct Golden
+    {
+        double avgLatencyUs, p999LatencyUs, iops, fairnessJain;
+    };
+    const Golden g = {46.314916632772956, 299.66039154132886,
+                      13004.986768853858, 0.99590092717632972};
+
+    sim::FleetTenant a;
+    a.policy = "Sibyl{trainEvery=100}";
+    a.workload = "prxy_1";
+    sim::FleetTenant b;
+    b.policy = "CDE";
+    b.workload = "mds_0";
+    sim::FleetTenant c;
+    c.policy = "HPS";
+    c.workload = "rsrch_0";
+    sim::FleetServing sv;
+    sv.batched = true;
+    sv.asyncTraining = true;
+    const sim::RunSpec spec = servingSpec({a, b, c, a}, sv);
+    trace::TraceCache traces;
+    const sim::PolicyResult r =
+        sim::runFleetExperiment(spec, traces, true, 4);
+
+    const double tol = 0.02;
+    EXPECT_EQ(r.metrics.requests, 1200u);
+    EXPECT_NEAR(r.metrics.avgLatencyUs, g.avgLatencyUs,
+                g.avgLatencyUs * tol);
+    EXPECT_NEAR(r.metrics.p999LatencyUs, g.p999LatencyUs,
+                g.p999LatencyUs * tol);
+    EXPECT_NEAR(r.metrics.iops, g.iops, g.iops * tol);
+    EXPECT_NEAR(r.fairnessJain, g.fairnessJain,
+                0.01 + g.fairnessJain * tol);
+}
+
+// ------------------- agent-level async twin suite --------------------
+
+/** Drive one agent through a deterministic synthetic decision/
+ *  transition stream and return its final checkpoint bytes. */
+std::string
+runAgentStream(rl::Agent &agent, std::size_t steps)
+{
+    Pcg32 rng(0x57A7E);
+    const std::size_t dim = 6;
+    ml::Vector prev(dim, 0.0f), cur(dim, 0.0f);
+    for (auto &v : prev)
+        v = static_cast<float>(rng.nextDouble());
+    std::uint32_t action = agent.selectAction(prev);
+    for (std::size_t i = 0; i < steps; i++) {
+        for (auto &v : cur)
+            v = static_cast<float>(rng.nextDouble());
+        const float reward =
+            static_cast<float>(rng.nextDouble() * 2.0 - 0.5);
+        agent.observeTransition(prev, action, reward, cur);
+        prev = cur;
+        action = agent.selectAction(prev);
+    }
+    agent.finishTraining();
+    std::ostringstream out(std::ios::binary);
+    rl::saveCheckpoint(agent, out);
+    return out.str();
+}
+
+template <typename AgentT>
+void
+expectAsyncMatchesSync(rl::AgentConfig base)
+{
+    base.bufferCapacity = 200;
+    base.batchSize = 32;
+    base.batchesPerTraining = 2;
+    base.trainEvery = 50;
+    base.targetSyncEvery = 100;
+
+    rl::AgentConfig asyncCfg = base;
+    asyncCfg.asyncTraining = true;
+
+    AgentT sync(base);
+    const std::string syncBytes = runAgentStream(sync, 1200);
+
+    // Async with no executor: rounds run inline at commit points.
+    AgentT inlineAsync(asyncCfg);
+    const std::string inlineBytes = runAgentStream(inlineAsync, 1200);
+    EXPECT_EQ(syncBytes, inlineBytes);
+
+    // Async on a real background executor.
+    {
+        ThreadPool pool(2);
+        AgentT pooled(asyncCfg);
+        pooled.setTrainingExecutor([&pool](std::function<void()> job) {
+            pool.submit(std::move(job));
+        });
+        const std::string pooledBytes = runAgentStream(pooled, 1200);
+        EXPECT_EQ(syncBytes, pooledBytes);
+
+        EXPECT_EQ(sync.stats().trainingRounds,
+                  pooled.stats().trainingRounds);
+        EXPECT_EQ(sync.stats().gradientSteps,
+                  pooled.stats().gradientSteps);
+        EXPECT_EQ(sync.stats().weightSyncs, pooled.stats().weightSyncs);
+        EXPECT_EQ(sync.stats().decisions, pooled.stats().decisions);
+        EXPECT_EQ(sync.stats().randomActions,
+                  pooled.stats().randomActions);
+        EXPECT_EQ(sync.stats().lastLoss, pooled.stats().lastLoss);
+        EXPECT_GT(sync.stats().trainingRounds, 0u);
+    }
+}
+
+TEST(AsyncTraining, C51BitIdenticalToSync)
+{
+    rl::AgentConfig cfg;
+    cfg.stateDim = 6;
+    cfg.numActions = 2;
+    expectAsyncMatchesSync<rl::C51Agent>(cfg);
+}
+
+TEST(AsyncTraining, DqnBitIdenticalToSync)
+{
+    rl::AgentConfig cfg;
+    cfg.stateDim = 6;
+    cfg.numActions = 2;
+    expectAsyncMatchesSync<rl::DqnAgent>(cfg);
+}
+
+TEST(AsyncTraining, DoubleDqnBitIdenticalToSync)
+{
+    rl::AgentConfig cfg;
+    cfg.stateDim = 6;
+    cfg.numActions = 2;
+    cfg.doubleDqn = true;
+    expectAsyncMatchesSync<rl::DqnAgent>(cfg);
+}
+
+TEST(AsyncTraining, RejectsIncompatibleFeatures)
+{
+    rl::AgentConfig per;
+    per.asyncTraining = true;
+    per.prioritizedReplay = true;
+    EXPECT_THROW(rl::C51Agent{per}, std::invalid_argument);
+    EXPECT_THROW(rl::DqnAgent{per}, std::invalid_argument);
+
+    rl::AgentConfig vdbe;
+    vdbe.asyncTraining = true;
+    vdbe.exploration.kind = rl::ExplorationKind::Vdbe;
+    EXPECT_THROW(rl::C51Agent{vdbe}, std::invalid_argument);
+    EXPECT_THROW(rl::DqnAgent{vdbe}, std::invalid_argument);
+
+    core::SibylConfig guarded;
+    guarded.asyncTraining = true;
+    guarded.guardrail.enabled = true;
+    EXPECT_THROW((core::SibylPolicy(guarded, 2)), std::invalid_argument);
+}
+
+// ------------------- fleetServing scenario surface -------------------
+
+TEST(FleetServingScenario, ParseEmitRoundTrip)
+{
+    const auto spec = scenario::parseScenarioJson(R"({
+      "name": "fs",
+      "fleet": [{"policy": "Sibyl", "workload": "prxy_1"},
+                {"policy": "CDE", "workload": "mds_0"}],
+      "fleetServing": {"batched": true, "decisionWindow": 8,
+                       "asyncTraining": true},
+      "traceLen": 200
+    })");
+    EXPECT_TRUE(spec.fleetServing.batched);
+    EXPECT_EQ(spec.fleetServing.decisionWindow, 8u);
+    EXPECT_TRUE(spec.fleetServing.asyncTraining);
+
+    const auto again =
+        scenario::parseScenarioJson(scenario::emitScenarioJson(spec));
+    EXPECT_TRUE(spec == again);
+
+    const auto runs = spec.expand();
+    ASSERT_EQ(runs.size(), 1u);
+    ASSERT_TRUE(runs[0].fleet != nullptr);
+    EXPECT_TRUE(runs[0].fleet->serving.batched);
+    EXPECT_EQ(runs[0].fleet->serving.decisionWindow, 8u);
+    EXPECT_TRUE(runs[0].fleet->serving.asyncTraining);
+}
+
+TEST(FleetServingScenario, RunKeyUnchangedByServingKnobs)
+{
+    // The central run-key hygiene claim: batched-but-equivalent runs
+    // keep their run keys, so golden snapshots and campaign baselines
+    // survive flipping the serving strategy.
+    const char *plain = R"({
+      "name": "fs",
+      "fleet": [{"policy": "Sibyl", "workload": "prxy_1"},
+                {"policy": "CDE", "workload": "mds_0"}],
+      "traceLen": 200
+    })";
+    const char *served = R"({
+      "name": "fs",
+      "fleet": [{"policy": "Sibyl", "workload": "prxy_1"},
+                {"policy": "CDE", "workload": "mds_0"}],
+      "fleetServing": {"batched": true, "decisionWindow": 4,
+                       "asyncTraining": true},
+      "traceLen": 200
+    })";
+    const auto a = scenario::parseScenarioJson(plain).expand();
+    const auto b = scenario::parseScenarioJson(served).expand();
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(sim::ParallelRunner::runKey(a[0]),
+              sim::ParallelRunner::runKey(b[0]));
+    // Same for a per-policy asyncTraining descriptor param.
+    EXPECT_EQ(sim::policyIdentity("Sibyl{asyncTraining=1}"), "Sibyl");
+    EXPECT_EQ(sim::policyIdentity("Sibyl{gamma=0.5,asyncTraining=1}"),
+              "Sibyl{gamma=0.5}");
+}
+
+TEST(FleetServingScenario, ValidationNamesOffendingField)
+{
+    // Unknown fleetServing key.
+    try {
+        scenario::parseScenarioJson(R"({
+          "name": "x",
+          "fleet": [{"workload": "prxy_1"}],
+          "fleetServing": {"bogusKnob": 1}})");
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("bogusKnob"),
+                  std::string::npos);
+    }
+    // fleetServing without a fleet.
+    EXPECT_THROW(scenario::parseScenarioJson(R"({
+        "name": "x", "policies": ["CDE"], "workloads": ["mds_0"],
+        "fleetServing": {"batched": true}})"),
+                 std::invalid_argument);
+    // Async conflicts, named per offending field at lowering time.
+    auto expectConflict = [](const char *json, const char *field) {
+        try {
+            scenario::parseScenarioJson(json).expand();
+            FAIL() << "expected invalid_argument naming " << field;
+        } catch (const std::invalid_argument &e) {
+            EXPECT_NE(std::string(e.what()).find(field),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+    expectConflict(R"({
+        "name": "x",
+        "fleet": [{"policy": "Sibyl", "workload": "prxy_1"}],
+        "fleetServing": {"asyncTraining": true},
+        "sibylParams": {"per": true}})",
+                   "per");
+    expectConflict(R"({
+        "name": "x",
+        "fleet": [{"policy": "Sibyl", "workload": "prxy_1"}],
+        "fleetServing": {"asyncTraining": true},
+        "sibylParams": {"explore": "vdbe"}})",
+                   "explore=vdbe");
+    expectConflict(R"({
+        "name": "x",
+        "fleet": [{"policy": "Sibyl{guardrail=1}", "workload": "prxy_1"}],
+        "fleetServing": {"asyncTraining": true}})",
+                   "guardrail");
+    expectConflict(R"({
+        "name": "x",
+        "fleet": [{"policy": "Sibyl{explore=vdbe}", "workload": "prxy_1"}],
+        "fleetServing": {"asyncTraining": true}})",
+                   "explore=vdbe");
+}
+
+} // namespace
+} // namespace sibyl
