@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Chaos ablation: mid-run permanent failure of the fast device.
+ *
+ * Scenario: device 0 (the fast tier) goes offline for a short window
+ * early in the run, then permanently fails at ~40% of the trace span.
+ * Its residents are drained to the next healthy tier under a
+ * rebuild-rate budget and every subsequent placement must land on a
+ * healthy device.
+ *
+ * Three arms share one ParallelRunner batch:
+ *   - CDE   : heuristic; keeps targeting the fast device, so the
+ *             serving layer's graceful-degradation net (mask +
+ *             redirect) must fire
+ *   - HPS   : heuristic control
+ *   - Sibyl : mask-aware; the agent's action mask excludes unhealthy
+ *             devices at decision time, so the serving net never fires
+ *
+ * This is a correctness smoke, not a perf number: it exits nonzero
+ * unless (a) the mask-aware Sibyl arm re-routes traffic off the failed
+ * device on its own (zero serving-layer redirects, no post-failure
+ * placement on device 0), (b) the heuristic net fires for CDE, (c) the
+ * failed device's residents actually drain, and (d) the availability
+ * accounting shows the outage.
+ *
+ * SIBYL_BENCH_REQUESTS shrinks the run for CI smoke; the outage window
+ * and failure point scale with the trace span so the failure is always
+ * mid-run.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/parallel_runner.hh"
+
+using namespace sibyl;
+
+int
+main()
+{
+    bench::banner("Chaos ablation: fast-device outage + permanent "
+                  "failure -> mask, failover, drain");
+
+    const std::string workload = "rsrch_0";
+    const std::size_t traceLen = bench::requestOverride(2000);
+
+    sim::ParallelRunner runner;
+
+    // Time-indexed fault schedule derived from the shared cached trace
+    // so the smoke shrink keeps the failure mid-run.
+    trace::TraceKey key;
+    key.workload = workload;
+    key.numRequests = traceLen;
+    const auto t = runner.traceCache().get(key);
+    const SimTime span = t->empty() ? 0.0 : (*t)[t->size() - 1].timestamp;
+    const SimTime offStart = span * 0.10;
+    const SimTime offEnd = span * 0.18;
+    const SimTime failAt = span * 0.40;
+
+    scenario::ScenarioSpec sc;
+    sc.name = "ablation_chaos";
+    sc.policies = {"CDE", "HPS", "Sibyl"};
+    sc.workloads = {workload};
+    sc.hssConfigs = {"H&M"};
+    sc.traceLen = traceLen;
+    sc.recordPerRequest = true;
+    scenario::DeviceOverride ov;
+    ov.device = 0;
+    ov.offlineWindows.push_back({offStart, offEnd});
+    ov.failAtUs = failAt;
+    ov.drainPagesPerMs = 64.0;
+    ov.failoverTimeoutUs = 2000.0;
+    sc.deviceOverrides = {ov};
+
+    const auto records = runner.runAll(sc.expand());
+
+    std::printf("offline [%.1f, %.1f] ms; permanent failure at %.1f ms "
+                "(%.0f%% of span); drain budget 64 pages/ms\n\n",
+                offStart / 1e3, offEnd / 1e3, failAt / 1e3,
+                span > 0.0 ? 100.0 * failAt / span : 0.0);
+
+    TextTable tab;
+    tab.header({"arm", "avg lat (us)", "masked", "failover reads",
+                "drained pages", "dev0 avail"});
+    bench::BenchJson json("ablation_chaos");
+    json.add("requests", static_cast<double>(traceLen));
+    json.add("fail_at_us", failAt);
+    for (std::size_t i = 0; i < records.size(); i++) {
+        const auto &m = records[i].result.metrics;
+        const double avail = m.deviceAvailability.empty()
+                                 ? 1.0
+                                 : m.deviceAvailability[0];
+        tab.addRow({sc.policies[i], cell(m.avgLatencyUs, 1),
+                    cell(std::uint64_t{m.maskedPlacements}),
+                    cell(std::uint64_t{m.failoverReads}),
+                    cell(std::uint64_t{m.drainedPages}), cell(avail, 3)});
+        const std::string prefix =
+            "arm" + std::to_string(i) + "_" + sc.policies[i];
+        json.add(prefix + "_avg_latency_us", m.avgLatencyUs);
+        json.add(prefix + "_masked_placements",
+                 static_cast<double>(m.maskedPlacements));
+        json.add(prefix + "_failover_reads",
+                 static_cast<double>(m.failoverReads));
+        json.add(prefix + "_drained_pages",
+                 static_cast<double>(m.drainedPages));
+        json.add(prefix + "_dev0_availability", avail);
+    }
+    tab.print(std::cout);
+    if (json.writeTo("BENCH_chaos.json"))
+        std::printf("\nwrote BENCH_chaos.json\n");
+
+    std::printf(
+        "\nExpected shape: CDE keeps targeting the dead fast device, so\n"
+        "the serving layer masks+redirects (masked > 0). The mask-aware\n"
+        "Sibyl agent excludes unhealthy devices at decision time, so the\n"
+        "net never fires for it (masked == 0) and every post-failure\n"
+        "placement lands off device 0.\n");
+
+    bool ok = true;
+    const auto &cde = records[0].result.metrics;
+    const auto &sib = records[2].result.metrics;
+    if (cde.maskedPlacements == 0) {
+        std::printf("BUG: serving net never fired for heuristic CDE\n");
+        ok = false;
+    }
+    if (cde.drainedPages == 0) {
+        std::printf("BUG: failed device's residents were not drained\n");
+        ok = false;
+    }
+    if (sib.maskedPlacements != 0) {
+        std::printf("BUG: mask-aware Sibyl needed %llu serving-layer "
+                    "redirects\n",
+                    static_cast<unsigned long long>(sib.maskedPlacements));
+        ok = false;
+    }
+    // Per-decision re-route check: after the failure instant the agent
+    // must never place on device 0 under its own power.
+    for (std::size_t i = 0; i < sib.perRequestAction.size(); i++) {
+        if (sib.perRequestArrivalUs[i] >= failAt &&
+            sib.perRequestAction[i] == 0) {
+            std::printf("BUG: Sibyl placed request %zu on the failed "
+                        "device at t=%.1f us\n",
+                        i, sib.perRequestArrivalUs[i]);
+            ok = false;
+            break;
+        }
+    }
+    for (std::size_t i = 0; i < records.size(); i++) {
+        const auto &m = records[i].result.metrics;
+        if (m.deviceAvailability.empty() ||
+            m.deviceAvailability[0] >= 1.0) {
+            std::printf("BUG: %s arm shows no availability loss on the "
+                        "failed device\n",
+                        sc.policies[i].c_str());
+            ok = false;
+        }
+    }
+    return ok ? 0 : 1;
+}

@@ -133,6 +133,14 @@ SibylPolicy::selectPlacementBegin(const hss::HybridSystem &sys,
         return nullptr;
     }
     (void)reqIndex;
+    // Thread the serving layer's device-health mask into the agent so
+    // this decision — greedy, epsilon, or Boltzmann — can only pick a
+    // placement-accepting device. Skipped entirely when hard faults
+    // are unarmed (the agent's default mask is unrestricted), and a
+    // full mask selects the legacy decision path bit for bit, so
+    // fault-free runs are unchanged.
+    if (sys.hardFaultsArmed())
+        agent_->setActionMask(sys.placementMask());
     // One observation buffer per policy, encoded in place; together
     // with the agent's in-place ring insert this keeps the whole
     // per-request decision path allocation-free at steady state.

@@ -48,6 +48,13 @@ BlockDevice::access(SimTime now, OpType op, PageId page,
         const double baseCmd = op == OpType::Read ? spec_.readLatencyUs
                                                   : spec_.writeLatencyUs;
         timing.serviceUs += faults_.errorLatencyUs(op, baseCmd, rng_);
+        // Retry-exhaustion escalation: the op still completes (the
+        // recovery latency above was its last gasp), but the media is
+        // retired — the serving layer sees Failed from here on and
+        // drains the residents.
+        if (spec_.faults.failOnUnrecoverable &&
+            faults_.lastOpExhaustedRetries() && !failed_)
+            markFailed(timing.startUs + timing.serviceUs);
     }
     timing.finishUs = timing.startUs + timing.serviceUs;
     *channel = timing.finishUs;
@@ -218,6 +225,67 @@ BlockDevice::busyUntil() const
     return *std::min_element(channelBusy_.begin(), channelBusy_.end());
 }
 
+DeviceHealth
+BlockDevice::healthAt(SimTime now) const
+{
+    if (failed_)
+        return DeviceHealth::Failed;
+    const FaultConfig &f = spec_.faults;
+    if (f.failAtUs >= 0.0 && now >= f.failAtUs)
+        return DeviceHealth::Failed;
+    for (const auto &w : f.offlineWindows) {
+        if (now >= w.startUs && now < w.endUs)
+            return DeviceHealth::Offline;
+    }
+    for (const auto &w : f.windows) {
+        if (now >= w.startUs && now < w.endUs &&
+            w.latencyMultiplier != 1.0)
+            return DeviceHealth::Degraded;
+    }
+    return DeviceHealth::Healthy;
+}
+
+void
+BlockDevice::markFailed(SimTime now)
+{
+    if (failed_)
+        return;
+    failed_ = true;
+    // When a scheduled failAtUs has already passed, the device died at
+    // that instant — `now` is merely when the caller noticed.
+    const FaultConfig &f = spec_.faults;
+    failedAtUs_ = (f.failAtUs >= 0.0 && now >= f.failAtUs) ? f.failAtUs
+                                                           : now;
+}
+
+double
+BlockDevice::unavailableUsWithin(SimTime spanStart, SimTime spanEnd) const
+{
+    if (spanEnd <= spanStart)
+        return 0.0;
+    // Offline windows never overlap each other (validated), and a
+    // failAtUs never lies inside one, so clipping each contribution
+    // independently cannot double-count.
+    const SimTime deadFrom = failed_ ? failedAtUs_ : spanEnd;
+    double unavailable = 0.0;
+    for (const auto &w : spec_.faults.offlineWindows) {
+        const SimTime lo = std::max(spanStart, w.startUs);
+        const SimTime hi = std::min({spanEnd, w.endUs, deadFrom});
+        if (hi > lo)
+            unavailable += hi - lo;
+    }
+    if (failed_ && deadFrom < spanEnd)
+        unavailable += spanEnd - std::max(spanStart, deadFrom);
+    return unavailable;
+}
+
+void
+BlockDevice::reserveBusy(SimTime from, double busyUs)
+{
+    for (auto &horizon : channelBusy_)
+        horizon = std::max(horizon, from) + busyUs;
+}
+
 void
 BlockDevice::reset()
 {
@@ -228,6 +296,8 @@ BlockDevice::reset()
     lastAccessUs_ = 0.0;
     counters_ = DeviceCounters();
     faults_.resetCounters();
+    failed_ = false;
+    failedAtUs_ = 0.0;
     if (ftl_)
         ftl_->reset();
 }

@@ -121,6 +121,37 @@ class BlockDevice
         return faults_.counters();
     }
 
+    // --- Health state machine (hard faults). All of this is inert —
+    //     and free — unless spec().faults.hardFaultsEnabled().
+
+    /** Health of the device at simulated time @p now. Failed is sticky
+     *  (markFailed or a reached failAtUs); otherwise Offline inside an
+     *  offline window, Degraded inside a degradation window, else
+     *  Healthy. */
+    DeviceHealth healthAt(SimTime now) const;
+
+    /** Permanently fail the device at @p now (escalation from the
+     *  serving layer, or its acknowledgement of a reached failAtUs).
+     *  Sticky until reset(); records the earliest failure time. */
+    void markFailed(SimTime now);
+
+    /** True once the device permanently failed. */
+    bool permanentlyFailed() const { return failed_; }
+
+    /** Time the device permanently failed (only meaningful when
+     *  permanentlyFailed()). */
+    SimTime failedAtUs() const { return failedAtUs_; }
+
+    /** Simulated time within [spanStart, spanEnd) during which the
+     *  device was unreachable: offline-window overlap plus the tail
+     *  after its permanent failure. Feeds per-device availability. */
+    double unavailableUsWithin(SimTime spanStart, SimTime spanEnd) const;
+
+    /** Reserve the whole device (every channel) busy for @p busyUs
+     *  starting no earlier than @p from — the rebuild-occupancy charge
+     *  a drain target pays while absorbing a failed device's pages. */
+    void reserveBusy(SimTime from, double busyUs);
+
     /** Earliest time a new request could start service (the first
      *  channel to free up). */
     SimTime busyUntil() const;
@@ -150,6 +181,11 @@ class BlockDevice
 
     /** Detailed FTL (only when spec_.detailedFtl && kind == FlashSsd). */
     std::unique_ptr<ftl::PageMappedFtl> ftl_;
+
+    // Permanent-failure latch (hard faults). failedAtUs_ is only
+    // meaningful while failed_ is set.
+    bool failed_ = false;
+    SimTime failedAtUs_ = 0.0;
 
     DeviceCounters counters_;
 };

@@ -16,16 +16,29 @@
  * that degrades mid-run — an adaptivity test no static heuristic can
  * pass.
  *
- * Two orthogonal mechanisms:
+ * Soft mechanisms (latency-only, orthogonal):
  *  - Transient errors: with a per-op probability, the command fails
  *    and is retried; each retry re-pays a multiple of the base command
  *    latency. An op that exhausts its retries pays a final (large)
- *    recovery cost and then succeeds — the block layer never sees a
- *    hard failure, only latency, matching how an enterprise drive's
- *    internal RAID/ECC recovery appears to the host.
+ *    recovery cost and then succeeds — by default the block layer
+ *    never sees a hard failure, only latency, matching how an
+ *    enterprise drive's internal RAID/ECC recovery appears to the
+ *    host.
  *  - Degradation windows: during [startUs, endUs) the whole service
  *    time is multiplied by a factor, modeling thermal throttling, a
  *    failing head, or a firmware rebuild.
+ *
+ * Hard mechanisms (availability — the device health state machine):
+ *  - Offline windows: during [startUs, endUs) the device is
+ *    unreachable (controller reset, firmware update, link flap).
+ *    Reads resident there pay a deterministic timeout-and-failover
+ *    cost; new placements are masked away.
+ *  - Permanent failure: at failAtUs the device dies for the rest of
+ *    the run; its residents are drained/rebuilt onto a healthy tier
+ *    under the drainPagesPerMs budget. An op that exhausts its soft
+ *    retries can also escalate to permanent failure when
+ *    failOnUnrecoverable is set (wear-out past the drive's internal
+ *    recovery, SPIFTL-style bad-media retirement).
  */
 
 #pragma once
@@ -46,7 +59,37 @@ struct DegradedWindow
     SimTime startUs = 0.0;          ///< window start (simulated time)
     SimTime endUs = 0.0;            ///< window end (exclusive)
     double latencyMultiplier = 1.0; ///< service-time factor inside it
+
+    bool operator==(const DegradedWindow &) const = default;
 };
+
+/** One interval during which the device is unreachable (hard fault):
+ *  a controller reset, firmware update, or transport flap. The device
+ *  retains its data and comes back at endUs. */
+struct OfflineWindow
+{
+    SimTime startUs = 0.0; ///< outage start (simulated time)
+    SimTime endUs = 0.0;   ///< outage end (exclusive)
+
+    bool operator==(const OfflineWindow &) const = default;
+};
+
+/**
+ * Health of a device at a point in simulated time, consulted per
+ * access by the serving layer. Ordered by severity: Healthy and
+ * Degraded devices accept placements (Degraded just runs slower);
+ * Offline devices are temporarily unreachable; Failed is terminal.
+ */
+enum class DeviceHealth : std::uint8_t
+{
+    Healthy,
+    Degraded,
+    Offline,
+    Failed,
+};
+
+/** Display name for a health state ("healthy", "degraded", ...). */
+const char *healthName(DeviceHealth h);
 
 /** Fault-injection knobs. Defaults inject nothing. */
 struct FaultConfig
@@ -70,8 +113,38 @@ struct FaultConfig
     /** Degraded-performance intervals. Overlapping windows multiply. */
     std::vector<DegradedWindow> windows;
 
-    /** True when any mechanism can fire. */
+    /** Unreachability intervals (hard fault). Must not overlap each
+     *  other — an outage either holds or it does not. */
+    std::vector<OfflineWindow> offlineWindows;
+
+    /** Permanent-failure point: the device dies at this simulated time
+     *  and never comes back. Negative = never fails (default). */
+    double failAtUs = -1.0;
+
+    /** Escalate an op that exhausts its soft retries to a permanent
+     *  failure instead of the heroic-recovery success path. */
+    bool failOnUnrecoverable = false;
+
+    /** Rebuild-rate budget for draining a failed device's residents to
+     *  a healthy tier, in pages per millisecond of occupancy charged
+     *  to the rebuild target. 0 = unthrottled (metadata-only drain). */
+    double drainPagesPerMs = 0.0;
+
+    /** Deterministic host-side cost of detecting that a resident read
+     *  targets an offline device and re-issuing it against the
+     *  failover tier (command timeout + path switch). */
+    double failoverTimeoutUs = 5000.0;
+
+    /** True when any *soft* (latency-only) mechanism can fire. The
+     *  per-access fault math in BlockDevice is gated on this. */
     bool enabled() const;
+
+    /** True when any *hard* (availability) mechanism is armed: offline
+     *  windows, a failAtUs point, or retry escalation. The serving
+     *  layer's health/mask machinery is gated on this. */
+    bool hardFaultsEnabled() const;
+
+    bool operator==(const FaultConfig &) const = default;
 };
 
 /** Validate one degradation window: finite bounds, end > start, and a
@@ -80,12 +153,28 @@ struct FaultConfig
  *  callers add their own context, e.g. "faultWindows[2]: ..."). */
 std::string validateWindow(const DegradedWindow &w);
 
+/** Validate one offline window the same way: finite bounds, end >
+ *  start. Callers add their own context ("offlineWindows[1]: ..."). */
+std::string validateWindow(const OfflineWindow &w);
+
 /** Validate a whole FaultConfig the same way: probabilities in [0, 1],
- *  non-negative finite multiplier/recovery, well-formed windows.
- *  Scenario lowering rejects configs this flags instead of silently
- *  simulating nonsense (NaN probabilities never fire, negative
- *  multipliers produce time travel). */
+ *  non-negative finite multiplier/recovery, well-formed windows,
+ *  non-overlapping offline windows, finite non-negative drain and
+ *  failover rates, and a failAtUs outside every offline window (a
+ *  device cannot permanently fail while already unreachable — the two
+ *  outage accountings would overlap). Scenario lowering rejects
+ *  configs this flags instead of silently simulating nonsense (NaN
+ *  probabilities never fire, negative multipliers produce time
+ *  travel), and the FaultModel ctor enforces the same rules for
+ *  directly-constructed configs. */
 std::string validateFaultConfig(const FaultConfig &cfg);
+
+/** Canonical identity string of a FaultConfig, folded into run keys
+ *  when a fault set rides outside the scenario layer (per-tenant fleet
+ *  faults): a faulted run and its healthy control must never share an
+ *  identity. Empty for a default (nothing-configured) config so
+ *  pre-existing identities are unchanged. Frozen byte format. */
+std::string faultConfigCanonical(const FaultConfig &cfg);
 
 /** Aggregate fault-handling counters. */
 struct FaultCounters
@@ -126,14 +215,25 @@ class FaultModel
      */
     double errorLatencyUs(OpType op, double baseCommandUs, Pcg32 &rng);
 
+    /** True when the most recent errorLatencyUs() call exhausted every
+     *  retry. With FaultConfig::failOnUnrecoverable the owning device
+     *  escalates this to a permanent failure instead of charging the
+     *  heroic-recovery latency. */
+    bool lastOpExhaustedRetries() const { return lastExhausted_; }
+
     const FaultCounters &counters() const { return counters_; }
     const FaultConfig &config() const { return cfg_; }
 
-    void resetCounters() { counters_ = FaultCounters(); }
+    void resetCounters()
+    {
+        counters_ = FaultCounters();
+        lastExhausted_ = false;
+    }
 
   private:
     FaultConfig cfg_;
     FaultCounters counters_;
+    bool lastExhausted_ = false;
 };
 
 } // namespace sibyl::device

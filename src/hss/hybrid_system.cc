@@ -1,6 +1,7 @@
 #include "hss/hybrid_system.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -18,8 +19,16 @@ HybridSystem::HybridSystem(std::vector<device::DeviceSpec> specs,
     for (std::size_t i = 0; i < specs.size(); i++) {
         devices_.push_back(std::make_unique<device::BlockDevice>(
             specs[i], seed + i * 7919));
+        if (specs[i].faults.hardFaultsEnabled())
+            hardFaultsArmed_ = true;
     }
+    if (hardFaultsArmed_ && devices_.size() > 32)
+        fatal("HybridSystem: the placement mask covers at most 32 devices");
     counters_.placements.assign(devices_.size(), 0);
+    placementMask_ = numDevices() >= 32
+        ? 0xFFFFFFFFu
+        : (1u << numDevices()) - 1u;
+    drained_.assign(devices_.size(), false);
 }
 
 std::uint64_t
@@ -75,6 +84,15 @@ HybridSystem::migratePage(PageId page, DeviceId dst, SimTime now,
     return cost;
 }
 
+DeviceId
+HybridSystem::nextHealthyBelow(DeviceId dev) const
+{
+    for (DeviceId d = dev + 1; d < numDevices(); d++)
+        if (placementMask_ & (1u << d))
+            return d;
+    return numDevices();
+}
+
 void
 HybridSystem::ensureCapacity(DeviceId dev, std::uint64_t pages, SimTime now,
                              ServeResult &result)
@@ -92,7 +110,11 @@ HybridSystem::ensureCapacity(DeviceId dev, std::uint64_t pages, SimTime now,
         if (victim == kInvalidPage)
             panic("HybridSystem: device full but no victim");
 
-        DeviceId target = dev + 1;
+        // Evict to the next device down the hierarchy — skipping
+        // unhealthy ones when hard faults are armed (nextHealthyBelow
+        // degenerates to dev + 1 while every device is healthy).
+        DeviceId target =
+            hardFaultsArmed_ ? nextHealthyBelow(dev) : dev + 1;
         if (target >= numDevices())
             panic("HybridSystem: cannot evict from the slowest device");
         // Cascading eviction: make room on the target first.
@@ -105,21 +127,134 @@ HybridSystem::ensureCapacity(DeviceId dev, std::uint64_t pages, SimTime now,
     }
 }
 
+void
+HybridSystem::advanceTo(SimTime now)
+{
+    if (!hardFaultsArmed_)
+        return;
+    std::uint32_t mask = 0;
+    for (DeviceId d = 0; d < numDevices(); d++) {
+        auto &dev = *devices_[d];
+        const device::DeviceHealth h = dev.healthAt(now);
+        if (h == device::DeviceHealth::Failed && !dev.permanentlyFailed())
+            dev.markFailed(now);
+        if (h == device::DeviceHealth::Healthy ||
+            h == device::DeviceHealth::Degraded)
+            mask |= 1u << d;
+    }
+    if (mask == 0)
+        panic("HybridSystem: no healthy device remains at t=" +
+              std::to_string(now) + "us — cannot serve");
+    placementMask_ = mask;
+    // Drain after the mask is current so the rebuild target selection
+    // and any cascading evictions see this instant's health.
+    for (DeviceId d = 0; d < numDevices(); d++) {
+        if (devices_[d]->permanentlyFailed() && !drained_[d])
+            drainFailedDevice(d, now);
+    }
+}
+
+void
+HybridSystem::drainFailedDevice(DeviceId dev, SimTime now)
+{
+    drained_[dev] = true;
+    auto &src = *devices_[dev];
+    if (src.usedPages() == 0)
+        return;
+
+    // Rebuild target: prefer the first healthy device slower than the
+    // failed one (the usual failover direction — capacity lives below),
+    // else the nearest healthy faster device.
+    DeviceId target = nextHealthyBelow(dev);
+    if (target >= numDevices()) {
+        target = kNoDevice;
+        for (DeviceId d = dev; d-- > 0;) {
+            if (placementMask_ & (1u << d)) {
+                target = d;
+                break;
+            }
+        }
+        if (target == kNoDevice)
+            panic("HybridSystem: device '" + src.spec().name +
+                  "' failed with no healthy rebuild target");
+    }
+
+    // Metadata-only moves: the failed media cannot be read, so the
+    // rebuild data comes from redundancy (replica/parity), which the
+    // timing model charges as bulk occupancy on the target below
+    // instead of per-page source reads.
+    std::uint64_t drainedPages = 0;
+    ServeResult scratch; // drain is background work: eviction time not
+                         // charged to any request
+    while (src.usedPages() > 0) {
+        PageId victim = meta_.lruVictim(dev);
+        if (victim == kInvalidPage)
+            panic("HybridSystem: failed device has residents but no "
+                  "LRU victim");
+        ensureCapacity(target, 1, now, scratch);
+        src.releasePages(1);
+        src.trimPage(victim);
+        devices_[target]->occupyPages(1);
+        meta_.remap(victim, target);
+        drainedPages++;
+    }
+    counters_.drainedPages += drainedPages;
+
+    const double rate = src.spec().faults.drainPagesPerMs;
+    if (rate > 0.0 && drainedPages > 0) {
+        // The rebuild occupies the target for drainedPages / rate
+        // milliseconds, stalling foreground traffic behind it.
+        devices_[target]->reserveBusy(
+            now, static_cast<double>(drainedPages) / rate * 1000.0);
+    }
+}
+
+double
+HybridSystem::deviceAvailability(DeviceId dev, SimTime spanStart,
+                                 SimTime spanEnd) const
+{
+    if (spanEnd <= spanStart)
+        return 1.0;
+    const double unavailable =
+        devices_.at(dev)->unavailableUsWithin(spanStart, spanEnd);
+    return std::clamp(1.0 - unavailable / (spanEnd - spanStart), 0.0, 1.0);
+}
+
 ServeResult
 HybridSystem::serve(SimTime now, const trace::Request &req, DeviceId action)
 {
     assert(action < numDevices());
     ServeResult result;
     counters_.requests++;
+
+    if (hardFaultsArmed_) {
+        advanceTo(now);
+        if (!(placementMask_ & (1u << action))) {
+            // The chosen device is unreachable: mask the action and
+            // redirect to the fastest healthy tier. Mask-aware policies
+            // never take this branch — it is the graceful-degradation
+            // net for heuristics that do not consult the mask.
+            action = static_cast<DeviceId>(std::countr_zero(placementMask_));
+            counters_.maskedPlacements++;
+            counters_.failedOps++;
+            result.redirected = true;
+        }
+    }
     counters_.placements[action]++;
 
     // A request larger than the chosen device cannot fit there at all
     // (tiny fast devices in the capacity-sensitivity sweep); overflow to
-    // the next device down the hierarchy.
+    // the next device down the hierarchy (next *healthy* device when
+    // hard faults are armed — identical while every device is healthy).
     while (action + 1 < numDevices() &&
            req.sizePages > devices_[action]->spec().capacityPages) {
-        action++;
+        const DeviceId next =
+            hardFaultsArmed_ ? nextHealthyBelow(action) : action + 1;
+        if (next >= numDevices())
+            break;
+        action = next;
     }
+    result.placedDevice = action;
 
     SimTime finish = now;
 
@@ -195,8 +330,24 @@ HybridSystem::serve(SimTime now, const trace::Request &req, DeviceId action)
         DeviceId segDev = meta_.placement(req.page);
         result.servedDevice = segDev;
         auto flushSegment = [&](PageId end) {
-            auto t = devices_[segDev]->access(
-                now, OpType::Read, segStart,
+            DeviceId server = segDev;
+            SimTime issueAt = now;
+            if (hardFaultsArmed_ && !(placementMask_ & (1u << server))) {
+                // Resident data on an unreachable device: the host pays
+                // a deterministic command timeout, then re-issues the
+                // read against the fastest healthy tier (the data is
+                // reconstructed from redundancy there).
+                issueAt =
+                    now + devices_[server]->spec().faults.failoverTimeoutUs;
+                server =
+                    static_cast<DeviceId>(std::countr_zero(placementMask_));
+                counters_.failoverReads++;
+                counters_.failedOps++;
+                if (segStart == req.page)
+                    result.servedDevice = server;
+            }
+            auto t = devices_[server]->access(
+                issueAt, OpType::Read, segStart,
                 static_cast<std::uint32_t>(end - segStart));
             finish = std::max(finish, t.finishUs);
         };
@@ -251,6 +402,10 @@ HybridSystem::reset()
     meta_.reset();
     counters_ = HssCounters();
     counters_.placements.assign(devices_.size(), 0);
+    placementMask_ = numDevices() >= 32
+        ? 0xFFFFFFFFu
+        : (1u << numDevices()) - 1u;
+    drained_.assign(devices_.size(), false);
 }
 
 std::vector<device::DeviceSpec>

@@ -49,6 +49,15 @@ struct ServeResult
 
     /** True if the request caused a promotion/migration of its pages. */
     bool migrated = false;
+
+    /** Device the request's pages were placed on after health masking
+     *  and capacity overflow (== the requested action in a fault-free
+     *  run with a fitting request). */
+    DeviceId placedDevice = 0;
+
+    /** True when the requested action targeted an unhealthy device and
+     *  the placement was redirected to the fastest healthy tier. */
+    bool redirected = false;
 };
 
 /** Aggregate counters for the explainability metrics (Figs. 17, 18). */
@@ -61,6 +70,13 @@ struct HssCounters
     std::uint64_t demotions = 0;        ///< policy-directed downward moves
     /** Per-device count of placement decisions (actions). */
     std::vector<std::uint64_t> placements;
+
+    // Hard-fault / graceful-degradation counters (all zero unless a
+    // device arms hard faults).
+    std::uint64_t maskedPlacements = 0; ///< actions redirected off unhealthy devices
+    std::uint64_t failoverReads = 0;    ///< resident reads re-issued to a healthy tier
+    std::uint64_t failedOps = 0;        ///< ops that hit an unhealthy device
+    std::uint64_t drainedPages = 0;     ///< pages rebuilt off failed devices
 };
 
 /**
@@ -125,6 +141,35 @@ class HybridSystem
     const HssCounters &counters() const { return counters_; }
     const PageMetaTable &metadata() const { return meta_; }
 
+    // --- Hard-fault machinery. Inert (and cost-free on the serve path)
+    //     unless some device spec arms hard faults.
+
+    /** True when any device's FaultConfig arms a hard-fault mechanism
+     *  (offline window, failAtUs, or retry escalation). */
+    bool hardFaultsArmed() const { return hardFaultsArmed_; }
+
+    /**
+     * Advance the health clock to @p now: recompute the placement mask
+     * from every device's health, latch newly-failed devices, and drain
+     * their residents to a healthy tier. serve() calls this itself; the
+     * simulator also calls it before each decision so policies observe
+     * a fresh mask. No-op when hard faults are unarmed.
+     */
+    void advanceTo(SimTime now);
+
+    /**
+     * Bitmask of devices that currently accept placements (bit d =
+     * device d is Healthy or Degraded). All-ones over numDevices() when
+     * hard faults are unarmed — policies and agents may consult it
+     * unconditionally.
+     */
+    std::uint32_t placementMask() const { return placementMask_; }
+
+    /** Fraction of [spanStart, spanEnd) during which @p dev was
+     *  reachable, in [0, 1]. 1.0 for a healthy run. */
+    double deviceAvailability(DeviceId dev, SimTime spanStart,
+                              SimTime spanEnd) const;
+
     /**
      * Install a custom eviction-victim picker (used by the Oracle, which
      * selects the resident page with the farthest next use). The picker
@@ -153,10 +198,30 @@ class HybridSystem
     SimTime migratePage(PageId page, DeviceId dst, SimTime now,
                         bool dataInHand = false);
 
+    /** First placement-accepting device strictly slower than @p dev per
+     *  the current mask, or numDevices() when none remains. */
+    DeviceId nextHealthyBelow(DeviceId dev) const;
+
+    /** Rebuild a freshly-failed device's residents onto a healthy tier
+     *  (metadata-only moves — the data comes from redundancy, not the
+     *  dead media), charging the rebuild target's channels under the
+     *  drainPagesPerMs budget. */
+    void drainFailedDevice(DeviceId dev, SimTime now);
+
     std::vector<std::unique_ptr<device::BlockDevice>> devices_;
     PageMetaTable meta_;
     HssCounters counters_;
     VictimPicker picker_;
+
+    /** True when any device spec arms hard faults (set once in the
+     *  ctor; gates every health check on the serve path). */
+    bool hardFaultsArmed_ = false;
+
+    /** Devices currently accepting placements (bit per device). */
+    std::uint32_t placementMask_ = 0xFFFFFFFFu;
+
+    /** Per-device flag: residents already drained after failure. */
+    std::vector<bool> drained_;
 
     /** Reused page-set scratch for serve()'s snapshot loops (write
      *  placement set, read first-touch set, promotion set — used one

@@ -14,6 +14,8 @@
 
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -379,6 +381,56 @@ class Agent
      * replay buffer at 100 bits/entry, or table entries).
      */
     virtual std::size_t storageBytes() const = 0;
+
+    /**
+     * Restrict decisions to the actions whose bit is set in @p mask
+     * (bit a = action a allowed). The serving layer threads its device
+     * placement mask through here before each decision so a learning
+     * policy never places data on an unhealthy device; the mask is
+     * sticky until changed. Contract: a mask covering every configured
+     * action selects the legacy decision paths bit for bit — the same
+     * RNG draws and the same first-max tie-breaks — so fault-free runs
+     * are unchanged. Training-side argmaxes (Bellman targets, Double
+     * DQN selection) are never masked: the value function keeps
+     * learning about every action, and an action that heals mid-run is
+     * immediately competitive again. Zero would mean "no action is
+     * allowed" and asserts (the serving layer panics before offering
+     * such a mask).
+     */
+    void setActionMask(std::uint32_t mask)
+    {
+        assert(mask != 0);
+        actionMask_ = mask;
+    }
+
+    /** The current decision restriction (all-ones = unrestricted). */
+    std::uint32_t actionMask() const { return actionMask_; }
+
+  protected:
+    /** True when @p mask allows every action in [0, numActions) — the
+     *  gate for the legacy (mask-free) decision paths. */
+    static bool
+    maskCoversAll(std::uint32_t mask, std::uint32_t numActions)
+    {
+        const std::uint32_t full = numActions >= 32
+            ? 0xFFFFFFFFu
+            : ((1u << numActions) - 1u);
+        return (mask & full) == full;
+    }
+
+    /** Index of the @p n-th (0-based) set bit of @p mask — maps a draw
+     *  over the allowed-action count back to an action id. */
+    static std::uint32_t
+    nthSetBit(std::uint32_t mask, std::uint32_t n)
+    {
+        assert(n < static_cast<std::uint32_t>(std::popcount(mask)));
+        for (std::uint32_t i = 0; i < n; i++)
+            mask &= mask - 1; // clear lowest set bit
+        return static_cast<std::uint32_t>(std::countr_zero(mask));
+    }
+
+    /** Allowed-action restriction for decisions (never training). */
+    std::uint32_t actionMask_ = 0xFFFFFFFFu;
 };
 
 } // namespace sibyl::rl

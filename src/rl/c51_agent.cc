@@ -90,10 +90,17 @@ C51Agent::greedyFromRow(const float *out)
     // Per-row categorical expectation in reused scratch: softmax each
     // action's atom group, take its expectation over the support, and
     // keep the first maximum — the same winner std::max_element picks
-    // over a materialized Q vector, without materializing one.
-    std::uint32_t bestA = 0;
+    // over a materialized Q vector, without materializing one. With a
+    // restricting action mask, masked actions are skipped; the allowed
+    // actions keep the exact same expectations and tie-break order.
+    const bool restricted = !maskCoversAll(actionMask_, cfg_.numActions);
+    std::uint32_t bestA = restricted
+        ? static_cast<std::uint32_t>(std::countr_zero(actionMask_))
+        : 0;
     double bestQ = -1e300;
     for (std::uint32_t a = 0; a < cfg_.numActions; a++) {
+        if (restricted && !(actionMask_ >> a & 1u))
+            continue;
         extractActionDist(out, a, cfg_.atoms, rowDist_);
         const double q = support_.expectation(rowDist_);
         if (q > bestQ) {
@@ -114,10 +121,32 @@ bool
 C51Agent::selectActionBegin(const ml::Vector &state, std::uint32_t &action)
 {
     const std::uint64_t step = stats_.decisions++;
+    const bool restricted = !maskCoversAll(actionMask_, cfg_.numActions);
     if (explore_.isBoltzmann()) {
         // The Boltzmann draw's arguments depend on the Q row, so this
         // path cannot defer the network evaluation; resolve inline.
         const float *out = inferenceNet_->inferRow(state);
+        if (restricted) {
+            // Compact the allowed actions, sample over them, map the
+            // sampled index back to an action id.
+            const auto allowed = static_cast<std::uint32_t>(
+                std::popcount(actionMask_));
+            qScratch_.resize(allowed);
+            for (std::uint32_t i = 0; i < allowed; i++) {
+                extractActionDist(out, nthSetBit(actionMask_, i),
+                                  cfg_.atoms, rowDist_);
+                qScratch_[i] = support_.expectation(rowDist_);
+            }
+            const auto greedy = static_cast<std::uint32_t>(
+                std::max_element(qScratch_.begin(), qScratch_.end()) -
+                qScratch_.begin());
+            const std::uint32_t idx =
+                explore_.sampleBoltzmann(qScratch_, rng_);
+            if (idx != greedy)
+                stats_.randomActions++;
+            action = nthSetBit(actionMask_, idx);
+            return true;
+        }
         qScratch_.resize(cfg_.numActions);
         for (std::uint32_t a = 0; a < cfg_.numActions; a++) {
             extractActionDist(out, a, cfg_.atoms, rowDist_);
@@ -133,7 +162,13 @@ C51Agent::selectActionBegin(const ml::Vector &state, std::uint32_t &action)
     }
     if (rng_.nextBool(explore_.epsilonAt(step))) {
         stats_.randomActions++;
-        action = rng_.nextBounded(cfg_.numActions);
+        // One bounded draw either way; a restricting mask only narrows
+        // the range, so the fault-free RNG stream is untouched.
+        action = restricted
+            ? nthSetBit(actionMask_,
+                        rng_.nextBounded(static_cast<std::uint32_t>(
+                            std::popcount(actionMask_))))
+            : rng_.nextBounded(cfg_.numActions);
         return true;
     }
     return false; // greedy: caller evaluates the inference network row

@@ -75,18 +75,36 @@ DqnAgent::greedyAction(const ml::Vector &state)
     // path, so the argmax — and therefore every decision — is
     // unchanged.
     const float *q = inferenceNet_->inferRow(state);
-    return static_cast<std::uint32_t>(
-        std::max_element(q, q + cfg_.numActions) - q);
+    return selectActionFromRow(q);
 }
 
 bool
 DqnAgent::selectActionBegin(const ml::Vector &state, std::uint32_t &action)
 {
     const std::uint64_t step = stats_.decisions++;
+    const bool restricted = !maskCoversAll(actionMask_, cfg_.numActions);
     if (explore_.isBoltzmann()) {
         // The Boltzmann draw's arguments depend on the Q row, so this
         // path cannot defer the network evaluation; resolve inline.
         const float *q = inferenceNet_->inferRow(state);
+        if (restricted) {
+            // Compact the allowed actions, sample over them, map the
+            // sampled index back to an action id.
+            const auto allowed = static_cast<std::uint32_t>(
+                std::popcount(actionMask_));
+            qScratch_.resize(allowed);
+            for (std::uint32_t i = 0; i < allowed; i++)
+                qScratch_[i] = q[nthSetBit(actionMask_, i)];
+            const auto greedy = static_cast<std::uint32_t>(
+                std::max_element(qScratch_.begin(), qScratch_.end()) -
+                qScratch_.begin());
+            const std::uint32_t idx =
+                explore_.sampleBoltzmann(qScratch_, rng_);
+            if (idx != greedy)
+                stats_.randomActions++;
+            action = nthSetBit(actionMask_, idx);
+            return true;
+        }
         qScratch_.assign(q, q + cfg_.numActions);
         const auto greedy = static_cast<std::uint32_t>(
             std::max_element(qScratch_.begin(), qScratch_.end()) -
@@ -98,7 +116,13 @@ DqnAgent::selectActionBegin(const ml::Vector &state, std::uint32_t &action)
     }
     if (rng_.nextBool(explore_.epsilonAt(step))) {
         stats_.randomActions++;
-        action = rng_.nextBounded(cfg_.numActions);
+        // One bounded draw either way; a restricting mask only narrows
+        // the range, so the fault-free RNG stream is untouched.
+        action = restricted
+            ? nthSetBit(actionMask_,
+                        rng_.nextBounded(static_cast<std::uint32_t>(
+                            std::popcount(actionMask_))))
+            : rng_.nextBounded(cfg_.numActions);
         return true;
     }
     return false; // greedy: caller evaluates the inference network row
@@ -107,6 +131,16 @@ DqnAgent::selectActionBegin(const ml::Vector &state, std::uint32_t &action)
 std::uint32_t
 DqnAgent::selectActionFromRow(const float *row)
 {
+    if (!maskCoversAll(actionMask_, cfg_.numActions)) {
+        // First maximum among the allowed actions — the same winner
+        // the unmasked argmax picks whenever it is allowed.
+        auto best =
+            static_cast<std::uint32_t>(std::countr_zero(actionMask_));
+        for (std::uint32_t a = best + 1; a < cfg_.numActions; a++)
+            if ((actionMask_ >> a & 1u) && row[a] > row[best])
+                best = a;
+        return best;
+    }
     return static_cast<std::uint32_t>(
         std::max_element(row, row + cfg_.numActions) - row);
 }

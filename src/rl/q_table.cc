@@ -57,6 +57,15 @@ std::uint32_t
 QTableAgent::greedyAction(const ml::Vector &state)
 {
     const auto q = qValues(state);
+    if (!maskCoversAll(actionMask_, cfg_.numActions)) {
+        // First maximum among the allowed actions only.
+        auto best =
+            static_cast<std::uint32_t>(std::countr_zero(actionMask_));
+        for (std::uint32_t a = best + 1; a < cfg_.numActions; a++)
+            if ((actionMask_ >> a & 1u) && q[a] > q[best])
+                best = a;
+        return best;
+    }
     return static_cast<std::uint32_t>(
         std::max_element(q.begin(), q.end()) - q.begin());
 }
@@ -65,8 +74,26 @@ std::uint32_t
 QTableAgent::selectAction(const ml::Vector &state)
 {
     const std::uint64_t step = stats_.decisions++;
+    const bool restricted = !maskCoversAll(actionMask_, cfg_.numActions);
     if (explore_.isBoltzmann()) {
         const auto q = qValues(state);
+        if (restricted) {
+            // Compact the allowed actions, sample over them, map the
+            // sampled index back to an action id.
+            const auto allowed = static_cast<std::uint32_t>(
+                std::popcount(actionMask_));
+            std::vector<double> qAllowed(allowed);
+            for (std::uint32_t i = 0; i < allowed; i++)
+                qAllowed[i] = q[nthSetBit(actionMask_, i)];
+            const auto greedy = static_cast<std::uint32_t>(
+                std::max_element(qAllowed.begin(), qAllowed.end()) -
+                qAllowed.begin());
+            const std::uint32_t idx =
+                explore_.sampleBoltzmann(qAllowed, rng_);
+            if (idx != greedy)
+                stats_.randomActions++;
+            return nthSetBit(actionMask_, idx);
+        }
         const auto greedy = static_cast<std::uint32_t>(
             std::max_element(q.begin(), q.end()) - q.begin());
         const std::uint32_t a = explore_.sampleBoltzmann(q, rng_);
@@ -76,7 +103,13 @@ QTableAgent::selectAction(const ml::Vector &state)
     }
     if (rng_.nextBool(explore_.epsilonAt(step))) {
         stats_.randomActions++;
-        return rng_.nextBounded(cfg_.numActions);
+        // One bounded draw either way; a restricting mask only narrows
+        // the range, so the fault-free RNG stream is untouched.
+        return restricted
+            ? nthSetBit(actionMask_,
+                        rng_.nextBounded(static_cast<std::uint32_t>(
+                            std::popcount(actionMask_))))
+            : rng_.nextBounded(cfg_.numActions);
     }
     return greedyAction(state);
 }

@@ -9,6 +9,31 @@
 namespace sibyl::scenario
 {
 
+void
+DeviceOverride::applyFaults(device::FaultConfig &fc) const
+{
+    for (const auto &w : faultWindows)
+        fc.windows.push_back(w);
+    for (const auto &w : offlineWindows)
+        fc.offlineWindows.push_back(w);
+    if (failAtUs >= 0.0)
+        fc.failAtUs = failAtUs;
+    if (drainPagesPerMs >= 0.0)
+        fc.drainPagesPerMs = drainPagesPerMs;
+    if (failoverTimeoutUs >= 0.0)
+        fc.failoverTimeoutUs = failoverTimeoutUs;
+    if (failOnUnrecoverable >= 0)
+        fc.failOnUnrecoverable = failOnUnrecoverable != 0;
+}
+
+device::FaultConfig
+DeviceOverride::faultConfig() const
+{
+    device::FaultConfig fc;
+    applyFaults(fc);
+    return fc;
+}
+
 bool
 DeviceOverride::operator==(const DeviceOverride &o) const
 {
@@ -24,7 +49,11 @@ DeviceOverride::operator==(const DeviceOverride &o) const
             a.latencyMultiplier != b.latencyMultiplier)
             return false;
     }
-    return true;
+    return offlineWindows == o.offlineWindows &&
+           failAtUs == o.failAtUs &&
+           drainPagesPerMs == o.drainPagesPerMs &&
+           failoverTimeoutUs == o.failoverTimeoutUs &&
+           failOnUnrecoverable == o.failOnUnrecoverable;
 }
 
 bool
@@ -169,6 +198,19 @@ ScenarioSpec::expand() const
                     " but config \"" + cfg + "\" has " +
                     std::to_string(n) + " devices");
         }
+        // Whole-config validation (cross-field rules: overlapping
+        // offline windows, failAtUs inside an outage, drain rates) of
+        // exactly the FaultConfig the tweak below will install. Device
+        // presets carry no faults, so the override alone IS the final
+        // config — the same validateFaultConfig the FaultModel ctor
+        // runs, surfaced here as a scenario diagnostic naming the
+        // device instead of an abort mid-run.
+        const std::string err =
+            device::validateFaultConfig(ov.faultConfig());
+        if (!err.empty())
+            throw std::invalid_argument(
+                "scenario \"" + name + "\": deviceOverrides device " +
+                std::to_string(ov.device) + ": " + err);
     }
 
     std::vector<sim::RunSpec> specs;
@@ -226,6 +268,21 @@ ScenarioSpec::expand() const
                 tag += ",fault=" + jsonNumber(w.startUs) + ":" +
                        jsonNumber(w.endUs) + ":" +
                        jsonNumber(w.latencyMultiplier);
+            // Hard-fault fields, emitted only when set — scenarios
+            // without them keep their historical tag bytes (and run
+            // keys).
+            for (const auto &w : ov.offlineWindows)
+                tag += ",off=" + jsonNumber(w.startUs) + ":" +
+                       jsonNumber(w.endUs);
+            if (ov.failAtUs >= 0.0)
+                tag += ",failAt=" + jsonNumber(ov.failAtUs);
+            if (ov.drainPagesPerMs >= 0.0)
+                tag += ",drain=" + jsonNumber(ov.drainPagesPerMs);
+            if (ov.failoverTimeoutUs >= 0.0)
+                tag += ",fot=" + jsonNumber(ov.failoverTimeoutUs);
+            if (ov.failOnUnrecoverable >= 0)
+                tag += ",founr=" +
+                       std::to_string(ov.failOnUnrecoverable != 0);
             tag += ';';
         }
         const std::vector<DeviceOverride> overrides = deviceOverrides;
@@ -238,8 +295,7 @@ ScenarioSpec::expand() const
                     d.detailedFtl = ov.detailedFtl != 0;
                 if (ov.ftlPagesPerBlock != 0)
                     d.ftlPagesPerBlock = ov.ftlPagesPerBlock;
-                for (const auto &w : ov.faultWindows)
-                    d.faults.windows.push_back(w);
+                ov.applyFaults(d.faults);
             }
         };
         for (auto &s : specs) {
@@ -358,10 +414,39 @@ parseOverride(const JsonValue &v)
                               "]: " + err);
                 ov.faultWindows.push_back(win);
             }
+        } else if (key == "offlineWindows") {
+            for (const auto &w : val.asArray()) {
+                device::OfflineWindow win;
+                for (const auto &[wk, wv] : w.asObject()) {
+                    if (wk == "startUs")
+                        win.startUs = wv.asDouble();
+                    else if (wk == "endUs")
+                        win.endUs = wv.asDouble();
+                    else
+                        specError("unknown offlineWindows key \"" + wk +
+                                  "\" (valid: startUs endUs)");
+                }
+                const std::string err = device::validateWindow(win);
+                if (!err.empty())
+                    specError("offlineWindows[" +
+                              std::to_string(ov.offlineWindows.size()) +
+                              "]: " + err);
+                ov.offlineWindows.push_back(win);
+            }
+        } else if (key == "failAtUs") {
+            ov.failAtUs = val.asDouble();
+        } else if (key == "drainPagesPerMs") {
+            ov.drainPagesPerMs = val.asDouble();
+        } else if (key == "failoverTimeoutUs") {
+            ov.failoverTimeoutUs = val.asDouble();
+        } else if (key == "failOnUnrecoverable") {
+            ov.failOnUnrecoverable = val.asBool() ? 1 : 0;
         } else {
             specError("unknown deviceOverrides key \"" + key +
                       "\" (valid: device channels detailedFtl "
-                      "ftlPagesPerBlock faultWindows)");
+                      "ftlPagesPerBlock faultWindows offlineWindows "
+                      "failAtUs drainPagesPerMs failoverTimeoutUs "
+                      "failOnUnrecoverable)");
         }
     }
     return ov;
@@ -552,6 +637,27 @@ emitScenarioJson(const ScenarioSpec &s)
                 }
                 o.set("faultWindows", wins);
             }
+            if (!ov.offlineWindows.empty()) {
+                JsonValue wins = JsonValue::array();
+                for (const auto &w : ov.offlineWindows) {
+                    JsonValue wv = JsonValue::object();
+                    wv.set("startUs", JsonValue::of(w.startUs));
+                    wv.set("endUs", JsonValue::of(w.endUs));
+                    wins.push(wv);
+                }
+                o.set("offlineWindows", wins);
+            }
+            if (ov.failAtUs >= 0.0)
+                o.set("failAtUs", JsonValue::of(ov.failAtUs));
+            if (ov.drainPagesPerMs >= 0.0)
+                o.set("drainPagesPerMs",
+                      JsonValue::of(ov.drainPagesPerMs));
+            if (ov.failoverTimeoutUs >= 0.0)
+                o.set("failoverTimeoutUs",
+                      JsonValue::of(ov.failoverTimeoutUs));
+            if (ov.failOnUnrecoverable >= 0)
+                o.set("failOnUnrecoverable",
+                      JsonValue::of(ov.failOnUnrecoverable != 0));
             arr.push(o);
         }
         doc.set("deviceOverrides", arr);

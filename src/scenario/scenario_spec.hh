@@ -54,6 +54,35 @@ struct DeviceOverride
     /** Degraded-performance windows appended to the device. */
     std::vector<device::DegradedWindow> faultWindows;
 
+    /** Hard faults: offline (unreachable) windows appended to the
+     *  device. */
+    std::vector<device::OfflineWindow> offlineWindows;
+
+    /** Permanent-failure time; negative keeps the preset (never). */
+    double failAtUs = -1.0;
+
+    /** Rebuild-rate budget (pages/ms) for draining this device after
+     *  permanent failure; negative keeps the preset. */
+    double drainPagesPerMs = -1.0;
+
+    /** Host-side timeout before a resident read fails over to a
+     *  healthy tier; negative keeps the preset. */
+    double failoverTimeoutUs = -1.0;
+
+    /** Escalate retry exhaustion to permanent failure: -1 keeps the
+     *  preset, 0/1 set (tri-state like detailedFtl). */
+    int failOnUnrecoverable = -1;
+
+    /** Merge this override's fault fields into @p fc (windows append;
+     *  scalar knobs overwrite only when set). The expand() tweak and
+     *  the lowering-time validation share this, so what is validated
+     *  is exactly what runs. */
+    void applyFaults(device::FaultConfig &fc) const;
+
+    /** The FaultConfig this override produces on a preset (fault-free)
+     *  device — the whole-config validation input. */
+    device::FaultConfig faultConfig() const;
+
     bool operator==(const DeviceOverride &o) const;
 };
 

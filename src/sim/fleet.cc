@@ -43,6 +43,13 @@ tenantSpec(const RunSpec &fleet, const FleetTenant &t, std::size_t index)
     s.variantTag = "fleet-tenant:" + std::to_string(index);
     if (!fleet.variantTag.empty())
         s.variantTag += ';' + fleet.variantTag;
+    // A faulted tenant must not share RNG streams with its healthy
+    // control, so its fault set joins the tenant identity. Fault-free
+    // tenants append nothing — their historical identity (and streams)
+    // are untouched.
+    if (t.faultsConfigured())
+        s.variantTag += ";fault@" + std::to_string(t.faultDevice) + "=" +
+                        device::faultConfigCanonical(t.faults);
     return s;
 }
 
@@ -64,6 +71,12 @@ FleetSpec::canonical() const
         s += policyIdentity(t.policy);
         s += '|';
         s += k.canonical();
+        // Conditional third field, same frozen-format caveat as the
+        // rest: fault-free tenants emit nothing, so pre-existing fleet
+        // compositions keep their bytes (and their run keys).
+        if (t.faultsConfigured())
+            s += "|fault@" + std::to_string(t.faultDevice) + "=" +
+                 device::faultConfigCanonical(t.faults);
     }
     return s;
 }
@@ -122,6 +135,25 @@ runFleetExperiment(const RunSpec &spec, trace::TraceCache &traces,
                                         spec.fastCapacityFrac);
         if (spec.specTweak)
             spec.specTweak(specs);
+        if (tenants[i].faultsConfigured()) {
+            // Per-tenant fault injection lands on this tenant's private
+            // stack only (after the fleet-wide specTweak), so one
+            // tenant's device failure never touches another tenant's
+            // devices — the fleet keeps serving its healthy tenants.
+            if (tenants[i].faultDevice >= specs.size())
+                throw std::invalid_argument(
+                    "fleet tenant " + std::to_string(i) +
+                    ": faultDevice " +
+                    std::to_string(tenants[i].faultDevice) +
+                    " out of range (config has " +
+                    std::to_string(specs.size()) + " devices)");
+            const std::string err =
+                device::validateFaultConfig(tenants[i].faults);
+            if (!err.empty())
+                throw std::invalid_argument(
+                    "fleet tenant " + std::to_string(i) + ": " + err);
+            specs[tenants[i].faultDevice].faults = tenants[i].faults;
+        }
         const std::uint64_t devSeed = deriveRunSeeds
             ? ParallelRunner::deriveStream(st.key, kDeviceJitterSalt)
             : spec.seed;
@@ -361,6 +393,30 @@ runFleetExperiment(const RunSpec &spec, trace::TraceCache &traces,
             }
         }
         tenantIops.push_back(sum.metrics.iops);
+
+        // Fold per-tenant fault metrics into the fleet view: counters
+        // sum; availability takes the per-device worst case across
+        // tenants (each tenant owns a private stack, so "device d" in
+        // the fleet view is the tier, not one physical device).
+        if (sum.metrics.faultsConfigured) {
+            RunMetrics &fm = r.metrics;
+            fm.faultsConfigured = true;
+            fm.faultErroredOps += sum.metrics.faultErroredOps;
+            fm.faultRetries += sum.metrics.faultRetries;
+            fm.faultRecoveries += sum.metrics.faultRecoveries;
+            fm.faultDegradedOps += sum.metrics.faultDegradedOps;
+            fm.faultErrorLatencyUs += sum.metrics.faultErrorLatencyUs;
+            fm.maskedPlacements += sum.metrics.maskedPlacements;
+            fm.failoverReads += sum.metrics.failoverReads;
+            fm.failedOps += sum.metrics.failedOps;
+            fm.drainedPages += sum.metrics.drainedPages;
+            const auto &avail = sum.metrics.deviceAvailability;
+            if (fm.deviceAvailability.size() < avail.size())
+                fm.deviceAvailability.resize(avail.size(), 1.0);
+            for (std::size_t d = 0; d < avail.size(); d++)
+                fm.deviceAvailability[d] =
+                    std::min(fm.deviceAvailability[d], avail[d]);
+        }
 
         const auto &c = st.sys->counters();
         evictionEvents += c.evictionEvents;

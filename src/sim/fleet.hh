@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "device/fault_model.hh"
 #include "sim/experiment.hh"
 
 namespace sibyl::trace
@@ -68,12 +69,30 @@ struct FleetTenant
     std::uint64_t traceSeed = 0;
     double timeCompress = 1.0;
 
+    /** Per-tenant fault injection: `faults` is installed on device
+     *  `faultDevice` of THIS tenant's private stack (after the fleet
+     *  spec's specTweak, which applies to every tenant). Default = no
+     *  faults. A faulted tenant's identity (and therefore its RNG
+     *  streams) folds device::faultConfigCanonical() into the tenant
+     *  variant tag; fault-free tenants keep their historical identity,
+     *  and the tenant RNG-derivation rule keeps every *other* tenant's
+     *  trajectory bit-identical when one tenant's stack fails. */
+    std::uint32_t faultDevice = 0;
+    device::FaultConfig faults;
+
+    /** True when this tenant configures any fault mechanism. */
+    bool faultsConfigured() const
+    {
+        return faults.enabled() || faults.hardFaultsEnabled();
+    }
+
     bool operator==(const FleetTenant &o) const
     {
         return policy == o.policy && workload == o.workload &&
                mixedWorkload == o.mixedWorkload &&
                traceLen == o.traceLen && traceSeed == o.traceSeed &&
-               timeCompress == o.timeCompress;
+               timeCompress == o.timeCompress &&
+               faultDevice == o.faultDevice && faults == o.faults;
     }
 };
 

@@ -57,6 +57,30 @@ struct RunMetrics
     std::uint64_t promotions = 0;
     std::uint64_t demotions = 0;
 
+    /** True when any device of the run configured fault injection
+     *  (soft or hard). Gates the fault block of writeResultsJson so
+     *  fault-free result files stay byte-identical. */
+    bool faultsConfigured = false;
+
+    // Soft-fault counters, summed over devices (device::FaultCounters;
+    // collected per device, surfaced here per run).
+    std::uint64_t faultErroredOps = 0;
+    std::uint64_t faultRetries = 0;
+    std::uint64_t faultRecoveries = 0;
+    std::uint64_t faultDegradedOps = 0;
+    double faultErrorLatencyUs = 0.0;
+
+    // Hard-fault / graceful-degradation counters (hss::HssCounters).
+    std::uint64_t maskedPlacements = 0;
+    std::uint64_t failoverReads = 0;
+    std::uint64_t failedOps = 0;
+    std::uint64_t drainedPages = 0;
+
+    /** Per-device fraction of the run's makespan the device was
+     *  reachable, in [0, 1] (1.0 everywhere in a healthy run). Sized
+     *  like placements when faultsConfigured, else empty. */
+    std::vector<double> deviceAvailability;
+
     /** Per-request traces, filled only when
      *  SimConfig::recordPerRequest is set: arrival time, end-to-end
      *  latency, completion time of the foreground operation, and the

@@ -473,6 +473,27 @@ writeRecordJson(std::ostream &os, const RunRecord &r,
             os << ", \"guardrailLastTrip\": "
                << scenario::jsonQuote(g.lastTripReason);
     }
+    if (m.faultsConfigured) {
+        // Fault-injection block, only for runs that configured faults
+        // — fault-free result files stay byte-identical to earlier
+        // releases. Soft (latency) counters first, then the hard-fault
+        // serving counters and per-device availability.
+        os << ", \"faultErroredOps\": " << m.faultErroredOps
+           << ", \"faultRetries\": " << m.faultRetries
+           << ", \"faultRecoveries\": " << m.faultRecoveries
+           << ", \"faultDegradedOps\": " << m.faultDegradedOps
+           << ", \"faultErrorLatencyUs\": "
+           << scenario::jsonNumber(m.faultErrorLatencyUs)
+           << ", \"maskedPlacements\": " << m.maskedPlacements
+           << ", \"failoverReads\": " << m.failoverReads
+           << ", \"failedOps\": " << m.failedOps
+           << ", \"drainedPages\": " << m.drainedPages;
+        os << ", \"deviceAvailability\": [";
+        for (std::size_t d = 0; d < m.deviceAvailability.size(); d++)
+            os << (d ? ", " : "")
+               << scenario::jsonNumber(m.deviceAvailability[d]);
+        os << "]";
+    }
     os << "}";
 }
 

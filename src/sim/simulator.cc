@@ -49,6 +49,11 @@ RequestStepper::stepBegin(const trace::Request &req, SimTime &arrival,
     if (i == 0)
         firstArrival_ = arrival;
 
+    // Refresh device health (and the placement mask) at this request's
+    // arrival so the decision below observes current availability.
+    // No-op when hard faults are unarmed.
+    sys_.advanceTo(arrival);
+
     return policy_.selectPlacementBegin(sys_, req, i, action, obsRow);
 }
 
@@ -115,6 +120,33 @@ RequestStepper::finish() const
     m.placements = c.placements;
     m.promotions = c.promotions;
     m.demotions = c.demotions;
+
+    for (DeviceId d = 0; d < sys_.numDevices(); d++) {
+        const auto &f = sys_.device(d).spec().faults;
+        if (f.enabled() || f.hardFaultsEnabled())
+            m.faultsConfigured = true;
+    }
+    if (m.faultsConfigured) {
+        // Latch any failure scheduled between the last serve and the
+        // end of the run so the availability accounting sees it
+        // (advanceTo is idempotent; sys_ is a reference member, so the
+        // health clock may move even though finish() is const).
+        sys_.advanceTo(lastFinish_);
+        for (DeviceId d = 0; d < sys_.numDevices(); d++) {
+            const auto &fc = sys_.device(d).faultCounters();
+            m.faultErroredOps += fc.erroredOps;
+            m.faultRetries += fc.retries;
+            m.faultRecoveries += fc.recoveries;
+            m.faultDegradedOps += fc.degradedOps;
+            m.faultErrorLatencyUs += fc.errorLatencyUs;
+            m.deviceAvailability.push_back(
+                sys_.deviceAvailability(d, firstArrival_, lastFinish_));
+        }
+        m.maskedPlacements = c.maskedPlacements;
+        m.failoverReads = c.failoverReads;
+        m.failedOps = c.failedOps;
+        m.drainedPages = c.drainedPages;
+    }
     return m;
 }
 
