@@ -45,6 +45,14 @@ struct FeatureConfig
     std::uint32_t countBins = 64;    ///< cnt_t: 64 bins
     std::uint32_t capacityBins = 8;  ///< cap_t: 8 bins
     std::uint32_t mask = kFeatAll;   ///< enabled features (Fig. 13)
+
+    /** §11 endurance extension: append two wear features (GC pressure
+     *  as write amplification, consumed P/E life) read from the
+     *  detailed FTL of the run's flash devices. Off by default so the
+     *  observation shape — and every existing trajectory — is
+     *  unchanged; armed via Sibyl{wearFeatures=1}, which is stripped
+     *  from the policy identity like the other supervision knobs. */
+    bool wearFeatures = false;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "core/state.hh"
 
+#include <algorithm>
+
 namespace sibyl::core
 {
 
@@ -7,7 +9,8 @@ StateEncoder::StateEncoder(const FeatureConfig &cfg,
                            std::uint32_t numDevices)
     : cfg_(cfg),
       numDevices_(numDevices),
-      dim_(6 + (numDevices > 2 ? numDevices - 2 : 0)),
+      dim_(6 + (numDevices > 2 ? numDevices - 2 : 0) +
+           (cfg.wearFeatures ? 2 : 0)),
       sizeBinner_(cfg.sizeBins),
       intervalBinner_(cfg.intervalBins),
       countBinner_(cfg.countBins),
@@ -78,6 +81,35 @@ StateEncoder::encodeInto(const hss::HybridSystem &sys,
             ? static_cast<float>(
                   capacityBinner_.normalized(sys.freeFraction(d)))
             : 0.0f;
+    }
+
+    // §11 endurance extension: GC pressure (write amplification above
+    // 1.0, saturating at 2x) and consumed P/E life of the most-worn
+    // detailed-FTL device. Both read O(1) FTL counters; both are 0 on
+    // runs without a detailed FTL, so the features carry no
+    // information there (like a masked feature).
+    if (cfg_.wearFeatures) {
+        float gcPressure = 0.0f;
+        float wear = 0.0f;
+        for (DeviceId d = 0; d < sys.numDevices(); d++) {
+            const ftl::PageMappedFtl *f = sys.device(d).ftl();
+            if (!f)
+                continue;
+            gcPressure = std::max(
+                gcPressure,
+                std::clamp(static_cast<float>(
+                               f->stats().writeAmplification() - 1.0),
+                           0.0f, 1.0f));
+            const std::uint64_t rated = f->endurance().ratedPeCycles;
+            if (rated > 0)
+                wear = std::max(
+                    wear,
+                    std::min(1.0f,
+                             static_cast<float>(f->maxEraseCount()) /
+                                 static_cast<float>(rated)));
+        }
+        obs[i++] = gcPressure;
+        obs[i++] = wear;
     }
 }
 

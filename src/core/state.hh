@@ -32,7 +32,8 @@ class StateEncoder
      */
     StateEncoder(const FeatureConfig &cfg, std::uint32_t numDevices);
 
-    /** Observation dimensionality: 6 + max(0, numDevices - 2). */
+    /** Observation dimensionality: 6 + max(0, numDevices - 2), plus 2
+     *  wear features when FeatureConfig::wearFeatures is set. */
     std::uint32_t dimension() const { return dim_; }
 
     /**

@@ -20,6 +20,18 @@ BlockDevice::BlockDevice(DeviceSpec spec, std::uint64_t seed)
         ftl_ = std::make_unique<ftl::PageMappedFtl>(
             ftl::makeGeometry(spec_.capacityPages, spec_.ftlOverprovision,
                               spec_.ftlPagesPerBlock));
+        if (spec_.enduranceEnabled()) {
+            ftl::FtlEnduranceConfig ecfg;
+            ecfg.ratedPeCycles = spec_.ftlRatedPeCycles;
+            ecfg.grownBadProb = spec_.ftlGrownBadProb;
+            ecfg.wearLevelSpread = spec_.ftlWearLevelSpread;
+            // The device seed is already run-key-derived, so the
+            // grown-bad schedule is bit-identical at any thread count;
+            // the FTL draws it through a private stream so the jitter
+            // rng_ sequence is unperturbed.
+            ecfg.rngSeed = seed;
+            ftl_->configureEndurance(ecfg);
+        }
     }
 }
 
@@ -56,6 +68,12 @@ BlockDevice::access(SimTime now, OpType op, PageId page,
             faults_.lastOpExhaustedRetries() && !failed_)
             markFailed(timing.startUs + timing.serviceUs);
     }
+    // Wear-out escalation: block retirement ate the FTL's spare floor,
+    // so the media can no longer sustain GC — retire the whole device
+    // through the same Failed path as retry exhaustion; the serving
+    // layer drains the residents.
+    if (ftl_ && !failed_ && ftl_->spareFloorBreached())
+        markFailed(timing.startUs + timing.serviceUs);
     timing.finishUs = timing.startUs + timing.serviceUs;
     *channel = timing.finishUs;
 
@@ -242,6 +260,11 @@ BlockDevice::healthAt(SimTime now) const
             w.latencyMultiplier != 1.0)
             return DeviceHealth::Degraded;
     }
+    // Wear: once retirement starts eating the spare pool the device is
+    // visibly degrading (retirement is monotone, so this is stable as
+    // simulated time advances).
+    if (ftl_ && ftl_->retiredBlocks() > 0)
+        return DeviceHealth::Degraded;
     return DeviceHealth::Healthy;
 }
 

@@ -94,6 +94,24 @@ struct DeviceSpec
      *  overlaps with idle time / other channels). */
     double gcForegroundFraction = 0.3;
 
+    // --- Endurance model (needs detailedFtl). All off by default, in
+    //     which case the FTL never draws from the grown-bad RNG and
+    //     wear-free runs stay byte-identical.
+    std::uint64_t ftlRatedPeCycles = 0;   ///< 0 = no rated-wear retirement
+    double ftlGrownBadProb = 0.0;         ///< per-erase grown-bad prob.
+    std::uint64_t ftlWearLevelSpread = 0; ///< 0 = wear leveling off
+
+    /** True when any endurance knob is armed on a detailed-FTL flash
+     *  device (retirement can then fail the device, so the serving
+     *  layer must arm its hard-fault machinery). */
+    bool
+    enduranceEnabled() const
+    {
+        return detailedFtl && kind == DeviceKind::FlashSsd &&
+               (ftlRatedPeCycles > 0 || ftlGrownBadProb > 0.0 ||
+                ftlWearLevelSpread > 0);
+    }
+
     /** Fault injection (error retries, degradation windows). Defaults
      *  inject nothing; the fault-ablation bench and robustness tests
      *  configure it. */

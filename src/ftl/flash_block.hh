@@ -20,6 +20,7 @@ enum class BlockState : std::uint8_t
     Free,   ///< erased; all pages programmable
     Open,   ///< currently accepting host/GC writes
     Closed, ///< fully programmed; GC candidate
+    Bad,    ///< retired (worn out or grown-bad); never programmed again
 };
 
 /** Human-readable name for a BlockState. */
@@ -33,6 +34,8 @@ blockStateName(BlockState s)
         return "open";
       case BlockState::Closed:
         return "closed";
+      case BlockState::Bad:
+        return "bad";
     }
     return "?";
 }

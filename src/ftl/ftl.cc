@@ -9,6 +9,16 @@
 namespace sibyl::ftl
 {
 
+namespace
+{
+
+/** Pcg32 stream id for the grown-bad RNG. Distinct from every other
+ *  stream constant in the tree so arming endurance never perturbs the
+ *  device jitter or agent draw sequences. */
+constexpr std::uint64_t kGrownBadStream = 0xBADB10C5ULL;
+
+} // namespace
+
 bool
 FlashGeometry::valid() const
 {
@@ -70,6 +80,50 @@ std::uint32_t
 PageMappedFtl::freeBlocks() const
 {
     return static_cast<std::uint32_t>(freeList_.size());
+}
+
+void
+PageMappedFtl::configureEndurance(const FtlEnduranceConfig &cfg)
+{
+    endurance_ = cfg;
+    badRng_.seed(cfg.rngSeed, kGrownBadStream);
+}
+
+bool
+PageMappedFtl::spareFloorBreached() const
+{
+    // makeGeometry's forward-progress guarantee needs
+    // ceil(exported/ppb) + 5 usable blocks (host open + GC open + GC
+    // reserve + high-watermark slack); once retirement eats into that
+    // floor the device is at end-of-life.
+    const std::uint64_t minBlocks =
+        (geo_.exportedPages + geo_.pagesPerBlock - 1) /
+            geo_.pagesPerBlock +
+        5;
+    return static_cast<std::uint64_t>(geo_.totalBlocks - retired_) <
+           minBlocks;
+}
+
+bool
+PageMappedFtl::shouldRetire(const FlashBlock &blk)
+{
+    if (!endurance_.retirementEnabled())
+        return false;
+    // Never retire below the floor: the FTL stays serviceable (at its
+    // worst state) while the owning device fails the drive out.
+    if (spareFloorBreached())
+        return false;
+    // Defer retirement while the free pool is thin: a GC pass that
+    // retires back-to-back victims would otherwise starve its own
+    // relocation stream of open blocks. The block rejoins the pool and
+    // retires on a later erase once slack returns.
+    if (freeList_.size() < 2)
+        return false;
+    if (endurance_.ratedPeCycles > 0 &&
+        blk.eraseCount() >= endurance_.ratedPeCycles)
+        return true;
+    return endurance_.grownBadProb > 0.0 &&
+           badRng_.nextBool(endurance_.grownBadProb);
 }
 
 void
@@ -145,7 +199,41 @@ PageMappedFtl::collectGarbage(SimTime now, FtlOpResult &result)
         }
         reclaimBlock(victim, now, result);
     }
+    if (endurance_.wearLevelSpread > 0)
+        wearLevelStep(now, result);
     inGc_ = false;
+}
+
+void
+PageMappedFtl::wearLevelStep(SimTime now, FtlOpResult &result)
+{
+    // Static wear leveling (SPIFTL-style): cold data parked on a
+    // low-wear closed block pins that block out of rotation while the
+    // rest of the device wears. When the erase gap between the
+    // most-worn block and the least-worn closed block reaches the
+    // configured spread, migrate the cold block's pages (through the
+    // GC stream) so it rejoins the free pool. One migration per GC
+    // pass bounds the added copy work.
+    if (freeList_.empty())
+        return;
+    std::uint64_t maxErases = 0;
+    BlockIndex coldest = kNoBlock;
+    for (BlockIndex i = 0; i < blocks_.size(); i++) {
+        const auto &b = blocks_[i];
+        if (b.state() != BlockState::Bad)
+            maxErases = std::max(maxErases, b.eraseCount());
+        if (b.state() == BlockState::Closed &&
+            (coldest == kNoBlock ||
+             b.eraseCount() < blocks_[coldest].eraseCount()))
+            coldest = i; // strict '<': ties break to the lowest id
+    }
+    if (coldest == kNoBlock)
+        return;
+    const std::uint64_t coldErases = blocks_[coldest].eraseCount();
+    if (maxErases - coldErases < endurance_.wearLevelSpread)
+        return;
+    reclaimBlock(coldest, now, result);
+    stats_.wearLevelRuns++;
 }
 
 void
@@ -165,11 +253,20 @@ PageMappedFtl::reclaimBlock(BlockIndex victim, SimTime now,
         result.gcPageCopies++;
     }
     blk.erase();
-    freeList_.push_back(victim);
+    maxErase_ = std::max(maxErase_, blk.eraseCount());
     stats_.erases++;
     stats_.gcRuns++;
     result.erases++;
     result.gcRan = true;
+    if (shouldRetire(blk)) {
+        // Worn out (rated P/E exceeded) or grown bad: retire from the
+        // free pool, shrinking effective over-provisioning.
+        blk.setState(BlockState::Bad);
+        retired_++;
+        stats_.retiredBlocks++;
+    } else {
+        freeList_.push_back(victim);
+    }
 }
 
 FtlOpResult
@@ -220,6 +317,9 @@ PageMappedFtl::reset()
     l2p_.clear();
     stats_ = FtlStats();
     inGc_ = false;
+    retired_ = 0;
+    maxErase_ = 0;
+    badRng_.seed(endurance_.rngSeed, kGrownBadStream);
 }
 
 std::string
@@ -252,6 +352,7 @@ PageMappedFtl::checkInvariants() const
     std::uint64_t totalValid = 0;
     std::uint32_t openCount = 0;
     std::uint32_t freeCount = 0;
+    std::uint32_t badCount = 0;
     for (BlockIndex i = 0; i < blocks_.size(); i++) {
         const auto &b = blocks_[i];
         std::uint32_t count = 0;
@@ -272,6 +373,18 @@ PageMappedFtl::checkInvariants() const
                 return err.str();
             }
         }
+        if (b.state() == BlockState::Bad) {
+            badCount++;
+            if (b.validCount() != 0 || b.writePtr() != 0) {
+                err << "bad block " << i << " retired before erase";
+                return err.str();
+            }
+        }
+    }
+    if (badCount != retired_) {
+        err << "retired counter " << retired_ << " != bad blocks "
+            << badCount;
+        return err.str();
     }
     if (totalValid != l2p_.size()) {
         err << "valid pages " << totalValid << " != mapped "

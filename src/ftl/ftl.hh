@@ -20,12 +20,54 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.hh"
 #include "ftl/flash_block.hh"
 #include "ftl/flash_geometry.hh"
 #include "ftl/gc_policy.hh"
 
 namespace sibyl::ftl
 {
+
+/**
+ * Endurance model knobs. All off by default: a default-constructed
+ * config is a strict no-op (no RNG draws, no retirement, no wear
+ * leveling), which is what keeps wear-free runs byte-identical to the
+ * pre-endurance code.
+ */
+struct FtlEnduranceConfig
+{
+    /** Rated program/erase cycles per block; a block erased this many
+     *  times is retired from the free pool. 0 = no rated-wear
+     *  retirement. */
+    std::uint64_t ratedPeCycles = 0;
+
+    /** Per-erase probability that a block grows a bad cell and is
+     *  retired early, drawn from a seeded private RNG. 0 = off. */
+    double grownBadProb = 0.0;
+
+    /** Seed for the grown-bad RNG. Callers must derive this from the
+     *  run key so retirement schedules are bit-identical at any
+     *  thread count. */
+    std::uint64_t rngSeed = 0;
+
+    /** Static wear leveling: when the gap between the most-worn block
+     *  and the least-worn *closed* block reaches this many erases, the
+     *  cold block's pages are migrated so it re-enters rotation
+     *  (SPIFTL-style cold-data migration). 0 = off. */
+    std::uint64_t wearLevelSpread = 0;
+
+    bool
+    retirementEnabled() const
+    {
+        return ratedPeCycles > 0 || grownBadProb > 0.0;
+    }
+
+    bool
+    enabled() const
+    {
+        return retirementEnabled() || wearLevelSpread > 0;
+    }
+};
 
 /** Aggregate FTL counters. */
 struct FtlStats
@@ -37,6 +79,8 @@ struct FtlStats
     std::uint64_t gcRuns = 0;       ///< victim blocks reclaimed
     std::uint64_t erases = 0;       ///< block erase operations
     std::uint64_t readMisses = 0;   ///< reads of unmapped pages
+    std::uint64_t wearLevelRuns = 0; ///< static wear-level migrations
+    std::uint64_t retiredBlocks = 0; ///< blocks retired as bad
 
     /** Write amplification: NAND writes / host writes (1.0 if no GC). */
     double
@@ -99,6 +143,32 @@ class PageMappedFtl
     /** Invalidate a logical page (the HSS evicted it off this device). */
     FtlOpResult trim(PageId lpn);
 
+    /**
+     * Arm the endurance model (retirement + static wear leveling).
+     * Must be called before traffic; seeds the private grown-bad RNG
+     * from @p cfg.rngSeed. A default-constructed config disarms.
+     */
+    void configureEndurance(const FtlEnduranceConfig &cfg);
+
+    const FtlEnduranceConfig &endurance() const { return endurance_; }
+
+    /** Blocks retired as bad so far. */
+    std::uint32_t retiredBlocks() const { return retired_; }
+
+    /** Largest per-block erase count, tracked incrementally so the
+     *  per-request feature encoder can read wear in O(1). */
+    std::uint64_t maxEraseCount() const { return maxErase_; }
+
+    /**
+     * True once retirement has eaten the two-spare-block floor the
+     * geometry guarantees (flash_geometry.hh): the remaining usable
+     * blocks no longer cover the exported capacity plus two spare
+     * blocks, so GC forward progress is at risk and the owning device
+     * should fail the drive out. Retirement itself stops at this floor
+     * — the FTL degrades to a fixed worst state rather than panicking.
+     */
+    bool spareFloorBreached() const;
+
     /** True if @p lpn currently maps to a physical page. */
     bool isMapped(PageId lpn) const { return l2p_.count(lpn) != 0; }
 
@@ -144,6 +214,12 @@ class PageMappedFtl
     /** Relocate a victim's valid pages and erase it. */
     void reclaimBlock(BlockIndex victim, SimTime now, FtlOpResult &result);
 
+    /** Post-erase retirement decision for the block at @p victim. */
+    bool shouldRetire(const FlashBlock &blk);
+
+    /** One static wear-level migration, if the spread warrants it. */
+    void wearLevelStep(SimTime now, FtlOpResult &result);
+
     /** Invalidate the current physical page of @p lpn, if any. */
     void invalidatePhys(PageId lpn);
 
@@ -160,6 +236,12 @@ class PageMappedFtl
     std::unordered_map<PageId, PhysPage> l2p_;
     FtlStats stats_;
     bool inGc_ = false; ///< guards re-entrant GC during relocation
+
+    FtlEnduranceConfig endurance_;
+    Pcg32 badRng_;            ///< grown-bad draws; private stream so the
+                              ///< device's jitter RNG is unperturbed
+    std::uint32_t retired_ = 0;
+    std::uint64_t maxErase_ = 0;
 };
 
 } // namespace sibyl::ftl

@@ -39,6 +39,20 @@ makeWearReport(const PageMappedFtl &f, std::uint64_t ratedPeCycles)
         report.lifeConsumed = static_cast<double>(report.maxErases) /
                               static_cast<double>(ratedPeCycles);
     }
+    report.retiredBlocks = f.retiredBlocks();
+
+    report.histogram.assign(WearReport::kHistogramBins, 0);
+    const std::uint64_t span = report.maxErases - report.minErases;
+    for (const auto &b : blocks) {
+        // Equal-width bins over [min, max]; degenerate span (even
+        // wear) puts every block in bin 0.
+        std::uint64_t bin = 0;
+        if (span > 0) {
+            bin = (b.eraseCount() - report.minErases) *
+                  WearReport::kHistogramBins / (span + 1);
+        }
+        report.histogram.at(static_cast<std::size_t>(bin))++;
+    }
     return report;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "ftl/ftl.hh"
 
@@ -21,6 +22,9 @@ namespace sibyl::ftl
 /** Snapshot of device wear derived from per-block erase counts. */
 struct WearReport
 {
+    /** Bin count of the per-block erase-count histogram. */
+    static constexpr std::uint32_t kHistogramBins = 8;
+
     std::uint64_t totalErases = 0;
     double meanErases = 0.0;
     std::uint64_t minErases = 0;
@@ -38,6 +42,17 @@ struct WearReport
     /** Fraction of the rated P/E budget consumed by the *worst* block
      *  (device end-of-life is governed by its most-worn block). */
     double lifeConsumed = 0.0;
+
+    /** Blocks retired as bad (worn out or grown-bad). */
+    std::uint32_t retiredBlocks = 0;
+
+    /**
+     * Per-block erase-count distribution, littlefs
+     * `wear-distribution.py`-style: kHistogramBins equal-width bins
+     * spanning [minErases, maxErases]; every block lands in bin 0 when
+     * wear is perfectly even. Bin counts sum to the block count.
+     */
+    std::vector<std::uint64_t> histogram;
 };
 
 /**

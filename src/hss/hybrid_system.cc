@@ -19,7 +19,10 @@ HybridSystem::HybridSystem(std::vector<device::DeviceSpec> specs,
     for (std::size_t i = 0; i < specs.size(); i++) {
         devices_.push_back(std::make_unique<device::BlockDevice>(
             specs[i], seed + i * 7919));
-        if (specs[i].faults.hardFaultsEnabled())
+        // Endurance-armed devices can wear out into Failed, so the
+        // same mask/drain machinery must watch them.
+        if (specs[i].faults.hardFaultsEnabled() ||
+            specs[i].enduranceEnabled())
             hardFaultsArmed_ = true;
     }
     if (hardFaultsArmed_ && devices_.size() > 32)

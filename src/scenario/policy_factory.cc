@@ -235,6 +235,8 @@ applySibylParams(core::SibylConfig &cfg, const PolicyDesc &desc)
             cfg.doubleDqn = toBool(desc, key, value);
         } else if (key == "features") {
             cfg.features.mask = featureMask(desc, value);
+        } else if (key == "wearFeatures") {
+            cfg.features.wearFeatures = toBool(desc, key, value);
         } else if (key == "sizeBins") {
             cfg.features.sizeBins = toU32(desc, key, value);
         } else if (key == "intervalBins") {
@@ -339,7 +341,8 @@ applySibylParams(core::SibylConfig &cfg, const PolicyDesc &desc)
                     "batchesPerTraining bufferCapacity targetSyncEvery "
                     "trainEvery asyncTraining atoms vmin vmax seed "
                     "hidden agent per "
-                    "doubleDqn features sizeBins intervalBins countBins "
+                    "doubleDqn features wearFeatures sizeBins "
+                    "intervalBins countBins "
                     "capacityBins reward latencyScaleUs penaltyCoeff "
                     "evictionOnlyPenalty enduranceWeight "
                     "enduranceCriticalDevice energyWeight power explore "

@@ -40,6 +40,9 @@ DeviceOverride::operator==(const DeviceOverride &o) const
     if (device != o.device || channels != o.channels ||
         detailedFtl != o.detailedFtl ||
         ftlPagesPerBlock != o.ftlPagesPerBlock ||
+        ftlRatedPeCycles != o.ftlRatedPeCycles ||
+        ftlGrownBadProb != o.ftlGrownBadProb ||
+        ftlWearLevelSpread != o.ftlWearLevelSpread ||
         faultWindows.size() != o.faultWindows.size())
         return false;
     for (std::size_t i = 0; i < faultWindows.size(); i++) {
@@ -264,6 +267,15 @@ ScenarioSpec::expand() const
                 tag += ",ftl=" + std::to_string(ov.detailedFtl);
             if (ov.ftlPagesPerBlock != 0)
                 tag += ",ppb=" + std::to_string(ov.ftlPagesPerBlock);
+            // Endurance fields, emitted only when set — scenarios
+            // without them keep their historical tag bytes (and run
+            // keys).
+            if (ov.ftlRatedPeCycles != 0)
+                tag += ",pe=" + std::to_string(ov.ftlRatedPeCycles);
+            if (ov.ftlGrownBadProb >= 0.0)
+                tag += ",gbp=" + jsonNumber(ov.ftlGrownBadProb);
+            if (ov.ftlWearLevelSpread != 0)
+                tag += ",wls=" + std::to_string(ov.ftlWearLevelSpread);
             for (const auto &w : ov.faultWindows)
                 tag += ",fault=" + jsonNumber(w.startUs) + ":" +
                        jsonNumber(w.endUs) + ":" +
@@ -295,6 +307,12 @@ ScenarioSpec::expand() const
                     d.detailedFtl = ov.detailedFtl != 0;
                 if (ov.ftlPagesPerBlock != 0)
                     d.ftlPagesPerBlock = ov.ftlPagesPerBlock;
+                if (ov.ftlRatedPeCycles != 0)
+                    d.ftlRatedPeCycles = ov.ftlRatedPeCycles;
+                if (ov.ftlGrownBadProb >= 0.0)
+                    d.ftlGrownBadProb = ov.ftlGrownBadProb;
+                if (ov.ftlWearLevelSpread != 0)
+                    d.ftlWearLevelSpread = ov.ftlWearLevelSpread;
                 ov.applyFaults(d.faults);
             }
         };
@@ -389,6 +407,12 @@ parseOverride(const JsonValue &v)
             ov.detailedFtl = val.asBool() ? 1 : 0;
         } else if (key == "ftlPagesPerBlock") {
             ov.ftlPagesPerBlock = static_cast<std::uint32_t>(val.asUint());
+        } else if (key == "ftlRatedPeCycles") {
+            ov.ftlRatedPeCycles = val.asUint();
+        } else if (key == "ftlGrownBadProb") {
+            ov.ftlGrownBadProb = val.asDouble();
+        } else if (key == "ftlWearLevelSpread") {
+            ov.ftlWearLevelSpread = val.asUint();
         } else if (key == "faultWindows") {
             for (const auto &w : val.asArray()) {
                 device::DegradedWindow win;
@@ -444,7 +468,9 @@ parseOverride(const JsonValue &v)
         } else {
             specError("unknown deviceOverrides key \"" + key +
                       "\" (valid: device channels detailedFtl "
-                      "ftlPagesPerBlock faultWindows offlineWindows "
+                      "ftlPagesPerBlock ftlRatedPeCycles "
+                      "ftlGrownBadProb ftlWearLevelSpread "
+                      "faultWindows offlineWindows "
                       "failAtUs drainPagesPerMs failoverTimeoutUs "
                       "failOnUnrecoverable)");
         }
@@ -625,6 +651,15 @@ emitScenarioJson(const ScenarioSpec &s)
             if (ov.ftlPagesPerBlock != 0)
                 o.set("ftlPagesPerBlock",
                       JsonValue::of(std::uint64_t{ov.ftlPagesPerBlock}));
+            if (ov.ftlRatedPeCycles != 0)
+                o.set("ftlRatedPeCycles",
+                      JsonValue::of(ov.ftlRatedPeCycles));
+            if (ov.ftlGrownBadProb >= 0.0)
+                o.set("ftlGrownBadProb",
+                      JsonValue::of(ov.ftlGrownBadProb));
+            if (ov.ftlWearLevelSpread != 0)
+                o.set("ftlWearLevelSpread",
+                      JsonValue::of(ov.ftlWearLevelSpread));
             if (!ov.faultWindows.empty()) {
                 JsonValue wins = JsonValue::array();
                 for (const auto &w : ov.faultWindows) {

@@ -51,6 +51,18 @@ struct DeviceOverride
     /** FTL pages per block; 0 keeps the preset. */
     std::uint32_t ftlPagesPerBlock = 0;
 
+    /** Rated P/E cycles per flash block (endurance); 0 keeps the
+     *  preset (no wear-out). Requires detailedFtl. */
+    std::uint64_t ftlRatedPeCycles = 0;
+
+    /** Per-erase grown-bad-block probability; negative keeps the
+     *  preset (never). Requires detailedFtl. */
+    double ftlGrownBadProb = -1.0;
+
+    /** Static wear-leveling erase-count spread threshold; 0 keeps the
+     *  preset (wear leveling off). Requires detailedFtl. */
+    std::uint64_t ftlWearLevelSpread = 0;
+
     /** Degraded-performance windows appended to the device. */
     std::vector<device::DegradedWindow> faultWindows;
 

@@ -81,6 +81,18 @@ struct RunMetrics
      *  like placements when faultsConfigured, else empty. */
     std::vector<double> deviceAvailability;
 
+    /** True when any device of the run ran the detailed FTL. Gates the
+     *  endurance block of writeResultsJson so pre-FTL result files
+     *  stay byte-identical. */
+    bool enduranceConfigured = false;
+
+    // Endurance metrics, aggregated over the run's detailed-FTL
+    // devices (ftl::WearReport per device).
+    double writeAmplification = 1.0; ///< sum(NAND writes)/sum(host)
+    double wearImbalance = 1.0;      ///< worst per-device max/mean
+    double lifeConsumed = 0.0;       ///< worst rated-P/E fraction
+    std::uint64_t retiredBlocks = 0; ///< blocks retired as bad (sum)
+
     /** Per-request traces, filled only when
      *  SimConfig::recordPerRequest is set: arrival time, end-to-end
      *  latency, completion time of the foreground operation, and the

@@ -87,6 +87,10 @@ canonicalRunString(const RunSpec &spec)
  * arm it is compared against. `asyncTraining` is stripped for the
  * same reason: the staged/committed training cadence is bit-identical
  * to synchronous training, so it is execution strategy, not identity.
+ * `wearFeatures` is stripped so a wear-feature ablation arm shares its
+ * run key (and thus its derived device/agent streams) with the plain
+ * arm it is compared against — the feature's effect is then isolated
+ * to the agent's decisions, not to a different RNG universe.
  */
 std::string
 policyIdentity(const std::string &policy)
@@ -103,7 +107,8 @@ policyIdentity(const std::string &policy)
             comma = body.size();
         const std::string param = body.substr(pos, comma - pos);
         if (param.rfind("guardrail", 0) != 0 &&
-            param.rfind("asyncTraining", 0) != 0) {
+            param.rfind("asyncTraining", 0) != 0 &&
+            param.rfind("wearFeatures", 0) != 0) {
             if (!kept.empty())
                 kept += ',';
             kept += param;
@@ -493,6 +498,18 @@ writeRecordJson(std::ostream &os, const RunRecord &r,
             os << (d ? ", " : "")
                << scenario::jsonNumber(m.deviceAvailability[d]);
         os << "]";
+    }
+    if (m.enduranceConfigured) {
+        // Endurance block, only for runs with a detailed FTL attached
+        // — pre-FTL result files keep their bytes; the regression gate
+        // bands these like any other metric.
+        os << ", \"writeAmplification\": "
+           << scenario::jsonNumber(m.writeAmplification)
+           << ", \"wearImbalance\": "
+           << scenario::jsonNumber(m.wearImbalance)
+           << ", \"lifeConsumed\": "
+           << scenario::jsonNumber(m.lifeConsumed)
+           << ", \"retiredBlocks\": " << m.retiredBlocks;
     }
     os << "}";
 }

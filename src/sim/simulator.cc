@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "ftl/wear_stats.hh"
 #include "ml/network.hh"
 
 namespace sibyl::sim
@@ -122,8 +123,12 @@ RequestStepper::finish() const
     m.demotions = c.demotions;
 
     for (DeviceId d = 0; d < sys_.numDevices(); d++) {
-        const auto &f = sys_.device(d).spec().faults;
-        if (f.enabled() || f.hardFaultsEnabled())
+        const auto &spec = sys_.device(d).spec();
+        const auto &f = spec.faults;
+        // Wear-out is a hard fault too: endurance-armed runs surface
+        // the same counters/availability block.
+        if (f.enabled() || f.hardFaultsEnabled() ||
+            spec.enduranceEnabled())
             m.faultsConfigured = true;
     }
     if (m.faultsConfigured) {
@@ -146,6 +151,29 @@ RequestStepper::finish() const
         m.failoverReads = c.failoverReads;
         m.failedOps = c.failedOps;
         m.drainedPages = c.drainedPages;
+    }
+
+    // Endurance metrics, aggregated over the detailed-FTL devices. WA
+    // stays host-write-relative across devices: GC relocations count
+    // in the numerator only, and a run with no host writes reports 1.0.
+    std::uint64_t hostWrites = 0;
+    std::uint64_t nandWrites = 0;
+    for (DeviceId d = 0; d < sys_.numDevices(); d++) {
+        const ftl::PageMappedFtl *f = sys_.device(d).ftl();
+        if (!f)
+            continue;
+        m.enduranceConfigured = true;
+        const ftl::WearReport wr = ftl::makeWearReport(
+            *f, sys_.device(d).spec().ftlRatedPeCycles);
+        hostWrites += f->stats().hostWrites;
+        nandWrites += f->stats().hostWrites + f->stats().gcCopies;
+        m.wearImbalance = std::max(m.wearImbalance, wr.imbalance);
+        m.lifeConsumed = std::max(m.lifeConsumed, wr.lifeConsumed);
+        m.retiredBlocks += wr.retiredBlocks;
+    }
+    if (m.enduranceConfigured && hostWrites > 0) {
+        m.writeAmplification = static_cast<double>(nandWrites) /
+                               static_cast<double>(hostWrites);
     }
     return m;
 }

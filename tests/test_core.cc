@@ -109,6 +109,27 @@ TEST(StateEncoder, TriHybridObservesMidCapacity)
     EXPECT_EQ(obs[6], 1.0f); // M device fully free
 }
 
+TEST(StateEncoder, WearFeaturesExtendDimension)
+{
+    FeatureConfig f;
+    f.wearFeatures = true;
+    EXPECT_EQ(StateEncoder(f, 2).dimension(), 8u);
+    EXPECT_EQ(StateEncoder(f, 3).dimension(), 9u);
+}
+
+TEST(StateEncoder, WearFeaturesZeroWithoutDetailedFtl)
+{
+    hss::HybridSystem sys(config());
+    FeatureConfig f;
+    f.wearFeatures = true;
+    StateEncoder enc(f, 2);
+    sys.serve(0.0, req(5, 1, OpType::Write), 0);
+    auto obs = enc.encode(sys, req(5, 4, OpType::Write));
+    ASSERT_EQ(obs.size(), 8u);
+    EXPECT_EQ(obs[6], 0.0f); // GC pressure: no FTL anywhere
+    EXPECT_EQ(obs[7], 0.0f); // wear: no FTL anywhere
+}
+
 TEST(Reward, InverseLatency)
 {
     RewardFunction r(RewardConfig{});

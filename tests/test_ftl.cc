@@ -15,6 +15,7 @@
 #include "device/device_spec.hh"
 #include "ftl/ftl.hh"
 #include "ftl/wear_stats.hh"
+#include "sim/parallel_runner.hh"
 
 namespace sibyl::ftl
 {
@@ -403,6 +404,356 @@ TEST(WearStats, LifeConsumedScalesWithRating)
     EXPECT_NEAR(r1k.lifeConsumed, 3.0 * r3k.lifeConsumed, 1e-12);
 }
 
+TEST(WearStats, DivisionEdgeCases)
+{
+    // Table-driven pinning of the report's division edge cases: a
+    // fresh device (mean erases 0) reports perfectly even wear, and a
+    // zero P/E rating reports zero consumed life rather than dividing
+    // by the rating.
+    struct Case {
+        const char *name;
+        int churnWrites;
+        std::uint64_t ratedPeCycles;
+        double wantImbalance; ///< exact when >= 0, else just >= 1.0
+        double wantLifeConsumed;
+    };
+    const Case cases[] = {
+        {"fresh device, rated budget", 0, 3000, 1.0, 0.0},
+        {"fresh device, zero budget", 0, 0, 1.0, 0.0},
+        {"worn device, zero budget", 30000, 0, -1.0, 0.0},
+    };
+    for (const auto &c : cases) {
+        SCOPED_TRACE(c.name);
+        PageMappedFtl f(makeGeometry(400, 0.1, 16));
+        Pcg32 rng(21);
+        for (int i = 0; i < c.churnWrites; i++)
+            f.write(rng.nextBounded(400), static_cast<SimTime>(i));
+        const WearReport r = makeWearReport(f, c.ratedPeCycles);
+        if (c.wantImbalance >= 0.0)
+            EXPECT_DOUBLE_EQ(r.imbalance, c.wantImbalance);
+        else
+            EXPECT_GE(r.imbalance, 1.0);
+        EXPECT_DOUBLE_EQ(r.lifeConsumed, c.wantLifeConsumed);
+    }
+}
+
+TEST(WearStats, HistogramSumsToBlockCount)
+{
+    PageMappedFtl f(makeGeometry(400, 0.1, 16));
+    Pcg32 rng(9);
+    for (int i = 0; i < 30000; i++)
+        f.write(rng.nextBounded(400), static_cast<SimTime>(i));
+    const WearReport r = makeWearReport(f);
+    ASSERT_EQ(r.histogram.size(), WearReport::kHistogramBins);
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : r.histogram)
+        sum += c;
+    EXPECT_EQ(sum, f.blocks().size());
+    EXPECT_GT(r.maxErases, r.minErases); // churn spreads the counts
+}
+
+TEST(WearStats, HistogramEvenWearLandsInBinZero)
+{
+    PageMappedFtl f(makeGeometry(400, 0.1, 16));
+    const WearReport r = makeWearReport(f);
+    ASSERT_EQ(r.histogram.size(), WearReport::kHistogramBins);
+    EXPECT_EQ(r.histogram[0], f.blocks().size());
+    for (std::uint32_t b = 1; b < WearReport::kHistogramBins; b++)
+        EXPECT_EQ(r.histogram[b], 0u);
+}
+
+TEST(WearStats, MaxEraseTrackerMatchesReport)
+{
+    PageMappedFtl f(makeGeometry(300, 0.1, 16));
+    Pcg32 rng(8);
+    for (int i = 0; i < 30000; i++)
+        f.write(rng.nextBounded(300), static_cast<SimTime>(i));
+    const WearReport r = makeWearReport(f);
+    EXPECT_EQ(f.maxEraseCount(), r.maxErases);
+    EXPECT_GT(r.maxErases, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Write-amplification accounting (host-write-relative)
+// ---------------------------------------------------------------------
+
+TEST(FtlWa, OneBeforeFirstHostWrite)
+{
+    // The WA ratio is defined relative to host writes; with none yet it
+    // must read as the no-GC identity, not 0/0.
+    PageMappedFtl f(makeGeometry(100, 0.1, 16));
+    EXPECT_DOUBLE_EQ(f.stats().writeAmplification(), 1.0);
+    f.read(5);
+    f.trim(5);
+    EXPECT_DOUBLE_EQ(f.stats().writeAmplification(), 1.0);
+}
+
+TEST(FtlWa, DifferentialAgainstHandCountedTrace)
+{
+    // Count host writes and GC relocations independently from the
+    // per-op results while replaying a churn trace; the stats ratio
+    // must equal (host + copies) / host exactly — relocations are the
+    // only non-host term in the numerator, and erases/trims/reads
+    // never enter it.
+    PageMappedFtl f(makeGeometry(300, 0.08, 16));
+    Pcg32 rng(31);
+    std::uint64_t host = 0;
+    std::uint64_t copies = 0;
+    for (int i = 0; i < 25000; i++) {
+        const FtlOpResult r =
+            f.write(rng.nextBounded(300), static_cast<SimTime>(i));
+        host++;
+        copies += r.gcPageCopies;
+    }
+    for (PageId p = 0; p < 50; p++) {
+        f.read(p);
+        f.trim(p);
+    }
+    EXPECT_GT(copies, 0u);
+    EXPECT_EQ(f.stats().hostWrites, host);
+    EXPECT_EQ(f.stats().gcCopies, copies);
+    EXPECT_DOUBLE_EQ(f.stats().writeAmplification(),
+                     static_cast<double>(host + copies) /
+                         static_cast<double>(host));
+}
+
+// ---------------------------------------------------------------------
+// GC forward progress and victim determinism
+// ---------------------------------------------------------------------
+
+TEST(FtlGc, FullSpanOverwriteNoLivelock)
+{
+    // Worst case for forward progress: the host holds the full exported
+    // span and rewrites it sequentially, so closed blocks are routinely
+    // all-valid and every reclaim relocates a full block against the
+    // two-spare-block floor. The FTL must keep making progress (each
+    // reclaim frees exactly one block's worth of stale space).
+    PageMappedFtl f(makeGeometry(320, 0.0, 16));
+    for (int round = 0; round < 30; round++)
+        for (PageId p = 0; p < 320; p++)
+            f.write(p, static_cast<SimTime>(round * 320 + p));
+    EXPECT_EQ(f.mappedPages(), 320u);
+    EXPECT_GT(f.stats().gcRuns, 0u);
+    EXPECT_EQ(f.checkInvariants(), "");
+}
+
+TEST(GcPolicy, TieBreaksToLowestBlockId)
+{
+    // Three identical closed blocks tie under every policy; each must
+    // deterministically pick the lowest block id so victim order (and
+    // with it every downstream erase count) is platform-stable.
+    std::vector<FlashBlock> blocks(3, FlashBlock(4));
+    for (int b = 0; b < 3; b++) {
+        for (std::uint32_t s = 0; s < 4; s++)
+            blocks[b].program(100 * b + s, 7.0);
+        blocks[b].invalidate(0);
+        blocks[b].setState(BlockState::Closed);
+    }
+    EXPECT_EQ(GreedyGc().pickVictim(blocks, 100.0), 0u);
+    EXPECT_EQ(CostBenefitGc().pickVictim(blocks, 100.0), 0u);
+    EXPECT_EQ(FifoGc().pickVictim(blocks, 100.0), 0u);
+}
+
+TEST(GcPolicy, TieBreakSkipsIneligibleLeadingBlocks)
+{
+    // Same tie, but block 0 is open: the lowest *eligible* id wins.
+    std::vector<FlashBlock> blocks(4, FlashBlock(4));
+    blocks[0].program(1, 7.0);
+    blocks[0].setState(BlockState::Open);
+    for (int b = 1; b < 4; b++) {
+        for (std::uint32_t s = 0; s < 4; s++)
+            blocks[b].program(100 * b + s, 7.0);
+        blocks[b].invalidate(0);
+        blocks[b].setState(BlockState::Closed);
+    }
+    EXPECT_EQ(GreedyGc().pickVictim(blocks, 100.0), 1u);
+    EXPECT_EQ(CostBenefitGc().pickVictim(blocks, 100.0), 1u);
+    EXPECT_EQ(FifoGc().pickVictim(blocks, 100.0), 1u);
+}
+
+TEST(GcPolicy, BadBlocksNeverSelected)
+{
+    std::vector<FlashBlock> blocks(2, FlashBlock(4));
+    blocks[0].setState(BlockState::Bad);
+    for (std::uint32_t s = 0; s < 4; s++)
+        blocks[1].program(s, 1.0);
+    blocks[1].setState(BlockState::Closed);
+    EXPECT_EQ(GreedyGc().pickVictim(blocks, 10.0), 1u);
+    EXPECT_EQ(CostBenefitGc().pickVictim(blocks, 10.0), 1u);
+    EXPECT_EQ(FifoGc().pickVictim(blocks, 10.0), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Endurance: retirement, wear leveling, spare floor
+// ---------------------------------------------------------------------
+
+TEST(FtlEndurance, DefaultConfigIsInert)
+{
+    // Configuring an all-off endurance config must not perturb any
+    // counter relative to never calling configureEndurance at all (no
+    // RNG draws, no retirement, no wear leveling).
+    auto run = [](bool configure) {
+        PageMappedFtl f(makeGeometry(300, 0.08, 16));
+        if (configure)
+            f.configureEndurance(FtlEnduranceConfig{});
+        Pcg32 rng(4);
+        for (int i = 0; i < 20000; i++)
+            f.write(rng.nextBounded(300), static_cast<SimTime>(i));
+        return f.stats();
+    };
+    const FtlStats a = run(false);
+    const FtlStats b = run(true);
+    EXPECT_EQ(a.erases, b.erases);
+    EXPECT_EQ(a.gcCopies, b.gcCopies);
+    EXPECT_EQ(a.gcRuns, b.gcRuns);
+    EXPECT_EQ(b.retiredBlocks, 0u);
+    EXPECT_EQ(b.wearLevelRuns, 0u);
+}
+
+TEST(FtlEndurance, RatedWearRetiresBlocks)
+{
+    PageMappedFtl f(makeGeometry(300, 0.1, 16));
+    FtlEnduranceConfig cfg;
+    cfg.ratedPeCycles = 5;
+    cfg.rngSeed = 77;
+    f.configureEndurance(cfg);
+    Pcg32 rng(4);
+    for (int i = 0; i < 60000; i++)
+        f.write(rng.nextBounded(300), static_cast<SimTime>(i));
+    EXPECT_GT(f.retiredBlocks(), 0u);
+    EXPECT_EQ(f.stats().retiredBlocks, f.retiredBlocks());
+    // Retired blocks sit erased in the Bad state at or past the rated
+    // budget, and the data survives the shrinking spare pool.
+    std::uint32_t bad = 0;
+    for (const auto &b : f.blocks()) {
+        if (b.state() != BlockState::Bad)
+            continue;
+        bad++;
+        EXPECT_EQ(b.validCount(), 0u);
+        EXPECT_GE(b.eraseCount(), cfg.ratedPeCycles);
+    }
+    EXPECT_EQ(bad, f.retiredBlocks());
+    EXPECT_EQ(f.mappedPages(), 300u);
+    EXPECT_EQ(f.checkInvariants(), "");
+}
+
+TEST(FtlEndurance, GrownBadScheduleDeterministicPerSeed)
+{
+    // Identical seeds replay the identical retirement schedule;
+    // a different seed draws a different one. The grown-bad RNG is a
+    // private stream, so this holds independently of any other
+    // randomness in the process.
+    auto wearFingerprint = [](std::uint64_t seed) {
+        PageMappedFtl f(makeGeometry(300, 0.1, 16));
+        FtlEnduranceConfig cfg;
+        cfg.grownBadProb = 0.05;
+        cfg.rngSeed = seed;
+        f.configureEndurance(cfg);
+        Pcg32 rng(4);
+        for (int i = 0; i < 40000; i++)
+            f.write(rng.nextBounded(300), static_cast<SimTime>(i));
+        EXPECT_EQ(f.checkInvariants(), "");
+        EXPECT_GT(f.retiredBlocks(), 0u);
+        std::vector<std::uint64_t> fp;
+        for (const auto &b : f.blocks())
+            fp.push_back(b.eraseCount() * 2 +
+                         (b.state() == BlockState::Bad ? 1 : 0));
+        return fp;
+    };
+    const auto a = wearFingerprint(123);
+    const auto b = wearFingerprint(123);
+    const auto c = wearFingerprint(456);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(FtlEndurance, RetirementStopsAtSpareFloor)
+{
+    // Every erase grows a bad block: retirement eats spares only down
+    // to the two-block floor, then stops — the FTL degrades to a fixed
+    // worst state and keeps serving (the owning device is what fails
+    // out, not the FTL).
+    PageMappedFtl f(makeGeometry(200, 0.3, 16));
+    FtlEnduranceConfig cfg;
+    cfg.grownBadProb = 1.0;
+    cfg.rngSeed = 5;
+    f.configureEndurance(cfg);
+    EXPECT_FALSE(f.spareFloorBreached());
+    Pcg32 rng(4);
+    for (int i = 0; i < 60000; i++)
+        f.write(rng.nextBounded(200), static_cast<SimTime>(i));
+    EXPECT_TRUE(f.spareFloorBreached());
+    EXPECT_EQ(f.mappedPages(), 200u);
+    EXPECT_EQ(f.checkInvariants(), "");
+    // Breach means retirement ate into the geometry's 5-spare-block
+    // forward-progress floor — and stopped there.
+    const FlashGeometry &g = f.geometry();
+    const std::uint64_t minBlocks =
+        (g.exportedPages + g.pagesPerBlock - 1) / g.pagesPerBlock + 5;
+    EXPECT_LT(g.totalBlocks - f.retiredBlocks(), minBlocks);
+    EXPECT_GE(g.totalBlocks - f.retiredBlocks(), minBlocks - 1);
+}
+
+TEST(FtlEndurance, WearLevelingNarrowsEraseSpread)
+{
+    // Hot/cold split (10% of pages take 90% of writes): without wear
+    // leveling, all-valid cold blocks pin their erase counts while hot
+    // blocks churn; with a spread threshold the cold data is migrated
+    // back into rotation and the max-min gap shrinks.
+    auto eraseGap = [](std::uint64_t wls) {
+        PageMappedFtl f(makeGeometry(1000, 0.1, 32));
+        if (wls > 0) {
+            FtlEnduranceConfig cfg;
+            cfg.wearLevelSpread = wls;
+            f.configureEndurance(cfg);
+        }
+        Pcg32 rng(11);
+        for (PageId p = 0; p < 1000; p++)
+            f.write(p, static_cast<SimTime>(p));
+        for (int i = 0; i < 60000; i++) {
+            const PageId p = rng.nextBool(0.9)
+                ? rng.nextBounded(100)
+                : 100 + rng.nextBounded(900);
+            f.write(p, 1000.0 + i);
+        }
+        EXPECT_EQ(f.checkInvariants(), "");
+        if (wls > 0)
+            EXPECT_GT(f.stats().wearLevelRuns, 0u);
+        else
+            EXPECT_EQ(f.stats().wearLevelRuns, 0u);
+        const WearReport r = makeWearReport(f);
+        return r.maxErases - r.minErases;
+    };
+    const std::uint64_t gapOff = eraseGap(0);
+    const std::uint64_t gapOn = eraseGap(4);
+    EXPECT_LT(gapOn, gapOff);
+}
+
+TEST(FtlEndurance, ResetClearsWearAndReplaysSchedule)
+{
+    PageMappedFtl f(makeGeometry(300, 0.1, 16));
+    FtlEnduranceConfig cfg;
+    cfg.grownBadProb = 0.05;
+    cfg.rngSeed = 99;
+    f.configureEndurance(cfg);
+    auto churn = [&f] {
+        Pcg32 rng(4);
+        for (int i = 0; i < 30000; i++)
+            f.write(rng.nextBounded(300), static_cast<SimTime>(i));
+        return f.stats().retiredBlocks;
+    };
+    const std::uint64_t first = churn();
+    EXPECT_GT(first, 0u);
+    f.reset();
+    EXPECT_EQ(f.retiredBlocks(), 0u);
+    EXPECT_EQ(f.maxEraseCount(), 0u);
+    EXPECT_EQ(f.stats().retiredBlocks, 0u);
+    // reset() reseeds the grown-bad RNG: the same workload replays the
+    // same retirement schedule (run-restart determinism).
+    EXPECT_EQ(churn(), first);
+    EXPECT_EQ(f.checkInvariants(), "");
+}
+
 // ---------------------------------------------------------------------
 // Randomized invariant property test
 // ---------------------------------------------------------------------
@@ -524,6 +875,85 @@ TEST(FtlDeviceIntegration, ResetClearsFtl)
     dev.access(0.0, OpType::Write, 5, 1);
     dev.reset();
     EXPECT_EQ(dev.ftl()->mappedPages(), 0u);
+}
+
+TEST(FtlDeviceIntegration, EnduranceSpecArmsFtl)
+{
+    device::DeviceSpec d = detailedSsd(500);
+    d.ftlRatedPeCycles = 100;
+    d.ftlWearLevelSpread = 8;
+    EXPECT_TRUE(d.enduranceEnabled());
+    device::BlockDevice dev(d, 1234);
+    ASSERT_NE(dev.ftl(), nullptr);
+    EXPECT_EQ(dev.ftl()->endurance().ratedPeCycles, 100u);
+    EXPECT_EQ(dev.ftl()->endurance().wearLevelSpread, 8u);
+    EXPECT_EQ(dev.ftl()->endurance().rngSeed, 1234u);
+}
+
+TEST(FtlDeviceIntegration, EnduranceOffByDefault)
+{
+    const device::DeviceSpec d = detailedSsd(500);
+    EXPECT_FALSE(d.enduranceEnabled());
+    device::BlockDevice dev(d);
+    ASSERT_NE(dev.ftl(), nullptr);
+    EXPECT_FALSE(dev.ftl()->endurance().enabled());
+}
+
+TEST(FtlDeviceIntegration, WearOutFailsDeviceAtSpareFloor)
+{
+    // Retirement shrinks over-provisioning until the spare floor is
+    // breached; the device must then latch a permanent failure (wear-
+    // out is escalated exactly like a hard fault) while the FTL itself
+    // keeps its data intact.
+    device::DeviceSpec d = detailedSsd(200);
+    d.ftlGrownBadProb = 1.0;
+    device::BlockDevice dev(d, 7);
+    Pcg32 rng(3);
+    SimTime t = 0.0;
+    bool failed = false;
+    for (int i = 0; i < 60000 && !failed; i++) {
+        const auto a =
+            dev.access(t, OpType::Write, rng.nextBounded(200), 1);
+        t = a.finishUs;
+        failed = dev.permanentlyFailed();
+    }
+    EXPECT_TRUE(failed);
+    EXPECT_TRUE(dev.ftl()->spareFloorBreached());
+    EXPECT_EQ(dev.healthAt(t), device::DeviceHealth::Failed);
+    EXPECT_EQ(dev.ftl()->checkInvariants(), "");
+}
+
+TEST(FtlDeviceIntegration, RetiredBlocksDegradeHealth)
+{
+    // A device with retired blocks but an intact spare floor reads as
+    // Degraded — visible to health probes before the hard failure. The
+    // generous over-provisioning leaves slack above the floor, and the
+    // low grown-bad rate keeps retirements from cascading into a
+    // breach within a single GC pass.
+    device::DeviceSpec d = detailedSsd(500);
+    d.ftlOverprovision = 0.4;
+    d.ftlGrownBadProb = 0.02;
+    device::BlockDevice dev(d, 11);
+    Pcg32 rng(13);
+    SimTime t = 0.0;
+    while (dev.ftl()->retiredBlocks() == 0 && !dev.permanentlyFailed()) {
+        const auto a =
+            dev.access(t, OpType::Write, rng.nextBounded(500), 1);
+        t = a.finishUs;
+    }
+    ASSERT_FALSE(dev.permanentlyFailed());
+    EXPECT_EQ(dev.healthAt(t), device::DeviceHealth::Degraded);
+}
+
+TEST(FtlDeviceIntegration, WearFeaturesStrippedFromPolicyIdentity)
+{
+    // wearFeatures is an observation knob, stripped from the canonical
+    // run string like the guardrail/asyncTraining knobs — an armed run
+    // shares the unarmed run's key (and hence its RNG streams), so the
+    // feature's effect is isolated to agent decisions.
+    EXPECT_EQ(sim::policyIdentity("Sibyl{wearFeatures=1}"), "Sibyl");
+    EXPECT_EQ(sim::policyIdentity("Sibyl{gamma=0.5,wearFeatures=1}"),
+              "Sibyl{gamma=0.5}");
 }
 
 // ---------------------------------------------------------------------

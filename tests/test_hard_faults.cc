@@ -511,6 +511,151 @@ TEST(HardFaultDeterminism, FaultCountersSurfaceInResultsJson)
     EXPECT_EQ(cs.str().find("faultErroredOps"), std::string::npos);
 }
 
+// ----------------------- wear-out chaos twin ---------------------------
+
+TEST(WearOutChaos, DegradedThenFailedThroughDrain)
+{
+    // Endurance twin of the hard-fault escalation path: a detailed-FTL
+    // device retires grown-bad blocks (Degraded), eventually eats its
+    // spare floor (Failed), and its residents drain to the surviving
+    // tier under the configured budget — wear-out is just another hard
+    // fault to the serving layer.
+    auto specs = hss::makeHssConfig("H&M", 4096);
+    specs[1].capacityPages = 96;
+    specs[1].detailedFtl = true;
+    specs[1].ftlPagesPerBlock = 8;
+    specs[1].ftlOverprovision = 0.4;
+    specs[1].ftlGrownBadProb = 0.15;
+    specs[1].faults.drainPagesPerMs = 32.0;
+    hss::HybridSystem sys(std::move(specs), 7);
+    ASSERT_TRUE(sys.hardFaultsArmed()); // endurance arms the machinery
+    ASSERT_NE(sys.device(1).ftl(), nullptr);
+
+    trace::Request w;
+    w.sizePages = 1;
+    w.op = OpType::Write;
+
+    bool sawDegraded = false;
+    std::uint64_t residentsAtFailure = 0;
+    SimTime t = 0.0;
+    SimTime failT = 0.0;
+    for (int i = 0; i < 60000 && !sys.device(1).permanentlyFailed();
+         i++) {
+        residentsAtFailure = sys.device(1).usedPages();
+        w.page = static_cast<PageId>(i % 80);
+        const auto r = sys.serve(t, w, 1);
+        t = r.finishUs;
+        failT = t;
+        if (!sys.device(1).permanentlyFailed() &&
+            sys.device(1).ftl()->retiredBlocks() > 0) {
+            EXPECT_EQ(sys.device(1).healthAt(t),
+                      device::DeviceHealth::Degraded);
+            sawDegraded = true;
+        }
+    }
+    ASSERT_TRUE(sys.device(1).permanentlyFailed());
+    EXPECT_TRUE(sawDegraded);
+    EXPECT_TRUE(sys.device(1).ftl()->spareFloorBreached());
+
+    // The next touch drains the residents to the surviving tier under
+    // the drain budget (the target absorbs the rebuild busy time).
+    w.page = 500;
+    const auto after = sys.serve(t + 1.0, w, 1);
+    EXPECT_TRUE(after.redirected);
+    EXPECT_NE(after.placedDevice, 1u);
+    EXPECT_EQ(sys.device(1).usedPages(), 0u);
+    EXPECT_EQ(sys.counters().drainedPages, residentsAtFailure);
+    EXPECT_GT(sys.device(0).busyUntil(), failT);
+    EXPECT_FALSE(sys.placementMask() >> 1 & 1u);
+}
+
+scenario::ScenarioSpec
+wearOutScenario()
+{
+    // Sustained overwrite pressure on the capacity-restricted middle
+    // flash tier with tiny erase blocks and an aggressive grown-bad
+    // rate: the device wears out mid-run and fails through the drain
+    // path.
+    scenario::ScenarioSpec sc;
+    sc.name = "wearout-det";
+    sc.policies = {"CDE", "Sibyl"};
+    sc.workloads = {"rsrch_0"};
+    sc.hssConfigs = {"H&M&L"};
+    sc.traceLen = 1200;
+    scenario::DeviceOverride ov;
+    ov.device = 1;
+    ov.detailedFtl = 1;
+    ov.ftlPagesPerBlock = 8;
+    ov.ftlGrownBadProb = 1.0;
+    ov.drainPagesPerMs = 32.0;
+    sc.deviceOverrides = {ov};
+    return sc;
+}
+
+TEST(WearOutChaos, WearOutRunBitIdenticalAcrossThreadCounts)
+{
+    // A run whose device wears out mid-run (retirement schedule drawn
+    // from the run-key-derived device seed) is bit-identical between
+    // the serial oracle and the 8-thread pool, in-process and through
+    // the JSON sink.
+    const auto sc = wearOutScenario();
+    auto runAt = [&](unsigned n) {
+        sim::ParallelConfig cfg;
+        cfg.numThreads = n;
+        sim::ParallelRunner runner(cfg);
+        return runner.runAll(sc.expand());
+    };
+    const auto serial = runAt(1);
+    const auto parallel = runAt(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); i++) {
+        expectMetricsIdentical(serial[i], parallel[i]);
+        const auto &ma = serial[i].result.metrics;
+        const auto &mb = parallel[i].result.metrics;
+        EXPECT_EQ(ma.retiredBlocks, mb.retiredBlocks);
+        EXPECT_EQ(ma.writeAmplification, mb.writeAmplification);
+        EXPECT_EQ(ma.wearImbalance, mb.wearImbalance);
+        EXPECT_EQ(ma.lifeConsumed, mb.lifeConsumed);
+        EXPECT_EQ(ma.drainedPages, mb.drainedPages);
+        EXPECT_EQ(ma.deviceAvailability, mb.deviceAvailability);
+    }
+
+    std::ostringstream a, b;
+    sim::writeResultsJson(a, serial);
+    sim::writeResultsJson(b, parallel);
+    EXPECT_EQ(a.str(), b.str());
+
+    // The wear-out actually fired: blocks retired, the device died
+    // mid-run (availability < 1), and its residents were drained.
+    const auto &m = serial[0].result.metrics;
+    EXPECT_TRUE(m.enduranceConfigured);
+    EXPECT_GT(m.retiredBlocks, 0u);
+    EXPECT_LT(m.deviceAvailability.at(1), 1.0);
+    EXPECT_GT(m.drainedPages, 0u);
+}
+
+TEST(WearOutChaos, EnduranceMetricsSurfaceInResultsJson)
+{
+    // The endurance block rides the JSON sink only for detailed-FTL
+    // runs; FTL-free records keep their historical bytes (no new keys).
+    const auto sc = wearOutScenario();
+    sim::ParallelRunner runner;
+    const auto worn = runner.runAll(sc.expand());
+    std::ostringstream ws;
+    sim::writeResultsJson(ws, worn);
+    const std::string wj = ws.str();
+    for (const char *key :
+         {"\"writeAmplification\"", "\"wearImbalance\"",
+          "\"lifeConsumed\"", "\"retiredBlocks\""})
+        EXPECT_NE(wj.find(key), std::string::npos) << key;
+
+    const auto clean = runner.runAll({baseSpec("CDE")});
+    std::ostringstream cs;
+    sim::writeResultsJson(cs, clean);
+    EXPECT_EQ(cs.str().find("writeAmplification"), std::string::npos);
+    EXPECT_EQ(cs.str().find("retiredBlocks"), std::string::npos);
+}
+
 // -------------------------- fleet isolation ---------------------------
 
 TEST(HardFaultFleet, TenantFailureLeavesOtherTenantsBitIdentical)
